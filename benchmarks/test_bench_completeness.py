@@ -1,0 +1,124 @@
+"""Benchmarks C1/C2/C3: the Section 4.3 completeness simulations."""
+
+import random
+
+import pytest
+
+from repro.relcomp import (
+    AttrEq,
+    Difference,
+    Product,
+    Project,
+    Rel,
+    Relation,
+    RelationalCompiler,
+    RelationalDatabase,
+    Rename,
+    Select,
+    encode_database,
+    evaluate,
+)
+from repro.relcomp.encoding import attribute_map
+from repro.relcomp.nested import (
+    NestedRelation,
+    decode_nested,
+    distinct_sets_via_good,
+    nest_via_good,
+)
+from repro.turing import GoodTuringMachine, binary_increment_machine, parity_machine
+
+
+def supplier_db(n_suppliers, n_parts, rng):
+    suppliers = Relation.build(
+        ("sid",), [(f"s{i}",) for i in range(n_suppliers)]
+    )
+    parts = Relation.build(("pid",), [(f"p{i}",) for i in range(n_parts)])
+    supplies = Relation.build(
+        ("sid2", "pid2"),
+        {
+            (f"s{rng.randrange(n_suppliers)}", f"p{rng.randrange(n_parts)}")
+            for _ in range(n_suppliers * n_parts // 2)
+        },
+    )
+    return (
+        RelationalDatabase()
+        .add("Supplier", suppliers)
+        .add("Part", parts)
+        .add("Supplies", supplies)
+    )
+
+
+@pytest.mark.parametrize("size", [5, 10, 20])
+def test_relational_algebra_division(benchmark, size, rng):
+    """σπ×−ρ division query compiled to GOOD, vs the oracle."""
+    db = supplier_db(size, 4, rng)
+    supplier_ids = Project(Rel("Supplies"), ("sid2",))
+    all_pairs = Product(supplier_ids, Rel("Part"))
+    typed = Rename.of(Rel("Supplies"), {"pid2": "pid"})
+    division = Difference(supplier_ids, Project(Difference(all_pairs, typed), ("sid2",)))
+
+    scheme, instance = encode_database(db)
+    compiler = RelationalCompiler(scheme, attribute_map(db))
+    query = compiler.compile(division)
+    got = benchmark(lambda: query.run(instance))
+    assert got.rows == evaluate(division, db).rows
+
+
+def test_relational_algebra_join(benchmark, rng):
+    db = supplier_db(15, 6, rng)
+    join = Project(
+        Select(Product(Rel("Supplier"), Rel("Supplies")), (AttrEq("sid", "sid2"),)),
+        ("sid", "pid2"),
+    )
+    scheme, instance = encode_database(db)
+    query = RelationalCompiler(scheme, attribute_map(db)).compile(join)
+    got = benchmark(lambda: query.run(instance))
+    assert got.rows == evaluate(join, db).rows
+
+
+@pytest.mark.parametrize("rows", [20, 80])
+def test_nested_algebra(benchmark, rows, rng):
+    """nest + abstraction-based duplicate elimination (C2)."""
+    flat = Relation.build(
+        ("Doc", "Tag"),
+        {(f"d{rng.randrange(rows // 4)}", f"t{rng.randrange(5)}") for _ in range(rows)},
+    )
+    db = RelationalDatabase().add("Tags", flat)
+    scheme, instance = encode_database(db)
+
+    def pipeline():
+        nested = nest_via_good(instance, "Tags", ("Doc", "Tag"), "Tag", "NR")
+        with_sets = distinct_sets_via_good(nested, "NR", "SetVal")
+        return nested, with_sets
+
+    nested, with_sets = benchmark(pipeline)
+    want = NestedRelation.nest(flat, "Tag", "Tags")
+    assert decode_nested(nested, "NR", ("Doc",), "Tags").rows == want.rows
+    assert len(with_sets.nodes_with_label("SetVal")) == len(want.distinct_sets())
+
+
+@pytest.mark.parametrize("word", ["1011", "1111111"])
+def test_turing_increment(benchmark, word):
+    """C3: the GOOD machine vs its specification."""
+    tm = binary_increment_machine()
+    good = GoodTuringMachine(tm)
+    instance = benchmark(lambda: good.run(word))
+    assert good.output_word(instance) == tm.output_word(tm.run(word))
+
+
+def test_turing_parity_long_input(benchmark):
+    tm = parity_machine()
+    good = GoodTuringMachine(tm)
+    word = "10" * 8
+    instance = benchmark(lambda: good.run(word))
+    assert good.output_word(instance) == "E"
+
+
+def test_turing_direct_simulator_baseline(benchmark):
+    """The oracle simulator on the same input — the who-wins baseline:
+    direct simulation is orders of magnitude faster than the GOOD
+    encoding, which is the expected price of the reduction."""
+    tm = parity_machine()
+    word = "10" * 8
+    config = benchmark(lambda: tm.run(word))
+    assert tm.output_word(config) == "E"

@@ -1,0 +1,171 @@
+"""Benchmarks for the extension modules: rules, session, io, iso.
+
+Shape claims:
+
+* the rule-program fixpoint for transitive closure tracks the starred
+  macro (same engine underneath, small bookkeeping overhead);
+* JSON round-trips and isomorphism checks scale roughly linearly on
+  the sparse, richly-labeled instances GOOD produces.
+"""
+
+import random
+
+import pytest
+
+from repro.core import EdgeAddition, Pattern, Program
+from repro.graph import isomorphic
+from repro.hypermedia import build_instance, build_scheme
+from repro.hypermedia.figures import fig28_operations
+from repro.interactive import Session
+from repro.io import instance_from_json, instance_to_json
+from repro.rules import Rule, RuleProgram
+from repro.workloads import chain_instance, scale_free_instance
+
+
+def closure_rules(scheme):
+    private = scheme.copy()
+    private.declare("Info", "rec-links-to", "Info", functional=False)
+    base_pattern = Pattern(private)
+    a = base_pattern.node("Info")
+    b = base_pattern.node("Info")
+    base_pattern.edge(a, "links-to", b)
+    base = Rule(
+        "base",
+        EdgeAddition(base_pattern, [(a, "rec-links-to", b)],
+                     new_label_kinds={"rec-links-to": "multivalued"}),
+    )
+    step_pattern = Pattern(private)
+    x = step_pattern.node("Info")
+    y = step_pattern.node("Info")
+    z = step_pattern.node("Info")
+    step_pattern.edge(x, "rec-links-to", y)
+    step_pattern.edge(y, "links-to", z)
+    step = Rule(
+        "step",
+        EdgeAddition(step_pattern, [(x, "rec-links-to", z)],
+                     new_label_kinds={"rec-links-to": "multivalued"}),
+    )
+    return [base, step]
+
+
+@pytest.mark.parametrize("strategy", ["macro", "rules"])
+@pytest.mark.parametrize("length", [8, 16])
+def test_closure_rules_vs_macro(benchmark, strategy, length):
+    scheme = build_scheme()
+    db, _ = chain_instance(scheme, length)
+    expected = length * (length - 1) // 2
+
+    if strategy == "macro":
+        def run():
+            direct, star = fig28_operations(scheme)
+            out = Program([direct, star]).run(db)
+            return sum(
+                len(out.instance.out_neighbours(s, "rec-links-to"))
+                for s in out.instance.nodes_with_label("Info")
+            )
+    else:
+        def run():
+            out, _reports = RuleProgram(closure_rules(scheme)).run(db)
+            return sum(
+                len(out.out_neighbours(s, "rec-links-to"))
+                for s in out.nodes_with_label("Info")
+            )
+
+    assert benchmark(run) == expected
+
+
+@pytest.mark.parametrize("n_nodes", [100, 400])
+def test_json_round_trip(benchmark, n_nodes):
+    scheme = build_scheme()
+    rng = random.Random(2)
+    instance, _ = scale_free_instance(rng, scheme, n_nodes)
+
+    def round_trip():
+        return instance_from_json(instance_to_json(instance))
+
+    back = benchmark(round_trip)
+    assert back.node_count == instance.node_count
+
+
+@pytest.mark.parametrize("n_nodes", [100, 400])
+def test_isomorphism_check(benchmark, n_nodes):
+    scheme = build_scheme()
+    rng = random.Random(2)
+    instance, _ = scale_free_instance(rng, scheme, n_nodes)
+    other = instance.copy()
+    assert benchmark(lambda: isomorphic(instance.store, other.store))
+
+
+def test_session_browse(benchmark):
+    scheme = build_scheme()
+    db, handles = build_instance(scheme)
+    session = Session(db)
+    view = benchmark(lambda: session.browse(handles.music_history, hops=2))
+    assert handles.rock_new in view.nodes
+
+
+def test_session_pattern_directed_focus(benchmark):
+    scheme = build_scheme()
+    rng = random.Random(2)
+    instance, nodes = scale_free_instance(rng, scheme, 300)
+    instance.add_edge(nodes[0], "name", instance.printable("String", "hub"))
+    session = Session(instance)
+    pattern = Pattern(scheme)
+    info = pattern.node("Info")
+    pattern.edge(info, "name", pattern.node("String", "hub"))
+    view = benchmark(lambda: session.focus(pattern, info, hops=1))
+    assert nodes[0] in view.nodes
+
+
+def test_dsl_parse_and_run(benchmark):
+    """Parse + compile + run the three-statement figure script."""
+    from repro.dsl import parse_program
+    from repro.hypermedia import build_instance as _bi, build_scheme as _bs
+
+    scheme = _bs()
+    db, _ = _bi(scheme)
+    script = '''
+    addnode Rock(tagged-to -> y) {
+        x: Info; y: Info; d: Date = "Jan 14, 1990"; n: String = "Rock";
+        x -created-> d; x -name-> n; x -links-to->> y;
+    }
+    addnode Answer { }
+    addedge {
+        a: Answer; x: Info; n: String; d: Date;
+        x -name-> n; x -created-> d;
+        no { x -modified-> d; };
+    } add a -holds->> n
+    '''
+
+    def run():
+        return parse_program(script, scheme).run(db)
+
+    result = benchmark(run)
+    answer = min(result.instance.nodes_with_label("Answer"))
+    assert len(result.instance.out_neighbours(answer, "holds")) == 8
+
+
+def test_dsl_method_call(benchmark):
+    """Parse + run a recursive DSL method on the version chain."""
+    from repro.dsl import parse_program
+    from repro.hypermedia import build_scheme as _bs, build_version_chain as _bvc
+
+    scheme = _bs()
+    script = '''
+    method R-O-V on Info {
+        call R-O-V on old { self: Info; old: Info; v: Version; v -new-> self; v -old-> old; }
+        delnode old { self: Info; old: Info; v: Version; v -new-> self; v -old-> old; }
+        delnode v { self: Info; v: Version; v -new-> self; }
+    }
+    call R-O-V on x { x: Info; n: String = "HEAD"; x -name-> n; }
+    '''
+
+    def run():
+        db, handles = _bvc(scheme)
+        db.add_edge(handles.chain[0], "name", db.printable("String", "HEAD"))
+        result = parse_program(script, scheme).run(db)
+        return result, handles
+
+    result, handles = benchmark(run)
+    assert result.instance.has_node(handles.chain[0])
+    assert not result.instance.has_node(handles.chain[-1])

@@ -1,0 +1,140 @@
+"""Benchmarks F1–F31: regenerate every figure's result.
+
+Each benchmark runs the executable figure against a fresh copy of the
+Figs. 2–3 instance (or the Fig. 17 chain) and asserts the paper-stated
+outcome, so the timing numbers always describe a *correct* run.
+"""
+
+import pytest
+
+from repro.core import Program, count_matchings, find_matchings
+from repro.core.inheritance import find_matchings_with_inheritance, virtual_scheme
+from repro.hypermedia import build_instance, build_scheme, build_version_chain
+from repro.hypermedia import figures as F
+from repro.hypermedia.scheme_def import JAN_16
+
+
+def test_fig1_scheme_build(benchmark):
+    scheme = benchmark(build_scheme)
+    assert len(scheme.object_labels) == 8
+
+
+def test_fig2_instance_build(benchmark, scheme):
+    db, handles = benchmark(build_instance, scheme)
+    assert db.node_count == 44
+
+
+def test_fig4_pattern_matching(benchmark, scheme, hyper):
+    db, handles = hyper
+    fig4 = F.fig4_pattern(scheme)
+    matchings = benchmark(lambda: list(find_matchings(fig4.pattern, db)))
+    assert len(matchings) == 2
+
+
+def test_fig6_node_addition(benchmark, scheme, hyper):
+    db, handles = hyper
+    op = F.fig6_node_addition(scheme)
+    result = benchmark(lambda: Program([op]).run(db))
+    assert len(result.reports[0].nodes_added) == 2
+
+
+def test_fig8_pair_aggregates(benchmark, scheme, hyper):
+    db, handles = hyper
+    op = F.fig8_node_addition(scheme)
+    result = benchmark(lambda: Program([op]).run(db))
+    assert result.reports[0].matching_count == 4
+    assert len(result.reports[0].nodes_added) == 3
+
+
+def test_fig10_edge_addition(benchmark, scheme, hyper):
+    db, handles = hyper
+    op = F.fig10_edge_addition(scheme)
+    result = benchmark(lambda: Program([op]).run(db))
+    assert len(result.reports[0].edges_added) == 2
+
+
+def test_fig12_13_set_building(benchmark, scheme, hyper):
+    db, handles = hyper
+    ops = [F.fig12_node_addition(scheme), F.fig13_edge_addition(scheme)]
+    result = benchmark(lambda: Program(list(ops)).run(db))
+    collector = min(result.instance.nodes_with_label(F.SET_LABEL))
+    assert len(result.instance.out_neighbours(collector, "contains")) == 2
+
+
+def test_fig14_node_deletion(benchmark, scheme, hyper):
+    db, handles = hyper
+    op = F.fig14_node_deletion(scheme)
+    result = benchmark(lambda: Program([op]).run(db))
+    assert not result.instance.has_node(handles.classical)
+
+
+def test_fig16_update(benchmark, scheme, hyper):
+    db, handles = hyper
+    ops = list(F.fig16_update(scheme))
+    result = benchmark(lambda: Program(list(ops)).run(db))
+    target = result.instance.functional_target(handles.music_history, "modified")
+    assert result.instance.print_of(target) == JAN_16
+
+
+def test_fig18_abstraction(benchmark, scheme, version_chain):
+    db, handles = version_chain
+    ops = F.fig18_operations(scheme)
+    result = benchmark(lambda: Program(list(ops)).run(db))
+    assert len(result.instance.nodes_with_label("Same-Info")) == 3
+
+
+def test_fig20_21_method_update(benchmark, scheme, hyper):
+    db, handles = hyper
+    method = F.fig20_update_method(scheme)
+    call = F.fig21_call(scheme)
+    result = benchmark(lambda: Program([call], methods=[method]).run(db))
+    target = result.instance.functional_target(handles.music_history, "modified")
+    assert result.instance.print_of(target) == JAN_16
+
+
+def test_fig22_recursive_method(benchmark, scheme, hyper):
+    db, handles = hyper
+    method = F.fig22_remove_old_versions(scheme)
+    call = F.fig22_call(scheme, "Rock")
+    result = benchmark(lambda: Program([call], methods=[method]).run(db))
+    assert not result.instance.has_node(handles.rock_old)
+
+
+def test_fig23_25_interfaces(benchmark, scheme, hyper):
+    db, handles = hyper
+    d_method = F.fig23_d_method(scheme)
+    e_method = F.fig25_e_method(scheme)
+    call = F.fig25_e_call(scheme)
+    result = benchmark(lambda: Program([call], methods=[d_method, e_method]).run(db))
+    target = result.instance.functional_target(handles.music_history, "days-unmod")
+    assert result.instance.print_of(target) == 2
+
+
+def test_fig26_27_negation(benchmark, scheme, hyper):
+    db, handles = hyper
+    ops, _ = F.fig26_operations(scheme)
+    result = benchmark(lambda: Program(list(ops)).run(db))
+    answer = min(result.instance.nodes_with_label("Answer"))
+    assert len(result.instance.out_neighbours(answer, "contains")) == 8
+
+
+def test_fig28_29_transitive_closure(benchmark, scheme, hyper):
+    db, handles = hyper
+    direct, star = F.fig28_operations(scheme)
+    result = benchmark(lambda: Program([direct, star]).run(db))
+    pairs = sum(
+        len(result.instance.out_neighbours(s, "rec-links-to"))
+        for s in result.instance.nodes_with_label("Info")
+    )
+    assert pairs == 25
+
+
+def test_fig30_31_inheritance(benchmark):
+    scheme = build_scheme(mark_isa=True)
+    db, handles = build_instance(scheme)
+    virtual = virtual_scheme(scheme)
+    fig30 = F.fig30_query(virtual)
+    matchings = benchmark(
+        lambda: list(find_matchings_with_inheritance(fig30.pattern, db, scheme))
+    )
+    assert len(matchings) == 1

@@ -1,0 +1,65 @@
+"""Benchmark S3: GOOD's set-oriented semantics vs graph grammars.
+
+The Section 5 contrast, measured: one GOOD operation rewrites *all*
+matchings in one deterministic step; a graph grammar needs one
+derivation step per matching (each step re-searching for applicable
+matchings).  The crossover grows linearly with the matching count.
+"""
+
+import random
+
+import pytest
+
+from repro.core import NodeAddition, Pattern, Program
+from repro.grammars import GraphGrammar, Production
+from repro.graph import isomorphic
+from repro.hypermedia import build_scheme
+from repro.workloads import scale_free_instance
+
+
+def tag_operation(scheme):
+    pattern = Pattern(scheme)
+    source = pattern.node("Info")
+    target = pattern.node("Info")
+    pattern.edge(source, "links-to", target)
+    return NodeAddition(pattern, "LinkTag", [("src", source), ("dst", target)])
+
+
+@pytest.mark.parametrize("n_nodes", [30, 120])
+def test_good_all_matchings_one_step(benchmark, n_nodes):
+    scheme = build_scheme()
+    rng = random.Random(5)
+    instance, _ = scale_free_instance(rng, scheme, n_nodes)
+    op = tag_operation(scheme)
+    result = benchmark(lambda: Program([op]).run(instance))
+    assert len(result.instance.nodes_with_label("LinkTag")) == instance.edge_count
+
+
+@pytest.mark.parametrize("n_nodes", [30, 120])
+def test_grammar_one_matching_per_step(benchmark, n_nodes):
+    scheme = build_scheme()
+    rng = random.Random(5)
+    instance, _ = scale_free_instance(rng, scheme, n_nodes)
+    production = Production("tag", tag_operation(scheme))
+
+    def derive():
+        grammar = GraphGrammar([production], seed=1)
+        work = instance.copy(scheme=instance.scheme.copy())
+        steps = grammar.derive(work)
+        return steps, work
+
+    steps, work = benchmark(derive)
+    # |derivation| == |matchings|: the measured shape claim
+    assert steps == instance.edge_count
+
+
+def test_same_final_state(scheme, hyper):
+    """Not a timing test: both strategies converge to the same graph."""
+    db, _ = hyper
+    op = tag_operation(scheme)
+    good = Program([op]).run(db)
+    grammar = GraphGrammar([Production("tag", tag_operation(scheme))], seed=9)
+    work = db.copy(scheme=db.scheme.copy())
+    steps = grammar.derive(work)
+    assert steps == sum(1 for _ in db.edges() if _.label == "links-to")
+    assert isomorphic(good.instance.store, work.store)

@@ -1,0 +1,79 @@
+"""Scale benchmarks: how the engine behaves as instances grow.
+
+The claims measured are asymptotic shapes, not absolutes:
+
+* instance construction and validation are ~linear in size;
+* one set-oriented operation over all matchings is ~linear in the
+  matching count;
+* abstraction is ~linear in nodes (hash grouping of α-sets);
+* JSON export is ~linear.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Abstraction, NodeAddition, Pattern, Program
+from repro.hypermedia import build_scheme
+from repro.io import instance_to_json
+from repro.workloads import scale_free_instance
+
+SIZES = [500, 2000, 8000]
+
+
+def corpus(n_nodes):
+    scheme = build_scheme()
+    rng = random.Random(13)
+    instance, nodes = scale_free_instance(rng, scheme, n_nodes)
+    return scheme, instance, nodes
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_build_and_validate(benchmark, n_nodes):
+    scheme = build_scheme()
+    rng = random.Random(13)
+
+    def run():
+        instance, _ = scale_free_instance(rng, scheme, n_nodes)
+        instance.validate()
+        return instance
+
+    instance = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert instance.node_count == n_nodes
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_bulk_node_addition(benchmark, n_nodes):
+    scheme, instance, nodes = corpus(n_nodes)
+    pattern = Pattern(scheme)
+    source = pattern.node("Info")
+    target = pattern.node("Info")
+    pattern.edge(source, "links-to", target)
+    op = NodeAddition(pattern, "LinkTag", [("src", source), ("dst", target)])
+
+    def run():
+        return Program([op]).run(instance)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.instance.nodes_with_label("LinkTag")) == instance.edge_count
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_bulk_abstraction(benchmark, n_nodes):
+    scheme, instance, nodes = corpus(n_nodes)
+    pattern = Pattern(scheme)
+    info = pattern.node("Info")
+    op = Abstraction(pattern, info, "Profile", "links-to", "grouped")
+
+    def run():
+        return Program([op]).run(instance)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.instance.nodes_with_label("Profile")) >= 1
+
+
+@pytest.mark.parametrize("n_nodes", SIZES)
+def test_json_export(benchmark, n_nodes):
+    scheme, instance, nodes = corpus(n_nodes)
+    data = benchmark.pedantic(lambda: instance_to_json(instance), rounds=3, iterations=1)
+    assert len(data["nodes"]) == n_nodes

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""The full hyper-media tour: every figure of the paper, executed.
+
+Builds the Fig. 1 scheme and the Figs. 2–3 instance, then walks
+through Figs. 4–31 in order, printing what each operation does to the
+object base — a faithful, runnable rendition of the paper's narrative.
+
+Run:  python examples/hypermedia_tour.py
+"""
+
+from repro.core import Program, count_matchings, find_matchings
+from repro.core.inheritance import find_matchings_with_inheritance, virtual_scheme
+from repro.hypermedia import build_instance, build_scheme, build_version_chain
+from repro.hypermedia import figures as F
+from repro.viz import summarize_scheme
+
+
+def banner(text):
+    print(f"\n── {text} " + "─" * max(0, 60 - len(text)))
+
+
+def main():
+    scheme = build_scheme()
+    db, handles = build_instance(scheme)
+
+    banner("Fig. 1: the hyper-media scheme")
+    print(summarize_scheme(scheme))
+
+    banner("Figs. 2-3: the instance")
+    print(f"{db.node_count} nodes, {db.edge_count} edges; "
+          f"{len(db.nodes_with_label('Info'))} Info nodes")
+
+    banner("Figs. 4-5: pattern matching")
+    fig4 = F.fig4_pattern(scheme)
+    matchings = list(find_matchings(fig4.pattern, db))
+    print(f"the pattern has {len(matchings)} matchings; the linked infos are:")
+    for matching in matchings:
+        name = db.functional_target(matching[fig4.info_bottom], "name")
+        print("  ->", db.print_of(name) if name else "(unnamed)")
+
+    banner("Figs. 6-7: node addition")
+    result = Program([F.fig6_node_addition(scheme)]).run(db)
+    print(result.reports[0].summary())
+
+    banner("Figs. 8-9: aggregating node addition")
+    result = Program([F.fig8_node_addition(scheme)]).run(db)
+    print(result.reports[0].summary())
+    print("note: 4 matchings collapse to 3 Pair objects — two matchings")
+    print("agree on their (parent, child) dates; see EXPERIMENTS.md F8")
+
+    banner("Figs. 10-11: edge addition")
+    result = Program([F.fig10_edge_addition(scheme)]).run(db)
+    print(result.reports[0].summary())
+
+    banner("Figs. 12-13: building a set object")
+    result = Program([F.fig12_node_addition(scheme), F.fig13_edge_addition(scheme)]).run(db)
+    print(result.summary())
+
+    banner("Figs. 14-15: node deletion")
+    result = Program([F.fig14_node_deletion(scheme)]).run(db)
+    print(result.reports[0].summary())
+    incoming_links = result.instance.in_neighbours(handles.mozart, "links-to")
+    print("Mozart is now isolated (no incoming links-to):", not incoming_links)
+
+    banner("Fig. 16: update = edge deletion; edge addition")
+    result = Program(list(F.fig16_update(scheme))).run(db)
+    new_date = result.instance.functional_target(handles.music_history, "modified")
+    print("Music History modified ->", result.instance.print_of(new_date))
+
+    banner("Figs. 17-19: abstraction over a version chain")
+    chain_db, chain_handles = build_version_chain(scheme)
+    ops = F.fig18_operations(scheme)
+    result = Program(list(ops)).run(chain_db)
+    groups = result.instance.nodes_with_label("Same-Info")
+    print(f"{len(groups)} Same-Info groups:")
+    for group in sorted(groups):
+        members = sorted(result.instance.out_neighbours(group, "contains"))
+        print("  contains", members)
+
+    banner("Figs. 20-21: the Update method")
+    update = F.fig20_update_method(scheme)
+    result = Program([F.fig21_call(scheme)], methods=[update]).run(db)
+    new_date = result.instance.functional_target(handles.music_history, "modified")
+    print("after the call, Music History modified ->", result.instance.print_of(new_date))
+
+    banner("Fig. 22: the recursive Remove-Old-Versions method")
+    rov = F.fig22_remove_old_versions(scheme)
+    result = Program([F.fig22_call(scheme, "Rock")], methods=[rov]).run(db)
+    print("old Rock version survives:", result.instance.has_node(handles.rock_old))
+    print("new Rock version survives:", result.instance.has_node(handles.rock_new))
+
+    banner("Figs. 23-25: method interfaces (D and E)")
+    d_method = F.fig23_d_method(scheme)
+    e_method = F.fig25_e_method(scheme)
+    result = Program([F.fig25_e_call(scheme)], methods=[d_method, e_method]).run(db)
+    days = result.instance.functional_target(handles.music_history, "days-unmod")
+    print("days-unmod(Music History) =", result.instance.print_of(days))
+    print("Elapsed nodes visible to the caller:",
+          len(result.instance.nodes_with_label("Elapsed")) if
+          result.instance.scheme.has_node_label("Elapsed") else 0)
+
+    banner("Figs. 26-27: negation")
+    ops26, _ = F.fig26_operations(scheme)
+    result = Program(ops26).run(db)
+    answer = min(result.instance.nodes_with_label("Answer"))
+    names = sorted(
+        result.instance.print_of(t)
+        for t in result.instance.out_neighbours(answer, "contains")
+    )
+    print("infos whose created differs from modified:", ", ".join(names))
+
+    banner("Figs. 28-29: transitive closure")
+    direct, star = F.fig28_operations(scheme)
+    result = Program([direct, star]).run(db)
+    pairs = sum(
+        len(result.instance.out_neighbours(s, "rec-links-to"))
+        for s in result.instance.nodes_with_label("Info")
+    )
+    print(f"rec-links-to holds {pairs} pairs (starred edge addition)")
+    rlt = F.fig29_rlt_method(scheme)
+    result2 = Program([F.fig29_call(scheme)], methods=[rlt]).run(db)
+    pairs2 = sum(
+        len(result2.instance.out_neighbours(s, "rec-links-to"))
+        for s in result2.instance.nodes_with_label("Info")
+    )
+    print(f"the recursive RLT method computes the same {pairs2} pairs")
+
+    banner("Figs. 30-31: inheritance")
+    isa_scheme = build_scheme(mark_isa=True)
+    isa_db, isa_handles = build_instance(isa_scheme)
+    fig30 = F.fig30_query(virtual_scheme(isa_scheme))
+    for matching in find_matchings_with_inheritance(fig30.pattern, isa_db, isa_scheme):
+        print("reference named", isa_db.print_of(matching[fig30.name]),
+              "occurs in the Jazz info")
+    print("\ndone — all 31 figures exercised.")
+
+
+if __name__ == "__main__":
+    main()

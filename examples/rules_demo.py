@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Declarative graph rules over the hyper-media base (Section 5 outlook).
+
+The paper closes by observing that each GOOD operation is already a
+rule — pattern as condition, bold part as action — "a basis for the
+development of graph-based, rule-based, object-oriented database
+languages".  This example runs a small stratified rule program over
+the hyper-media instance:
+
+  stratum 0:  reachable(x, y) ← links-to(x, y)
+              reachable(x, z) ← reachable(x, y) ∧ links-to(y, z)
+              Sink(x)         ← Info(x) ∧ ¬ links-to(x, _)
+              Root(x)         ← Info(x) ∧ ¬ links-to(_, x)
+  stratum 1:  Terminal(x)     ← Info(x) ∧ ¬ reachable(x, _)
+
+(Sink/Root negate *base* labels, so they need no stratification;
+Terminal negates the *derived* ``reachable`` and is pushed to a later
+stratum automatically.)
+
+Run:  python examples/rules_demo.py
+"""
+
+from repro.core import EdgeAddition, NegatedPattern, NodeAddition, Pattern
+from repro.hypermedia import build_instance, build_scheme
+from repro.rules import Rule, RuleProgram
+
+
+def main():
+    scheme = build_scheme()
+    db, handles = build_instance(scheme)
+
+    private = scheme.copy()
+    private.declare("Info", "reachable", "Info", functional=False)
+
+    # stratum 0: transitive closure, declaratively
+    base_pattern = Pattern(private)
+    a = base_pattern.node("Info")
+    b = base_pattern.node("Info")
+    base_pattern.edge(a, "links-to", b)
+    base = Rule(
+        "reach-base",
+        EdgeAddition(base_pattern, [(a, "reachable", b)],
+                     new_label_kinds={"reachable": "multivalued"}),
+    )
+    step_pattern = Pattern(private)
+    x = step_pattern.node("Info")
+    y = step_pattern.node("Info")
+    z = step_pattern.node("Info")
+    step_pattern.edge(x, "reachable", y)
+    step_pattern.edge(y, "links-to", z)
+    step = Rule(
+        "reach-step",
+        EdgeAddition(step_pattern, [(x, "reachable", z)],
+                     new_label_kinds={"reachable": "multivalued"}),
+    )
+
+    # stratum 1: negation over the derived relation
+    sink_positive = Pattern(private)
+    sink_info = sink_positive.node("Info")
+    sinks = NegatedPattern(sink_positive)
+    sinks.forbid_node("Info", [(sink_info, "links-to", None)])
+    sink_rule = Rule("sinks", NodeAddition(sinks, "Sink", [("is", sink_info)]))
+
+    root_positive = Pattern(private)
+    root_info = root_positive.node("Info")
+    roots = NegatedPattern(root_positive)
+    roots.forbid_node("Info", [(None, "links-to", root_info)])
+    root_rule = Rule("roots", NodeAddition(roots, "Root", [("is", root_info)]))
+
+    terminal_positive = Pattern(private)
+    terminal_info = terminal_positive.node("Info")
+    terminals = NegatedPattern(terminal_positive)
+    terminals.forbid_node("Info", [(terminal_info, "reachable", None)])
+    terminal_rule = Rule(
+        "terminals", NodeAddition(terminals, "Terminal", [("is", terminal_info)])
+    )
+
+    program = RuleProgram([base, step, sink_rule, root_rule, terminal_rule])
+    print("strata:", [[rule.name for rule in stratum] for stratum in program.strata()])
+    result, reports = program.run(db)
+    applied = sum(1 for r in reports if r.nodes_added or r.edges_added)
+    print(f"{len(reports)} rule applications, {applied} productive")
+
+    def names(tag_label):
+        out = []
+        for tag in sorted(result.nodes_with_label(tag_label)):
+            info = next(iter(result.out_neighbours(tag, "is")))
+            name = result.functional_target(info, "name")
+            out.append(result.print_of(name) if name is not None else f"#{info}")
+        return sorted(out)
+
+    print("roots (linked from nowhere):", ", ".join(names("Root")))
+    print("sinks (linking nowhere):    ", ", ".join(names("Sink")))
+    print("terminals (reach nothing):  ", ", ".join(names("Terminal")))
+    reachable_pairs = sum(
+        len(result.out_neighbours(info, "reachable"))
+        for info in result.nodes_with_label("Info")
+    )
+    print(f"reachable relation: {reachable_pairs} pairs")
+    mh_reach = result.out_neighbours(handles.music_history, "reachable")
+    print(f"Music History reaches {len(mh_reach)} infos")
+
+
+if __name__ == "__main__":
+    main()

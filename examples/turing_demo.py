@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Computational completeness (Section 4.3, experiment C3).
+
+Compiles three Turing machines into GOOD transition programs — tape
+cells as a doubly-linked Cell chain, each δ-rule a fixed sequence of
+basic operations with the negation macro handling tape growth — and
+runs them in lockstep against a direct simulator.
+
+Run:  python examples/turing_demo.py
+"""
+
+from repro.turing import (
+    GoodTuringMachine,
+    binary_increment_machine,
+    bit_flipper_machine,
+    parity_machine,
+)
+
+
+def trace_run(tm, word):
+    good = GoodTuringMachine(tm)
+    instance = good.encode(word)
+    config = tm.initial(word)
+    print(f"\n=== {tm.name} on {word!r} ===")
+    steps = 0
+    while True:
+        state, offset, symbols = good.decode(instance)
+        tape = "".join(symbols)
+        pointer = " " * offset + "^"
+        print(f"  step {steps:2d}  state={state:6s} tape={tape}")
+        print(f"                         {pointer}")
+        if not good.step(instance):
+            break
+        config = tm.step(config)
+        steps += 1
+        # lockstep check against the oracle
+        state, offset, symbols = good.decode(instance)
+        assert state == config.state
+    print(f"  halted after {steps} steps; output = {good.output_word(instance)!r}")
+    assert good.output_word(instance) == tm.output_word(tm.run(word))
+    return steps
+
+
+def main():
+    print("GOOD is computationally complete: Turing machines compile to")
+    print("graph transformations (one program of basic operations per rule).")
+
+    trace_run(bit_flipper_machine(), "1011")
+    trace_run(binary_increment_machine(), "111")   # carries + tape growth
+    trace_run(parity_machine(), "10110")
+
+    # a quick size census: how big are the compiled programs?
+    print("\ncompiled program sizes (basic operations per transition):")
+    for factory in (bit_flipper_machine, binary_increment_machine, parity_machine):
+        tm = factory()
+        good = GoodTuringMachine(tm)
+        total = sum(len(p.operations) for p in good.programs.values())
+        print(f"  {tm.name:18s} {len(good.programs)} rules -> {total} operations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Versioned-document workflow: the paper's hyper-media motivation.
+
+A document store keeps every revision of every document (Version
+nodes, Fig. 17).  This example shows the three version-management
+operations the paper develops:
+
+1. finding documents whose revisions share exactly the same outgoing
+   links (abstraction, Figs. 18–19);
+2. updating a document's modification date through the encapsulated
+   Update method (Figs. 20–21);
+3. garbage-collecting whole revision chains with the recursive
+   Remove-Old-Versions method (Fig. 22).
+
+Run:  python examples/versioning.py
+"""
+
+from repro.core import Instance, Program
+from repro.hypermedia import build_scheme
+from repro.hypermedia import figures as F
+from repro.hypermedia.scheme_def import JAN_12, JAN_16
+
+
+def build_store():
+    """Three documents; 'report' has 4 revisions, 'memo' has 2."""
+    scheme = build_scheme()
+    db = Instance(scheme)
+
+    def doc(name, created):
+        node = db.add_object("Info")
+        db.add_edge(node, "name", db.printable("String", name))
+        db.add_edge(node, "created", db.printable("Date", created))
+        return node
+
+    wiki = doc("wiki", JAN_12)
+    intro = doc("intro", JAN_12)
+
+    # report: a chain of 4 revisions, newest first
+    revisions = [doc(f"report", JAN_12) if i == 0 else db.add_object("Info") for i in range(4)]
+    for newer, older in zip(revisions, revisions[1:]):
+        version = db.add_object("Version")
+        db.add_edge(version, "new", newer)
+        db.add_edge(version, "old", older)
+    # the two newest revisions link to the same places
+    for revision in revisions[:2]:
+        db.add_edge(revision, "links-to", wiki)
+        db.add_edge(revision, "links-to", intro)
+    for revision in revisions[2:]:
+        db.add_edge(revision, "links-to", wiki)
+
+    # memo: 2 revisions
+    memo = doc("memo", JAN_12)
+    memo_old = db.add_object("Info")
+    version = db.add_object("Version")
+    db.add_edge(version, "new", memo)
+    db.add_edge(version, "old", memo_old)
+    db.add_edge(memo, "links-to", intro)
+    db.add_edge(memo_old, "links-to", intro)
+
+    return scheme, db, revisions, memo
+
+
+def main():
+    scheme, db, report_revisions, memo = build_store()
+    print(f"store: {db.node_count} nodes, {db.edge_count} edges")
+
+    # 1. group versioned documents by identical link sets
+    tag_new, tag_old, abstraction = F.fig18_operations(scheme)
+    result = Program([tag_new, tag_old, abstraction]).run(db)
+    print("\nSame-Info groups (identical outgoing links):")
+    for group in sorted(result.instance.nodes_with_label("Same-Info")):
+        members = sorted(result.instance.out_neighbours(group, "contains"))
+        print(f"  group {group}: infos {members}")
+
+    # 2. touch the report through the Update method
+    update = F.fig20_update_method(scheme)
+    from repro.core import MethodCall, Pattern
+
+    call_pattern = Pattern(scheme)
+    info = call_pattern.node("Info")
+    date = call_pattern.node("Date", JAN_16)
+    call_pattern.edge(info, "name", call_pattern.node("String", "report"))
+    call = MethodCall(call_pattern, "Update", receiver=info, arguments={"parameter": date})
+    result = Program([call], methods=[update]).run(db)
+    head = report_revisions[0]
+    modified = result.instance.functional_target(head, "modified")
+    print("\nreport modified ->", result.instance.print_of(modified))
+
+    # 3. collect the report's old revisions
+    rov = F.fig22_remove_old_versions(scheme)
+    result = Program([F.fig22_call(scheme, "report")], methods=[rov]).run(db)
+    survivors = [r for r in report_revisions if result.instance.has_node(r)]
+    print(f"\nafter Remove-Old-Versions: {len(survivors)}/4 report revisions remain")
+    print("memo untouched:", result.instance.has_node(memo))
+    remaining_versions = len(result.instance.nodes_with_label("Version"))
+    print(f"Version nodes remaining: {remaining_versions} (memo's one)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro — a full reproduction of the GOOD object database model.
+
+GOOD (Gyssens, Paredaens, Van den Bussche, Van Gucht; PODS 1990) is a
+database model in which both the conceptual representation of data and
+its manipulation are graph-based: schemes and instances are labeled
+directed graphs, and queries/updates are graph transformations built
+from five basic operations — node addition, edge addition, node
+deletion, edge deletion, abstraction — plus a method mechanism.
+
+Quick start::
+
+    from repro import Scheme, Instance, Pattern, NodeAddition, Program
+
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Person", "name", "String")
+    db = Instance(scheme)
+    alice = db.add_object("Person")
+    db.add_edge(alice, "name", db.printable("String", "Alice"))
+
+    pattern = Pattern(scheme)
+    person = pattern.node("Person")
+    pattern.edge(person, "name", pattern.node("String", "Alice"))
+    tag = NodeAddition(pattern, "Found", [("hit", person)])
+    result = Program([tag]).run(db)
+
+Sub-packages:
+
+* :mod:`repro.core` — the model and transformation language;
+* :mod:`repro.graph` — the underlying graph store;
+* :mod:`repro.storage` — the Section 5 relational implementation;
+* :mod:`repro.tarski` — the Section 5 binary-relation implementation;
+* :mod:`repro.relcomp` — Section 4.3 relational/nested completeness;
+* :mod:`repro.turing` — Section 4.3 computational completeness;
+* :mod:`repro.grammars` — the Section 5 graph-grammar comparison;
+* :mod:`repro.hypermedia` — the running example (Figs. 1–31);
+* :mod:`repro.viz` / :mod:`repro.io` — rendering and serialisation;
+* :mod:`repro.workloads` — synthetic generators for benchmarks.
+"""
+
+from repro.core import (
+    Abstraction,
+    BodyOp,
+    EdgeAddition,
+    EdgeConflictError,
+    EdgeDeletion,
+    ExecutionContext,
+    GoodError,
+    HeadBindings,
+    Instance,
+    InstanceError,
+    Method,
+    MethodCall,
+    MethodRegistry,
+    MethodSignature,
+    NegatedPattern,
+    NO_PRINT,
+    NodeAddition,
+    NodeDeletion,
+    OperationError,
+    Pattern,
+    PatternError,
+    Program,
+    ProgramResult,
+    RecursiveEdgeAddition,
+    Scheme,
+    SchemeError,
+    compile_negation,
+    count_matchings,
+    empty_pattern,
+    find_matchings,
+    match_negated,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Abstraction",
+    "BodyOp",
+    "EdgeAddition",
+    "EdgeConflictError",
+    "EdgeDeletion",
+    "ExecutionContext",
+    "GoodError",
+    "HeadBindings",
+    "Instance",
+    "InstanceError",
+    "Method",
+    "MethodCall",
+    "MethodRegistry",
+    "MethodSignature",
+    "NegatedPattern",
+    "NO_PRINT",
+    "NodeAddition",
+    "NodeDeletion",
+    "OperationError",
+    "Pattern",
+    "PatternError",
+    "Program",
+    "ProgramResult",
+    "RecursiveEdgeAddition",
+    "Scheme",
+    "SchemeError",
+    "compile_negation",
+    "count_matchings",
+    "empty_pattern",
+    "find_matchings",
+    "match_negated",
+    "__version__",
+]

@@ -1,0 +1,288 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tour``                 — run the paper's figures end to end and
+  print a one-line report per figure (a smoke test of the whole model);
+* ``export {scheme,instance} [-o FILE]`` — Graphviz DOT of the
+  hyper-media example (render with ``dot -Tpng``);
+* ``stats FILE``           — census of a JSON-serialised instance;
+* ``validate FILE``        — load a JSON instance and re-check every
+  Section 2 constraint; exit code 1 on violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import Program
+from repro.core.errors import GoodError
+from repro.hypermedia import build_instance, build_scheme, build_version_chain
+from repro.hypermedia import figures as F
+from repro.io import load_instance
+from repro.viz import instance_to_dot, scheme_to_dot, summarize_instance
+
+
+def _cmd_tour(_args: argparse.Namespace) -> int:
+    scheme = build_scheme()
+    db, handles = build_instance(scheme)
+    print(f"Figs. 1-3   scheme + instance: {db.node_count} nodes, {db.edge_count} edges")
+    steps = [
+        ("Figs. 4-7  ", [F.fig6_node_addition(scheme)]),
+        ("Figs. 8-9  ", [F.fig8_node_addition(scheme)]),
+        ("Figs. 10-11", [F.fig10_edge_addition(scheme)]),
+        ("Figs. 12-13", [F.fig12_node_addition(scheme), F.fig13_edge_addition(scheme)]),
+        ("Figs. 14-15", [F.fig14_node_deletion(scheme)]),
+        ("Fig. 16    ", list(F.fig16_update(scheme))),
+        ("Figs. 26-27", F.fig26_operations(scheme)[0]),
+        ("Figs. 28-29", list(F.fig28_operations(scheme))),
+    ]
+    for label, ops in steps:
+        result = Program(list(ops)).run(db)
+        print(f"{label} {'; '.join(r.summary() for r in result.reports)}")
+    chain_db, _ = build_version_chain(scheme)
+    result = Program(list(F.fig18_operations(scheme))).run(chain_db)
+    print(f"Figs. 17-19 {result.reports[-1].summary()}")
+    method = F.fig20_update_method(scheme)
+    result = Program([F.fig21_call(scheme)], methods=[method]).run(db)
+    print(f"Figs. 20-21 {result.reports[0].summary()}")
+    print("tour complete.")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    scheme = build_scheme()
+    if args.what == "scheme":
+        dot = scheme_to_dot(scheme, "hyper-media-scheme")
+    else:
+        db, _ = build_instance(scheme)
+        dot = instance_to_dot(db, "hyper-media-instance")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(dot + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.viz import operation_to_dot, pattern_to_dot
+
+    scheme = build_scheme()
+    os.makedirs(args.directory, exist_ok=True)
+    artifacts = {
+        "fig01_scheme.dot": scheme_to_dot(scheme, "fig1"),
+        "fig04_pattern.dot": pattern_to_dot(F.fig4_pattern(scheme).pattern, "fig4"),
+        "fig06_node_addition.dot": operation_to_dot(F.fig6_node_addition(scheme)),
+        "fig08_pair_aggregates.dot": operation_to_dot(F.fig8_node_addition(scheme)),
+        "fig10_edge_addition.dot": operation_to_dot(F.fig10_edge_addition(scheme)),
+        "fig12_set_node.dot": operation_to_dot(F.fig12_node_addition(scheme)),
+        "fig13_contains.dot": operation_to_dot(F.fig13_edge_addition(scheme)),
+        "fig14_node_deletion.dot": operation_to_dot(F.fig14_node_deletion(scheme)),
+        "fig16_delete_modified.dot": operation_to_dot(F.fig16_update(scheme)[0]),
+        "fig16_add_modified.dot": operation_to_dot(F.fig16_update(scheme)[1]),
+        "fig18_abstraction.dot": operation_to_dot(F.fig18_operations(scheme)[2]),
+        "fig26_negation.dot": pattern_to_dot(
+            F.fig26_negated_pattern(scheme).negated, "fig26"
+        ),
+        "fig28_closure_step.dot": operation_to_dot(F.fig28_operations(scheme)[1].edge_addition),
+    }
+    db, _handles = build_instance(scheme)
+    artifacts["fig02_instance.dot"] = instance_to_dot(db, "fig2-3")
+    for name, dot in sorted(artifacts.items()):
+        path = os.path.join(args.directory, name)
+        with open(path, "w") as handle:
+            handle.write(dot + "\n")
+    print(f"wrote {len(artifacts)} DOT files to {args.directory}/")
+    print("render with: dot -Tpng <file> -o <file>.png")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    instance = load_instance(args.file)
+    print(summarize_instance(instance))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.dsl import parse_program
+    from repro.io import save_instance
+
+    try:
+        instance = load_instance(args.instance)
+        with open(args.script) as handle:
+            source = handle.read()
+        program = parse_program(source, instance.scheme)
+        result = program.run(instance)
+    except (GoodError, OSError, ValueError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    for report in result.reports:
+        print(report.summary())
+    if args.output:
+        save_instance(result.instance, args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(
+            f"result: {result.instance.node_count} nodes, "
+            f"{result.instance.edge_count} edges (use -o to save)"
+        )
+    return 0
+
+
+def _cmd_shell(args: argparse.Namespace) -> int:
+    from repro.core.errors import GoodError as _GoodError
+    from repro.dsl import parse_program
+    from repro.interactive import Session
+    from repro.io import save_instance
+
+    try:
+        instance = load_instance(args.instance)
+    except (OSError, ValueError, GoodError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    session = Session(instance)
+    print(
+        f"GOOD shell — {instance.node_count} nodes, {instance.edge_count} edges.\n"
+        "Enter DSL statements (end with a blank line). Commands: :show, :dot,\n"
+        ":save FILE, :undo, :quit"
+    )
+    buffer: list = []
+    stream = sys.stdin
+    while True:
+        try:
+            prompt = "....> " if buffer else "good> "
+            if stream.isatty():
+                line = input(prompt)
+            else:
+                line = stream.readline()
+                if not line:
+                    break
+                line = line.rstrip("\n")
+        except EOFError:
+            break
+        stripped = line.strip()
+        if stripped.startswith(":"):
+            command, _, argument = stripped.partition(" ")
+            if command in (":quit", ":q"):
+                break
+            if command == ":show":
+                print(session.show())
+            elif command == ":dot":
+                print(session.to_dot())
+            elif command == ":undo":
+                try:
+                    session.undo()
+                    print("undone.")
+                except _GoodError as error:
+                    print(f"ERROR: {error}")
+            elif command == ":save":
+                if not argument:
+                    print("usage: :save FILE")
+                else:
+                    save_instance(session.instance, argument)
+                    print(f"wrote {argument}")
+            else:
+                print(f"unknown command {command!r}")
+            continue
+        if stripped:
+            buffer.append(line)
+            continue
+        if not buffer:
+            continue
+        source = "\n".join(buffer)
+        buffer = []
+        try:
+            result = session.update(source)
+        except _GoodError as error:
+            print(f"ERROR: {error}")
+            # the failed update pushed an undo frame; roll it back
+            if session.undo_depth:
+                session.undo()
+            continue
+        for report in result.reports:
+            print(report.summary())
+    # flush any pending statement at EOF (piped input without a
+    # trailing blank line)
+    if buffer:
+        try:
+            result = session.update("\n".join(buffer))
+            for report in result.reports:
+                print(report.summary())
+        except _GoodError as error:
+            print(f"ERROR: {error}")
+    if args.output:
+        save_instance(session.instance, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        instance = load_instance(args.file)
+        instance.validate()
+    except (GoodError, OSError, ValueError) as error:
+        print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"OK: {instance.node_count} nodes, {instance.edge_count} edges")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GOOD: a Graph-Oriented Object Database Model (PODS 1990 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    tour = commands.add_parser("tour", help="run the paper's figures end to end")
+    tour.set_defaults(handler=_cmd_tour)
+
+    export = commands.add_parser("export", help="DOT export of the hyper-media example")
+    export.add_argument("what", choices=["scheme", "instance"])
+    export.add_argument("-o", "--output", help="write to a file instead of stdout")
+    export.set_defaults(handler=_cmd_export)
+
+    figures = commands.add_parser("figures", help="export the paper's figures as DOT")
+    figures.add_argument("-d", "--directory", default="figures-dot")
+    figures.set_defaults(handler=_cmd_figures)
+
+    stats = commands.add_parser("stats", help="census of a JSON instance")
+    stats.add_argument("file")
+    stats.set_defaults(handler=_cmd_stats)
+
+    run = commands.add_parser(
+        "run", help="run a DSL program (see repro.dsl) against a JSON instance"
+    )
+    run.add_argument("instance", help="JSON instance file")
+    run.add_argument("script", help="DSL program file")
+    run.add_argument("-o", "--output", help="write the transformed instance here")
+    run.set_defaults(handler=_cmd_run)
+
+    shell = commands.add_parser(
+        "shell", help="interactive DSL shell over a JSON instance"
+    )
+    shell.add_argument("instance", help="JSON instance file")
+    shell.add_argument("-o", "--output", help="save the final state here on exit")
+    shell.set_defaults(handler=_cmd_shell)
+
+    validate = commands.add_parser("validate", help="validate a JSON instance")
+    validate.add_argument("file")
+    validate.set_defaults(handler=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

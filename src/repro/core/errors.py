@@ -1,0 +1,63 @@
+"""Exception hierarchy for the GOOD reproduction.
+
+Every error raised by the library derives from :class:`GoodError`, so
+callers can catch the whole family with one clause.  The split mirrors
+the paper's structure: scheme-level violations, instance-constraint
+violations, ill-formed patterns, operation failures (including the
+Section 3.2 "result of an edge addition is not defined" case) and
+method-mechanism failures.
+"""
+
+from __future__ import annotations
+
+
+class GoodError(Exception):
+    """Root of the library's exception hierarchy."""
+
+
+class SchemeError(GoodError):
+    """Violation of the object base scheme definition (Section 2).
+
+    Examples: overlapping label namespaces, a property triple whose
+    source is a printable class, or referencing an undeclared label.
+    """
+
+
+class InstanceError(GoodError):
+    """Violation of an object base instance constraint (Section 2).
+
+    Examples: an edge not allowed by the scheme, two targets for a
+    functional edge, α-successors with different labels, or two
+    distinct printable nodes sharing label and print value.
+    """
+
+
+class PatternError(GoodError):
+    """An ill-formed pattern (patterns are syntactically instances)."""
+
+
+class OperationError(GoodError):
+    """A GOOD operation could not be applied."""
+
+
+class EdgeConflictError(OperationError):
+    """The Section 3.2 undefined case of edge addition.
+
+    Raised when applying an edge addition would create two different
+    edges with the same label leaving the same node that either are
+    functional or arrive at nodes with different labels.  The paper
+    notes that statically checking this is undecidable and prescribes
+    limited run-time checks — this exception is that check firing.
+    """
+
+
+class MethodError(GoodError):
+    """Ill-formed method specification/body/call, or recursion overflow."""
+
+
+class DomainError(GoodError):
+    """A print value outside its printable class's constant domain."""
+
+
+class BackendError(GoodError):
+    """Failure inside a storage backend (relational/Tarski engines)."""

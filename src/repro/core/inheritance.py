@@ -1,0 +1,223 @@
+"""Inheritance (Section 4.2) — the ``isa`` macro.
+
+Functional edge labels marked as subclass edges (``Scheme.mark_isa``)
+organise object classes in an acyclic hierarchy.  "The effect to the
+user is the same as if all properties of info objects were also
+attached to the corresponding reference objects" — realised two ways,
+both provided and tested equivalent:
+
+* **Query rewriting** (Figs. 30–31): a pattern written against the
+  *virtual scheme* (the scheme closed under inherited properties) is
+  translated into one or more base-scheme patterns by inserting the
+  superclass node and the instance-level ``isa`` edge.  Several
+  rewritings arise when a property is inherited along several paths;
+  their matchings are unioned.
+
+* **Materialisation**: explicitly adding the properties of the target
+  of every instance-level ``isa`` edge to its source as well ("this
+  transformation can be computed by a number of consecutive edge
+  additions"), producing the *virtual instance* the paper describes,
+  against which virtual-scheme patterns match directly.
+
+Only *outgoing* properties are inherited, matching the paper's
+discussion; a subclass object that already has its own (functional)
+property keeps it — materialisation never overwrites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.core.errors import SchemeError
+from repro.core.instance import Instance
+from repro.core.matching import Matching, find_matchings
+from repro.core.pattern import Pattern
+from repro.core.scheme import Scheme
+
+
+def direct_superclasses(scheme: Scheme, class_label: str) -> FrozenSet[str]:
+    """Object classes reachable from ``class_label`` by one isa edge."""
+    found = set()
+    for source, edge, target in scheme.properties:
+        if source == class_label and edge in scheme.isa_labels and scheme.is_object_label(target):
+            found.add(target)
+    return frozenset(found)
+
+
+def superclass_paths(scheme: Scheme, class_label: str) -> Iterator[Tuple[str, ...]]:
+    """All isa paths from ``class_label`` upward, shortest first.
+
+    A path is a tuple of class labels starting *after* ``class_label``;
+    the empty path (the class itself) comes first.  Acyclicity is
+    guaranteed by :meth:`Scheme.mark_isa`.
+    """
+    frontier: List[Tuple[str, ...]] = [()]
+    while frontier:
+        path = frontier.pop(0)
+        yield path
+        tail = path[-1] if path else class_label
+        for superclass in sorted(direct_superclasses(scheme, tail)):
+            frontier.append(path + (superclass,))
+
+
+def virtual_scheme(scheme: Scheme) -> Scheme:
+    """The scheme closed under inheritance.
+
+    For every class C with C isa* B and every property (B, p, T), the
+    virtual scheme also permits (C, p, T).  Users write patterns over
+    this scheme; :func:`rewrite_pattern` maps them back.
+    """
+    closed = scheme.copy()
+    changed = True
+    while changed:
+        changed = False
+        for class_label in sorted(closed.object_labels):
+            for superclass in sorted(direct_superclasses(closed, class_label)):
+                for source, edge, target in sorted(closed.properties):
+                    if source != superclass:
+                        continue
+                    if edge in closed.isa_labels:
+                        continue
+                    if not closed.allows_edge(class_label, edge, target):
+                        closed.add_property(class_label, edge, target)
+                        changed = True
+    return closed
+
+
+def _isa_edge_between(scheme: Scheme, subclass: str, superclass: str) -> str:
+    for source, edge, target in sorted(scheme.properties):
+        if source == subclass and target == superclass and edge in scheme.isa_labels:
+            return edge
+    raise SchemeError(f"no isa property from {subclass!r} to {superclass!r}")
+
+
+def rewrite_pattern(pattern: Pattern, base_scheme: Scheme) -> List[Pattern]:
+    """Fig. 31: translate a virtual-scheme pattern to base patterns.
+
+    Every pattern edge not permitted by the base scheme is re-rooted at
+    the nearest superclass that owns the property, inserting the
+    superclass node and the instance-level ``isa`` edges of the path.
+    One inserted superclass node per (pattern node, isa path) is shared
+    by all properties resolved through that path.  The cross product of
+    per-edge path choices yields the returned pattern list; matchings
+    of the original are the union over the list (restricted to the
+    original nodes).
+    """
+    offending: List[Tuple[int, str, int]] = []
+    for edge in pattern.edges():
+        source_label = pattern.label_of(edge.source)
+        target_label = pattern.label_of(edge.target)
+        if not base_scheme.allows_edge(source_label, edge.label, target_label):
+            offending.append(edge.as_tuple())
+    if not offending:
+        return [pattern.copy(scheme=base_scheme)]
+
+    # per offending edge: the isa paths that resolve it
+    choices: List[List[Tuple[str, ...]]] = []
+    for source, edge_label, target in offending:
+        source_label = pattern.label_of(source)
+        target_label = pattern.label_of(target)
+        paths = [
+            path
+            for path in superclass_paths(base_scheme, source_label)
+            if path and base_scheme.allows_edge(path[-1], edge_label, target_label)
+        ]
+        if not paths:
+            raise SchemeError(
+                f"pattern edge ({source_label!r}, {edge_label!r}, {target_label!r}) is neither "
+                "a base property nor inherited through isa"
+            )
+        choices.append(paths)
+
+    rewritten: List[Pattern] = []
+    for combo in _cartesian(choices):
+        clone = pattern.copy(scheme=base_scheme)
+        # chain cache: (pattern node, isa path prefix) -> inserted node
+        chain_nodes: Dict[Tuple[int, Tuple[str, ...]], int] = {}
+        for (source, edge_label, target), path in zip(offending, combo):
+            clone.remove_edge(source, edge_label, target)
+            anchor = source
+            walked: Tuple[str, ...] = ()
+            current_label = pattern.label_of(source)
+            for superclass in path:
+                walked = walked + (superclass,)
+                key = (source, walked)
+                if key not in chain_nodes:
+                    isa_label = _isa_edge_between(base_scheme, current_label, superclass)
+                    upper = clone.add_node(superclass)
+                    clone.add_edge(anchor, isa_label, upper)
+                    chain_nodes[key] = upper
+                anchor = chain_nodes[key]
+                current_label = superclass
+            clone.add_edge(anchor, edge_label, target)
+        rewritten.append(clone)
+    return rewritten
+
+
+def find_matchings_with_inheritance(
+    pattern: Pattern, instance: Instance, base_scheme: Optional[Scheme] = None
+) -> Iterator[Matching]:
+    """Matchings of a virtual-scheme pattern via rewriting.
+
+    Results are restricted to the original pattern's nodes and
+    deduplicated across rewritings.
+    """
+    scheme = base_scheme if base_scheme is not None else instance.scheme
+    original_nodes = sorted(pattern.nodes())
+    seen: Set[Tuple[int, ...]] = set()
+    for clone in rewrite_pattern(pattern, scheme):
+        for matching in find_matchings(clone, instance):
+            key = tuple(matching[node] for node in original_nodes)
+            if key not in seen:
+                seen.add(key)
+                yield {node: matching[node] for node in original_nodes}
+
+
+def materialize_inheritance(instance: Instance) -> int:
+    """Build the virtual instance in place; return #edges added.
+
+    Repeatedly copies each outgoing non-isa property of the target of
+    an instance-level isa edge onto the source, skipping functional
+    properties the source already has, until a fixpoint.  The
+    instance's scheme is replaced by its :func:`virtual_scheme`.
+    """
+    scheme = virtual_scheme(instance.scheme)
+    instance.restrict_to(scheme)  # rebinds; removes nothing (superset scheme)
+    isa_labels = scheme.isa_labels
+    added = 0
+    changed = True
+    while changed:
+        changed = False
+        for node_id in list(instance.nodes()):
+            node_label = instance.label_of(node_id)
+            if not scheme.is_object_label(node_label):
+                continue
+            for isa_label in sorted(isa_labels):
+                for parent in sorted(instance.out_neighbours(node_id, isa_label)):
+                    for edge in list(instance.store.out_edges(parent)):
+                        if edge.label in isa_labels:
+                            continue
+                        if instance.has_edge(node_id, edge.label, edge.target):
+                            continue
+                        if scheme.is_functional(edge.label) and instance.out_neighbours(
+                            node_id, edge.label
+                        ):
+                            continue
+                        if not scheme.allows_edge(
+                            node_label, edge.label, instance.label_of(edge.target)
+                        ):
+                            continue
+                        instance.add_edge(node_id, edge.label, edge.target)
+                        added += 1
+                        changed = True
+    return added
+
+
+def _cartesian(choices: List[List[Tuple[str, ...]]]) -> Iterator[Tuple[Tuple[str, ...], ...]]:
+    if not choices:
+        yield ()
+        return
+    head, *rest = choices
+    for option in head:
+        for tail in _cartesian(rest):
+            yield (option,) + tail

@@ -1,0 +1,143 @@
+"""Label universes and printable-class constant domains.
+
+Section 2 of the paper assumes four pairwise disjoint, infinitely
+enumerable sets of labels — object labels, printable object labels,
+functional edge labels and multivalued edge labels — together with a
+function (often written π) associating to each printable label its set
+of constants ("characters, strings, numbers, booleans, but also
+drawings, graphics, sound, etc.").
+
+In this reproduction labels are plain strings; disjointness is enforced
+per scheme (a scheme rejects a string used in two roles).  Domains are
+:class:`Domain` objects with a membership test; :data:`BUILTIN_DOMAINS`
+provides the domains the hyper-media example needs (Date, String,
+Number, Longstring, Bitmap, Bitstream, Bool, Symbol, State).
+
+Labels beginning with ``"@"`` are *reserved* for the method-call
+machinery (call-context classes and the unlabeled receiver edge) and
+are rejected in user schemes.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.errors import DomainError
+
+#: Prefix reserved for internally generated labels (method call
+#: contexts, receiver edges, macro tags).
+RESERVED_PREFIX = "@"
+
+
+def is_reserved(label: str) -> bool:
+    """Whether ``label`` belongs to the reserved internal namespace."""
+    return label.startswith(RESERVED_PREFIX)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The constant domain of a printable object class.
+
+    ``contains`` decides membership; ``normalize`` canonicalises a
+    value before storage (so e.g. ``1`` and ``1.0`` can be identified
+    if a domain chooses to).  Domains are compared by name.
+    """
+
+    name: str
+    contains: Callable[[Any], bool]
+    normalize: Callable[[Any], Any] = staticmethod(lambda value: value)
+
+    def check(self, value: Any) -> Any:
+        """Validate and canonicalise ``value``; raise :class:`DomainError`."""
+        if not self.contains(value):
+            raise DomainError(f"value {value!r} is not in domain {self.name!r}")
+        return self.normalize(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Domain({self.name!r})"
+
+
+def _is_string(value: Any) -> bool:
+    return isinstance(value, str)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _is_bool(value: Any) -> bool:
+    return isinstance(value, bool)
+
+
+_DATE_PATTERN = re.compile(r"^[A-Z][a-z]{2} \d{1,2}, \d{4}$")
+
+
+def _is_date(value: Any) -> bool:
+    """Dates in the paper's display format, e.g. ``"Jan 12, 1990"``."""
+    return isinstance(value, str) and bool(_DATE_PATTERN.match(value))
+
+
+def _is_bitvector(value: Any) -> bool:
+    return isinstance(value, str) and all(ch in "01" for ch in value)
+
+
+STRING_DOMAIN = Domain("String", _is_string)
+NUMBER_DOMAIN = Domain("Number", _is_number)
+BOOL_DOMAIN = Domain("Bool", _is_bool)
+DATE_DOMAIN = Domain("Date", _is_date)
+LONGSTRING_DOMAIN = Domain("Longstring", _is_string)
+BITMAP_DOMAIN = Domain("Bitmap", _is_bitvector)
+BITSTREAM_DOMAIN = Domain("Bitstream", _is_bitvector)
+#: Single tape symbols / machine states for the Turing encoding.
+SYMBOL_DOMAIN = Domain("Symbol", _is_string)
+STATE_DOMAIN = Domain("State", _is_string)
+#: Catch-all domain accepting any hashable value.
+ANY_DOMAIN = Domain("Any", lambda value: True)
+
+#: The built-in π function: printable label -> constant domain.
+BUILTIN_DOMAINS: Dict[str, Domain] = {
+    "String": STRING_DOMAIN,
+    "Number": NUMBER_DOMAIN,
+    "Bool": BOOL_DOMAIN,
+    "Date": DATE_DOMAIN,
+    "Longstring": LONGSTRING_DOMAIN,
+    "Bitmap": BITMAP_DOMAIN,
+    "Bitstream": BITSTREAM_DOMAIN,
+    "Symbol": SYMBOL_DOMAIN,
+    "State": STATE_DOMAIN,
+}
+
+
+def domain_for(printable_label: str, override: Optional[Domain] = None) -> Domain:
+    """Resolve the domain of ``printable_label``.
+
+    An explicit ``override`` wins; otherwise a built-in domain of the
+    same name; otherwise :data:`ANY_DOMAIN` (the paper treats the
+    printable classes as system-given, so unknown ones are permissive).
+    """
+    if override is not None:
+        return override
+    return BUILTIN_DOMAINS.get(printable_label, ANY_DOMAIN)
+
+
+def date_ordinal(date_value: str) -> int:
+    """Map a paper-format date to a day ordinal (for the D method).
+
+    The method of Fig. 23 computes "the number of days elapsed between
+    two dates"; this helper provides the arithmetic its body needs.
+    """
+    months = ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+    if not _is_date(date_value):
+        raise DomainError(f"{date_value!r} is not a Date constant")
+    month_name, rest = date_value.split(" ", 1)
+    day_text, year_text = rest.split(", ")
+    month = months.index(month_name) + 1
+    day = int(day_text)
+    year = int(year_text)
+    # days since year 0 in a simplified proleptic calendar (30.6-day
+    # months are enough: the method only needs differences of nearby
+    # dates and any strictly monotone encoding works for testing)
+    cumulative = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334]
+    return year * 365 + (year // 4) + cumulative[month - 1] + day

@@ -1,0 +1,249 @@
+"""Macros (Section 4.1): negation, printable predicates, recursion.
+
+The paper shows that several convenient constructs do not increase the
+expressive power of the basic language; they are *macros*:
+
+* **Negation** (Figs. 26–27): patterns with crossed nodes/edges match
+  where the crossed part is *absent*.  :class:`NegatedPattern` gives
+  the direct semantics; :func:`compile_negation` produces the paper's
+  simulation — tag every matching of the non-crossed part with an
+  intermediate node, delete the tags whose matching can be enlarged to
+  the full pattern, and leave the survivors for follow-up operations.
+  The test suite proves the two agree.
+
+* **Printable predicates**: provided by
+  :meth:`repro.core.pattern.Pattern.constrain`; this module adds the
+  common condition-box constructors (ranges, membership, date ranges).
+
+* **Recursive (starred) additions** (Fig. 28): repeat an addition
+  until no new edges/nodes appear.  Recursive *edge* addition always
+  terminates (the edge universe is finite once the instance's nodes
+  are fixed); recursive *node* addition "can result in an infinite
+  sequence" — exactly as the paper warns — so it takes a round bound
+  and raises when exceeded.  Fig. 29's method-based simulation of the
+  starred macro lives in :mod:`repro.hypermedia.figures` and is tested
+  equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import OperationError
+from repro.core.instance import Instance
+from repro.core.labels import date_ordinal
+from repro.core.matching import Matching, find_negated
+from repro.core.operations import (
+    EdgeAddition,
+    NodeAddition,
+    NodeDeletion,
+    Operation,
+    OperationReport,
+)
+from repro.core.pattern import NegatedPattern, Pattern, PrintPredicate
+
+# ----------------------------------------------------------------------
+# negation
+# ----------------------------------------------------------------------
+
+
+def match_negated(negated: NegatedPattern, instance: Instance) -> Iterator[Matching]:
+    """Direct semantics: positive matchings with no crossed enlargement.
+
+    Constants mentioned by the positive pattern or the extensions are
+    materialised first (printable classes are system-given; see
+    ``Operation.materialize_constants``) so the direct evaluator agrees
+    with the compiled Fig. 27 simulation.
+    """
+    for pattern in [negated.positive] + negated.extensions:
+        for node_id in pattern.nodes():
+            record = pattern.node_record(node_id)
+            if record.has_print and instance.scheme.is_printable_label(record.label):
+                instance.printable(record.label, record.print_value)
+    return find_negated(negated, instance)
+
+
+@dataclass
+class NegationCompilation:
+    """The Fig. 27 simulation of a negated pattern.
+
+    Run ``tag_op`` then every op in ``prune_ops``; afterwards each
+    surviving ``tag_label`` node encodes exactly one matching of the
+    negated pattern, reachable through the functional edges named in
+    ``edge_for_node`` (tag node → positive pattern node's image).
+    ``survivor_pattern()`` builds a pattern for the surviving tags.
+    """
+
+    tag_label: str
+    tag_op: NodeAddition
+    prune_ops: Tuple[NodeDeletion, ...]
+    edge_for_node: Dict[int, str]
+
+    @property
+    def operations(self) -> Tuple[Operation, ...]:
+        """All operations, in execution order."""
+        return (self.tag_op,) + self.prune_ops
+
+    def survivor_pattern(self, base: Pattern) -> Tuple[Pattern, int, Dict[int, int]]:
+        """A copy of ``base`` (the positive pattern) with the tag node.
+
+        Returns (pattern, tag node id, map positive node -> same id),
+        ready to be used as the source pattern of a follow-up
+        operation over the tagged matchings.
+        """
+        pattern = base.copy()
+        tag_node = pattern.add_node(self.tag_label)
+        for node_id, edge_label in self.edge_for_node.items():
+            pattern.add_edge(tag_node, edge_label, node_id)
+        return pattern, tag_node, {node: node for node in base.nodes()}
+
+
+def compile_negation(negated: NegatedPattern, tag_label: str) -> NegationCompilation:
+    """Compile a negated pattern to basic operations (Fig. 27).
+
+    Step 1 tags every matching of the positive part with a fresh
+    ``tag_label`` node, attached by distinct functional edges to every
+    positive node (so distinct matchings get distinct tags).  Step 2
+    deletes, for every crossed extension, the tags whose matching
+    enlarges to the extension.  The caller's scheme must not already
+    use ``tag_label``.
+    """
+    positive = negated.positive
+    edge_for_node = {
+        node_id: f"{tag_label}:{index}" for index, node_id in enumerate(sorted(positive.nodes()))
+    }
+    # the tag class and its edges are introduced at run time by the tag
+    # node addition; declare them on the pattern's scheme up front so
+    # the prune patterns (which mention the tag node) can be built
+    scheme = positive.scheme
+    if not scheme.is_object_label(tag_label):
+        scheme.add_object_label(tag_label)
+    for node_id, edge_label in edge_for_node.items():
+        if edge_label not in scheme.functional_edge_labels:
+            scheme.add_functional_edge_label(edge_label)
+        scheme.add_property(tag_label, edge_label, positive.label_of(node_id))
+    tag_op = NodeAddition(
+        positive,
+        tag_label,
+        [(edge_for_node[node_id], node_id) for node_id in sorted(positive.nodes())],
+    )
+    prune_ops: List[NodeDeletion] = []
+    for extension in negated.extensions:
+        prune_pattern = extension.copy()
+        tag_node = prune_pattern.add_node(tag_label)
+        for node_id, edge_label in edge_for_node.items():
+            prune_pattern.add_edge(tag_node, edge_label, node_id)
+        prune_ops.append(NodeDeletion(prune_pattern, tag_node))
+    return NegationCompilation(tag_label, tag_op, tuple(prune_ops), edge_for_node)
+
+
+# ----------------------------------------------------------------------
+# printable predicates (QBE-style condition boxes)
+# ----------------------------------------------------------------------
+
+
+def value_between(low: Any, high: Any) -> PrintPredicate:
+    """Inclusive range condition on a print value."""
+    return PrintPredicate(f"between {low!r} and {high!r}", lambda value: low <= value <= high)
+
+
+def value_in(values: Sequence[Any]) -> PrintPredicate:
+    """Membership condition on a print value."""
+    allowed = frozenset(values)
+    return PrintPredicate(f"in {sorted(map(repr, allowed))}", lambda value: value in allowed)
+
+
+def value_not_equal(other: Any) -> PrintPredicate:
+    """Inequality condition on a print value."""
+    return PrintPredicate(f"!= {other!r}", lambda value: value != other)
+
+
+def date_between(low: str, high: str) -> PrintPredicate:
+    """Inclusive Date range, e.g. the Section 4.1 "created between
+    January 1, 1990 and January 31, 1990" request."""
+    low_ord = date_ordinal(low)
+    high_ord = date_ordinal(high)
+    return PrintPredicate(
+        f"date between {low!r} and {high!r}",
+        lambda value: low_ord <= date_ordinal(value) <= high_ord,
+    )
+
+
+# ----------------------------------------------------------------------
+# recursive (starred) additions — Fig. 28
+# ----------------------------------------------------------------------
+
+
+class RecursiveEdgeAddition(Operation):
+    """A starred edge addition: repeat until no new edges appear.
+
+    Terminates because the node set is fixed and the edge universe is
+    finite; the round count is still reported for the benchmarks.
+    """
+
+    kind = "EA*"
+
+    def __init__(self, edge_addition: EdgeAddition) -> None:
+        super().__init__(edge_addition.source_pattern)
+        self.edge_addition = edge_addition
+
+    def replace_pattern(self, pattern: Pattern) -> "RecursiveEdgeAddition":
+        return RecursiveEdgeAddition(self.edge_addition.replace_pattern(pattern))
+
+    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        sub_reports: List[OperationReport] = []
+        edges_added: List = []
+        while True:
+            report = self.edge_addition.apply(instance, context)
+            sub_reports.append(report)
+            if not report.edges_added:
+                break
+            edges_added.extend(report.edges_added)
+        return OperationReport(
+            operation=f"EA*[{self.edge_addition.describe()} x{len(sub_reports)}]",
+            matching_count=sub_reports[0].matching_count,
+            edges_added=tuple(edges_added),
+            sub_reports=tuple(sub_reports),
+        )
+
+
+class RecursiveNodeAddition(Operation):
+    """A starred node addition, with the paper's divergence caveat.
+
+    "Note however that this can result in an infinite sequence of node
+    additions" — hence ``max_rounds``; exceeding it raises
+    :class:`OperationError`.
+    """
+
+    kind = "NA*"
+
+    def __init__(self, node_addition: NodeAddition, max_rounds: int = 1000) -> None:
+        super().__init__(node_addition.source_pattern)
+        self.node_addition = node_addition
+        self.max_rounds = max_rounds
+
+    def replace_pattern(self, pattern: Pattern) -> "RecursiveNodeAddition":
+        return RecursiveNodeAddition(self.node_addition.replace_pattern(pattern), self.max_rounds)
+
+    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        sub_reports: List[OperationReport] = []
+        nodes_added: List[int] = []
+        edges_added: List = []
+        for _ in range(self.max_rounds):
+            report = self.node_addition.apply(instance, context)
+            sub_reports.append(report)
+            if not report.nodes_added:
+                return OperationReport(
+                    operation=f"NA*[{self.node_addition.describe()} x{len(sub_reports)}]",
+                    matching_count=sub_reports[0].matching_count,
+                    nodes_added=tuple(nodes_added),
+                    edges_added=tuple(edges_added),
+                    sub_reports=tuple(sub_reports),
+                )
+            nodes_added.extend(report.nodes_added)
+            edges_added.extend(report.edges_added)
+        raise OperationError(
+            f"recursive node addition exceeded {self.max_rounds} rounds — "
+            "the paper warns this macro can diverge"
+        )

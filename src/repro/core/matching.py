@@ -1,0 +1,248 @@
+"""Pattern matching (Section 3).
+
+A *matching* of a pattern ``J = (M, F)`` in an instance ``I = (N, E)``
+is a **total mapping** ``i : M → N`` such that
+
+* labels are preserved: ``λ(i(m)) = λ(m)``;
+* defined print values are preserved: ``print(i(m)) = print(m)``;
+* edges are preserved: ``(m, α, n) ∈ F ⟹ (i(m), α, i(n)) ∈ E``.
+
+Matchings are graph homomorphisms — they need *not* be injective (two
+pattern nodes may map to the same instance node), and the instance may
+contain arbitrarily more structure around the image.
+
+Two matchers are provided:
+
+* :func:`find_matchings` — backtracking search with a
+  most-constrained-first variable order and adjacency-driven candidate
+  pruning (the production matcher);
+* :func:`find_matchings_naive` — the textbook enumeration in a fixed
+  node order with post-hoc edge checks, kept as a correctness oracle
+  and as the baseline of benchmark P2.
+
+Both enumerate matchings in a deterministic order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.instance import Instance
+from repro.core.pattern import NegatedPattern, Pattern
+from repro.graph.store import NO_PRINT
+
+#: A matching: pattern node id -> instance node id.
+Matching = Dict[int, int]
+
+
+def _base_candidates(pattern: Pattern, instance: Instance, pattern_node: int) -> FrozenSet[int]:
+    """Candidates for one pattern node from labels/prints/predicates only."""
+    record = pattern.node_record(pattern_node)
+    if record.has_print:
+        found = instance.find_printable(record.label, record.print_value)
+        return frozenset() if found is None else frozenset((found,))
+    candidates = instance.nodes_with_label(record.label)
+    predicate = pattern.predicate_of(pattern_node)
+    if predicate is not None:
+        candidates = frozenset(
+            node_id
+            for node_id in candidates
+            if instance.print_of(node_id) is not NO_PRINT and predicate(instance.print_of(node_id))
+        )
+    return candidates
+
+
+def _pattern_edges(pattern: Pattern) -> List[Tuple[int, str, int]]:
+    return [edge.as_tuple() for edge in pattern.edges()]
+
+
+def _search_order(
+    pattern: Pattern,
+    instance: Instance,
+    fixed: Sequence[int],
+) -> List[int]:
+    """Most-constrained-first order, preferring nodes touching placed ones.
+
+    Nodes already placed (``fixed``) come first implicitly; the rest are
+    picked greedily by (not-adjacent-to-placed, candidate-count, id).
+    """
+    remaining = [n for n in pattern.nodes() if n not in fixed]
+    placed = set(fixed)
+    adjacency: Dict[int, set] = {n: set() for n in pattern.nodes()}
+    for source, _, target in _pattern_edges(pattern):
+        adjacency[source].add(target)
+        adjacency[target].add(source)
+    counts = {n: len(_base_candidates(pattern, instance, n)) for n in remaining}
+    order: List[int] = []
+    while remaining:
+        remaining.sort(key=lambda n: (not (adjacency[n] & placed), counts[n], n))
+        best = remaining.pop(0)
+        order.append(best)
+        placed.add(best)
+    return order
+
+
+def find_matchings(
+    pattern: Pattern,
+    instance: Instance,
+    fixed: Optional[Matching] = None,
+) -> Iterator[Matching]:
+    """Enumerate all matchings of ``pattern`` in ``instance``.
+
+    ``fixed`` pre-binds some pattern nodes to instance nodes; only
+    extensions of ``fixed`` are produced (this powers the negation
+    macro's "can this positive matching be enlarged?" test).  The empty
+    pattern yields exactly one (empty) matching.
+    """
+    fixed = dict(fixed or {})
+    for pattern_node, instance_node in fixed.items():
+        if not _binding_ok(pattern, instance, pattern_node, instance_node):
+            return
+    edges = _pattern_edges(pattern)
+    for source, label, target in edges:
+        if source in fixed and target in fixed:
+            if not instance.has_edge(fixed[source], label, fixed[target]):
+                return
+
+    order = _search_order(pattern, instance, list(fixed))
+    out_constraints: Dict[int, List[Tuple[str, int]]] = {n: [] for n in pattern.nodes()}
+    in_constraints: Dict[int, List[Tuple[str, int]]] = {n: [] for n in pattern.nodes()}
+    for source, label, target in edges:
+        # when `source` is placed, target candidates ⊆ out_neighbours
+        out_constraints[target].append((label, source))
+        in_constraints[source].append((label, target))
+
+    assignment: Matching = dict(fixed)
+    records = {node: pattern.node_record(node) for node in pattern.nodes()}
+
+    def node_ok(node: int, candidate: int) -> bool:
+        record = records[node]
+        c_record = instance.node_record(candidate)
+        if c_record.label != record.label:
+            return False
+        if record.has_print and (
+            not c_record.has_print or c_record.print_value != record.print_value
+        ):
+            return False
+        predicate = pattern.predicate_of(node)
+        if predicate is not None:
+            if not c_record.has_print or not predicate(c_record.print_value):
+                return False
+        return True
+
+    def candidates_for(node: int) -> List[int]:
+        # adjacency constraints from already-placed neighbours give
+        # small candidate sets; intersect those first and only fall
+        # back to the (large) by-label index when none applies
+        adjacency: List[FrozenSet[int]] = []
+        for label, source in out_constraints[node]:
+            if source != node and source in assignment:
+                adjacency.append(instance.out_neighbours(assignment[source], label))
+        for label, target in in_constraints[node]:
+            if target != node and target in assignment:
+                adjacency.append(instance.in_neighbours(assignment[target], label))
+        if adjacency:
+            adjacency.sort(key=len)
+            result = set(adjacency[0])
+            for narrower in adjacency[1:]:
+                result &= narrower
+                if not result:
+                    return []
+            result = {c for c in result if node_ok(node, c)}
+        else:
+            result = set(_base_candidates(pattern, instance, node))
+        for label, source in out_constraints[node]:
+            if source == node:
+                # self-loop pattern edge: the candidate must carry the
+                # edge to itself (it is not yet in `assignment` while
+                # its own candidates are being computed)
+                result = {c for c in result if instance.has_edge(c, label, c)}
+        return sorted(result)
+
+    def backtrack(index: int) -> Iterator[Matching]:
+        if index == len(order):
+            yield dict(assignment)
+            return
+        node = order[index]
+        for candidate in candidates_for(node):
+            assignment[node] = candidate
+            yield from backtrack(index + 1)
+            del assignment[node]
+
+    yield from backtrack(0)
+
+
+def find_matchings_naive(pattern: Pattern, instance: Instance) -> Iterator[Matching]:
+    """Reference matcher: fixed node order, per-node label/print filter,
+    full edge verification at the leaves.  Exponentially slower on
+    large patterns; used as a differential-testing oracle."""
+    nodes = list(pattern.nodes())
+    edges = _pattern_edges(pattern)
+
+    def extend(index: int, assignment: Matching) -> Iterator[Matching]:
+        if index == len(nodes):
+            for source, label, target in edges:
+                if not instance.has_edge(assignment[source], label, assignment[target]):
+                    return
+            yield dict(assignment)
+            return
+        node = nodes[index]
+        for candidate in sorted(_base_candidates(pattern, instance, node)):
+            assignment[node] = candidate
+            yield from extend(index + 1, assignment)
+            del assignment[node]
+
+    yield from extend(0, {})
+
+
+def find_negated(negated: NegatedPattern, instance: Instance) -> Iterator[Matching]:
+    """Matchings of a crossed pattern (Fig. 26 semantics).
+
+    Yields the matchings of the positive part that cannot be enlarged
+    to a matching of any crossed extension.  Pure — no constants are
+    materialised here; callers that need the system-given-printables
+    behaviour go through an operation or ``macros.match_negated``.
+    """
+    shared = list(negated.positive.nodes())
+    for matching in find_matchings(negated.positive, instance):
+        fixed = {node: matching[node] for node in shared}
+        blocked = any(
+            match_exists(extension, instance, fixed=fixed) for extension in negated.extensions
+        )
+        if not blocked:
+            yield matching
+
+
+def find_any(pattern, instance: Instance) -> Iterator[Matching]:
+    """Dispatch on plain vs crossed patterns."""
+    if isinstance(pattern, NegatedPattern):
+        return find_negated(pattern, instance)
+    return find_matchings(pattern, instance)
+
+
+def match_exists(pattern: Pattern, instance: Instance, fixed: Optional[Matching] = None) -> bool:
+    """Whether at least one matching (extending ``fixed``) exists."""
+    for _ in find_matchings(pattern, instance, fixed):
+        return True
+    return False
+
+
+def count_matchings(pattern: Pattern, instance: Instance) -> int:
+    """Number of matchings of ``pattern`` in ``instance``."""
+    return sum(1 for _ in find_matchings(pattern, instance))
+
+
+def _binding_ok(pattern: Pattern, instance: Instance, pattern_node: int, instance_node: int) -> bool:
+    if not instance.has_node(instance_node):
+        return False
+    p_record = pattern.node_record(pattern_node)
+    i_record = instance.node_record(instance_node)
+    if p_record.label != i_record.label:
+        return False
+    if p_record.has_print and (not i_record.has_print or p_record.print_value != i_record.print_value):
+        return False
+    predicate = pattern.predicate_of(pattern_node)
+    if predicate is not None:
+        if not i_record.has_print or not predicate(i_record.print_value):
+            return False
+    return True

@@ -1,0 +1,427 @@
+"""The GOOD method mechanism (Section 3.6).
+
+A method is a named procedure with four parts:
+
+* a **specification** (:class:`MethodSignature`): the method name, the
+  receiver's node label ``R_M``, and a finite map ``s_M`` from
+  functional parameter edge labels to node labels;
+* a **body** (:class:`BodyOp` list): a sequence of parameterized
+  operations — ordinary operations whose source pattern may carry one
+  diamond-shaped *M-head node* binding pattern nodes to the formal
+  receiver and parameters (we represent the diamond by a
+  :class:`HeadBindings` annotation instead of a literal node);
+* an **interface** (a :class:`~repro.core.scheme.Scheme`): the scheme-
+  level effect visible to callers — temporary nodes and edges whose
+  labels are in neither the original scheme nor the interface are
+  filtered out of the result;
+* **calls** (:class:`MethodCall`): an operation invoking the body for
+  every matching of a source pattern, binding actual receiver and
+  parameters.
+
+The call semantics follows the paper exactly: a node addition
+introduces one fresh ``K``-labeled *call-context* node per matching,
+wired to the actual receiver (via a reserved ``@self`` edge) and to the
+actual parameters (via the parameter edge labels); each body operation
+runs with the call-context node spliced into its source pattern (as an
+isolated node when the body operation does not mention the head); a
+node deletion then removes all call-context nodes; finally the result
+is restricted to ``S ∪ C_M``.
+
+Recursive calls are supported (Fig. 22, Fig. 29); a call whose source
+pattern has no matchings creates no context nodes and skips the body,
+which both matches the formal semantics and lets shrinking recursions
+terminate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import MethodError
+from repro.core.instance import Instance
+from repro.core.operations import (
+    NodeAddition,
+    NodeDeletion,
+    Operation,
+    OperationReport,
+    fresh_tag,
+)
+from repro.core.pattern import NegatedPattern, Pattern
+from repro.core.scheme import Scheme
+
+#: Reserved functional edge label realising the paper's "unlabeled"
+#: receiver edge from the method/diamond node.
+RECEIVER_EDGE = "@self"
+
+
+@dataclass(frozen=True)
+class MethodSignature:
+    """The method specification: name, receiver label, parameter types."""
+
+    name: str
+    receiver_label: str
+    parameters: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MethodError("method name must be non-empty")
+        object.__setattr__(self, "parameters", dict(self.parameters))
+
+    def parameter_labels(self) -> Tuple[str, ...]:
+        """The parameter edge labels L_M, sorted."""
+        return tuple(sorted(self.parameters))
+
+
+@dataclass(frozen=True)
+class HeadBindings:
+    """How a body operation's pattern refers to the M-head node.
+
+    ``receiver`` is the pattern node the diamond's unlabeled edge
+    points at; ``parameters`` maps parameter edge labels to pattern
+    nodes.  Per the paper, at most one edge per parameter label leaves
+    the head and no other edges may leave it — the dataclass shape
+    enforces this by construction.
+    """
+
+    receiver: Optional[int] = None
+    parameters: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", dict(self.parameters))
+
+
+@dataclass(frozen=True)
+class BodyOp:
+    """One parameterized operation of a method body."""
+
+    operation: "Union[Operation, MethodCall]"
+    head: Optional[HeadBindings] = None
+
+
+class Method:
+    """A complete GOOD method: specification + body + interface."""
+
+    def __init__(
+        self,
+        signature: MethodSignature,
+        body: Sequence[BodyOp],
+        interface: Optional[Scheme] = None,
+    ) -> None:
+        self.signature = signature
+        self.body = list(body)
+        self.interface = interface if interface is not None else Scheme()
+        self._validate()
+
+    def _validate(self) -> None:
+        for index, body_op in enumerate(self.body):
+            head = body_op.head
+            if head is None:
+                continue
+            pattern = body_op.operation.source_pattern
+            if head.receiver is not None:
+                if not pattern.has_node(head.receiver):
+                    raise MethodError(
+                        f"body op {index}: head receiver node {head.receiver} not in pattern"
+                    )
+                found = pattern.label_of(head.receiver)
+                if found != self.signature.receiver_label:
+                    raise MethodError(
+                        f"body op {index}: head receiver must point at a "
+                        f"{self.signature.receiver_label!r} node, found {found!r}"
+                    )
+            for param_label, target in head.parameters.items():
+                expected = self.signature.parameters.get(param_label)
+                if expected is None:
+                    raise MethodError(
+                        f"body op {index}: {param_label!r} is not a parameter of "
+                        f"{self.signature.name!r}"
+                    )
+                if not pattern.has_node(target):
+                    raise MethodError(f"body op {index}: head target node {target} not in pattern")
+                if pattern.label_of(target) != expected:
+                    raise MethodError(
+                        f"body op {index}: parameter {param_label!r} must point at a "
+                        f"{expected!r} node, found {pattern.label_of(target)!r}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Method({self.signature.name!r}, body={len(self.body)} ops)"
+
+
+class MethodRegistry:
+    """Name → :class:`Method` lookup used during execution."""
+
+    def __init__(self, methods: Sequence[Method] = ()) -> None:
+        self._methods: Dict[str, Method] = {}
+        for method in methods:
+            self.register(method)
+
+    def register(self, method: Method) -> "MethodRegistry":
+        """Register (or replace) a method under its own name."""
+        self._methods[method.signature.name] = method
+        return self
+
+    def get(self, name: str) -> Method:
+        """Look a method up; raise :class:`MethodError` when unknown."""
+        try:
+            return self._methods[name]
+        except KeyError:
+            raise MethodError(f"unknown method {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._methods
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered method names, sorted."""
+        return tuple(sorted(self._methods))
+
+
+class ExecutionContext:
+    """Carries the method registry and recursion bookkeeping."""
+
+    def __init__(self, methods: Optional[MethodRegistry] = None, max_depth: int = 200) -> None:
+        self.methods = methods if methods is not None else MethodRegistry()
+        self.max_depth = max_depth
+        self.depth = 0
+
+    def enter(self, method_name: str) -> None:
+        """Track one level of method-call nesting."""
+        self.depth += 1
+        if self.depth > self.max_depth:
+            self.depth -= 1
+            raise MethodError(
+                f"method recursion exceeded max_depth={self.max_depth} while calling "
+                f"{method_name!r} (a non-terminating recursive method?)"
+            )
+
+    def leave(self) -> None:
+        """Pop one level of method-call nesting."""
+        self.depth -= 1
+
+
+class MethodCall(Operation):
+    """MC[J, S, I, M, g, n] — invoke a method for every matching."""
+
+    kind = "MC"
+
+    def __init__(
+        self,
+        source_pattern: Pattern,
+        method_name: str,
+        receiver: int,
+        arguments: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        super().__init__(source_pattern)
+        self.method_name = method_name
+        self.receiver = receiver
+        self.arguments = dict(arguments or {})
+        self._require_pattern_node(receiver)
+        for target in self.arguments.values():
+            self._require_pattern_node(target)
+
+    def replace_pattern(self, pattern: Pattern) -> "MethodCall":
+        clone = MethodCall.__new__(MethodCall)
+        Operation.__init__(clone, pattern)
+        clone.method_name = self.method_name
+        clone.receiver = self.receiver
+        clone.arguments = dict(self.arguments)
+        return clone
+
+    def describe(self) -> str:
+        """Short textual form, e.g. ``MC[Update]``."""
+        return f"MC[{self.method_name}]"
+
+    def apply(self, instance: Instance, context: Optional[ExecutionContext] = None) -> OperationReport:
+        if context is None:
+            raise MethodError(
+                f"method call {self.method_name!r} needs an ExecutionContext with a registry "
+                "(run it through Program.run or pass context=)"
+            )
+        method = context.methods.get(self.method_name)
+        call = self.dispatch_via_isa(method, instance.scheme)
+        call._check_against(method)
+        context.enter(self.method_name)
+        try:
+            return call._execute(instance, method, context)
+        finally:
+            context.leave()
+
+    def dispatch_via_isa(self, method: Method, scheme: Scheme) -> "MethodCall":
+        """Subclass dispatch (Section 4.2).
+
+        "A method can be called on objects belonging to subclasses of
+        the method's specified receiver and parameter classes."  When
+        a bound node's class is a (transitive) isa-subclass of the
+        formal class, the call pattern is rewritten like Fig. 31: the
+        superclass node is inserted, reached through the instance-level
+        isa edges, and the binding moves to it.  Exact-label calls are
+        returned unchanged.
+        """
+        signature = method.signature
+        rewires = []
+        if self.source_pattern.label_of(self.receiver) != signature.receiver_label:
+            rewires.append(("@receiver", self.receiver, signature.receiver_label))
+        for param_label, target in sorted(self.arguments.items()):
+            expected = signature.parameters.get(param_label)
+            if expected is not None and self.source_pattern.label_of(target) != expected:
+                rewires.append((param_label, target, expected))
+        if not rewires or not scheme.isa_labels:
+            return self
+        from repro.core.inheritance import _isa_edge_between, superclass_paths
+
+        pattern = self.source_pattern.copy()
+        new_receiver = self.receiver
+        new_arguments = dict(self.arguments)
+        for slot, node, wanted_label in rewires:
+            current_label = pattern.label_of(node)
+            chosen = None
+            for path in superclass_paths(scheme, current_label):
+                if path and path[-1] == wanted_label:
+                    chosen = path
+                    break
+            if chosen is None:
+                # leave it: _check_against will report the mismatch
+                continue
+            anchor = node
+            walking = current_label
+            for superclass in chosen:
+                isa_label = _isa_edge_between(scheme, walking, superclass)
+                if isinstance(pattern, NegatedPattern):
+                    upper = pattern.add_shared_object(superclass)
+                    pattern.add_shared_edge(anchor, isa_label, upper)
+                else:
+                    upper = pattern.add_object(superclass)
+                    pattern.add_edge(anchor, isa_label, upper)
+                anchor = upper
+                walking = superclass
+            if slot == "@receiver":
+                new_receiver = anchor
+            else:
+                new_arguments[slot] = anchor
+        adjusted = self.replace_pattern(pattern)
+        adjusted.receiver = new_receiver
+        adjusted.arguments = new_arguments
+        return adjusted
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _check_against(self, method: Method) -> None:
+        signature = method.signature
+        receiver_found = self.source_pattern.label_of(self.receiver)
+        if receiver_found != signature.receiver_label:
+            raise MethodError(
+                f"call to {signature.name!r}: receiver must be a "
+                f"{signature.receiver_label!r} node, found {receiver_found!r}"
+            )
+        missing = set(signature.parameters) - set(self.arguments)
+        if missing:
+            raise MethodError(f"call to {signature.name!r}: missing arguments {sorted(missing)!r}")
+        extra = set(self.arguments) - set(signature.parameters)
+        if extra:
+            raise MethodError(f"call to {signature.name!r}: unknown arguments {sorted(extra)!r}")
+        for param_label, target in self.arguments.items():
+            expected = signature.parameters[param_label]
+            found = self.source_pattern.label_of(target)
+            if found != expected:
+                raise MethodError(
+                    f"call to {signature.name!r}: argument {param_label!r} must be a "
+                    f"{expected!r} node, found {found!r}"
+                )
+
+    def _execute(
+        self, instance: Instance, method: Method, context: ExecutionContext
+    ) -> OperationReport:
+        original_scheme = instance.scheme.copy()
+        tag = fresh_tag()
+        context_label = f"@call:{self.method_name}#{tag}"
+        receiver_edge = f"{RECEIVER_EDGE}#{tag}"
+
+        binding_edges: List[Tuple[str, int]] = [(receiver_edge, self.receiver)]
+        for param_label in sorted(self.arguments):
+            binding_edges.append((param_label, self.arguments[param_label]))
+        context_na = NodeAddition(
+            self.source_pattern, context_label, binding_edges, _internal=True
+        )
+        na_report = context_na.apply(instance)
+        sub_reports: List[OperationReport] = [na_report]
+
+        if na_report.nodes_added:
+            for index, body_op in enumerate(method.body):
+                transformed = self._transform_body_op(
+                    body_op, context_label, receiver_edge, instance.scheme
+                )
+                sub_reports.append(transformed.apply(instance, context))
+            cleanup_pattern = Pattern(instance.scheme)
+            context_node = cleanup_pattern.add_object(context_label)
+            cleanup = NodeDeletion(cleanup_pattern, context_node)
+            sub_reports.append(cleanup.apply(instance))
+        else:
+            # no call contexts: remove the (empty) context class quietly
+            pass
+
+        final_scheme = original_scheme.union(method.interface)
+        instance.restrict_to(final_scheme)
+        return OperationReport(
+            operation=self.describe(),
+            matching_count=na_report.matching_count,
+            sub_reports=tuple(sub_reports),
+        )
+
+    def _transform_body_op(
+        self,
+        body_op: BodyOp,
+        context_label: str,
+        receiver_edge: str,
+        scheme: Scheme,
+    ) -> "Union[Operation, MethodCall]":
+        return transform_body_op(body_op, context_label, receiver_edge, scheme)
+
+
+def transform_body_op(
+    body_op: BodyOp,
+    context_label: str,
+    receiver_edge: str,
+    scheme: Scheme,
+) -> "Union[Operation, MethodCall]":
+    """Splice the call-context node into a body op's source pattern.
+
+    * head-less operation → isolated context node is added;
+    * operation with an M-head → the diamond becomes a context-labeled
+      node with the head's receiver/parameter edges.
+
+    Crossed source patterns get the context node under the same id in
+    the positive part and in every extension, so the extensions stay
+    superpatterns.
+    """
+    source = body_op.operation.source_pattern
+    pattern = source.copy(scheme=scheme)
+    is_negated = isinstance(pattern, NegatedPattern)
+    with scheme.allowing_reserved():
+        if not scheme.is_object_label(context_label):
+            scheme.add_object_label(context_label)
+        if is_negated:
+            context_node = pattern.add_shared_object(context_label)
+        else:
+            context_node = pattern.add_object(context_label)
+        head = body_op.head
+        if head is not None:
+            if head.receiver is not None:
+                if receiver_edge not in scheme.functional_edge_labels:
+                    scheme.add_functional_edge_label(receiver_edge)
+                scheme.add_property(
+                    context_label, receiver_edge, pattern.label_of(head.receiver)
+                )
+                if is_negated:
+                    pattern.add_shared_edge(context_node, receiver_edge, head.receiver)
+                else:
+                    pattern.add_edge(context_node, receiver_edge, head.receiver)
+            for param_label in sorted(head.parameters):
+                target = head.parameters[param_label]
+                scheme.add_property(context_label, param_label, pattern.label_of(target))
+                if is_negated:
+                    pattern.add_shared_edge(context_node, param_label, target)
+                else:
+                    pattern.add_edge(context_node, param_label, target)
+    return body_op.operation.replace_pattern(pattern)

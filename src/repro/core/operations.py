@@ -1,0 +1,563 @@
+"""The five basic GOOD operations (Sections 3.1–3.5).
+
+Each operation carries a *source pattern* and a description of the
+bold/double-outlined part of its figure:
+
+* :class:`NodeAddition` — per matching, ensure a fresh ``K``-labeled
+  node with given functional edges into the matched nodes (Fig. 6/8;
+  procedural semantics of Fig. 9, including its reuse check, which
+  makes node addition idempotent and collapses matchings that agree on
+  the target nodes);
+* :class:`EdgeAddition` — per matching, add the specified edges between
+  matched nodes (Fig. 10/13), with the paper's run-time consistency
+  check (Section 3.2) raising :class:`EdgeConflictError`;
+* :class:`NodeDeletion` — delete the image of one pattern node for
+  every matching, with incident edges (Fig. 14);
+* :class:`EdgeDeletion` — delete the images of selected pattern edges
+  for every matching (Fig. 16);
+* :class:`Abstraction` — group the images of one pattern node by the
+  equality of their ``α``-successor sets and attach a fresh ``K`` set
+  node to every group via ``β`` edges (Fig. 18).
+
+Semantics notes (also in DESIGN.md):
+
+* Every operation uses **snapshot semantics**: the set of all matchings
+  of the source pattern is computed once on the current instance, then
+  the transformation is applied for all of them in parallel.  This is
+  the reading Section 5 pins down ("the set of all matchings of the
+  pattern of a GOOD operation is expressed as an SQL query; the actual
+  transformation is performed using SQL's update capabilities"), and it
+  is what makes transitive closure inexpressible without the
+  Section 4.1 starred macro or Section 3.6 methods, exactly as the
+  paper claims.  Node addition keeps the Fig. 9 reuse check, which
+  makes it idempotent and collapses matchings agreeing on the targets.
+* All operations extend the scheme to "the minimal scheme of which S
+  is a subscheme and over which J' is a pattern" before touching the
+  instance, so they are well defined even with zero matchings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.errors import EdgeConflictError, OperationError
+from repro.core.instance import Instance
+from repro.core.matching import Matching, find_any
+from repro.core.pattern import NegatedPattern, Pattern
+from repro.core.scheme import Scheme
+from repro.graph.store import Edge
+from repro.core.labels import is_reserved
+
+
+@dataclass
+class OperationReport:
+    """What one operation application did to the instance."""
+
+    operation: str
+    matching_count: int = 0
+    nodes_added: Tuple[int, ...] = ()
+    nodes_removed: Tuple[int, ...] = ()
+    edges_added: Tuple[Edge, ...] = ()
+    edges_removed: Tuple[Edge, ...] = ()
+    reused_count: int = 0
+    sub_reports: Tuple["OperationReport", ...] = ()
+
+    def summary(self) -> str:
+        """One-line human readable account of the effect."""
+        return (
+            f"{self.operation}: {self.matching_count} matchings, "
+            f"+{len(self.nodes_added)}/-{len(self.nodes_removed)} nodes, "
+            f"+{len(self.edges_added)}/-{len(self.edges_removed)} edges"
+        )
+
+
+class Operation:
+    """Base class of all GOOD operations (including method calls)."""
+
+    #: short operation mnemonic used in reports (NA, EA, ND, ED, AB, MC)
+    kind: str = "OP"
+
+    def __init__(self, source_pattern: "Union[Pattern, NegatedPattern]") -> None:
+        self.source_pattern = source_pattern
+
+    @property
+    def positive_pattern(self) -> Pattern:
+        """The positive part of the source pattern (itself, if plain)."""
+        if isinstance(self.source_pattern, NegatedPattern):
+            return self.source_pattern.positive
+        return self.source_pattern
+
+    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        """Apply the operation to ``instance`` in place; return a report."""
+        raise NotImplementedError
+
+    def replace_pattern(self, pattern: Pattern) -> "Operation":
+        """A copy of this operation with a different source pattern.
+
+        Node-id references into the pattern are preserved, so the new
+        pattern must contain (a superset of) the original's nodes under
+        the same ids.  The method machinery relies on this to add the
+        call-context node to body operation patterns.
+        """
+        raise NotImplementedError
+
+    def matchings(self, instance: Instance) -> List[Matching]:
+        """The matchings of the source pattern in ``instance``.
+
+        Crossed source patterns get the Fig. 26 negation semantics.
+        """
+        return list(find_any(self.source_pattern, instance))
+
+    def materialize_constants(self, instance: Instance) -> None:
+        """Ensure the pattern's constants exist as printable nodes.
+
+        The paper treats printable classes as system-given: every
+        constant of every printable class conceptually exists in every
+        instance (which is why node additions never introduce printable
+        nodes, and why Fig. 21 can update a date to a value not yet in
+        the database).  Stores only materialise the constants actually
+        referenced, so each operation first materialises the constants
+        its source pattern mentions.
+        """
+        patterns = [self.positive_pattern]
+        if isinstance(self.source_pattern, NegatedPattern):
+            patterns.extend(self.source_pattern.extensions)
+        for pattern in patterns:
+            for node_id in pattern.nodes():
+                record = pattern.node_record(node_id)
+                if record.has_print and instance.scheme.is_printable_label(record.label):
+                    instance.printable(record.label, record.print_value)
+
+    def _require_pattern_node(self, node_id: int) -> None:
+        if not self.source_pattern.has_node(node_id):
+            raise OperationError(f"node {node_id} is not in the source pattern")
+
+
+class NodeAddition(Operation):
+    """NA[J, S, I, K, {(α1, m1), ..., (αn, mn)}] — Section 3.1."""
+
+    kind = "NA"
+
+    def __init__(
+        self,
+        source_pattern: Pattern,
+        node_label: str,
+        edges: Sequence[Tuple[str, int]] = (),
+        _internal: bool = False,
+    ) -> None:
+        super().__init__(source_pattern)
+        self.node_label = node_label
+        self.edges = tuple(edges)
+        labels = [label for label, _ in self.edges]
+        if len(set(labels)) != len(labels):
+            raise OperationError("node addition requires pairwise different functional edge labels")
+        for _, target in self.edges:
+            self._require_pattern_node(target)
+        if is_reserved(node_label) and not _internal:
+            raise OperationError(f"node label {node_label!r} uses the reserved '@' namespace")
+        for label, _ in self.edges:
+            if is_reserved(label) and not _internal:
+                raise OperationError(f"edge label {label!r} uses the reserved '@' namespace")
+
+    def replace_pattern(self, pattern: Pattern) -> "NodeAddition":
+        clone = NodeAddition.__new__(NodeAddition)
+        Operation.__init__(clone, pattern)
+        clone.node_label = self.node_label
+        clone.edges = self.edges
+        return clone
+
+    def extend_scheme(self, scheme: Scheme) -> None:
+        """Minimal scheme extension: K ∈ OL, αℓ ∈ FEL, triples in P."""
+        with scheme.allowing_reserved():
+            if not scheme.is_object_label(self.node_label):
+                if scheme.has_node_label(self.node_label):
+                    raise OperationError(
+                        f"node addition label {self.node_label!r} is a printable label"
+                    )
+                scheme.add_object_label(self.node_label)
+            for edge_label, target in self.edges:
+                if edge_label in scheme.multivalued_edge_labels:
+                    raise OperationError(
+                        f"node addition edge label {edge_label!r} is multivalued"
+                    )
+                if edge_label not in scheme.functional_edge_labels:
+                    scheme.add_functional_edge_label(edge_label)
+                target_label = self.source_pattern.label_of(target)
+                scheme.add_property(self.node_label, edge_label, target_label)
+
+    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        self.extend_scheme(instance.scheme)
+        self.materialize_constants(instance)
+        nodes_added: List[int] = []
+        edges_added: List[Edge] = []
+        reused = 0
+        matchings = self.matchings(instance)
+        for matching in matchings:
+            targets = tuple(matching[m] for _, m in self.edges)
+            if self._existing_node(instance, targets) is not None:
+                reused += 1
+                continue
+            new_node = instance.add_object(self.node_label)
+            nodes_added.append(new_node)
+            for (edge_label, _), target in zip(self.edges, targets):
+                instance.add_edge(new_node, edge_label, target)
+                edges_added.append(Edge(new_node, edge_label, target))
+        matching_count = len(matchings)
+        return OperationReport(
+            operation=self.describe(),
+            matching_count=matching_count,
+            nodes_added=tuple(nodes_added),
+            edges_added=tuple(edges_added),
+            reused_count=reused,
+        )
+
+    def _existing_node(self, instance: Instance, targets: Tuple[int, ...]) -> Optional[int]:
+        """Fig. 9 reuse check: a K node with all the required edges."""
+        if not self.edges:
+            candidates = instance.nodes_with_label(self.node_label)
+            return min(candidates) if candidates else None
+        first_label = self.edges[0][0]
+        candidates = {
+            node_id
+            for node_id in instance.in_neighbours(targets[0], first_label)
+            if instance.label_of(node_id) == self.node_label
+        }
+        for (edge_label, _), target in list(zip(self.edges, targets))[1:]:
+            candidates = {c for c in candidates if instance.has_edge(c, edge_label, target)}
+            if not candidates:
+                return None
+        return min(candidates) if candidates else None
+
+    def describe(self) -> str:
+        """Short textual form, e.g. ``NA[Pair; parent, child]``."""
+        labels = ", ".join(label for label, _ in self.edges)
+        return f"NA[{self.node_label}; {labels}]"
+
+
+class EdgeAddition(Operation):
+    """EA[J, S, I, {(m1, λ1, m1'), ...}] — Section 3.2."""
+
+    kind = "EA"
+
+    def __init__(
+        self,
+        source_pattern: Pattern,
+        edges: Sequence[Tuple[int, str, int]],
+        new_label_kinds: Optional[Mapping[str, str]] = None,
+        _internal: bool = False,
+    ) -> None:
+        super().__init__(source_pattern)
+        if not edges:
+            raise OperationError("edge addition requires at least one edge")
+        self.edges = tuple(edges)
+        self.new_label_kinds = dict(new_label_kinds or {})
+        for source, edge_label, target in self.edges:
+            self._require_pattern_node(source)
+            self._require_pattern_node(target)
+            if is_reserved(edge_label) and not _internal:
+                raise OperationError(f"edge label {edge_label!r} uses the reserved '@' namespace")
+        for kind in self.new_label_kinds.values():
+            if kind not in ("functional", "multivalued"):
+                raise OperationError(f"unknown edge-label kind {kind!r}")
+
+    def replace_pattern(self, pattern: Pattern) -> "EdgeAddition":
+        clone = EdgeAddition.__new__(EdgeAddition)
+        Operation.__init__(clone, pattern)
+        clone.edges = self.edges
+        clone.new_label_kinds = dict(self.new_label_kinds)
+        return clone
+
+    def extend_scheme(self, scheme: Scheme) -> None:
+        """Declare fresh edge labels and add the new property triples."""
+        with scheme.allowing_reserved():
+            for source, edge_label, target in self.edges:
+                if (
+                    edge_label not in scheme.functional_edge_labels
+                    and edge_label not in scheme.multivalued_edge_labels
+                ):
+                    kind = self.new_label_kinds.get(edge_label)
+                    if kind is None:
+                        raise OperationError(
+                            f"edge label {edge_label!r} is undeclared; pass new_label_kinds="
+                            f"{{{edge_label!r}: 'functional'|'multivalued'}}"
+                        )
+                    if kind == "functional":
+                        scheme.add_functional_edge_label(edge_label)
+                    else:
+                        scheme.add_multivalued_edge_label(edge_label)
+                source_label = self.source_pattern.label_of(source)
+                target_label = self.source_pattern.label_of(target)
+                if not scheme.is_object_label(source_label):
+                    raise OperationError(
+                        f"edges may only leave object classes, not {source_label!r}"
+                    )
+                scheme.add_property(source_label, edge_label, target_label)
+
+    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        self.extend_scheme(instance.scheme)
+        self.materialize_constants(instance)
+        matchings = self.matchings(instance)
+        planned: List[Tuple[int, str, int]] = []
+        seen: Set[Tuple[int, str, int]] = set()
+        for matching in matchings:
+            for source, edge_label, target in self.edges:
+                concrete = (matching[source], edge_label, matching[target])
+                if concrete not in seen:
+                    seen.add(concrete)
+                    planned.append(concrete)
+        self._check_consistency(instance, planned)
+        edges_added: List[Edge] = []
+        for source, edge_label, target in planned:
+            if instance.add_edge(source, edge_label, target):
+                edges_added.append(Edge(source, edge_label, target))
+        return OperationReport(
+            operation=self.describe(),
+            matching_count=len(matchings),
+            edges_added=tuple(edges_added),
+        )
+
+    def _check_consistency(self, instance: Instance, planned: Sequence[Tuple[int, str, int]]) -> None:
+        """The Section 3.2 run-time check, over instance ∪ planned edges.
+
+        Raises :class:`EdgeConflictError` when the combined edge set
+        would contain two different edges with the same label leaving
+        the same node that (i) are functional, or (ii) arrive at nodes
+        with different labels.
+        """
+        scheme = instance.scheme
+        combined: Dict[Tuple[int, str], Set[int]] = {}
+        for source, edge_label, target in planned:
+            combined.setdefault((source, edge_label), set()).add(target)
+        for (source, edge_label), targets in sorted(combined.items()):
+            existing = instance.out_neighbours(source, edge_label)
+            all_targets = set(existing) | targets
+            if scheme.is_functional(edge_label) and len(all_targets) > 1:
+                raise EdgeConflictError(
+                    f"edge addition would give node {source} {len(all_targets)} different "
+                    f"{edge_label!r} (functional) edges"
+                )
+            labels = {instance.label_of(t) for t in all_targets}
+            if len(labels) > 1:
+                raise EdgeConflictError(
+                    f"edge addition would give node {source} {edge_label!r}-successors "
+                    f"with mixed labels {sorted(labels)!r}"
+                )
+
+    def describe(self) -> str:
+        """Short textual form, e.g. ``EA[data-creation]``."""
+        labels = ", ".join(sorted({edge_label for _, edge_label, _ in self.edges}))
+        return f"EA[{labels}]"
+
+
+class NodeDeletion(Operation):
+    """ND[J, S, I, m] — Section 3.3."""
+
+    kind = "ND"
+
+    def __init__(self, source_pattern: Pattern, node: int) -> None:
+        super().__init__(source_pattern)
+        self.node = node
+        self._require_pattern_node(node)
+
+    def replace_pattern(self, pattern: Pattern) -> "NodeDeletion":
+        clone = NodeDeletion.__new__(NodeDeletion)
+        Operation.__init__(clone, pattern)
+        clone.node = self.node
+        return clone
+
+    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        self.materialize_constants(instance)
+        matchings = self.matchings(instance)
+        victims = sorted({matching[self.node] for matching in matchings})
+        edges_removed: List[Edge] = []
+        for victim in victims:
+            if instance.has_node(victim):
+                edges_removed.extend(instance.store.edges_of(victim))
+                instance.remove_node(victim)
+        return OperationReport(
+            operation=self.describe(),
+            matching_count=len(matchings),
+            nodes_removed=tuple(victims),
+            edges_removed=tuple(sorted(set(edges_removed))),
+        )
+
+    def describe(self) -> str:
+        """Short textual form, e.g. ``ND[Info]``."""
+        return f"ND[{self.source_pattern.label_of(self.node)}]"
+
+
+class EdgeDeletion(Operation):
+    """ED[J, S, I, {(m1, λ1, m1'), ...}] — Section 3.4."""
+
+    kind = "ED"
+
+    def __init__(self, source_pattern: Pattern, edges: Sequence[Tuple[int, str, int]]) -> None:
+        super().__init__(source_pattern)
+        if not edges:
+            raise OperationError("edge deletion requires at least one edge")
+        self.edges = tuple(edges)
+        for source, edge_label, target in self.edges:
+            self._require_pattern_node(source)
+            self._require_pattern_node(target)
+            if not source_pattern.has_edge(source, edge_label, target):
+                raise OperationError(
+                    f"edge ({source}, {edge_label!r}, {target}) to delete must be part of the "
+                    "source pattern"
+                )
+
+    def replace_pattern(self, pattern: Pattern) -> "EdgeDeletion":
+        clone = EdgeDeletion.__new__(EdgeDeletion)
+        Operation.__init__(clone, pattern)
+        clone.edges = self.edges
+        return clone
+
+    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        self.materialize_constants(instance)
+        matchings = self.matchings(instance)
+        victims: Set[Tuple[int, str, int]] = set()
+        for matching in matchings:
+            for source, edge_label, target in self.edges:
+                victims.add((matching[source], edge_label, matching[target]))
+        edges_removed: List[Edge] = []
+        for source, edge_label, target in sorted(victims):
+            if instance.remove_edge(source, edge_label, target):
+                edges_removed.append(Edge(source, edge_label, target))
+        return OperationReport(
+            operation=self.describe(),
+            matching_count=len(matchings),
+            edges_removed=tuple(edges_removed),
+        )
+
+    def describe(self) -> str:
+        """Short textual form, e.g. ``ED[modified]``."""
+        labels = ", ".join(sorted({edge_label for _, edge_label, _ in self.edges}))
+        return f"ED[{labels}]"
+
+
+class Abstraction(Operation):
+    """AB[J, S, I, n, K, α, β] — Section 3.5.
+
+    Groups the images of pattern node ``n`` into equivalence classes of
+    equal ``α``-successor sets and creates one ``K`` node per class,
+    linked to every class member by a ``β`` edge.  Both ``α`` and ``β``
+    are multivalued edge labels; ``β`` may be fresh.
+
+    ``include_unmatched`` selects between the worked-example semantics
+    (default: only matched nodes join groups) and the literal reading
+    of the formal definition (every same-label node with an equal
+    ``α``-set joins) — see DESIGN.md "Interpretation decisions".
+    """
+
+    kind = "AB"
+
+    def __init__(
+        self,
+        source_pattern: Pattern,
+        node: int,
+        set_label: str,
+        alpha: str,
+        beta: str,
+        include_unmatched: bool = False,
+        _internal: bool = False,
+    ) -> None:
+        super().__init__(source_pattern)
+        self.node = node
+        self.set_label = set_label
+        self.alpha = alpha
+        self.beta = beta
+        self.include_unmatched = include_unmatched
+        self._require_pattern_node(node)
+        if is_reserved(set_label) and not _internal:
+            raise OperationError(f"set label {set_label!r} uses the reserved '@' namespace")
+
+    def replace_pattern(self, pattern: Pattern) -> "Abstraction":
+        clone = Abstraction.__new__(Abstraction)
+        Operation.__init__(clone, pattern)
+        clone.node = self.node
+        clone.set_label = self.set_label
+        clone.alpha = self.alpha
+        clone.beta = self.beta
+        clone.include_unmatched = self.include_unmatched
+        return clone
+
+    def extend_scheme(self, scheme: Scheme) -> None:
+        """Declare K and β; add the (K, β, λ(n)) property."""
+        if self.alpha not in scheme.multivalued_edge_labels:
+            raise OperationError(f"abstraction grouping label {self.alpha!r} must be multivalued")
+        with scheme.allowing_reserved():
+            if not scheme.is_object_label(self.set_label):
+                if scheme.has_node_label(self.set_label):
+                    raise OperationError(f"set label {self.set_label!r} is a printable label")
+                scheme.add_object_label(self.set_label)
+            if self.beta not in scheme.multivalued_edge_labels:
+                if self.beta in scheme.functional_edge_labels:
+                    raise OperationError(f"abstraction edge label {self.beta!r} is functional")
+                scheme.add_multivalued_edge_label(self.beta)
+            scheme.add_property(self.set_label, self.beta, self.source_pattern.label_of(self.node))
+
+    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        self.extend_scheme(instance.scheme)
+        self.materialize_constants(instance)
+        matchings = self.matchings(instance)
+        matched = sorted({matching[self.node] for matching in matchings})
+        alpha_set = {x: frozenset(instance.out_neighbours(x, self.alpha)) for x in matched}
+        groups: Dict[FrozenSet[int], Set[int]] = {}
+        for member in matched:
+            groups.setdefault(alpha_set[member], set()).add(member)
+        if self.include_unmatched:
+            member_label = self.source_pattern.label_of(self.node)
+            for node_id in sorted(instance.nodes_with_label(member_label)):
+                key = frozenset(instance.out_neighbours(node_id, self.alpha))
+                if key in groups:
+                    groups[key].add(node_id)
+        nodes_added: List[int] = []
+        edges_added: List[Edge] = []
+        reused = 0
+        for key in sorted(groups, key=lambda k: tuple(sorted(k))):
+            members = groups[key]
+            existing = self._existing_group_node(instance, members)
+            if existing is not None:
+                reused += 1
+                continue
+            set_node = instance.add_object(self.set_label)
+            nodes_added.append(set_node)
+            for member in sorted(members):
+                instance.add_edge(set_node, self.beta, member)
+                edges_added.append(Edge(set_node, self.beta, member))
+        return OperationReport(
+            operation=self.describe(),
+            matching_count=len(matchings),
+            nodes_added=tuple(nodes_added),
+            edges_added=tuple(edges_added),
+            reused_count=reused,
+        )
+
+    def _existing_group_node(self, instance: Instance, members: Set[int]) -> Optional[int]:
+        """A pre-existing K node whose β-set is exactly ``members``."""
+        some = min(members) if members else None
+        if some is None:
+            candidates: Iterable[int] = instance.nodes_with_label(self.set_label)
+        else:
+            candidates = (
+                node_id
+                for node_id in instance.in_neighbours(some, self.beta)
+                if instance.label_of(node_id) == self.set_label
+            )
+        for candidate in sorted(candidates):
+            if set(instance.out_neighbours(candidate, self.beta)) == members:
+                return candidate
+        return None
+
+    def describe(self) -> str:
+        """Short textual form, e.g. ``AB[Same-Info; links-to/contains]``."""
+        return f"AB[{self.set_label}; {self.alpha}/{self.beta}]"
+
+
+_op_counter = itertools.count()
+
+
+def fresh_tag() -> int:
+    """A process-unique integer for generated label names."""
+    return next(_op_counter)

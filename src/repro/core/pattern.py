@@ -1,0 +1,239 @@
+"""Patterns (Section 3).
+
+"A pattern is a graph used to describe subgraphs in an object base
+instance over a given scheme.  As such, a pattern is syntactically
+itself an instance over that scheme."  :class:`Pattern` therefore
+subclasses :class:`~repro.core.instance.Instance` and inherits all its
+constraints; what it adds is
+
+* convenience builders used throughout the figure reproductions;
+* optional *print predicates* on printable nodes — the Section 4.1
+  "additional predicates on printable objects" macro (QBE-style
+  condition boxes), e.g. a Date node constrained to a range.
+
+A pattern node with a print value matches only the unique instance node
+carrying that value; a node with a predicate matches any same-label
+node whose value satisfies the predicate; a bare printable node matches
+any node of its class, valued or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.errors import PatternError
+from repro.core.instance import Instance
+from repro.core.scheme import Scheme
+from repro.graph.store import NO_PRINT
+
+
+@dataclass(frozen=True)
+class PrintPredicate:
+    """A named boolean condition on a print value."""
+
+    name: str
+    test: Callable[[Any], bool]
+
+    def __call__(self, value: Any) -> bool:
+        return bool(self.test(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PrintPredicate({self.name!r})"
+
+
+class Pattern(Instance):
+    """A pattern over a scheme; syntactically an instance."""
+
+    def __init__(self, scheme: Scheme, _store=None) -> None:
+        super().__init__(scheme, _store)
+        self._predicates: Dict[int, PrintPredicate] = {}
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    def node(self, label: str, value: Any = NO_PRINT) -> int:
+        """Add a pattern node of either kind (see ``Instance.add_node``)."""
+        return self.add_node(label, value)
+
+    def edge(self, source: int, edge_label: str, target: int) -> "Pattern":
+        """Add a pattern edge; returns ``self`` for chaining."""
+        self.add_edge(source, edge_label, target)
+        return self
+
+    def constrain(self, node_id: int, predicate: PrintPredicate) -> "Pattern":
+        """Attach a print predicate to a printable pattern node.
+
+        The node must be printable and must not already carry a fixed
+        print value (a fixed value subsumes any predicate).
+        """
+        if not self.is_printable_node(node_id):
+            raise PatternError(f"predicates apply to printable nodes, not node {node_id}")
+        if self.print_of(node_id) is not NO_PRINT:
+            raise PatternError(f"node {node_id} already has a fixed print value")
+        self._predicates[node_id] = predicate
+        return self
+
+    def predicate_of(self, node_id: int) -> Optional[PrintPredicate]:
+        """The predicate attached to ``node_id``, if any."""
+        return self._predicates.get(node_id)
+
+    @property
+    def predicates(self) -> Dict[int, PrintPredicate]:
+        """All node predicates (read-only view by convention)."""
+        return dict(self._predicates)
+
+    # ------------------------------------------------------------------
+    # whole-pattern operations
+    # ------------------------------------------------------------------
+    def copy(self, scheme: Optional[Scheme] = None) -> "Pattern":
+        """Copy the pattern, keeping node ids and predicates."""
+        clone = Pattern(scheme if scheme is not None else self.scheme, self.store.copy())
+        clone._predicates = dict(self._predicates)
+        return clone
+
+    def remove_node(self, node_id: int) -> None:
+        super().remove_node(node_id)
+        self._predicates.pop(node_id, None)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this is the empty pattern (Fig. 12 uses one).
+
+        The empty pattern has exactly one matching in any instance —
+        the empty mapping — so operations over it fire exactly once.
+        """
+        return self.node_count == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pattern(nodes={self.node_count}, edges={self.edge_count})"
+
+
+def empty_pattern(scheme: Scheme) -> Pattern:
+    """The empty pattern over ``scheme``."""
+    return Pattern(scheme)
+
+
+class NegatedPattern:
+    """A pattern with crossed (forbidden) parts — the negation macro.
+
+    ``positive`` is the ordinary pattern; each *negative extension* is
+    a pattern that contains the positive one (same node ids, same
+    labels, superset of edges) plus extra crossed nodes/edges.  A
+    matching of the negated pattern is a matching of ``positive`` that
+    cannot be enlarged to a matching of any extension (Fig. 26).
+
+    A :class:`NegatedPattern` can be used directly as the source
+    pattern of any operation (crossed parts are the recursion stopping
+    condition of Fig. 29's method bodies); the Fig. 27 compilation to
+    basic operations lives in :mod:`repro.core.macros` and is tested
+    equivalent.
+    """
+
+    def __init__(self, positive: Pattern) -> None:
+        self.positive = positive
+        self.extensions: list = []
+
+    def forbid(self, extension: Pattern) -> "NegatedPattern":
+        """Add a crossed extension (must be a superpattern)."""
+        for node_id in self.positive.nodes():
+            if not extension.has_node(node_id):
+                raise PatternError(f"extension lacks positive pattern node {node_id}")
+            if extension.node_record(node_id) != self.positive.node_record(node_id):
+                raise PatternError(f"extension changes positive pattern node {node_id}")
+        for edge in self.positive.edges():
+            if not extension.has_edge(*edge.as_tuple()):
+                raise PatternError(f"extension lacks positive pattern edge {edge}")
+        self.extensions.append(extension)
+        return self
+
+    def forbid_edge(self, source: int, edge_label: str, target: int) -> "NegatedPattern":
+        """Cross out a single edge between positive pattern nodes
+        (Fig. 26's crossed ``modified`` edge)."""
+        extension = self.positive.copy()
+        extension.add_edge(source, edge_label, target)
+        return self.forbid(extension)
+
+    def forbid_node(self, label: str, edges=()) -> int:
+        """Cross out "a node of class ``label`` related like this".
+
+        ``edges`` are ``(positive node, edge label, None)`` triples for
+        an edge from the positive node into the crossed node, or
+        ``(None, edge label, positive node)`` for an edge leaving it.
+        Returns the crossed node's id inside the registered extension.
+        """
+        extension = self.positive.copy()
+        crossed = extension.add_node(label)
+        for source, edge_label, target in edges:
+            if target is None:
+                extension.add_edge(source, edge_label, crossed)
+            elif source is None:
+                extension.add_edge(crossed, edge_label, target)
+            else:
+                raise PatternError("exactly one endpoint must be None (the crossed node)")
+        self.forbid(extension)
+        return crossed
+
+    def copy(self, scheme: Optional[Scheme] = None) -> "NegatedPattern":
+        """Deep copy; node ids are preserved across positive/extensions."""
+        clone = NegatedPattern(self.positive.copy(scheme=scheme))
+        clone.extensions = [extension.copy(scheme=scheme) for extension in self.extensions]
+        return clone
+
+    # ------------------------------------------------------------------
+    # shared augmentation (used by the method-call machinery)
+    # ------------------------------------------------------------------
+    def add_shared_object(self, label: str) -> int:
+        """Add an object node, under the *same* id, to the positive
+        pattern and every extension.
+
+        Extensions carry crossed nodes beyond the positive ids, so the
+        shared id is taken past every pattern's counter.
+        """
+        node_id = max(
+            [self.positive.store.next_id]
+            + [extension.store.next_id for extension in self.extensions]
+        )
+        self.positive.add_object(label, _node_id=node_id)
+        for extension in self.extensions:
+            extension.add_object(label, _node_id=node_id)
+        return node_id
+
+    def add_shared_edge(self, source: int, edge_label: str, target: int) -> None:
+        """Add an edge to the positive pattern and every extension."""
+        self.positive.add_edge(source, edge_label, target)
+        for extension in self.extensions:
+            extension.add_edge(source, edge_label, target)
+
+    # convenience delegation so operations can treat both pattern kinds
+    # uniformly where only the positive part matters
+    @property
+    def scheme(self) -> Scheme:
+        """The positive pattern's scheme."""
+        return self.positive.scheme
+
+    def has_node(self, node_id: int) -> bool:
+        """Whether the positive pattern has ``node_id``."""
+        return self.positive.has_node(node_id)
+
+    def has_edge(self, source: int, edge_label: str, target: int) -> bool:
+        """Whether the positive pattern has the edge."""
+        return self.positive.has_edge(source, edge_label, target)
+
+    def label_of(self, node_id: int) -> str:
+        """The label of a positive pattern node."""
+        return self.positive.label_of(node_id)
+
+    def nodes(self):
+        """Positive pattern node ids."""
+        return self.positive.nodes()
+
+    def node_record(self, node_id: int):
+        """The positive pattern's record for ``node_id``."""
+        return self.positive.node_record(node_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NegatedPattern(positive={self.positive.node_count} nodes, "
+            f"{len(self.extensions)} crossed parts)"
+        )

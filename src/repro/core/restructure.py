@@ -1,0 +1,240 @@
+"""Scheme manipulation and restructuring (Section 3 intro).
+
+"The GOOD transformation language has indeed been designed in such a
+way that it can as well be used for querying, updating, **scheme
+manipulations, restructuring**, browsing and visualizing ..." — this
+module provides the scheme-and-instance co-transformations that
+sentence promises, each expressed through (sequences of) the basic
+operations wherever an instance-level effect is involved:
+
+* :func:`rename_class` / :func:`rename_edge_label` — pure renamings
+  (bijective re-labelings of scheme and instance);
+* :func:`merge_classes` — fold one object class into another (their
+  properties must be compatible); instance nodes are relabeled;
+* :func:`copy_property_along_isa` — materialise one inherited property
+  on a subclass (a single edge addition per isa pair — the Section 4.2
+  "number of consecutive edge additions" made available piecemeal);
+* :func:`reify_edge` — restructure a multivalued edge into a class of
+  link objects (edge → node with ``src``/``dst``), the classic
+  many-to-many refactoring; implemented with a node addition followed
+  by an edge deletion.
+
+All functions operate on a copy by default and validate the result.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SchemeError
+from repro.core.instance import Instance
+from repro.core.operations import EdgeAddition, EdgeDeletion, NodeAddition
+from repro.core.pattern import Pattern
+from repro.core.scheme import Scheme
+
+
+def _working_copy(instance: Instance, in_place: bool) -> Instance:
+    if in_place:
+        return instance
+    return instance.copy(scheme=instance.scheme.copy())
+
+
+def _rebuild(instance: Instance, scheme: Scheme, node_label_map, edge_label_map) -> Instance:
+    """Rebuild an instance under label renamings, preserving ids."""
+    rebuilt = Instance(scheme)
+    for node_id in instance.nodes():
+        record = instance.node_record(node_id)
+        label = node_label_map.get(record.label, record.label)
+        if scheme.is_printable_label(label):
+            rebuilt.add_printable(label, record.print_value, _node_id=node_id)
+        else:
+            rebuilt.add_object(label, _node_id=node_id)
+    for edge in instance.edges():
+        rebuilt.add_edge(
+            edge.source, edge_label_map.get(edge.label, edge.label), edge.target
+        )
+    return rebuilt
+
+
+def rename_class(instance: Instance, old: str, new: str) -> Instance:
+    """Rename an object class in scheme and instance.
+
+    ``new`` must be unused.  Returns a rebuilt instance over a fresh
+    scheme; node ids are preserved, the argument is untouched.
+    """
+    scheme = instance.scheme
+    if not scheme.is_object_label(old):
+        raise SchemeError(f"{old!r} is not an object class")
+    if scheme.has_node_label(new) or new in scheme.functional_edge_labels or new in scheme.multivalued_edge_labels:
+        raise SchemeError(f"label {new!r} is already in use")
+    new_scheme = Scheme(
+        object_labels=sorted((scheme.object_labels - {old}) | {new}),
+        printable_labels=sorted(scheme.printable_labels),
+        functional_edge_labels=sorted(scheme.functional_edge_labels),
+        multivalued_edge_labels=sorted(scheme.multivalued_edge_labels),
+        properties=[
+            (new if s == old else s, e, new if t == old else t)
+            for (s, e, t) in sorted(scheme.properties)
+        ],
+        allow_reserved=True,
+    )
+    for isa in scheme.isa_labels:
+        new_scheme.mark_isa(isa)
+    rebuilt = _rebuild(instance, new_scheme, {old: new}, {})
+    rebuilt.validate()
+    return rebuilt
+
+
+def rename_edge_label(instance: Instance, old: str, new: str) -> Instance:
+    """Rename a (functional or multivalued) edge label everywhere."""
+    scheme = instance.scheme
+    functional = old in scheme.functional_edge_labels
+    if not functional and old not in scheme.multivalued_edge_labels:
+        raise SchemeError(f"{old!r} is not a declared edge label")
+    if scheme.has_node_label(new) or new in scheme.functional_edge_labels or new in scheme.multivalued_edge_labels:
+        raise SchemeError(f"label {new!r} is already in use")
+    new_scheme = Scheme(
+        object_labels=sorted(scheme.object_labels),
+        printable_labels=sorted(scheme.printable_labels),
+        functional_edge_labels=sorted(
+            (scheme.functional_edge_labels - {old}) | ({new} if functional else set())
+        ),
+        multivalued_edge_labels=sorted(
+            (scheme.multivalued_edge_labels - {old}) | (set() if functional else {new})
+        ),
+        properties=[
+            (s, new if e == old else e, t) for (s, e, t) in sorted(scheme.properties)
+        ],
+        allow_reserved=True,
+    )
+    for isa in scheme.isa_labels:
+        new_scheme.mark_isa(new if isa == old else isa)
+    rebuilt = _rebuild(instance, new_scheme, {}, {old: new})
+    rebuilt.validate()
+    return rebuilt
+
+
+def merge_classes(instance: Instance, source: str, target: str) -> Instance:
+    """Fold object class ``source`` into ``target``.
+
+    Every ``source`` object becomes a ``target`` object; ``source``'s
+    properties are transferred to ``target``.  Refused when the merge
+    would break an instance constraint (e.g. a functional label of
+    ``source`` whose target class differs from ``target``'s).
+    """
+    scheme = instance.scheme
+    for label in (source, target):
+        if not scheme.is_object_label(label):
+            raise SchemeError(f"{label!r} is not an object class")
+    if source == target:
+        raise SchemeError("cannot merge a class with itself")
+    new_scheme = Scheme(
+        object_labels=sorted(scheme.object_labels - {source}),
+        printable_labels=sorted(scheme.printable_labels),
+        functional_edge_labels=sorted(scheme.functional_edge_labels),
+        multivalued_edge_labels=sorted(scheme.multivalued_edge_labels),
+        properties=sorted(
+            {
+                (target if s == source else s, e, target if t == source else t)
+                for (s, e, t) in scheme.properties
+            }
+        ),
+        allow_reserved=True,
+    )
+    for isa in scheme.isa_labels:
+        new_scheme.mark_isa(isa)
+    rebuilt = _rebuild(instance, new_scheme, {source: target}, {})
+    rebuilt.validate()
+    return rebuilt
+
+
+def copy_property_along_isa(
+    instance: Instance, subclass: str, isa_label: str, edge_label: str, in_place: bool = False
+) -> Instance:
+    """Materialise one inherited property on ``subclass`` objects.
+
+    For every instance pair ``x --isa--> y`` with ``x`` in
+    ``subclass``, copies ``y``'s ``edge_label`` edges onto ``x`` — one
+    Section 4.2 edge addition.  The scheme gains the corresponding
+    property triples.
+    """
+    working = _working_copy(instance, in_place)
+    scheme = working.scheme
+    if not scheme.is_object_label(subclass):
+        raise SchemeError(f"{subclass!r} is not an object class")
+    targets = set()
+    for (s, e, t) in scheme.properties:
+        if e == edge_label:
+            targets.add(t)
+    if not targets:
+        raise SchemeError(f"{edge_label!r} is not used by any property")
+    functional = scheme.is_functional(edge_label)
+    for target_label in sorted(targets):
+        pattern = Pattern(scheme)
+        sub = pattern.add_node(subclass)
+        # the superclass node: any class reachable via isa that has the property
+        supers = sorted(
+            s for (s, e, t) in scheme.properties if e == edge_label and t == target_label
+        )
+        for super_label in supers:
+            if not scheme.allows_edge(subclass, isa_label, super_label):
+                continue
+            clone = Pattern(scheme)
+            sub_node = clone.add_node(subclass)
+            super_node = clone.add_node(super_label)
+            value_node = clone.add_node(target_label)
+            clone.add_edge(sub_node, isa_label, super_node)
+            clone.add_edge(super_node, edge_label, value_node)
+            kind = "functional" if functional else "multivalued"
+            addition = EdgeAddition(
+                clone, [(sub_node, edge_label, value_node)], new_label_kinds={edge_label: kind}
+            )
+            addition.apply(working)
+    working.validate()
+    return working
+
+
+def reify_edge(
+    instance: Instance,
+    source_label: str,
+    edge_label: str,
+    link_class: str,
+    src_edge: str = "src",
+    dst_edge: str = "dst",
+    in_place: bool = False,
+) -> Instance:
+    """Turn a multivalued edge into a class of link objects.
+
+    Every instance edge ``x --edge_label--> y`` (with ``x`` in
+    ``source_label``) becomes a fresh ``link_class`` object with
+    functional ``src``/``dst`` edges; the original edges are deleted.
+    Expressed as one node addition followed by one edge deletion —
+    pure basic operations.
+    """
+    working = _working_copy(instance, in_place)
+    scheme = working.scheme
+    if scheme.is_functional(edge_label):
+        raise SchemeError(f"{edge_label!r} is functional; reify multivalued edges")
+    pattern = Pattern(scheme)
+    source = pattern.add_node(source_label)
+    target_labels = sorted(
+        t for (s, e, t) in scheme.properties if s == source_label and e == edge_label
+    )
+    if not target_labels:
+        raise SchemeError(f"({source_label!r}, {edge_label!r}, _) is not in the scheme")
+    for target_label in target_labels:
+        clone = Pattern(scheme)
+        src_node = clone.add_node(source_label)
+        dst_node = clone.add_node(target_label)
+        clone.add_edge(src_node, edge_label, dst_node)
+        NodeAddition(
+            clone, link_class, [(src_edge, src_node), (dst_edge, dst_node)]
+        ).apply(working)
+        erase = Pattern(working.scheme)
+        e_src = erase.add_node(source_label)
+        e_dst = erase.add_node(target_label)
+        e_link = erase.add_node(link_class)
+        erase.add_edge(e_src, edge_label, e_dst)
+        erase.add_edge(e_link, src_edge, e_src)
+        erase.add_edge(e_link, dst_edge, e_dst)
+        EdgeDeletion(erase, [(e_src, edge_label, e_dst)]).apply(working)
+    working.validate()
+    return working

@@ -1,0 +1,44 @@
+"""A textual syntax for GOOD patterns and operations.
+
+The paper's point is that graph *pictures* are the right end-user
+syntax; a reproduction still needs a way to write those pictures down
+in scripts and tests.  This package provides a compact textual form
+mirroring the drawing conventions:
+
+* ``x: Info`` declares a pattern node (``= literal`` pins a constant);
+* ``x -created-> d`` is a functional edge, ``x -links-to->> y`` a
+  multivalued one (the paper's single vs double arrowhead);
+* ``no { ... }`` is a crossed part (Fig. 26);
+* statements wrap the five operations::
+
+      addnode Pair(parent -> d1, child -> d2) { ... }
+      addedge { ... } add x -rec-links-to->> y
+      delnode x { ... }
+      deledge { ... } del x -modified-> d
+      abstract x by links-to as Same-Info/contains { ... }
+
+See :func:`~repro.dsl.parser.parse_pattern` and
+:func:`~repro.dsl.parser.parse_program`; the grammar reference lives in
+the :mod:`repro.dsl.parser` docstring.
+"""
+
+from repro.dsl.parser import DslError, parse_operation, parse_pattern, parse_program
+from repro.dsl.printer import (
+    DslPrintError,
+    method_to_dsl,
+    operation_to_dsl,
+    pattern_to_dsl,
+    program_to_dsl,
+)
+
+__all__ = [
+    "DslError",
+    "DslPrintError",
+    "method_to_dsl",
+    "operation_to_dsl",
+    "parse_operation",
+    "parse_pattern",
+    "parse_program",
+    "pattern_to_dsl",
+    "program_to_dsl",
+]

@@ -1,0 +1,118 @@
+"""Tokenizer for the GOOD textual syntax.
+
+Token kinds: identifiers (node variables, labels — labels may contain
+``-`` and ``#`` as in ``links-to`` and ``#words``), string and number
+literals, booleans, punctuation (``{ } ( ) : ; , = /``), the edge
+arrows ``-label->`` and ``-label->>`` (lexed as three tokens: ``-``,
+label, arrow), and keywords.  ``#`` starts a comment only at a word
+boundary followed by space (so ``#words`` stays a label).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.core.errors import GoodError
+
+
+class DslLexError(GoodError):
+    """Unrecognised input in a DSL source text."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    value: Any
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r} @ {self.line}:{self.column})"
+
+
+KEYWORDS = {
+    "addnode",
+    "addedge",
+    "delnode",
+    "deledge",
+    "abstract",
+    "method",
+    "call",
+    "on",
+    "keeps",
+    "add",
+    "del",
+    "by",
+    "as",
+    "no",
+    "true",
+    "false",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#\s[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<arrow2>->>)
+  | (?P<arrow>->)
+  | (?P<dash>-)
+  | (?P<punct>[{}():;,=/])
+  | (?P<ident>[A-Za-z_@#$][A-Za-z0-9_@#$.'!?*+]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn DSL source into a token list (comments/whitespace dropped)."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            snippet = text[position : position + 10]
+            raise DslLexError(f"line {line}:{column}: cannot tokenize {snippet!r}")
+        kind = match.lastgroup
+        value = match.group()
+        column = position - line_start + 1
+        if kind == "ws":
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = position + value.rindex("\n") + 1
+        elif kind == "comment":
+            pass
+        elif kind == "string":
+            unescaped = bytes(value[1:-1], "utf-8").decode("unicode_escape")
+            tokens.append(Token("string", unescaped, line, column))
+        elif kind == "number":
+            number = float(value) if "." in value else int(value)
+            tokens.append(Token("number", number, line, column))
+        elif kind == "ident":
+            if value in KEYWORDS:
+                if value in ("true", "false"):
+                    tokens.append(Token("bool", value == "true", line, column))
+                else:
+                    tokens.append(Token(value, value, line, column))
+            else:
+                tokens.append(Token("ident", value, line, column))
+        elif kind == "arrow2":
+            tokens.append(Token("->>", value, line, column))
+        elif kind == "arrow":
+            tokens.append(Token("->", value, line, column))
+        elif kind == "dash":
+            tokens.append(Token("-", value, line, column))
+        else:  # punct
+            tokens.append(Token(value, value, line, column))
+        position = match.end()
+    tokens.append(Token("eof", None, line, position - line_start + 1))
+    return tokens

@@ -1,0 +1,595 @@
+"""Recursive-descent parser for the GOOD textual syntax.
+
+Grammar (EBNF; ``IDENT`` may not contain ``-``, labels may — the
+parser reassembles dashed labels)::
+
+    program    := (method | statement)+
+    statement  := addnode | addedge | delnode | deledge | abstract | call
+    method     := 'method' label ['(' param (',' param)* ')'] 'on' label
+                  ['keeps' triple (',' triple)*] '{' statement+ '}'
+    param      := label ':' label
+    triple     := (IDENT|STRING) '-' label ('->'|'->>') label
+    call       := 'call' label ['(' binding (',' binding)* ')'] 'on' IDENT block
+    addnode    := 'addnode' label ['(' binding (',' binding)* ')'] block
+    binding    := label '->' IDENT
+    addedge    := 'addedge' block 'add' edge (',' edge)*
+    delnode    := 'delnode' IDENT block
+    deledge    := 'deledge' block 'del' edge (',' edge)*
+    abstract   := 'abstract' IDENT 'by' label 'as' label '/' label block
+    block      := '{' [clause (';' clause)*] [';'] '}'
+    clause     := nodedecl | edge | crossed
+    nodedecl   := IDENT ':' label ['=' literal]
+    edge       := IDENT '-' label ('->' | '->>') IDENT
+    crossed    := 'no' block
+    label      := (IDENT | STRING) ('-' IDENT)*
+    literal    := STRING | NUMBER | BOOL
+
+Arrows carry the paper's kind convention: ``->`` functional, ``->>``
+multivalued.  For edges over *declared* labels the arrow must agree
+with the scheme; in ``addedge`` a fresh label's kind is taken from the
+arrow.  A ``no`` block contributes one crossed extension; it may
+declare additional nodes and reference the positive ones.
+
+Method bodies bind the paper's diamond node through reserved pattern
+variables: ``self`` is the formal receiver, ``$<param>`` the formal
+parameter ``<param>``.  The ``keeps`` triples form the method
+interface (Figs. 23–25): structure with labels outside
+*original scheme ∪ keeps* is filtered from the call's result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import GoodError
+from repro.core.instance import Instance
+from repro.core.operations import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    NodeAddition,
+    NodeDeletion,
+    Operation,
+)
+from repro.core.pattern import NegatedPattern, Pattern
+from repro.core.program import Program
+from repro.core.scheme import Scheme
+from repro.dsl.lexer import Token, tokenize
+from repro.graph.store import NO_PRINT
+
+
+class DslError(GoodError):
+    """Parse or compile error in DSL source."""
+
+
+@dataclass
+class _EdgeClause:
+    source: str
+    label: str
+    target: str
+    multivalued_arrow: bool
+    line: int
+
+
+@dataclass
+class _NodeClause:
+    name: str
+    label: str
+    literal: Any
+    line: int
+
+
+@dataclass
+class _Block:
+    nodes: List[_NodeClause]
+    edges: List[_EdgeClause]
+    crossed: List["_Block"]
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise DslError(
+                f"line {token.line}:{token.column}: expected {kind!r}, found "
+                f"{token.kind!r} ({token.value!r})"
+            )
+        return self.advance()
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+    def parse_label(self) -> str:
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return token.value
+        parts = [self.expect("ident").value]
+        while self.at("-"):
+            # a dash inside a label only if followed by an identifier
+            if self.tokens[self.position + 1].kind != "ident":
+                break
+            self.advance()
+            parts.append(self.expect("ident").value)
+        return "-".join(parts)
+
+    def parse_literal(self) -> Any:
+        token = self.peek()
+        if token.kind in ("string", "number", "bool"):
+            self.advance()
+            return token.value
+        raise DslError(
+            f"line {token.line}:{token.column}: expected a literal, found {token.kind!r}"
+        )
+
+    def parse_block(self) -> _Block:
+        self.expect("{")
+        block = _Block([], [], [])
+        while not self.at("}"):
+            self.parse_clause(block)
+            if self.at(";"):
+                self.advance()
+            elif not self.at("}"):
+                token = self.peek()
+                raise DslError(
+                    f"line {token.line}:{token.column}: expected ';' or '}}', found "
+                    f"{token.kind!r}"
+                )
+        self.expect("}")
+        return block
+
+    def parse_clause(self, block: _Block) -> None:
+        if self.at("no"):
+            self.advance()
+            block.crossed.append(self.parse_block())
+            return
+        name_token = self.expect("ident")
+        if self.at(":"):
+            self.advance()
+            label = self.parse_label()
+            literal: Any = NO_PRINT
+            if self.at("="):
+                self.advance()
+                literal = self.parse_literal()
+            block.nodes.append(_NodeClause(name_token.value, label, literal, name_token.line))
+            return
+        # edge clause: IDENT '-' label arrow IDENT
+        self.expect("-")
+        label = self.parse_label()
+        if self.at("->>"):
+            self.advance()
+            multivalued = True
+        else:
+            self.expect("->")
+            multivalued = False
+        target = self.expect("ident")
+        block.edges.append(
+            _EdgeClause(name_token.value, label, target.value, multivalued, name_token.line)
+        )
+
+    def _parse_keep_triple(self) -> _EdgeClause:
+        token = self.peek()
+        if token.kind == "string":
+            source = self.advance().value
+        else:
+            source = self.expect("ident").value
+        self.expect("-")
+        label = self.parse_label()
+        if self.at("->>"):
+            self.advance()
+            multivalued = True
+        else:
+            self.expect("->")
+            multivalued = False
+        target = self.parse_label()
+        return _EdgeClause(source, label, target, multivalued, token.line)
+
+    def parse_edge_list(self) -> List[_EdgeClause]:
+        edges = [self.parse_single_edge()]
+        while self.at(","):
+            self.advance()
+            edges.append(self.parse_single_edge())
+        return edges
+
+    def parse_single_edge(self) -> _EdgeClause:
+        source = self.expect("ident")
+        self.expect("-")
+        label = self.parse_label()
+        if self.at("->>"):
+            self.advance()
+            multivalued = True
+        else:
+            self.expect("->")
+            multivalued = False
+        target = self.expect("ident")
+        return _EdgeClause(source.value, label, target.value, multivalued, source.line)
+
+    def parse_statement(self) -> Tuple[str, Any]:
+        token = self.peek()
+        if token.kind == "addnode":
+            self.advance()
+            node_label = self.parse_label()
+            bindings: List[Tuple[str, str]] = []
+            if self.at("("):
+                self.advance()
+                while not self.at(")"):
+                    edge_label = self.parse_label()
+                    self.expect("->")
+                    variable = self.expect("ident").value
+                    bindings.append((edge_label, variable))
+                    if self.at(","):
+                        self.advance()
+                self.expect(")")
+            block = self.parse_block()
+            return ("addnode", (node_label, bindings, block))
+        if token.kind == "addedge":
+            self.advance()
+            block = self.parse_block()
+            self.expect("add")
+            edges = self.parse_edge_list()
+            return ("addedge", (block, edges))
+        if token.kind == "delnode":
+            self.advance()
+            variable = self.expect("ident").value
+            block = self.parse_block()
+            return ("delnode", (variable, block))
+        if token.kind == "deledge":
+            self.advance()
+            block = self.parse_block()
+            self.expect("del")
+            edges = self.parse_edge_list()
+            return ("deledge", (block, edges))
+        if token.kind == "abstract":
+            self.advance()
+            variable = self.expect("ident").value
+            self.expect("by")
+            alpha = self.parse_label()
+            self.expect("as")
+            set_label = self.parse_label()
+            self.expect("/")
+            beta = self.parse_label()
+            block = self.parse_block()
+            return ("abstract", (variable, alpha, set_label, beta, block))
+        if token.kind == "call":
+            self.advance()
+            method_name = self.parse_label()
+            bindings: List[Tuple[str, str]] = []
+            if self.at("("):
+                self.advance()
+                while not self.at(")"):
+                    edge_label = self.parse_label()
+                    self.expect("->")
+                    variable = self.expect("ident").value
+                    bindings.append((edge_label, variable))
+                    if self.at(","):
+                        self.advance()
+                self.expect(")")
+            self.expect("on")
+            receiver = self.expect("ident").value
+            block = self.parse_block()
+            return ("call", (method_name, bindings, receiver, block))
+        if token.kind == "method":
+            self.advance()
+            method_name = self.parse_label()
+            parameters: List[Tuple[str, str]] = []
+            if self.at("("):
+                self.advance()
+                while not self.at(")"):
+                    edge_label = self.parse_label()
+                    self.expect(":")
+                    node_label = self.parse_label()
+                    parameters.append((edge_label, node_label))
+                    if self.at(","):
+                        self.advance()
+                self.expect(")")
+            self.expect("on")
+            receiver_label = self.parse_label()
+            keeps: List[_EdgeClause] = []
+            if self.at("keeps"):
+                self.advance()
+                keeps.append(self._parse_keep_triple())
+                while self.at(","):
+                    self.advance()
+                    keeps.append(self._parse_keep_triple())
+            self.expect("{")
+            body: List[Tuple[str, Any]] = []
+            while not self.at("}"):
+                body.append(self.parse_statement())
+            self.expect("}")
+            return ("method", (method_name, parameters, receiver_label, keeps, body))
+        raise DslError(
+            f"line {token.line}:{token.column}: expected a statement keyword, found "
+            f"{token.kind!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# compilation to patterns/operations
+# ----------------------------------------------------------------------
+
+
+def _build_pattern(block: _Block, scheme: Scheme) -> Tuple[Union[Pattern, NegatedPattern], Dict[str, int]]:
+    pattern = Pattern(scheme)
+    variables: Dict[str, int] = {}
+    _populate(pattern, variables, block, scheme)
+    if not block.crossed:
+        return pattern, variables
+    negated = NegatedPattern(pattern)
+    for crossed_block in block.crossed:
+        extension = pattern.copy()
+        crossed_vars = dict(variables)
+        _populate(extension, crossed_vars, crossed_block, scheme)
+        if crossed_block.crossed:
+            raise DslError("crossed blocks cannot nest")
+        negated.forbid(extension)
+    return negated, variables
+
+
+def _populate(pattern: Pattern, variables: Dict[str, int], block: _Block, scheme: Scheme) -> None:
+    for clause in block.nodes:
+        if clause.name in variables:
+            raise DslError(f"line {clause.line}: variable {clause.name!r} declared twice")
+        try:
+            if scheme.is_printable_label(clause.label) and clause.literal is not NO_PRINT:
+                variables[clause.name] = pattern.printable(clause.label, clause.literal)
+            elif clause.literal is not NO_PRINT:
+                raise DslError(
+                    f"line {clause.line}: only printable nodes take '=' literals"
+                )
+            else:
+                variables[clause.name] = pattern.add_node(clause.label)
+        except GoodError as error:
+            raise DslError(f"line {clause.line}: {error}") from error
+    for clause in block.edges:
+        for endpoint in (clause.source, clause.target):
+            if endpoint not in variables:
+                raise DslError(
+                    f"line {clause.line}: edge references undeclared variable {endpoint!r}"
+                )
+        _check_arrow(scheme, clause)
+        try:
+            pattern.add_edge(variables[clause.source], clause.label, variables[clause.target])
+        except GoodError as error:
+            raise DslError(f"line {clause.line}: {error}") from error
+
+
+def _check_arrow(scheme: Scheme, clause: _EdgeClause, allow_fresh: bool = False) -> None:
+    declared_functional = clause.label in scheme.functional_edge_labels
+    declared_multivalued = clause.label in scheme.multivalued_edge_labels
+    if not (declared_functional or declared_multivalued):
+        if allow_fresh:
+            return
+        raise DslError(f"line {clause.line}: unknown edge label {clause.label!r}")
+    if declared_functional and clause.multivalued_arrow:
+        raise DslError(
+            f"line {clause.line}: {clause.label!r} is functional; use '->' not '->>'"
+        )
+    if declared_multivalued and not clause.multivalued_arrow:
+        raise DslError(
+            f"line {clause.line}: {clause.label!r} is multivalued; use '->>' not '->'"
+        )
+
+
+def parse_pattern(text: str, scheme: Scheme) -> Tuple[Union[Pattern, NegatedPattern], Dict[str, int]]:
+    """Parse ``{ ... }`` into a pattern and its variable bindings."""
+    parser = _Parser(tokenize(text))
+    block = parser.parse_block()
+    if not parser.at("eof"):
+        token = parser.peek()
+        raise DslError(f"line {token.line}:{token.column}: trailing input after pattern")
+    return _build_pattern(block, scheme)
+
+
+def _compile_statement(kind: str, payload: Any, scheme: Scheme) -> Tuple[Operation, Dict[str, int]]:
+    if kind == "addnode":
+        node_label, bindings, block = payload
+        pattern, variables = _build_pattern(block, scheme)
+        try:
+            operation = NodeAddition(
+                pattern,
+                node_label,
+                [(edge_label, _lookup(variables, name)) for edge_label, name in bindings],
+            )
+        except GoodError as error:
+            raise DslError(str(error)) from error
+        return operation, variables
+    if kind == "addedge":
+        block, edges = payload
+        pattern, variables = _build_pattern(block, scheme)
+        kinds: Dict[str, str] = {}
+        concrete = []
+        for clause in edges:
+            _check_arrow(scheme, clause, allow_fresh=True)
+            # record the kind unconditionally: inside a method body the
+            # compile-time scheme may know a label (via the interface)
+            # that the run-time scheme has not met yet
+            kinds[clause.label] = "multivalued" if clause.multivalued_arrow else "functional"
+            concrete.append(
+                (_lookup(variables, clause.source), clause.label, _lookup(variables, clause.target))
+            )
+        try:
+            operation = EdgeAddition(pattern, concrete, new_label_kinds=kinds)
+        except GoodError as error:
+            raise DslError(str(error)) from error
+        return operation, variables
+    if kind == "delnode":
+        variable, block = payload
+        pattern, variables = _build_pattern(block, scheme)
+        return NodeDeletion(pattern, _lookup(variables, variable)), variables
+    if kind == "deledge":
+        block, edges = payload
+        pattern, variables = _build_pattern(block, scheme)
+        concrete = []
+        for clause in edges:
+            _check_arrow(scheme, clause)
+            concrete.append(
+                (_lookup(variables, clause.source), clause.label, _lookup(variables, clause.target))
+            )
+        try:
+            operation = EdgeDeletion(pattern, concrete)
+        except GoodError as error:
+            raise DslError(str(error)) from error
+        return operation, variables
+    if kind == "abstract":
+        variable, alpha, set_label, beta, block = payload
+        pattern, variables = _build_pattern(block, scheme)
+        try:
+            operation = Abstraction(pattern, _lookup(variables, variable), set_label, alpha, beta)
+        except GoodError as error:
+            raise DslError(str(error)) from error
+        return operation, variables
+    if kind == "call":
+        method_name, bindings, receiver, block = payload
+        pattern, variables = _build_pattern(block, scheme)
+        from repro.core.methods import MethodCall
+
+        try:
+            operation = MethodCall(
+                pattern,
+                method_name,
+                receiver=_lookup(variables, receiver),
+                arguments={label: _lookup(variables, name) for label, name in bindings},
+            )
+        except GoodError as error:
+            raise DslError(str(error)) from error
+        return operation, variables
+    raise DslError(f"unknown statement kind {kind!r}")  # pragma: no cover
+
+
+def _compile_method(payload: Any, working: Scheme):
+    """Compile a ``method`` definition to a :class:`Method`.
+
+    Inside body patterns the reserved variable ``self`` binds the
+    formal receiver and ``$<param>`` binds the formal parameter
+    ``<param>`` (the diamond-node edges of the paper's figures).  The
+    ``keeps`` triples build the method interface; body statements are
+    compiled against *working ∪ interface* which evolves statement by
+    statement, like a top-level program.
+    """
+    from repro.core.methods import BodyOp, HeadBindings, Method, MethodSignature
+
+    name, parameters, receiver_label, keeps, body_statements = payload
+    params = dict(parameters)
+
+    interface = Scheme()
+    for clause in keeps:
+        if not interface.is_object_label(clause.source):
+            if working.is_printable_label(clause.source):
+                raise DslError(
+                    f"line {clause.line}: keeps source {clause.source!r} is printable"
+                )
+            interface.add_object_label(clause.source)
+        if not interface.has_node_label(clause.target):
+            if working.is_printable_label(clause.target):
+                interface.add_printable_label(clause.target)
+            else:
+                interface.add_object_label(clause.target)
+        if clause.multivalued_arrow:
+            if clause.label not in interface.multivalued_edge_labels:
+                interface.add_multivalued_edge_label(clause.label)
+        else:
+            if clause.label not in interface.functional_edge_labels:
+                interface.add_functional_edge_label(clause.label)
+        if clause.label in working.functional_edge_labels and clause.multivalued_arrow:
+            raise DslError(f"line {clause.line}: {clause.label!r} is functional; use '->'")
+        if clause.label in working.multivalued_edge_labels and not clause.multivalued_arrow:
+            raise DslError(f"line {clause.line}: {clause.label!r} is multivalued; use '->>'")
+        interface.add_property(clause.source, clause.label, clause.target)
+
+    body_scheme = working.copy().union(interface)
+    body_ops: List[BodyOp] = []
+    for kind, statement_payload in body_statements:
+        if kind == "method":
+            raise DslError("method definitions cannot nest")
+        operation, variables = _compile_statement(kind, statement_payload, body_scheme)
+        receiver_node = variables.get("self")
+        bound_params = {
+            param: variables[f"${param}"] for param in params if f"${param}" in variables
+        }
+        unknown_dollars = {
+            v for v in variables if v.startswith("$") and v[1:] not in params
+        }
+        if unknown_dollars:
+            raise DslError(
+                f"method {name!r}: unknown parameter variables {sorted(unknown_dollars)!r}"
+            )
+        if receiver_node is not None or bound_params:
+            head = HeadBindings(receiver=receiver_node, parameters=bound_params)
+        else:
+            head = None
+        body_ops.append(BodyOp(operation, head))
+        extend = getattr(operation, "extend_scheme", None)
+        if extend is not None:
+            extend(body_scheme)
+    try:
+        method = Method(MethodSignature(name, receiver_label, params), body_ops, interface)
+    except GoodError as error:
+        raise DslError(f"method {name!r}: {error}") from error
+    return method, interface
+
+
+def _lookup(variables: Dict[str, int], name: str) -> int:
+    try:
+        return variables[name]
+    except KeyError:
+        raise DslError(f"undeclared variable {name!r}") from None
+
+
+def parse_operation(text: str, scheme: Scheme) -> Operation:
+    """Parse a single statement into an operation."""
+    parser = _Parser(tokenize(text))
+    kind, payload = parser.parse_statement()
+    if kind == "method":
+        raise DslError("method definitions belong in parse_program, not parse_operation")
+    if not parser.at("eof"):
+        token = parser.peek()
+        raise DslError(f"line {token.line}:{token.column}: trailing input after statement")
+    operation, _variables = _compile_statement(kind, payload, scheme)
+    return operation
+
+
+def parse_program(text: str, scheme: Scheme) -> Program:
+    """Parse a whole DSL source into a :class:`Program`.
+
+    The program is compiled against a private copy of ``scheme`` that
+    evolves as statements are compiled — a later statement's pattern
+    may reference classes and edge labels an earlier statement
+    introduces, exactly as it could at run time.
+    """
+    working = scheme.copy()
+    parser = _Parser(tokenize(text))
+    operations: List[Operation] = []
+    methods = []
+    while not parser.at("eof"):
+        kind, payload = parser.parse_statement()
+        if kind == "method":
+            method, interface = _compile_method(payload, working)
+            methods.append(method)
+            working = working.union(interface)
+            continue
+        operation, _variables = _compile_statement(kind, payload, working)
+        operations.append(operation)
+        extend = getattr(operation, "extend_scheme", None)
+        if extend is not None:
+            extend(working)
+    return Program(operations, methods=methods)

@@ -1,0 +1,225 @@
+"""Rendering patterns and operations back into the textual syntax.
+
+The inverse of :mod:`repro.dsl.parser`: ``pattern_to_dsl`` and
+``operation_to_dsl`` produce source text that re-parses to an
+equivalent pattern/operation (same matchings, same effect) — proved by
+the round-trip property tests.  Variables are named ``n<id>`` after the
+pattern node ids, so the output is stable and diffable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from repro.core.errors import GoodError
+from repro.core.operations import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    NodeAddition,
+    NodeDeletion,
+    Operation,
+)
+from repro.core.pattern import NegatedPattern, Pattern
+from repro.core.scheme import Scheme
+
+_PLAIN_LABEL = re.compile(r"^[A-Za-z_@#][A-Za-z0-9_@#.'!?*+-]*$")
+
+
+class DslPrintError(GoodError):
+    """The object cannot be rendered in the textual syntax."""
+
+
+def _label(text: str) -> str:
+    if _PLAIN_LABEL.match(text) and not text.endswith("-"):
+        return text
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def _literal(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    raise DslPrintError(f"print value {value!r} has no literal syntax")
+
+
+def _edge_label(text: str) -> str:
+    # edge labels appear inline between dashes; only plain dashed
+    # identifiers can be re-parsed there
+    if not _PLAIN_LABEL.match(text) or text.endswith("-"):
+        raise DslPrintError(f"edge label {text!r} has no textual syntax")
+    return text
+
+
+def _arrow(scheme: Scheme, edge_label: str) -> str:
+    if edge_label in scheme.multivalued_edge_labels:
+        return "->>"
+    return "->"
+
+
+def _name_of(node_id: int, names) -> str:
+    if names and node_id in names:
+        return names[node_id]
+    return f"n{node_id}"
+
+
+def _block_lines(pattern: Pattern, scheme: Scheme, names=None) -> List[str]:
+    lines: List[str] = []
+    for node_id in pattern.nodes():
+        record = pattern.node_record(node_id)
+        if pattern.predicate_of(node_id) is not None:
+            raise DslPrintError("print predicates have no textual syntax yet")
+        name = _name_of(node_id, names)
+        if record.has_print:
+            lines.append(f"{name}: {_label(record.label)} = {_literal(record.print_value)};")
+        else:
+            lines.append(f"{name}: {_label(record.label)};")
+    for edge in pattern.edges():
+        arrow = _arrow(scheme, edge.label)
+        lines.append(
+            f"{_name_of(edge.source, names)} -{_edge_label(edge.label)}{arrow} "
+            f"{_name_of(edge.target, names)};"
+        )
+    return lines
+
+
+def pattern_to_dsl(
+    pattern: Union[Pattern, NegatedPattern], scheme: Scheme, names=None
+) -> str:
+    """Render a (possibly crossed) pattern as a ``{ ... }`` block.
+
+    ``names`` optionally overrides variable names per node id (the
+    method printer uses it for ``self`` and ``$param``).
+    """
+    if isinstance(pattern, NegatedPattern):
+        positive = pattern.positive
+        lines = _block_lines(positive, scheme, names)
+        positive_nodes = set(positive.nodes())
+        positive_edges = {edge.as_tuple() for edge in positive.edges()}
+        for extension in pattern.extensions:
+            inner: List[str] = []
+            for node_id in extension.nodes():
+                if node_id in positive_nodes:
+                    continue
+                record = extension.node_record(node_id)
+                name = _name_of(node_id, names)
+                if record.has_print:
+                    inner.append(
+                        f"{name}: {_label(record.label)} = {_literal(record.print_value)};"
+                    )
+                else:
+                    inner.append(f"{name}: {_label(record.label)};")
+            for edge in extension.edges():
+                if edge.as_tuple() in positive_edges:
+                    continue
+                arrow = _arrow(scheme, edge.label)
+                inner.append(
+                    f"{_name_of(edge.source, names)} -{_edge_label(edge.label)}{arrow} "
+                    f"{_name_of(edge.target, names)};"
+                )
+            lines.append("no { " + " ".join(inner) + " };")
+    else:
+        lines = _block_lines(pattern, scheme, names)
+    body = "\n    ".join(lines)
+    return "{\n    " + body + "\n}" if lines else "{ }"
+
+
+def operation_to_dsl(operation: Operation, scheme: Scheme, names=None) -> str:
+    """Render an operation (or method call) as a statement."""
+    from repro.core.methods import MethodCall
+
+    block = pattern_to_dsl(operation.source_pattern, scheme, names)
+    if isinstance(operation, MethodCall):
+        receiver = _name_of(operation.receiver, names)
+        if operation.arguments:
+            bindings = ", ".join(
+                f"{_edge_label(label)} -> {_name_of(target, names)}"
+                for label, target in sorted(operation.arguments.items())
+            )
+            return f"call {_label(operation.method_name)}({bindings}) on {receiver} {block}"
+        return f"call {_label(operation.method_name)} on {receiver} {block}"
+    if isinstance(operation, NodeAddition):
+        if operation.edges:
+            bindings = ", ".join(
+                f"{_edge_label(label)} -> {_name_of(target, names)}"
+                for label, target in operation.edges
+            )
+            return f"addnode {_label(operation.node_label)}({bindings}) {block}"
+        return f"addnode {_label(operation.node_label)} {block}"
+    if isinstance(operation, EdgeAddition):
+        edges = []
+        for source, edge_label, target in operation.edges:
+            if edge_label in scheme.multivalued_edge_labels:
+                arrow = "->>"
+            elif edge_label in scheme.functional_edge_labels:
+                arrow = "->"
+            else:
+                kind = operation.new_label_kinds.get(edge_label, "functional")
+                arrow = "->>" if kind == "multivalued" else "->"
+            edges.append(
+                f"{_name_of(source, names)} -{_edge_label(edge_label)}{arrow} "
+                f"{_name_of(target, names)}"
+            )
+        return f"addedge {block} add " + ", ".join(edges)
+    if isinstance(operation, NodeDeletion):
+        return f"delnode {_name_of(operation.node, names)} {block}"
+    if isinstance(operation, EdgeDeletion):
+        edges = []
+        for source, edge_label, target in operation.edges:
+            arrow = _arrow(scheme, edge_label)
+            edges.append(
+                f"{_name_of(source, names)} -{_edge_label(edge_label)}{arrow} "
+                f"{_name_of(target, names)}"
+            )
+        return f"deledge {block} del " + ", ".join(edges)
+    if isinstance(operation, Abstraction):
+        return (
+            f"abstract {_name_of(operation.node, names)} by {_edge_label(operation.alpha)} "
+            f"as {_label(operation.set_label)}/{_edge_label(operation.beta)} {block}"
+        )
+    raise DslPrintError(f"{type(operation).__name__} has no textual syntax")
+
+
+def method_to_dsl(method, scheme: Scheme) -> str:
+    """Render a :class:`~repro.core.methods.Method` as a definition."""
+    signature = method.signature
+    header = f"method {_label(signature.name)}"
+    if signature.parameters:
+        params = ", ".join(
+            f"{_edge_label(label)}: {_label(node_label)}"
+            for label, node_label in sorted(signature.parameters.items())
+        )
+        header += f"({params})"
+    header += f" on {_label(signature.receiver_label)}"
+    keeps = []
+    for source, edge, target in sorted(method.interface.properties):
+        arrow = "->>" if edge in method.interface.multivalued_edge_labels else "->"
+        keeps.append(f"{_label(source)} -{_edge_label(edge)}{arrow} {_label(target)}")
+    if keeps:
+        header += " keeps " + ", ".join(keeps)
+    statements = []
+    for body_op in method.body:
+        names = {}
+        if body_op.head is not None:
+            if body_op.head.receiver is not None:
+                names[body_op.head.receiver] = "self"
+            for param_label, target in body_op.head.parameters.items():
+                names[target] = f"${param_label}"
+        statements.append("    " + operation_to_dsl(body_op.operation, scheme, names))
+    return header + " {\n" + "\n".join(statements) + "\n}"
+
+
+def program_to_dsl(program, scheme: Scheme) -> str:
+    """Render a :class:`~repro.core.program.Program` as DSL source."""
+    chunks = []
+    for name in program.methods.names():
+        chunks.append(method_to_dsl(program.methods.get(name), scheme))
+    for operation in program.operations:
+        chunks.append(operation_to_dsl(operation, scheme))
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,20 @@
+"""Graph grammars, for the Section 5 comparison (experiment S3).
+
+"The GOOD transformation language is reminiscent of graph grammars ...
+the operational semantics of (graph) grammar derivations is
+non-deterministic, both in the choice of the production to be applied
+as in the choice of the particular matching ...  In GOOD, basic
+operations are applied in a predetermined order, and, importantly,
+work on every matching of the pattern, in parallel."
+
+:class:`~repro.grammars.rewriting.GraphGrammar` is a deliberately
+minimal nondeterministic rewriter over GOOD instances: a production is
+a GOOD addition/deletion restricted to *one* randomly chosen matching
+per derivation step.  The S3 benchmark measures how many derivation
+steps a grammar needs to reach the state a single GOOD operation
+produces in one deterministic step.
+"""
+
+from repro.grammars.rewriting import GraphGrammar, Production, apply_to_one_matching
+
+__all__ = ["GraphGrammar", "Production", "apply_to_one_matching"]

@@ -1,0 +1,136 @@
+"""A minimal nondeterministic graph-grammar rewriter over instances.
+
+A :class:`Production` wraps one GOOD addition or deletion; *applying*
+it rewrites exactly one matching of its source pattern (chosen by a
+seeded RNG) instead of all of them.  A :class:`GraphGrammar` repeatedly
+picks an applicable production at random and applies it — the classical
+derivation semantics the paper contrasts GOOD's set-oriented semantics
+against.
+
+Only the subset needed for the comparison is implemented (node/edge
+addition and deletion); gluing conditions and sophisticated embedding
+mechanisms — the "not yet completely resolved problems" the paper
+sidesteps — are intentionally out of scope, exactly as they are in
+GOOD itself.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.core.errors import OperationError
+from repro.core.instance import Instance
+from repro.core.matching import Matching, find_any
+from repro.core.operations import (
+    EdgeAddition,
+    EdgeDeletion,
+    NodeAddition,
+    NodeDeletion,
+)
+
+RewritableOp = Union[NodeAddition, EdgeAddition, NodeDeletion, EdgeDeletion]
+
+
+def _applicable_matchings(operation: RewritableOp, instance: Instance) -> List[Matching]:
+    """Matchings whose rewriting would actually change the instance."""
+    matchings = list(find_any(operation.source_pattern, instance))
+    useful: List[Matching] = []
+    for matching in matchings:
+        if isinstance(operation, NodeAddition):
+            targets = tuple(matching[m] for _, m in operation.edges)
+            if operation._existing_node(instance, targets) is None:
+                useful.append(matching)
+        elif isinstance(operation, EdgeAddition):
+            if any(
+                not instance.has_edge(matching[s], label, matching[t])
+                for s, label, t in operation.edges
+            ):
+                useful.append(matching)
+        elif isinstance(operation, NodeDeletion):
+            if instance.has_node(matching[operation.node]):
+                useful.append(matching)
+        elif isinstance(operation, EdgeDeletion):
+            if any(
+                instance.has_edge(matching[s], label, matching[t])
+                for s, label, t in operation.edges
+            ):
+                useful.append(matching)
+    return useful
+
+
+def apply_to_one_matching(
+    operation: RewritableOp, instance: Instance, matching: Matching
+) -> None:
+    """Rewrite a single matching in place (the grammar step kernel)."""
+    if isinstance(operation, NodeAddition):
+        operation.extend_scheme(instance.scheme)
+        targets = tuple(matching[m] for _, m in operation.edges)
+        if operation._existing_node(instance, targets) is not None:
+            return
+        new_node = instance.add_object(operation.node_label)
+        for (edge_label, _), target in zip(operation.edges, targets):
+            instance.add_edge(new_node, edge_label, target)
+    elif isinstance(operation, EdgeAddition):
+        operation.extend_scheme(instance.scheme)
+        for source, edge_label, target in operation.edges:
+            if not instance.has_edge(matching[source], edge_label, matching[target]):
+                instance.add_edge(matching[source], edge_label, matching[target])
+    elif isinstance(operation, NodeDeletion):
+        victim = matching[operation.node]
+        if instance.has_node(victim):
+            instance.remove_node(victim)
+    elif isinstance(operation, EdgeDeletion):
+        for source, edge_label, target in operation.edges:
+            instance.remove_edge(matching[source], edge_label, matching[target])
+    else:
+        raise OperationError(f"not a rewritable operation: {type(operation).__name__}")
+
+
+@dataclass
+class Production:
+    """A named grammar production wrapping one GOOD operation."""
+
+    name: str
+    operation: RewritableOp
+
+    def applicable(self, instance: Instance) -> List[Matching]:
+        """All matchings whose rewriting would change the instance."""
+        return _applicable_matchings(self.operation, instance)
+
+
+class GraphGrammar:
+    """A nondeterministic rewriter with a seeded RNG."""
+
+    def __init__(self, productions: Sequence[Production], seed: int = 0) -> None:
+        self.productions = list(productions)
+        self.rng = random.Random(seed)
+
+    def derive_step(self, instance: Instance) -> Optional[str]:
+        """One derivation step: pick production and matching at random.
+
+        Returns the applied production's name, or ``None`` when no
+        production is applicable (the derivation is complete).
+        """
+        choices = []
+        for production in self.productions:
+            matchings = production.applicable(instance)
+            if matchings:
+                choices.append((production, matchings))
+        if not choices:
+            return None
+        production, matchings = self.rng.choice(choices)
+        matching = self.rng.choice(matchings)
+        production.operation.materialize_constants(instance)
+        apply_to_one_matching(production.operation, instance, matching)
+        return production.name
+
+    def derive(self, instance: Instance, max_steps: int = 100_000) -> int:
+        """Rewrite until no production applies; return the step count."""
+        steps = 0
+        while steps < max_steps:
+            if self.derive_step(instance) is None:
+                return steps
+            steps += 1
+        raise OperationError(f"derivation did not terminate within {max_steps} steps")

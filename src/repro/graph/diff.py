@@ -1,0 +1,68 @@
+"""Structural difference between two graph stores.
+
+Used by operation reports (``what did this GOOD operation do?``) and by
+the test suite to assert the exact effect of the paper's figures
+(e.g. "the node addition of Fig. 6 adds two nodes and two edges").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Tuple
+
+from repro.graph.store import Edge, GraphStore
+
+
+@dataclass(frozen=True)
+class GraphDiff:
+    """The difference ``after - before`` between two stores.
+
+    Node ids are comparable across the two stores because GOOD
+    operations copy stores id-preservingly (see ``GraphStore.copy``).
+    """
+
+    nodes_added: FrozenSet[int] = frozenset()
+    nodes_removed: FrozenSet[int] = frozenset()
+    edges_added: FrozenSet[Edge] = frozenset()
+    edges_removed: FrozenSet[Edge] = frozenset()
+    prints_changed: Dict[int, Tuple[Any, Any]] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the two stores are structurally identical."""
+        return (
+            not self.nodes_added
+            and not self.nodes_removed
+            and not self.edges_added
+            and not self.edges_removed
+            and not self.prints_changed
+        )
+
+    def summary(self) -> str:
+        """One-line human readable summary of the diff."""
+        return (
+            f"+{len(self.nodes_added)} nodes, -{len(self.nodes_removed)} nodes, "
+            f"+{len(self.edges_added)} edges, -{len(self.edges_removed)} edges"
+        )
+
+
+def graph_diff(before: GraphStore, after: GraphStore) -> GraphDiff:
+    """Compute the structural difference between two stores."""
+    before_nodes = set(before.nodes())
+    after_nodes = set(after.nodes())
+    nodes_added = frozenset(after_nodes - before_nodes)
+    nodes_removed = frozenset(before_nodes - after_nodes)
+
+    before_edges = set(before.edges())
+    after_edges = set(after.edges())
+    edges_added = frozenset(after_edges - before_edges)
+    edges_removed = frozenset(before_edges - after_edges)
+
+    prints_changed: Dict[int, Tuple[Any, Any]] = {}
+    for node_id in before_nodes & after_nodes:
+        old = before.node(node_id)
+        new = after.node(node_id)
+        if old.print_value is not new.print_value and old.print_value != new.print_value:
+            prints_changed[node_id] = (old.print_value, new.print_value)
+
+    return GraphDiff(nodes_added, nodes_removed, edges_added, edges_removed, prints_changed)

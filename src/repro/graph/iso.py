@@ -1,0 +1,188 @@
+"""Graph isomorphism up to node identity.
+
+The paper states that all GOOD operations are "deterministic up to the
+particular choice of new objects".  Two runs of the same program may
+hand out different node ids for the freshly created objects, but the
+resulting instance graphs must be isomorphic via a label-, print- and
+edge-preserving bijection.  This module provides the checker the
+property tests (experiment P1 in DESIGN.md) rely on.
+
+The algorithm is a straightforward backtracking search over candidate
+bijections, pruned by an iteratively refined structural signature
+(label, print value, degree profile, then neighbourhood signatures —
+a few rounds of colour refinement).  GOOD instances are sparse and
+richly labeled, so this is fast in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.graph.store import NO_PRINT, GraphStore
+
+_REFINEMENT_ROUNDS = 3
+
+
+def _initial_signature(store: GraphStore, node_id: int) -> Hashable:
+    record = store.node(node_id)
+    print_part: Any = record.print_value if record.has_print else NO_PRINT
+    out_profile = tuple(
+        sorted((label, len(store.out_neighbours(node_id, label))) for label in store.out_labels(node_id))
+    )
+    in_profile = tuple(
+        sorted((label, len(store.in_neighbours(node_id, label))) for label in store.in_labels(node_id))
+    )
+    return (record.label, repr(print_part), out_profile, in_profile)
+
+
+def _refine(store: GraphStore, colours: Dict[int, int]) -> Dict[int, int]:
+    signatures: Dict[int, Hashable] = {}
+    for node_id in store.nodes():
+        out_sig = tuple(
+            sorted(
+                (label, tuple(sorted(colours[t] for t in store.out_neighbours(node_id, label))))
+                for label in store.out_labels(node_id)
+            )
+        )
+        in_sig = tuple(
+            sorted(
+                (label, tuple(sorted(colours[s] for s in store.in_neighbours(node_id, label))))
+                for label in store.in_labels(node_id)
+            )
+        )
+        signatures[node_id] = (colours[node_id], out_sig, in_sig)
+    palette: Dict[Hashable, int] = {}
+    refined: Dict[int, int] = {}
+    for node_id in store.nodes():
+        refined[node_id] = palette.setdefault(signatures[node_id], len(palette))
+    return refined
+
+
+def _colouring(store: GraphStore) -> Dict[int, int]:
+    palette: Dict[Hashable, int] = {}
+    colours: Dict[int, int] = {}
+    for node_id in store.nodes():
+        colours[node_id] = palette.setdefault(_initial_signature(store, node_id), len(palette))
+    for _ in range(_REFINEMENT_ROUNDS):
+        colours = _refine(store, colours)
+    return colours
+
+
+def _class_histogram(store: GraphStore, colours: Dict[int, int]) -> Dict[Hashable, int]:
+    histogram: Dict[Hashable, int] = {}
+    for node_id in store.nodes():
+        key = (store.label_of(node_id), colours[node_id])
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram
+
+
+def find_isomorphism(left: GraphStore, right: GraphStore) -> Optional[Dict[int, int]]:
+    """Return a node bijection ``left -> right`` or ``None``.
+
+    The bijection preserves labels, print values (including their
+    absence) and all labeled edges in both directions.
+    """
+    if left.node_count != right.node_count or left.edge_count != right.edge_count:
+        return None
+
+    left_colours = _colouring(left)
+    right_colours = _colouring(right)
+
+    # Colour ids are only comparable through their full signatures, so
+    # compare histograms keyed on (label, refined colour) after mapping
+    # colours of both sides through a shared palette built from scratch.
+    left_classes = _group_by_class(left, left_colours)
+    right_classes = _group_by_class(right, right_colours)
+    if sorted(left_classes, key=repr) != sorted(right_classes, key=repr):
+        return None
+    for key in left_classes:
+        if len(left_classes[key]) != len(right_classes.get(key, ())):
+            return None
+
+    order = sorted(left.nodes(), key=lambda n: (len(left_classes[_class_key(left, left_colours, n)]), n))
+    mapping: Dict[int, int] = {}
+    used: Dict[int, int] = {}
+
+    def feasible(l_node: int, r_node: int) -> bool:
+        for label in left.out_labels(l_node):
+            for l_target in left.out_neighbours(l_node, label):
+                if l_target in mapping and not right.has_edge(r_node, label, mapping[l_target]):
+                    return False
+        for label in left.in_labels(l_node):
+            for l_source in left.in_neighbours(l_node, label):
+                if l_source in mapping and not right.has_edge(mapping[l_source], label, r_node):
+                    return False
+        # the reverse direction: edges at r_node into already-used nodes
+        # must have preimages at l_node
+        for label in right.out_labels(r_node):
+            for r_target in right.out_neighbours(r_node, label):
+                if r_target in used and not left.has_edge(l_node, label, used[r_target]):
+                    return False
+        for label in right.in_labels(r_node):
+            for r_source in right.in_neighbours(r_node, label):
+                if r_source in used and not left.has_edge(used[r_source], label, l_node):
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        l_node = order[index]
+        key = _class_key(left, left_colours, l_node)
+        for r_node in sorted(right_classes[key]):
+            if r_node in used:
+                continue
+            if not feasible(l_node, r_node):
+                continue
+            mapping[l_node] = r_node
+            used[r_node] = l_node
+            if backtrack(index + 1):
+                return True
+            del mapping[l_node]
+            del used[r_node]
+        return False
+
+    if backtrack(0):
+        return dict(mapping)
+    return None
+
+
+def isomorphic(left: GraphStore, right: GraphStore) -> bool:
+    """Whether the two stores are isomorphic (see :func:`find_isomorphism`)."""
+    return find_isomorphism(left, right) is not None
+
+
+def _class_key(store: GraphStore, colours: Dict[int, int], node_id: int) -> Hashable:
+    record = store.node(node_id)
+    print_part = repr(record.print_value) if record.has_print else "NO_PRINT"
+    return (record.label, print_part, _signature_of_colour(store, colours, node_id))
+
+
+def _signature_of_colour(store: GraphStore, colours: Dict[int, int], node_id: int) -> Hashable:
+    # A colour id is store-local; expand one round of neighbourhood
+    # structure into a store-independent representation.
+    out_sig = tuple(
+        sorted(
+            (label, tuple(sorted(_node_atom(store, t) for t in store.out_neighbours(node_id, label))))
+            for label in store.out_labels(node_id)
+        )
+    )
+    in_sig = tuple(
+        sorted(
+            (label, tuple(sorted(_node_atom(store, s) for s in store.in_neighbours(node_id, label))))
+            for label in store.in_labels(node_id)
+        )
+    )
+    return (out_sig, in_sig)
+
+
+def _node_atom(store: GraphStore, node_id: int) -> Tuple[str, str]:
+    record = store.node(node_id)
+    return (record.label, repr(record.print_value) if record.has_print else "NO_PRINT")
+
+
+def _group_by_class(store: GraphStore, colours: Dict[int, int]) -> Dict[Hashable, List[int]]:
+    classes: Dict[Hashable, List[int]] = {}
+    for node_id in store.nodes():
+        classes.setdefault(_class_key(store, colours, node_id), []).append(node_id)
+    return classes

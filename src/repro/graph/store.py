@@ -1,0 +1,322 @@
+"""The labeled directed multigraph store.
+
+A :class:`GraphStore` holds labeled nodes — each optionally carrying a
+*print value* (the paper's ``print`` label for printable objects) — and
+labeled directed edges.  It maintains the indexes the GOOD matcher and
+operations need:
+
+* nodes by label;
+* nodes by (label, print value);
+* outgoing and incoming adjacency, keyed by edge label.
+
+The store enforces only graph-level integrity (no dangling edges, no
+duplicate edges).  GOOD-specific constraints (functional edges, scheme
+conformance, printable-value uniqueness) live in
+:mod:`repro.core.instance`, which builds on this store.
+
+Node identifiers are integers handed out by a per-store counter, so a
+freshly copied store continues numbering where the original stopped;
+iteration orders are deterministic (ascending ids, sorted labels) which
+makes every operation in the reproduction reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterator, Optional, Set, Tuple
+
+
+class GraphStoreError(Exception):
+    """Raised on graph-level integrity violations (unknown node, ...)."""
+
+
+class _NoPrint:
+    """Sentinel for "this node carries no print value".
+
+    ``None`` is not usable as the sentinel because ``None`` is a
+    perfectly valid print value for a Bool-like domain.
+    """
+
+    _instance: Optional["_NoPrint"] = None
+
+    def __new__(cls) -> "_NoPrint":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "NO_PRINT"
+
+    def __reduce__(self):
+        return (_NoPrint, ())
+
+
+#: Module-level sentinel: a node whose print value is :data:`NO_PRINT`
+#: has no print label at all.
+NO_PRINT = _NoPrint()
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """Immutable snapshot of one node: its label and print value."""
+
+    label: str
+    print_value: Any = NO_PRINT
+
+    @property
+    def has_print(self) -> bool:
+        """Whether the node carries a print value."""
+        return self.print_value is not NO_PRINT
+
+
+@dataclass(frozen=True, order=True)
+class Edge:
+    """A labeled directed edge ``source --label--> target``."""
+
+    source: int
+    label: str
+    target: int
+
+    def as_tuple(self) -> Tuple[int, str, int]:
+        """Return the edge as a plain ``(source, label, target)`` tuple."""
+        return (self.source, self.label, self.target)
+
+
+class GraphStore:
+    """A mutable labeled directed multigraph with adjacency indexes."""
+
+    __slots__ = ("_nodes", "_out", "_in", "_by_label", "_by_print", "_next_id", "_edge_count")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, NodeRecord] = {}
+        # node -> edge label -> set of neighbour node ids
+        self._out: Dict[int, Dict[str, Set[int]]] = {}
+        self._in: Dict[int, Dict[str, Set[int]]] = {}
+        self._by_label: Dict[str, Set[int]] = {}
+        self._by_print: Dict[Tuple[str, Any], Set[int]] = {}
+        self._next_id = 0
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # node operations
+    # ------------------------------------------------------------------
+    def add_node(self, label: str, print_value: Any = NO_PRINT, node_id: Optional[int] = None) -> int:
+        """Create a node with ``label`` and optional print value.
+
+        Returns the node id — fresh from the counter, or ``node_id``
+        when given (used to keep ids aligned between a pattern and its
+        crossed extensions; the counter skips past explicit ids).
+        """
+        if node_id is None:
+            node_id = self._next_id
+            self._next_id += 1
+        else:
+            if node_id in self._nodes:
+                raise GraphStoreError(f"node id {node_id} already exists")
+            self._next_id = max(self._next_id, node_id + 1)
+        self._nodes[node_id] = NodeRecord(label, print_value)
+        self._out[node_id] = {}
+        self._in[node_id] = {}
+        self._by_label.setdefault(label, set()).add(node_id)
+        if print_value is not NO_PRINT:
+            self._by_print.setdefault((label, print_value), set()).add(node_id)
+        return node_id
+
+    def remove_node(self, node_id: int) -> None:
+        """Delete a node together with all its incident edges."""
+        record = self._require(node_id)
+        for edge in list(self.edges_of(node_id)):
+            self.remove_edge(edge.source, edge.label, edge.target)
+        self._by_label[record.label].discard(node_id)
+        if not self._by_label[record.label]:
+            del self._by_label[record.label]
+        if record.has_print:
+            key = (record.label, record.print_value)
+            self._by_print[key].discard(node_id)
+            if not self._by_print[key]:
+                del self._by_print[key]
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    def set_print(self, node_id: int, print_value: Any) -> None:
+        """Attach or replace the print value of ``node_id``."""
+        record = self._require(node_id)
+        if record.has_print:
+            key = (record.label, record.print_value)
+            self._by_print[key].discard(node_id)
+            if not self._by_print[key]:
+                del self._by_print[key]
+        self._nodes[node_id] = NodeRecord(record.label, print_value)
+        if print_value is not NO_PRINT:
+            self._by_print.setdefault((record.label, print_value), set()).add(node_id)
+
+    def has_node(self, node_id: int) -> bool:
+        """Whether ``node_id`` exists in the store."""
+        return node_id in self._nodes
+
+    def node(self, node_id: int) -> NodeRecord:
+        """Return the :class:`NodeRecord` for ``node_id``."""
+        return self._require(node_id)
+
+    def label_of(self, node_id: int) -> str:
+        """Return the label of ``node_id``."""
+        return self._require(node_id).label
+
+    def print_of(self, node_id: int) -> Any:
+        """Return the print value of ``node_id`` (or :data:`NO_PRINT`)."""
+        return self._require(node_id).print_value
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids in ascending (creation) order."""
+        return iter(sorted(self._nodes))
+
+    def nodes_with_label(self, label: str) -> FrozenSet[int]:
+        """All node ids carrying ``label``."""
+        return frozenset(self._by_label.get(label, frozenset()))
+
+    def nodes_with_print(self, label: str, print_value: Any) -> FrozenSet[int]:
+        """All node ids with the given label *and* print value."""
+        return frozenset(self._by_print.get((label, print_value), frozenset()))
+
+    def labels_in_use(self) -> FrozenSet[str]:
+        """The set of node labels that occur in the store."""
+        return frozenset(self._by_label)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the store."""
+        return len(self._nodes)
+
+    @property
+    def next_id(self) -> int:
+        """The id the next ``add_node`` call would hand out."""
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    # edge operations
+    # ------------------------------------------------------------------
+    def add_edge(self, source: int, label: str, target: int) -> bool:
+        """Insert the edge; return ``False`` if it was already present."""
+        self._require(source)
+        self._require(target)
+        targets = self._out[source].setdefault(label, set())
+        if target in targets:
+            return False
+        targets.add(target)
+        self._in[target].setdefault(label, set()).add(source)
+        self._edge_count += 1
+        return True
+
+    def remove_edge(self, source: int, label: str, target: int) -> bool:
+        """Delete the edge; return ``False`` if it was not present."""
+        targets = self._out.get(source, {}).get(label)
+        if not targets or target not in targets:
+            return False
+        targets.discard(target)
+        if not targets:
+            del self._out[source][label]
+        sources = self._in[target][label]
+        sources.discard(source)
+        if not sources:
+            del self._in[target][label]
+        self._edge_count -= 1
+        return True
+
+    def has_edge(self, source: int, label: str, target: int) -> bool:
+        """Whether the edge ``source --label--> target`` exists."""
+        return target in self._out.get(source, {}).get(label, ())
+
+    def out_neighbours(self, node_id: int, label: str) -> FrozenSet[int]:
+        """Targets of ``label``-edges leaving ``node_id``."""
+        return frozenset(self._out.get(node_id, {}).get(label, frozenset()))
+
+    def in_neighbours(self, node_id: int, label: str) -> FrozenSet[int]:
+        """Sources of ``label``-edges arriving at ``node_id``."""
+        return frozenset(self._in.get(node_id, {}).get(label, frozenset()))
+
+    def out_labels(self, node_id: int) -> FrozenSet[str]:
+        """Edge labels leaving ``node_id``."""
+        self._require(node_id)
+        return frozenset(self._out[node_id])
+
+    def in_labels(self, node_id: int) -> FrozenSet[str]:
+        """Edge labels arriving at ``node_id``."""
+        self._require(node_id)
+        return frozenset(self._in[node_id])
+
+    def out_edges(self, node_id: int) -> Iterator[Edge]:
+        """Iterate over edges leaving ``node_id`` deterministically."""
+        self._require(node_id)
+        for label in sorted(self._out[node_id]):
+            for target in sorted(self._out[node_id][label]):
+                yield Edge(node_id, label, target)
+
+    def in_edges(self, node_id: int) -> Iterator[Edge]:
+        """Iterate over edges arriving at ``node_id`` deterministically."""
+        self._require(node_id)
+        for label in sorted(self._in[node_id]):
+            for source in sorted(self._in[node_id][label]):
+                yield Edge(source, label, node_id)
+
+    def edges_of(self, node_id: int) -> Iterator[Edge]:
+        """All edges incident to ``node_id`` (self-loops reported once)."""
+        seen: Set[Edge] = set()
+        for edge in self.out_edges(node_id):
+            seen.add(edge)
+            yield edge
+        for edge in self.in_edges(node_id):
+            if edge not in seen:
+                yield edge
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges, deterministically ordered."""
+        for node_id in sorted(self._out):
+            for label in sorted(self._out[node_id]):
+                for target in sorted(self._out[node_id][label]):
+                    yield Edge(node_id, label, target)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of edges in the store."""
+        return self._edge_count
+
+    # ------------------------------------------------------------------
+    # whole-graph operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "GraphStore":
+        """Deep-copy the store; node ids and the id counter carry over."""
+        clone = GraphStore()
+        clone._nodes = dict(self._nodes)
+        clone._out = {n: {lbl: set(ts) for lbl, ts in adj.items()} for n, adj in self._out.items()}
+        clone._in = {n: {lbl: set(ss) for lbl, ss in adj.items()} for n, adj in self._in.items()}
+        clone._by_label = {lbl: set(ns) for lbl, ns in self._by_label.items()}
+        clone._by_print = {key: set(ns) for key, ns in self._by_print.items()}
+        clone._next_id = self._next_id
+        clone._edge_count = self._edge_count
+        return clone
+
+    def degree(self, node_id: int) -> int:
+        """Total number of incident edge endpoints at ``node_id``."""
+        self._require(node_id)
+        out_deg = sum(len(ts) for ts in self._out[node_id].values())
+        in_deg = sum(len(ss) for ss in self._in[node_id].values())
+        return out_deg + in_deg
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphStore(nodes={self.node_count}, edges={self.edge_count})"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _require(self, node_id: int) -> NodeRecord:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphStoreError(f"unknown node id {node_id!r}") from None

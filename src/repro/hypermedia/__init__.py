@@ -1,0 +1,28 @@
+"""The paper's running example: a hyper-media object base (Figs. 1–31).
+
+* :func:`~repro.hypermedia.scheme_def.build_scheme` — the Fig. 1 scheme;
+* :func:`~repro.hypermedia.instance_def.build_instance` — the instance
+  of Figs. 2–3, returned together with a handle object naming every
+  node the figures refer to;
+* :func:`~repro.hypermedia.instance_def.build_version_chain` — the
+  Fig. 17 version-chain sub-instance used by the abstraction example;
+* :mod:`~repro.hypermedia.figures` — one constructor per figure
+  operation (patterns, additions, deletions, abstraction, methods,
+  macros, inheritance), each returning ready-to-run objects.
+"""
+
+from repro.hypermedia.instance_def import (
+    HyperMediaHandles,
+    VersionChainHandles,
+    build_instance,
+    build_version_chain,
+)
+from repro.hypermedia.scheme_def import build_scheme
+
+__all__ = [
+    "HyperMediaHandles",
+    "VersionChainHandles",
+    "build_instance",
+    "build_scheme",
+    "build_version_chain",
+]

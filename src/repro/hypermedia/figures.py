@@ -1,0 +1,609 @@
+"""Executable versions of every operation figure in the paper (4–31).
+
+Each ``figN_*`` function builds the pattern/operation/method exactly as
+the figure draws it (bold part = the addition, double outline = the
+deletion, diamond = the method head) over a given scheme, and returns
+ready-to-run objects.  The integration tests in
+``tests/integration/test_figures.py`` apply them to the Figs. 2–3
+instance and check the outcomes the paper states; EXPERIMENTS.md
+records paper-vs-measured for each.
+
+Faithfulness notes:
+
+* Fig. 6's bold node is labeled ``Rock`` in the paper — a new *object
+  class* named Rock, unrelated to the String constant "Rock"; we keep
+  the label.
+* Fig. 18 draws the tag edge with label ``in``, which collides with
+  the multivalued ``in`` of Reference (node additions may only add
+  functional edges); we rename it ``interested-in``.
+* The body of method ``D`` (Fig. 23) is intentionally unspecified in
+  the paper (that is the point of interfaces); we implement it with
+  the Section 4.1 external-function extension
+  (:class:`~repro.core.external.ComputedEdgeAddition`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.external import ComputedEdgeAddition
+from repro.core.labels import date_ordinal
+from repro.core.macros import RecursiveEdgeAddition, compile_negation
+from repro.core.methods import BodyOp, HeadBindings, Method, MethodCall, MethodSignature
+from repro.core.operations import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    NodeAddition,
+    NodeDeletion,
+    Operation,
+)
+from repro.core.pattern import NegatedPattern, Pattern, empty_pattern
+from repro.core.scheme import Scheme
+from repro.hypermedia.scheme_def import JAN_14, JAN_16
+
+MULTI = "multivalued"
+FUNC = "functional"
+
+
+# ----------------------------------------------------------------------
+# Figs. 4–7: patterns, matchings and node addition
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig4Pattern:
+    """The Fig. 4 pattern and its node handles."""
+
+    pattern: Pattern
+    info_top: int
+    info_bottom: int
+    date: int
+    name: int
+
+
+def fig4_pattern(scheme: Scheme) -> Fig4Pattern:
+    """An info node created Jan 14, 1990, named Rock, linked to an info."""
+    pattern = Pattern(scheme)
+    info_top = pattern.node("Info")
+    info_bottom = pattern.node("Info")
+    date = pattern.node("Date", JAN_14)
+    name = pattern.node("String", "Rock")
+    pattern.edge(info_top, "created", date)
+    pattern.edge(info_top, "name", name)
+    pattern.edge(info_top, "links-to", info_bottom)
+    return Fig4Pattern(pattern, info_top, info_bottom, date, name)
+
+
+def fig6_node_addition(scheme: Scheme) -> NodeAddition:
+    """Tag the linked info nodes with a bold ``Rock`` node (Fig. 6)."""
+    fig4 = fig4_pattern(scheme)
+    return NodeAddition(fig4.pattern, "Rock", [("tagged-to", fig4.info_bottom)])
+
+
+def fig8_node_addition(scheme: Scheme) -> NodeAddition:
+    """Derive Pair aggregates of (parent, child) creation dates (Fig. 8)."""
+    pattern = Pattern(scheme)
+    parent = pattern.node("Info")
+    child = pattern.node("Info")
+    parent_date = pattern.node("Date")
+    child_date = pattern.node("Date")
+    name = pattern.node("String", "Rock")
+    pattern.edge(parent, "created", parent_date)
+    pattern.edge(parent, "name", name)
+    pattern.edge(parent, "links-to", child)
+    pattern.edge(child, "created", child_date)
+    return NodeAddition(pattern, "Pair", [("parent", parent_date), ("child", child_date)])
+
+
+# ----------------------------------------------------------------------
+# Figs. 10–13: edge addition and set building
+# ----------------------------------------------------------------------
+
+
+def fig10_edge_addition(scheme: Scheme) -> EdgeAddition:
+    """Associate Pinkfloyd's creation date with its data nodes (Fig. 10)."""
+    pattern = Pattern(scheme)
+    pinkfloyd = pattern.node("Info")
+    linked = pattern.node("Info")
+    data = pattern.node("Data")
+    date = pattern.node("Date", JAN_14)
+    name = pattern.node("String", "Pinkfloyd")
+    pattern.edge(pinkfloyd, "created", date)
+    pattern.edge(pinkfloyd, "name", name)
+    pattern.edge(pinkfloyd, "links-to", linked)
+    pattern.edge(data, "isa", linked)
+    return EdgeAddition(
+        pattern, [(data, "data-creation", date)], new_label_kinds={"data-creation": FUNC}
+    )
+
+
+SET_LABEL = "Created Jan 14, 1990"
+
+
+def fig12_node_addition(scheme: Scheme) -> NodeAddition:
+    """Introduce the single set object over the empty pattern (Fig. 12)."""
+    return NodeAddition(empty_pattern(scheme), SET_LABEL, [])
+
+
+def fig13_edge_addition(scheme: Scheme) -> EdgeAddition:
+    """Link the set object to every info created Jan 14, 1990 (Fig. 13)."""
+    # the set class is introduced by the Fig. 12 node addition at run
+    # time; build the Fig. 13 pattern over a private scheme copy that
+    # already knows it (the user scheme is left untouched)
+    private = scheme.copy()
+    if not private.is_object_label(SET_LABEL):
+        private.add_object_label(SET_LABEL)
+    pattern = Pattern(private)
+    collector = pattern.node(SET_LABEL)
+    info = pattern.node("Info")
+    date = pattern.node("Date", JAN_14)
+    pattern.edge(info, "created", date)
+    return EdgeAddition(
+        pattern, [(collector, "contains", info)], new_label_kinds={"contains": MULTI}
+    )
+
+
+# ----------------------------------------------------------------------
+# Figs. 14–16: deletions and updates
+# ----------------------------------------------------------------------
+
+
+def fig14_node_deletion(scheme: Scheme) -> NodeDeletion:
+    """Delete the info node named Classical Music (Fig. 14)."""
+    pattern = Pattern(scheme)
+    info = pattern.node("Info")
+    pattern.edge(info, "name", pattern.node("String", "Classical Music"))
+    return NodeDeletion(pattern, info)
+
+
+def fig16_update(scheme: Scheme) -> Tuple[EdgeDeletion, EdgeAddition]:
+    """Move Music History's last-modified date to Jan 16, 1990 (Fig. 16)."""
+    del_pattern = Pattern(scheme)
+    info = del_pattern.node("Info")
+    old_date = del_pattern.node("Date")
+    del_pattern.edge(info, "name", del_pattern.node("String", "Music History"))
+    del_pattern.edge(info, "modified", old_date)
+    deletion = EdgeDeletion(del_pattern, [(info, "modified", old_date)])
+
+    add_pattern = Pattern(scheme)
+    info2 = add_pattern.node("Info")
+    new_date = add_pattern.node("Date", JAN_16)
+    add_pattern.edge(info2, "name", add_pattern.node("String", "Music History"))
+    addition = EdgeAddition(add_pattern, [(info2, "modified", new_date)])
+    return deletion, addition
+
+
+# ----------------------------------------------------------------------
+# Figs. 17–19: abstraction
+# ----------------------------------------------------------------------
+
+
+def fig18_operations(scheme: Scheme) -> Tuple[NodeAddition, NodeAddition, Abstraction]:
+    """Tag versioned infos, then abstract over equal links-to sets."""
+    tag_new_pattern = Pattern(scheme)
+    version_a = tag_new_pattern.node("Version")
+    info_a = tag_new_pattern.node("Info")
+    tag_new_pattern.edge(version_a, "new", info_a)
+    tag_new = NodeAddition(tag_new_pattern, "Interested", [("interested-in", info_a)])
+
+    tag_old_pattern = Pattern(scheme)
+    version_b = tag_old_pattern.node("Version")
+    info_b = tag_old_pattern.node("Info")
+    tag_old_pattern.edge(version_b, "old", info_b)
+    tag_old = NodeAddition(tag_old_pattern, "Interested", [("interested-in", info_b)])
+
+    # the Interested class exists only after the tag operations run;
+    # build the grouping pattern over a private scheme copy knowing it
+    private = scheme.copy()
+    if not private.is_object_label("Interested"):
+        private.add_object_label("Interested")
+    if "interested-in" not in private.functional_edge_labels:
+        private.add_functional_edge_label("interested-in")
+    private.add_property("Interested", "interested-in", "Info")
+    group_pattern = Pattern(private)
+    info_c = group_pattern.node("Info")
+    interested = group_pattern.node("Interested")
+    group_pattern.edge(interested, "interested-in", info_c)
+    abstraction = Abstraction(
+        group_pattern, info_c, "Same-Info", alpha="links-to", beta="contains"
+    )
+    return tag_new, tag_old, abstraction
+
+
+# ----------------------------------------------------------------------
+# Figs. 20–21: the Update method
+# ----------------------------------------------------------------------
+
+
+def fig20_update_method(scheme: Scheme) -> Method:
+    """The Update method: replace the receiver's last-modified date."""
+    signature = MethodSignature("Update", receiver_label="Info", parameters={"parameter": "Date"})
+
+    del_pattern = Pattern(scheme)
+    info = del_pattern.node("Info")
+    old_date = del_pattern.node("Date")
+    del_pattern.edge(info, "modified", old_date)
+    delete_old = BodyOp(
+        EdgeDeletion(del_pattern, [(info, "modified", old_date)]),
+        head=HeadBindings(receiver=info),
+    )
+
+    add_pattern = Pattern(scheme)
+    info2 = add_pattern.node("Info")
+    new_date = add_pattern.node("Date")
+    add_new = BodyOp(
+        EdgeAddition(add_pattern, [(info2, "modified", new_date)]),
+        head=HeadBindings(receiver=info2, parameters={"parameter": new_date}),
+    )
+    return Method(signature, [delete_old, add_new])
+
+
+def fig21_call(scheme: Scheme) -> MethodCall:
+    """Update the Music History infos to Jan 16, 1990 (Fig. 21)."""
+    pattern = Pattern(scheme)
+    info = pattern.node("Info")
+    date = pattern.node("Date", JAN_16)
+    pattern.edge(info, "name", pattern.node("String", "Music History"))
+    return MethodCall(pattern, "Update", receiver=info, arguments={"parameter": date})
+
+
+# ----------------------------------------------------------------------
+# Fig. 22: the recursive Remove-Old-Versions method
+# ----------------------------------------------------------------------
+
+
+def fig22_remove_old_versions(scheme: Scheme) -> Method:
+    """R-O-V: recursively delete all old versions of the receiver."""
+    signature = MethodSignature("R-O-V", receiver_label="Info")
+
+    recurse_pattern = Pattern(scheme)
+    info = recurse_pattern.node("Info")
+    old_info = recurse_pattern.node("Info")
+    version = recurse_pattern.node("Version")
+    recurse_pattern.edge(version, "new", info)
+    recurse_pattern.edge(version, "old", old_info)
+    recurse = BodyOp(
+        MethodCall(recurse_pattern, "R-O-V", receiver=old_info),
+        head=HeadBindings(receiver=info),
+    )
+
+    del_info_pattern = Pattern(scheme)
+    info2 = del_info_pattern.node("Info")
+    old_info2 = del_info_pattern.node("Info")
+    version2 = del_info_pattern.node("Version")
+    del_info_pattern.edge(version2, "new", info2)
+    del_info_pattern.edge(version2, "old", old_info2)
+    delete_old_info = BodyOp(
+        NodeDeletion(del_info_pattern, old_info2), head=HeadBindings(receiver=info2)
+    )
+
+    del_version_pattern = Pattern(scheme)
+    info3 = del_version_pattern.node("Info")
+    version3 = del_version_pattern.node("Version")
+    del_version_pattern.edge(version3, "new", info3)
+    delete_version = BodyOp(
+        NodeDeletion(del_version_pattern, version3), head=HeadBindings(receiver=info3)
+    )
+    return Method(signature, [recurse, delete_old_info, delete_version])
+
+
+def fig22_call(scheme: Scheme, receiver_name: str) -> MethodCall:
+    """Call R-O-V on the info node with the given name."""
+    pattern = Pattern(scheme)
+    info = pattern.node("Info")
+    pattern.edge(info, "name", pattern.node("String", receiver_name))
+    return MethodCall(pattern, "R-O-V", receiver=info)
+
+
+# ----------------------------------------------------------------------
+# Figs. 23–25: method interfaces (D and E)
+# ----------------------------------------------------------------------
+
+
+def days_between(new_date: str, old_date: str) -> int:
+    """The external function behind method D: day difference."""
+    return date_ordinal(new_date) - date_ordinal(old_date)
+
+
+def fig23_d_interface() -> Scheme:
+    """The interface of method D (Fig. 23, right)."""
+    interface = Scheme(printable_labels=["Date", "Number"])
+    interface.declare("Elapsed", "olddate", "Date")
+    interface.declare("Elapsed", "newdate", "Date")
+    interface.declare("Elapsed", "diff", "Number")
+    return interface
+
+
+def fig23_d_method(scheme: Scheme) -> Method:
+    """Method D: days elapsed between two dates (body via external fn)."""
+    signature = MethodSignature("D", receiver_label="Date", parameters={"old": "Date"})
+    interface = fig23_d_interface()
+
+    # body patterns are built over a private scheme copy that knows
+    # Elapsed; the caller's scheme stays clean so the interface filter
+    # can remove the temporary Elapsed structure (the point of Fig. 25)
+    working = scheme.copy()
+    for label, edge, target in [
+        ("Elapsed", "olddate", "Date"),
+        ("Elapsed", "newdate", "Date"),
+        ("Elapsed", "diff", "Number"),
+    ]:
+        if not working.is_object_label(label):
+            working.add_object_label(label)
+        if edge not in working.functional_edge_labels:
+            working.add_functional_edge_label(edge)
+        working.add_property(label, edge, target)
+
+    create_pattern = Pattern(working)
+    new_date = create_pattern.node("Date")
+    old_date = create_pattern.node("Date")
+    create = BodyOp(
+        NodeAddition(create_pattern, "Elapsed", [("newdate", new_date), ("olddate", old_date)]),
+        head=HeadBindings(receiver=new_date, parameters={"old": old_date}),
+    )
+
+    compute_pattern = Pattern(working)
+    elapsed = compute_pattern.node("Elapsed")
+    new_date2 = compute_pattern.node("Date")
+    old_date2 = compute_pattern.node("Date")
+    compute_pattern.edge(elapsed, "newdate", new_date2)
+    compute_pattern.edge(elapsed, "olddate", old_date2)
+    compute = BodyOp(
+        ComputedEdgeAddition(
+            compute_pattern,
+            source_node=elapsed,
+            edge_label="diff",
+            target_label="Number",
+            input_nodes=(new_date2, old_date2),
+            function=days_between,
+            name="days_between",
+        ),
+        head=HeadBindings(receiver=new_date2, parameters={"old": old_date2}),
+    )
+    return Method(signature, [create, compute], interface=interface)
+
+
+def fig24_e_interface() -> Scheme:
+    """The interface of method E (Fig. 24, right)."""
+    interface = Scheme(printable_labels=["Number"])
+    interface.declare("Info", "days-unmod", "Number")
+    return interface
+
+
+def fig25_e_method(scheme: Scheme) -> Method:
+    """Method E: days between creation and last modification (Fig. 25)."""
+    signature = MethodSignature("E", receiver_label="Info")
+    d_method_scheme = scheme.copy().union(fig23_d_interface())
+
+    call_pattern = Pattern(d_method_scheme)
+    info = call_pattern.node("Info")
+    new_date = call_pattern.node("Date")
+    old_date = call_pattern.node("Date")
+    call_pattern.edge(info, "modified", new_date)
+    call_pattern.edge(info, "created", old_date)
+    call_d = BodyOp(
+        MethodCall(call_pattern, "D", receiver=new_date, arguments={"old": old_date}),
+        head=HeadBindings(receiver=info),
+    )
+
+    copy_pattern = Pattern(d_method_scheme)
+    info2 = copy_pattern.node("Info")
+    new_date2 = copy_pattern.node("Date")
+    old_date2 = copy_pattern.node("Date")
+    elapsed = copy_pattern.node("Elapsed")
+    number = copy_pattern.node("Number")
+    copy_pattern.edge(info2, "modified", new_date2)
+    copy_pattern.edge(info2, "created", old_date2)
+    copy_pattern.edge(elapsed, "newdate", new_date2)
+    copy_pattern.edge(elapsed, "olddate", old_date2)
+    copy_pattern.edge(elapsed, "diff", number)
+    copy_out = BodyOp(
+        EdgeAddition(
+            copy_pattern,
+            [(info2, "days-unmod", number)],
+            new_label_kinds={"days-unmod": FUNC},
+        ),
+        head=HeadBindings(receiver=info2),
+    )
+    return Method(signature, [call_d, copy_out], interface=fig24_e_interface())
+
+
+def fig25_e_call(scheme: Scheme) -> MethodCall:
+    """Call E on every info node."""
+    pattern = Pattern(scheme)
+    info = pattern.node("Info")
+    return MethodCall(pattern, "E", receiver=info)
+
+
+# ----------------------------------------------------------------------
+# Figs. 26–27: negation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Fig26Query:
+    """The Fig. 26 query: names of infos with created ≠ modified."""
+
+    negated: NegatedPattern
+    info: int
+    name: int
+    date: int
+
+
+def fig26_negated_pattern(scheme: Scheme) -> Fig26Query:
+    """The crossed pattern of Fig. 26."""
+    positive = Pattern(scheme)
+    info = positive.node("Info")
+    name = positive.node("String")
+    date = positive.node("Date")
+    positive.edge(info, "name", name)
+    positive.edge(info, "created", date)
+    negated = NegatedPattern(positive)
+    negated.forbid_edge(info, "modified", date)
+    return Fig26Query(negated, info, name, date)
+
+
+def fig26_operations(scheme: Scheme) -> Tuple[List[Operation], str]:
+    """Answer building with the crossed pattern used directly.
+
+    Returns the operations and the answer class label.
+    """
+    private = scheme.copy()
+    if not private.is_object_label("Answer"):
+        private.add_object_label("Answer")
+    query = fig26_negated_pattern(private)
+    make_answer = NodeAddition(empty_pattern(private), "Answer", [])
+    collect = NegatedPattern(query.negated.positive.copy())
+    answer = collect.positive.add_node("Answer")
+    for extension in query.negated.extensions:
+        rebuilt = collect.positive.copy()
+        # replay the crossed modified edge on the rebuilt positive copy
+        rebuilt.add_edge(query.info, "modified", query.date)
+        collect.forbid(rebuilt)
+    gather = EdgeAddition(
+        collect, [(answer, "contains", query.name)], new_label_kinds={"contains": MULTI}
+    )
+    return [make_answer, gather], "Answer"
+
+
+def fig27_operations(scheme: Scheme) -> Tuple[List[Operation], str]:
+    """The same query compiled to basic operations (Fig. 27)."""
+    private = scheme.copy()
+    if not private.is_object_label("Answer"):
+        private.add_object_label("Answer")
+    query = fig26_negated_pattern(private)
+    compilation = compile_negation(query.negated, "Intermediate")
+    operations: List[Operation] = list(compilation.operations)
+    operations.append(NodeAddition(empty_pattern(scheme), "Answer", []))
+    survivor, _, _ = compilation.survivor_pattern(query.negated.positive)
+    answer = survivor.add_node("Answer")
+    operations.append(
+        EdgeAddition(
+            survivor, [(answer, "contains", query.name)], new_label_kinds={"contains": MULTI}
+        )
+    )
+    return operations, "Answer"
+
+
+# ----------------------------------------------------------------------
+# Figs. 28–29: transitive closure
+# ----------------------------------------------------------------------
+
+
+def fig28_operations(scheme: Scheme) -> Tuple[EdgeAddition, RecursiveEdgeAddition]:
+    """Direct links, then the starred (recursive) edge addition."""
+    base_pattern = Pattern(scheme)
+    a = base_pattern.node("Info")
+    b = base_pattern.node("Info")
+    base_pattern.edge(a, "links-to", b)
+    direct = EdgeAddition(
+        base_pattern, [(a, "rec-links-to", b)], new_label_kinds={"rec-links-to": MULTI}
+    )
+
+    private = scheme.copy()
+    if "rec-links-to" not in private.multivalued_edge_labels:
+        private.add_multivalued_edge_label("rec-links-to")
+    private.add_property("Info", "rec-links-to", "Info")
+    step_pattern = Pattern(private)
+    x = step_pattern.node("Info")
+    y = step_pattern.node("Info")
+    z = step_pattern.node("Info")
+    step_pattern.edge(x, "links-to", y)
+    step_pattern.edge(y, "rec-links-to", z)
+    step = EdgeAddition(
+        step_pattern, [(x, "rec-links-to", z)], new_label_kinds={"rec-links-to": MULTI}
+    )
+    return direct, RecursiveEdgeAddition(step)
+
+
+def fig29_rlt_method(scheme: Scheme) -> Method:
+    """RLT: the method simulation of the starred edge addition."""
+    signature = MethodSignature("RLT", receiver_label="Info", parameters={"arg": "Info"})
+    interface = Scheme()
+    interface.add_object_label("Info")
+    interface.add_multivalued_edge_label("rec-links-to")
+    interface.add_property("Info", "rec-links-to", "Info")
+
+    private = scheme.copy()
+    if "rec-links-to" not in private.multivalued_edge_labels:
+        private.add_multivalued_edge_label("rec-links-to")
+    private.add_property("Info", "rec-links-to", "Info")
+
+    add_pattern = Pattern(private)
+    x = add_pattern.node("Info")
+    y = add_pattern.node("Info")
+    add = BodyOp(
+        EdgeAddition(
+            add_pattern, [(x, "rec-links-to", y)], new_label_kinds={"rec-links-to": MULTI}
+        ),
+        head=HeadBindings(receiver=x, parameters={"arg": y}),
+    )
+
+    rec_positive = Pattern(private)
+    rx = rec_positive.node("Info")
+    ry = rec_positive.node("Info")
+    rz = rec_positive.node("Info")
+    rec_positive.edge(rx, "rec-links-to", ry)
+    rec_positive.edge(ry, "links-to", rz)
+    rec_negated = NegatedPattern(rec_positive)
+    rec_negated.forbid_edge(rx, "rec-links-to", rz)
+    recurse = BodyOp(
+        MethodCall(rec_negated, "RLT", receiver=rx, arguments={"arg": rz}),
+        head=HeadBindings(receiver=rx),
+    )
+    return Method(signature, [add, recurse], interface=interface)
+
+
+def fig29_call(scheme: Scheme) -> MethodCall:
+    """Seed RLT with every direct links-to pair (Fig. 29, bottom)."""
+    pattern = Pattern(scheme)
+    a = pattern.node("Info")
+    b = pattern.node("Info")
+    pattern.edge(a, "links-to", b)
+    return MethodCall(pattern, "RLT", receiver=a, arguments={"arg": b})
+
+
+# ----------------------------------------------------------------------
+# Figs. 30–31: inheritance
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class InheritanceQuery:
+    """A Jazz-references query pattern with its node handles."""
+
+    pattern: Pattern
+    reference: int
+    name: int
+
+
+def fig30_query(virtual: Scheme) -> InheritanceQuery:
+    """The user's query over the virtual scheme (Fig. 30).
+
+    References occurring in the Jazz info, with their (inherited)
+    name.  ``virtual`` must be ``virtual_scheme(base)``.
+    """
+    pattern = Pattern(virtual)
+    reference = pattern.node("Reference")
+    jazz_info = pattern.node("Info")
+    name = pattern.node("String")
+    pattern.edge(reference, "in", jazz_info)
+    pattern.edge(jazz_info, "name", pattern.node("String", "Jazz"))
+    pattern.edge(reference, "name", name)
+    return InheritanceQuery(pattern, reference, name)
+
+
+def fig31_query(scheme: Scheme) -> InheritanceQuery:
+    """The internal translation over the base scheme (Fig. 31)."""
+    pattern = Pattern(scheme)
+    reference = pattern.node("Reference")
+    jazz_info = pattern.node("Info")
+    via_info = pattern.node("Info")
+    name = pattern.node("String")
+    pattern.edge(reference, "in", jazz_info)
+    pattern.edge(jazz_info, "name", pattern.node("String", "Jazz"))
+    pattern.edge(reference, "isa", via_info)
+    pattern.edge(via_info, "name", name)
+    return InheritanceQuery(pattern, reference, name)

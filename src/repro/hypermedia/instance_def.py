@@ -1,0 +1,242 @@
+"""The hyper-media object base instance of Figs. 2–3.
+
+Reconstruction notes (the figures are graph drawings; where the scan is
+ambiguous we chose the reading that makes the paper's stated matching
+counts come out, and record the choice here):
+
+* Two Info nodes are named "Rock": the *new* version (created Jan 14,
+  1990) and the *old* version (created Jan 12, 1990), connected by the
+  Version node.  The new Rock links to The Doors and Pinkfloyd; the
+  old Rock links to The Doors and The Beatles ("the new and old info
+  nodes are both linked to the info node ... The Doors").  This yields
+  exactly the 2 matchings of Fig. 4 and the 4 matchings of Fig. 8.
+* The Music History info links to the new Rock, Classical Music and
+  Jazz; it is the only node with a ``modified`` date and the only node
+  with a comment ("Author: Jones").
+* The single Reference node has ``isa`` → The Beatles and ``in`` →
+  Jazz ("the info node with name The Beatles is a reference in the
+  Jazz info node").
+* Fig. 3 attaches, to each of Pinkfloyd's and The Doors' linked Info
+  nodes, a Data node (via an instance-level ``isa`` edge) which is in
+  turn the ``isa``-target of a Sound/Text/Graphics node carrying the
+  actual media properties.  The numbers 15000 (#words), 1000
+  (frequency), 2000 and 64 appear in the figure; we read 2000 as the
+  Doors text's #words and give the Doors graphics height 64 and an
+  (unspecified in the scan) width of 1024.  No reproduced result
+  depends on these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.instance import Instance
+from repro.core.scheme import Scheme
+from repro.hypermedia.scheme_def import JAN_12, JAN_14, build_scheme
+
+
+@dataclass
+class HyperMediaHandles:
+    """Named node ids of the Figs. 2–3 instance."""
+
+    # Fig. 2 info nodes
+    music_history: int
+    rock_new: int
+    rock_old: int
+    classical: int
+    jazz: int
+    pinkfloyd: int  # marked "1" in the figure
+    doors: int  # marked "2" in the figure
+    beatles: int
+    mozart: int
+    version1: int
+    reference: int
+    comment: int
+    # Fig. 3 media sub-structure
+    pf_sound_info: int
+    pf_sound_data: int
+    pf_sound: int
+    pf_text_info: int
+    pf_text_data: int
+    pf_text: int
+    dr_graphics_info: int
+    dr_graphics_data: int
+    dr_graphics: int
+    dr_text_info: int
+    dr_text_data: int
+    dr_text: int
+
+    def all_infos(self) -> Tuple[int, ...]:
+        """Every Info-labeled node, in creation order."""
+        return (
+            self.music_history,
+            self.rock_new,
+            self.rock_old,
+            self.classical,
+            self.jazz,
+            self.pinkfloyd,
+            self.doors,
+            self.beatles,
+            self.mozart,
+            self.pf_sound_info,
+            self.pf_text_info,
+            self.dr_graphics_info,
+            self.dr_text_info,
+        )
+
+
+def build_instance(scheme: Scheme = None) -> Tuple[Instance, HyperMediaHandles]:
+    """Construct the Figs. 2–3 instance; return it with its handles."""
+    if scheme is None:
+        scheme = build_scheme()
+    db = Instance(scheme)
+
+    jan12 = db.printable("Date", JAN_12)
+    jan14 = db.printable("Date", JAN_14)
+
+    def info(name: str = None, created: int = None, modified: int = None) -> int:
+        node = db.add_object("Info")
+        if name is not None:
+            db.add_edge(node, "name", db.printable("String", name))
+        if created is not None:
+            db.add_edge(node, "created", created)
+        if modified is not None:
+            db.add_edge(node, "modified", modified)
+        return node
+
+    music_history = info("Music History", created=jan12, modified=jan14)
+    rock_new = info("Rock", created=jan14)
+    rock_old = info("Rock", created=jan12)
+    classical = info("Classical Music", created=jan12)
+    jazz = info("Jazz", created=jan12)
+    pinkfloyd = info("Pinkfloyd", created=jan14)
+    doors = info("The Doors", created=jan12)
+    beatles = info("The Beatles", created=jan12)
+    mozart = info("Mozart", created=jan12)
+
+    comment = db.add_object("Comment")
+    db.add_edge(comment, "is", db.printable("String", "Author: Jones"))
+    db.add_edge(music_history, "comment", comment)
+
+    for target in (rock_new, classical, jazz):
+        db.add_edge(music_history, "links-to", target)
+    for target in (doors, pinkfloyd):
+        db.add_edge(rock_new, "links-to", target)
+    for target in (doors, beatles):
+        db.add_edge(rock_old, "links-to", target)
+    db.add_edge(classical, "links-to", mozart)
+
+    version1 = db.add_object("Version")
+    db.add_edge(version1, "new", rock_new)
+    db.add_edge(version1, "old", rock_old)
+
+    reference = db.add_object("Reference")
+    db.add_edge(reference, "isa", beatles)
+    db.add_edge(reference, "in", jazz)
+
+    # Fig. 3: Pinkfloyd's sound and text data
+    pf_sound_info = info()
+    pf_text_info = info()
+    db.add_edge(pinkfloyd, "links-to", pf_sound_info)
+    db.add_edge(pinkfloyd, "links-to", pf_text_info)
+
+    pf_sound_data = db.add_object("Data")
+    db.add_edge(pf_sound_data, "isa", pf_sound_info)
+    pf_sound = db.add_object("Sound")
+    db.add_edge(pf_sound, "isa", pf_sound_data)
+    db.add_edge(pf_sound, "frequency", db.printable("Number", 1000))
+    db.add_edge(pf_sound, "data", db.printable("Bitstream", "010011010111"))
+
+    pf_text_data = db.add_object("Data")
+    db.add_edge(pf_text_data, "isa", pf_text_info)
+    pf_text = db.add_object("Text")
+    db.add_edge(pf_text, "isa", pf_text_data)
+    db.add_edge(pf_text, "#words", db.printable("Number", 15000))
+    db.add_edge(pf_text, "data", db.printable("Longstring", "Pinkfloyd was created…"))
+
+    # Fig. 3: The Doors' graphics and text data
+    dr_graphics_info = info()
+    dr_text_info = info()
+    db.add_edge(doors, "links-to", dr_graphics_info)
+    db.add_edge(doors, "links-to", dr_text_info)
+
+    dr_graphics_data = db.add_object("Data")
+    db.add_edge(dr_graphics_data, "isa", dr_graphics_info)
+    dr_graphics = db.add_object("Graphics")
+    db.add_edge(dr_graphics, "isa", dr_graphics_data)
+    db.add_edge(dr_graphics, "height", db.printable("Number", 64))
+    db.add_edge(dr_graphics, "width", db.printable("Number", 1024))
+    db.add_edge(dr_graphics, "data", db.printable("Bitmap", "010110001"))
+
+    dr_text_data = db.add_object("Data")
+    db.add_edge(dr_text_data, "isa", dr_text_info)
+    dr_text = db.add_object("Text")
+    db.add_edge(dr_text, "isa", dr_text_data)
+    db.add_edge(dr_text, "#words", db.printable("Number", 2000))
+    db.add_edge(dr_text, "data", db.printable("Longstring", "The Doors are a…"))
+
+    db.validate()
+    handles = HyperMediaHandles(
+        music_history=music_history,
+        rock_new=rock_new,
+        rock_old=rock_old,
+        classical=classical,
+        jazz=jazz,
+        pinkfloyd=pinkfloyd,
+        doors=doors,
+        beatles=beatles,
+        mozart=mozart,
+        version1=version1,
+        reference=reference,
+        comment=comment,
+        pf_sound_info=pf_sound_info,
+        pf_sound_data=pf_sound_data,
+        pf_sound=pf_sound,
+        pf_text_info=pf_text_info,
+        pf_text_data=pf_text_data,
+        pf_text=pf_text,
+        dr_graphics_info=dr_graphics_info,
+        dr_graphics_data=dr_graphics_data,
+        dr_graphics=dr_graphics,
+        dr_text_info=dr_text_info,
+        dr_text_data=dr_text_data,
+        dr_text=dr_text,
+    )
+    return db, handles
+
+
+@dataclass
+class VersionChainHandles:
+    """Named node ids of the Fig. 17 version-chain sub-instance."""
+
+    chain: Tuple[int, ...]  # the 5 versioned Info nodes, newest first
+    versions: Tuple[int, ...]  # the 4 Version nodes
+    targets: Tuple[int, ...]  # the shared linked-to Info nodes (a, b, c)
+
+
+def build_version_chain(scheme: Scheme = None) -> Tuple[Instance, VersionChainHandles]:
+    """Construct the Fig. 17 sub-instance for the abstraction example.
+
+    Five chained versions i1..i5 of a document, with shared targets a,
+    b, c; i1 and i2 share links {a, b}, i3 and i4 share {b, c}, i5
+    links {c} — giving the three Same-Info groups of Fig. 19.
+    """
+    if scheme is None:
+        scheme = build_scheme()
+    db = Instance(scheme)
+    chain = tuple(db.add_object("Info") for _ in range(5))
+    targets = tuple(db.add_object("Info") for _ in range(3))
+    a, b, c = targets
+    link_sets = [(a, b), (a, b), (b, c), (b, c), (c,)]
+    for node, links in zip(chain, link_sets):
+        for target in links:
+            db.add_edge(node, "links-to", target)
+    versions = []
+    for newer, older in zip(chain, chain[1:]):
+        version = db.add_object("Version")
+        db.add_edge(version, "new", newer)
+        db.add_edge(version, "old", older)
+        versions.append(version)
+    db.validate()
+    return db, VersionChainHandles(chain, tuple(versions), targets)

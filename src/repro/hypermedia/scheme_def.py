@@ -1,0 +1,64 @@
+"""The hyper-media object base scheme of Fig. 1.
+
+Classes (rectangles): Info, Version, Reference, Data, Comment, Sound,
+Text, Graphics.  Printable classes (ovals): Date, String, Number,
+Longstring, Bitmap, Bitstream.  Functional edges are single arrows,
+multivalued edges (``links-to``, ``in``) double arrows.
+
+The ``isa`` functional edge label connects Reference/Data to Info and
+Sound/Text/Graphics to Data.  Section 2 attaches no special semantics
+to it; ``build_scheme(mark_isa=True)`` opts into the Section 4.2
+inheritance interpretation (used by the Fig. 30–31 reproduction).
+"""
+
+from __future__ import annotations
+
+from repro.core.scheme import Scheme
+
+#: The paper's two anchor dates.
+JAN_12 = "Jan 12, 1990"
+JAN_14 = "Jan 14, 1990"
+JAN_16 = "Jan 16, 1990"
+
+
+def build_scheme(mark_isa: bool = False) -> Scheme:
+    """Construct the Fig. 1 scheme.
+
+    With ``mark_isa=True`` the ``isa`` label is additionally marked as
+    a subclass edge for the Section 4.2 inheritance macro.
+    """
+    scheme = Scheme(
+        printable_labels=["Date", "String", "Number", "Longstring", "Bitmap", "Bitstream"]
+    )
+    # Info and its properties
+    scheme.declare("Info", "created", "Date")
+    scheme.declare("Info", "modified", "Date")
+    scheme.declare("Info", "name", "String")
+    scheme.declare("Info", "comment", "Comment")
+    scheme.declare("Info", "links-to", "Info", functional=False)
+    # Versions
+    scheme.declare("Version", "new", "Info")
+    scheme.declare("Version", "old", "Info")
+    # Comments: either a string or a number
+    scheme.declare("Comment", "is", "String")
+    scheme.declare("Comment", "is", "Number")
+    # References
+    scheme.declare("Reference", "isa", "Info")
+    scheme.declare("Reference", "in", "Info", functional=False)
+    # Data and its subclasses
+    scheme.declare("Data", "isa", "Info")
+    scheme.declare("Sound", "isa", "Data")
+    scheme.declare("Text", "isa", "Data")
+    scheme.declare("Graphics", "isa", "Data")
+    scheme.declare("Sound", "data", "Bitstream")
+    scheme.declare("Sound", "frequency", "Number")
+    scheme.declare("Text", "data", "Longstring")
+    scheme.declare("Text", "#chars", "Number")
+    scheme.declare("Text", "#words", "Number")
+    scheme.declare("Graphics", "data", "Bitmap")
+    scheme.declare("Graphics", "height", "Number")
+    scheme.declare("Graphics", "width", "Number")
+    if mark_isa:
+        scheme.mark_isa("isa")
+    scheme.validate()
+    return scheme

@@ -1,0 +1,23 @@
+"""JSON serialisation for schemes, instances and patterns."""
+
+from repro.io.serialize import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    load_scheme,
+    save_instance,
+    save_scheme,
+    scheme_from_json,
+    scheme_to_json,
+)
+
+__all__ = [
+    "instance_from_json",
+    "instance_to_json",
+    "load_instance",
+    "load_scheme",
+    "save_instance",
+    "save_scheme",
+    "scheme_from_json",
+    "scheme_to_json",
+]

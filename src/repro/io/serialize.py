@@ -1,0 +1,134 @@
+"""JSON round-trip for schemes and instances.
+
+The wire format is deliberately plain — dictionaries of sorted lists —
+so dumps are diffable and stable across runs.  Print values must be
+JSON-serialisable (strings, numbers, booleans, null); richer domains
+need a custom encoder at the call site.
+
+Node ids are preserved through a round trip, so programs holding node
+handles keep working against a reloaded instance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.errors import GoodError
+from repro.core.instance import Instance
+from repro.core.scheme import Scheme
+from repro.graph.store import NO_PRINT
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(GoodError):
+    """Malformed serialised data."""
+
+
+# ----------------------------------------------------------------------
+# schemes
+# ----------------------------------------------------------------------
+
+
+def scheme_to_json(scheme: Scheme) -> Dict[str, Any]:
+    """A JSON-ready dictionary for a scheme."""
+    return {
+        "format": FORMAT_VERSION,
+        "object_labels": sorted(scheme.object_labels),
+        "printable_labels": sorted(scheme.printable_labels),
+        "functional_edge_labels": sorted(scheme.functional_edge_labels),
+        "multivalued_edge_labels": sorted(scheme.multivalued_edge_labels),
+        "properties": sorted(list(triple) for triple in scheme.properties),
+        "isa_labels": sorted(scheme.isa_labels),
+    }
+
+
+def scheme_from_json(data: Dict[str, Any]) -> Scheme:
+    """Rebuild a scheme; domains resolve through the built-in registry."""
+    if data.get("format") != FORMAT_VERSION:
+        raise SerializationError(f"unsupported scheme format {data.get('format')!r}")
+    scheme = Scheme(
+        object_labels=data["object_labels"],
+        printable_labels=data["printable_labels"],
+        functional_edge_labels=data["functional_edge_labels"],
+        multivalued_edge_labels=data["multivalued_edge_labels"],
+        properties=[tuple(triple) for triple in data["properties"]],
+    )
+    for label in data.get("isa_labels", ()):
+        scheme.mark_isa(label)
+    scheme.validate()
+    return scheme
+
+
+# ----------------------------------------------------------------------
+# instances
+# ----------------------------------------------------------------------
+
+
+def instance_to_json(instance: Instance) -> Dict[str, Any]:
+    """A JSON-ready dictionary for an instance (ids included)."""
+    nodes = []
+    for node_id in instance.nodes():
+        record = instance.node_record(node_id)
+        entry: Dict[str, Any] = {"id": node_id, "label": record.label}
+        if record.has_print:
+            entry["print"] = record.print_value
+        nodes.append(entry)
+    edges = [
+        {"source": edge.source, "label": edge.label, "target": edge.target}
+        for edge in instance.edges()
+    ]
+    return {
+        "format": FORMAT_VERSION,
+        "scheme": scheme_to_json(instance.scheme),
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def instance_from_json(data: Dict[str, Any]) -> Instance:
+    """Rebuild an instance, preserving node ids, and validate it."""
+    if data.get("format") != FORMAT_VERSION:
+        raise SerializationError(f"unsupported instance format {data.get('format')!r}")
+    scheme = scheme_from_json(data["scheme"])
+    instance = Instance(scheme)
+    for entry in data["nodes"]:
+        label = entry["label"]
+        node_id = entry["id"]
+        if scheme.is_printable_label(label):
+            instance.add_printable(label, entry.get("print", NO_PRINT), _node_id=node_id)
+        else:
+            if "print" in entry:
+                raise SerializationError(f"object node {node_id} carries a print value")
+            instance.add_object(label, _node_id=node_id)
+    for entry in data["edges"]:
+        instance.add_edge(entry["source"], entry["label"], entry["target"])
+    instance.validate()
+    return instance
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+
+
+def save_scheme(scheme: Scheme, path: Union[str, Path]) -> None:
+    """Write a scheme to a JSON file."""
+    Path(path).write_text(json.dumps(scheme_to_json(scheme), indent=2, sort_keys=True))
+
+
+def load_scheme(path: Union[str, Path]) -> Scheme:
+    """Read a scheme from a JSON file."""
+    return scheme_from_json(json.loads(Path(path).read_text()))
+
+
+def save_instance(instance: Instance, path: Union[str, Path]) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_json(instance), indent=2, sort_keys=True))
+
+
+def load_instance(path: Union[str, Path]) -> Instance:
+    """Read an instance from a JSON file."""
+    return instance_from_json(json.loads(Path(path).read_text()))

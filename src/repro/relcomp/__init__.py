@@ -1,0 +1,64 @@
+"""Section 4.3 — relational and nested-relational completeness.
+
+"When we restrict the language to only node and edge additions and
+deletions, we obtain a language which is relationally complete in the
+well-known sense proposed by Codd. ... By adding abstraction, one can
+moreover simulate the nested relational algebra."
+
+The paper leaves "the details of the simulation ... to the reader";
+this package *is* those details, machine-checked:
+
+* :mod:`repro.relcomp.relations` — a standalone relational algebra
+  (relations, σ π × ∪ − ρ expression trees, direct evaluator) used as
+  the correctness oracle;
+* :mod:`repro.relcomp.encoding` — relations as GOOD classes ("a class
+  R with functional edges labeled A1 A2 A3 to printable classes",
+  tuples as objects);
+* :mod:`repro.relcomp.compiler` — the compiler from algebra
+  expressions to GOOD programs (difference uses the negation macro);
+* :mod:`repro.relcomp.nested` — one-level nested relations, nest /
+  unnest through GOOD, and the abstraction-based duplicate elimination
+  of set values that plain additions cannot express.
+
+Experiments C1/C2 check compiler output against direct evaluation on
+randomly generated databases and expressions.
+"""
+
+from repro.relcomp.compiler import CompiledQuery, RelationalCompiler
+from repro.relcomp.encoding import VALUE_LABEL, decode_relation, encode_database
+from repro.relcomp.relations import (
+    AttrConst,
+    AttrEq,
+    Difference,
+    Expr,
+    Product,
+    Project,
+    Relation,
+    RelationalDatabase,
+    Rel,
+    Rename,
+    Select,
+    Union,
+    evaluate,
+)
+
+__all__ = [
+    "AttrConst",
+    "AttrEq",
+    "CompiledQuery",
+    "Difference",
+    "Expr",
+    "Product",
+    "Project",
+    "Rel",
+    "Relation",
+    "RelationalCompiler",
+    "RelationalDatabase",
+    "Rename",
+    "Select",
+    "Union",
+    "VALUE_LABEL",
+    "decode_relation",
+    "encode_database",
+    "evaluate",
+]

@@ -1,0 +1,285 @@
+"""Compiling relational algebra to GOOD programs (experiment C1).
+
+Every subexpression materialises as a fresh result class ``q<i>`` whose
+objects carry one functional edge per attribute into the value class —
+the same encoding base relations use, so compilation is purely
+structural:
+
+* σ — a node addition whose source pattern binds all attributes and
+  expresses the equalities by node sharing / fixed print values;
+* π — a node addition binding only the kept attributes (the Fig. 9
+  reuse check provides set semantics / duplicate elimination);
+* × — a node addition over a two-tuple pattern (schemas disjoint);
+* ∪ — two node additions into the same result class (the reuse check
+  again dedupes);
+* − — a node addition over a *crossed* pattern: tuples of the left
+  operand for which no right-operand tuple with the same values exists
+  (the Section 4.1 negation macro; its reduction to pure
+  additions/deletions is proved separately by the Fig. 27 tests);
+* ρ — a node addition re-emitting under renamed attribute labels.
+
+Only node additions (and, inside the negation macro, node deletions)
+are needed — matching the paper's claim that the addition/deletion
+fragment is relationally complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from repro.core.instance import Instance
+from repro.core.operations import NodeAddition, Operation
+from repro.core.pattern import NegatedPattern, Pattern
+from repro.core.program import Program
+from repro.core.scheme import Scheme
+from repro.relcomp.encoding import VALUE_LABEL, decode_relation
+from repro.relcomp.relations import (
+    AlgebraError,
+    AttrConst,
+    AttrEq,
+    Difference,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Relation,
+    Rename,
+    Select,
+    Union,
+)
+
+
+@dataclass
+class CompiledQuery:
+    """A GOOD program computing a relational algebra expression."""
+
+    operations: Tuple[Operation, ...]
+    result_label: str
+    attributes: Tuple[str, ...]
+
+    def run(self, instance: Instance) -> Relation:
+        """Execute against an encoded database; decode the result."""
+        result = Program(list(self.operations)).run(instance)
+        return decode_relation(result.instance, self.result_label, self.attributes)
+
+
+class RelationalCompiler:
+    """Stateful compiler: fresh result labels, evolving private scheme."""
+
+    def __init__(self, scheme: Scheme, schemas: Mapping[str, Tuple[str, ...]]) -> None:
+        self.scheme = scheme.copy()
+        self.schemas = dict(schemas)
+        self._counter = 0
+
+    def compile(self, expr: Expr) -> CompiledQuery:
+        """Compile an expression tree to a :class:`CompiledQuery`."""
+        label, attributes, operations = self._compile(expr)
+        return CompiledQuery(tuple(operations), label, attributes)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _fresh_label(self) -> str:
+        label = f"q{self._counter}"
+        self._counter += 1
+        while self.scheme.has_node_label(label):
+            label = f"q{self._counter}"
+            self._counter += 1
+        return label
+
+    def _declare(self, label: str, attributes: Tuple[str, ...]) -> None:
+        self.scheme.add_object_label(label)
+        for attribute in attributes:
+            if attribute not in self.scheme.functional_edge_labels:
+                self.scheme.add_functional_edge_label(attribute)
+            self.scheme.add_property(label, attribute, VALUE_LABEL)
+
+    def _tuple_pattern(
+        self, pattern: Pattern, class_label: str, attributes: Tuple[str, ...], value_nodes: Dict[str, int]
+    ) -> int:
+        """Add one tuple node with all attribute edges to ``pattern``.
+
+        ``value_nodes`` maps attribute → pattern value node; missing
+        entries get fresh bare value nodes (recorded back into the
+        dict).
+        """
+        tuple_node = pattern.add_node(class_label)
+        for attribute in attributes:
+            if attribute not in value_nodes:
+                value_nodes[attribute] = pattern.add_node(VALUE_LABEL)
+            pattern.add_edge(tuple_node, attribute, value_nodes[attribute])
+        return tuple_node
+
+    def _schema_of(self, expr: Expr) -> Tuple[str, ...]:
+        if isinstance(expr, Rel):
+            try:
+                return self.schemas[expr.name]
+            except KeyError:
+                raise AlgebraError(f"unknown relation {expr.name!r}") from None
+        if isinstance(expr, Select):
+            return self._schema_of(expr.child)
+        if isinstance(expr, Project):
+            return expr.attributes
+        if isinstance(expr, Product):
+            return self._schema_of(expr.left) + self._schema_of(expr.right)
+        if isinstance(expr, (Union, Difference)):
+            return self._schema_of(expr.left)
+        if isinstance(expr, Rename):
+            mapping = dict(expr.mapping)
+            return tuple(mapping.get(a, a) for a in self._schema_of(expr.child))
+        raise AlgebraError(f"unknown expression {expr!r}")
+
+    def _compile(self, expr: Expr) -> Tuple[str, Tuple[str, ...], List[Operation]]:
+        if isinstance(expr, Rel):
+            return expr.name, self._schema_of(expr), []
+
+        if isinstance(expr, Select):
+            child_label, child_attrs, ops = self._compile(expr.child)
+            result = self._fresh_label()
+            self._declare(result, child_attrs)
+            pattern = Pattern(self.scheme)
+            # union-find over attributes forced equal by AttrEq
+            leader: Dict[str, str] = {a: a for a in child_attrs}
+
+            def find(a: str) -> str:
+                while leader[a] != a:
+                    leader[a] = leader[leader[a]]
+                    a = leader[a]
+                return a
+
+            constants: List[Tuple[str, object]] = []
+            for condition in expr.conditions:
+                if isinstance(condition, AttrEq):
+                    if condition.left not in leader or condition.right not in leader:
+                        raise AlgebraError(f"selection condition {condition!r} out of schema")
+                    leader[find(condition.left)] = find(condition.right)
+                elif isinstance(condition, AttrConst):
+                    if condition.attribute not in leader:
+                        raise AlgebraError(f"selection condition {condition!r} out of schema")
+                    constants.append((condition.attribute, condition.value))
+                else:
+                    raise AlgebraError(f"unknown condition {condition!r}")
+            # two different constants forced onto one equality class
+            # make the selection unsatisfiable: emit no operation at
+            # all (the result class simply stays empty)
+            class_constant: Dict[str, object] = {}
+            impossible = False
+            for attribute, value in constants:
+                root = find(attribute)
+                if root in class_constant and class_constant[root] != value:
+                    impossible = True
+                class_constant[root] = value
+            if impossible:
+                return result, child_attrs, ops
+            value_nodes: Dict[str, int] = {}
+            shared: Dict[str, int] = {}
+            for attribute in child_attrs:
+                root = find(attribute)
+                if root not in shared:
+                    if root in class_constant:
+                        # get-or-create: two equality classes pinned to
+                        # the same constant share the unique value node
+                        shared[root] = pattern.printable(VALUE_LABEL, class_constant[root])
+                    else:
+                        shared[root] = pattern.add_node(VALUE_LABEL)
+                value_nodes[attribute] = shared[root]
+            self._tuple_pattern(pattern, child_label, child_attrs, value_nodes)
+            ops = ops + [
+                NodeAddition(pattern, result, [(a, value_nodes[a]) for a in child_attrs])
+            ]
+            return result, child_attrs, ops
+
+        if isinstance(expr, Project):
+            child_label, child_attrs, ops = self._compile(expr.child)
+            for attribute in expr.attributes:
+                if attribute not in child_attrs:
+                    raise AlgebraError(f"projection attribute {attribute!r} not in {child_attrs!r}")
+            result = self._fresh_label()
+            self._declare(result, tuple(expr.attributes))
+            pattern = Pattern(self.scheme)
+            value_nodes: Dict[str, int] = {}
+            self._tuple_pattern(pattern, child_label, child_attrs, value_nodes)
+            ops = ops + [
+                NodeAddition(pattern, result, [(a, value_nodes[a]) for a in expr.attributes])
+            ]
+            return result, tuple(expr.attributes), ops
+
+        if isinstance(expr, Product):
+            left_label, left_attrs, left_ops = self._compile(expr.left)
+            right_label, right_attrs, right_ops = self._compile(expr.right)
+            overlap = set(left_attrs) & set(right_attrs)
+            if overlap:
+                raise AlgebraError(f"product operands share attributes {sorted(overlap)!r}")
+            combined = left_attrs + right_attrs
+            result = self._fresh_label()
+            self._declare(result, combined)
+            pattern = Pattern(self.scheme)
+            value_nodes: Dict[str, int] = {}
+            self._tuple_pattern(pattern, left_label, left_attrs, value_nodes)
+            self._tuple_pattern(pattern, right_label, right_attrs, value_nodes)
+            ops = left_ops + right_ops + [
+                NodeAddition(pattern, result, [(a, value_nodes[a]) for a in combined])
+            ]
+            return result, combined, ops
+
+        if isinstance(expr, Union):
+            left_label, left_attrs, left_ops = self._compile(expr.left)
+            right_label, right_attrs, right_ops = self._compile(expr.right)
+            if left_attrs != right_attrs:
+                raise AlgebraError("union operands are not union-compatible")
+            result = self._fresh_label()
+            self._declare(result, left_attrs)
+            ops = left_ops + right_ops
+            for source_label in (left_label, right_label):
+                pattern = Pattern(self.scheme)
+                value_nodes: Dict[str, int] = {}
+                self._tuple_pattern(pattern, source_label, left_attrs, value_nodes)
+                ops.append(
+                    NodeAddition(pattern, result, [(a, value_nodes[a]) for a in left_attrs])
+                )
+            return result, left_attrs, ops
+
+        if isinstance(expr, Difference):
+            left_label, left_attrs, left_ops = self._compile(expr.left)
+            right_label, right_attrs, right_ops = self._compile(expr.right)
+            if left_attrs != right_attrs:
+                raise AlgebraError("difference operands are not union-compatible")
+            result = self._fresh_label()
+            self._declare(result, left_attrs)
+            positive = Pattern(self.scheme)
+            value_nodes: Dict[str, int] = {}
+            self._tuple_pattern(positive, left_label, left_attrs, value_nodes)
+            negated = NegatedPattern(positive)
+            extension = positive.copy()
+            self._tuple_pattern(extension, right_label, right_attrs, dict(value_nodes))
+            negated.forbid(extension)
+            ops = left_ops + right_ops + [
+                NodeAddition(negated, result, [(a, value_nodes[a]) for a in left_attrs])
+            ]
+            return result, left_attrs, ops
+
+        if isinstance(expr, Rename):
+            child_label, child_attrs, ops = self._compile(expr.child)
+            mapping = dict(expr.mapping)
+            renamed = tuple(mapping.get(a, a) for a in child_attrs)
+            if len(set(renamed)) != len(renamed):
+                raise AlgebraError(f"rename produces duplicate attributes {renamed!r}")
+            result = self._fresh_label()
+            self._declare(result, renamed)
+            pattern = Pattern(self.scheme)
+            value_nodes: Dict[str, int] = {}
+            self._tuple_pattern(pattern, child_label, child_attrs, value_nodes)
+            ops = ops + [
+                NodeAddition(
+                    pattern,
+                    result,
+                    [
+                        (new, value_nodes[old])
+                        for old, new in zip(child_attrs, renamed)
+                    ],
+                )
+            ]
+            return result, renamed, ops
+
+        raise AlgebraError(f"unknown expression {expr!r}")

@@ -1,0 +1,71 @@
+"""Relations as GOOD classes (Section 4.3).
+
+"Suppose we represent a relation R with attributes A1 A2 A3 with
+domains D1, D2, D3 as a class R with functional edges labeled A1, A2,
+A3 to printable classes D1, D2, D3.  Tuples of R are represented by
+objects of this class."
+
+We use a single catch-all printable class ``V`` for all attribute
+domains (the values of the generated test databases are mixed strings
+and numbers; the simulation is domain-agnostic).  Every tuple is one
+object; every attribute one functional edge to the unique printable
+node carrying its value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.instance import Instance
+from repro.core.scheme import Scheme
+from repro.core.labels import ANY_DOMAIN
+from repro.relcomp.relations import Relation, RelationalDatabase
+
+#: The printable class holding all attribute values.
+VALUE_LABEL = "V"
+
+
+def encode_database(db: RelationalDatabase) -> Tuple[Scheme, Instance]:
+    """Encode every relation of ``db`` as a GOOD class with tuples."""
+    scheme = Scheme()
+    scheme.add_printable_label(VALUE_LABEL, ANY_DOMAIN)
+    for name, relation in db.items():
+        scheme.add_object_label(name)
+        for attribute in relation.attributes:
+            if attribute not in scheme.functional_edge_labels:
+                scheme.add_functional_edge_label(attribute)
+            scheme.add_property(name, attribute, VALUE_LABEL)
+    instance = Instance(scheme)
+    for name, relation in db.items():
+        for row in relation.sorted_rows():
+            node = instance.add_object(name)
+            for attribute, value in zip(relation.attributes, row):
+                instance.add_edge(node, attribute, instance.printable(VALUE_LABEL, value))
+    return scheme, instance
+
+
+def decode_relation(instance: Instance, class_label: str, attributes: Tuple[str, ...]) -> Relation:
+    """Read a class back into a relation.
+
+    Tuples come from the objects of ``class_label``; objects missing
+    an attribute edge are skipped (the compiler never produces such
+    partial objects, but user-edited instances may contain them).
+    """
+    rows = []
+    for node in sorted(instance.nodes_with_label(class_label)):
+        row = []
+        complete = True
+        for attribute in attributes:
+            target = instance.functional_target(node, attribute)
+            if target is None:
+                complete = False
+                break
+            row.append(instance.print_of(target))
+        if complete:
+            rows.append(tuple(row))
+    return Relation(tuple(attributes), frozenset(rows))
+
+
+def attribute_map(db: RelationalDatabase) -> Dict[str, Tuple[str, ...]]:
+    """Relation name → attribute tuple, for convenience."""
+    return {name: relation.attributes for name, relation in db.items()}

@@ -1,0 +1,231 @@
+"""Nested relations through GOOD with abstraction (experiment C2).
+
+"By adding abstraction, one can moreover simulate the nested relational
+algebra.  Nested relations are represented in an analogous manner as
+standard relations, now using also multivalued edges.  The abstraction
+operation is needed in this case to obtain 'faithful' simulations of
+relation-valued attributes, meaning that duplicate relations can be
+eliminated."
+
+We implement one level of nesting (Schek/Scholl-style relations with
+one set-valued attribute), the ``nest``/``unnest`` operators, and the
+GOOD pipelines computing them:
+
+* **nest** — a node addition keyed on the atomic attributes (the reuse
+  check groups for free) followed by an edge addition attaching the
+  set members through a multivalued edge;
+* **unnest** — a node addition over the (tuple, member) pattern;
+* **distinct set values** — *this* is where abstraction is essential:
+  projecting a nested relation onto its set-valued attribute must
+  identify tuples whose member sets are extensionally equal, which the
+  additions/deletions fragment cannot do; one abstraction operation
+  over the member edge does it.
+
+The direct evaluator (:class:`NestedRelation` methods) is the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.core.instance import Instance
+from repro.core.operations import Abstraction, EdgeAddition, NodeAddition
+from repro.core.pattern import Pattern
+from repro.core.program import Program
+from repro.relcomp.encoding import VALUE_LABEL
+from repro.relcomp.relations import AlgebraError, Relation
+
+#: Multivalued edge label holding set-attribute members.
+MEMBER_EDGE = "member"
+
+
+@dataclass(frozen=True)
+class NestedRelation:
+    """Atomic attributes plus one set-valued attribute.
+
+    Rows are (atomic value tuple, frozenset of member values).
+    """
+
+    attributes: Tuple[str, ...]
+    set_attribute: str
+    rows: FrozenSet[Tuple[Tuple[Any, ...], FrozenSet[Any]]]
+
+    @staticmethod
+    def build(
+        attributes: Sequence[str],
+        set_attribute: str,
+        rows: Sequence[Tuple[Sequence[Any], Sequence[Any]]],
+    ) -> "NestedRelation":
+        """Validated constructor."""
+        attrs = tuple(attributes)
+        if set_attribute in attrs:
+            raise AlgebraError("set attribute must not repeat an atomic attribute")
+        frozen = frozenset((tuple(atomic), frozenset(members)) for atomic, members in rows)
+        for atomic, _ in frozen:
+            if len(atomic) != len(attrs):
+                raise AlgebraError(f"row {atomic!r} does not fit attributes {attrs!r}")
+        return NestedRelation(attrs, set_attribute, frozen)
+
+    # ------------------------------------------------------------------
+    # direct (oracle) semantics
+    # ------------------------------------------------------------------
+    @staticmethod
+    def nest(flat: Relation, nested_attribute: str, set_attribute: str) -> "NestedRelation":
+        """Group a flat relation on all attributes but one."""
+        index = flat.column(nested_attribute)
+        keep = tuple(a for a in flat.attributes if a != nested_attribute)
+        keep_indexes = [flat.column(a) for a in keep]
+        groups: Dict[Tuple[Any, ...], Set[Any]] = {}
+        for row in flat.rows:
+            key = tuple(row[i] for i in keep_indexes)
+            groups.setdefault(key, set()).add(row[index])
+        return NestedRelation(
+            keep,
+            set_attribute,
+            frozenset((key, frozenset(members)) for key, members in groups.items()),
+        )
+
+    def unnest(self, member_attribute: str) -> Relation:
+        """Flatten back: one row per (tuple, member)."""
+        rows = set()
+        for atomic, members in self.rows:
+            for member in members:
+                rows.add(atomic + (member,))
+        return Relation(self.attributes + (member_attribute,), frozenset(rows))
+
+    def distinct_sets(self) -> FrozenSet[FrozenSet[Any]]:
+        """The extensionally distinct set values (π onto the set attr)."""
+        return frozenset(members for _, members in self.rows)
+
+
+# ----------------------------------------------------------------------
+# GOOD pipelines
+# ----------------------------------------------------------------------
+
+
+def nest_via_good(
+    instance: Instance,
+    class_label: str,
+    attributes: Tuple[str, ...],
+    nested_attribute: str,
+    result_label: str,
+) -> Instance:
+    """Materialise ``nest`` as a GOOD program; returns the new instance.
+
+    Result objects of ``result_label`` carry the atomic attributes as
+    functional edges and the set members through the multivalued
+    ``member`` edge.
+    """
+    if nested_attribute not in attributes:
+        raise AlgebraError(f"{nested_attribute!r} is not an attribute of {class_label!r}")
+    keep = tuple(a for a in attributes if a != nested_attribute)
+    scheme = instance.scheme.copy()
+    if not scheme.is_object_label(result_label):
+        scheme.add_object_label(result_label)
+    if MEMBER_EDGE not in scheme.multivalued_edge_labels:
+        scheme.add_multivalued_edge_label(MEMBER_EDGE)
+    scheme.add_property(result_label, MEMBER_EDGE, VALUE_LABEL)
+    for attribute in keep:
+        scheme.add_property(result_label, attribute, VALUE_LABEL)
+
+    # step 1: one result node per distinct atomic-attribute combination
+    key_pattern = Pattern(scheme)
+    value_nodes: Dict[str, int] = {}
+    tuple_node = key_pattern.add_node(class_label)
+    for attribute in attributes:
+        value_nodes[attribute] = key_pattern.add_node(VALUE_LABEL)
+        key_pattern.add_edge(tuple_node, attribute, value_nodes[attribute])
+    group = NodeAddition(key_pattern, result_label, [(a, value_nodes[a]) for a in keep])
+
+    # step 2: attach the members through the multivalued edge
+    attach_pattern = Pattern(scheme)
+    attach_values: Dict[str, int] = {}
+    flat_node = attach_pattern.add_node(class_label)
+    for attribute in attributes:
+        attach_values[attribute] = attach_pattern.add_node(VALUE_LABEL)
+        attach_pattern.add_edge(flat_node, attribute, attach_values[attribute])
+    group_node = attach_pattern.add_node(result_label)
+    for attribute in keep:
+        attach_pattern.add_edge(group_node, attribute, attach_values[attribute])
+    attach = EdgeAddition(
+        attach_pattern, [(group_node, MEMBER_EDGE, attach_values[nested_attribute])]
+    )
+
+    working = instance.copy(scheme=scheme)
+    Program([group, attach]).run(working, in_place=True)
+    return working
+
+
+def unnest_via_good(
+    instance: Instance,
+    class_label: str,
+    attributes: Tuple[str, ...],
+    member_attribute: str,
+    result_label: str,
+) -> Instance:
+    """Materialise ``unnest`` as one node addition."""
+    scheme = instance.scheme.copy()
+    pattern = Pattern(scheme)
+    value_nodes: Dict[str, int] = {}
+    nested_node = pattern.add_node(class_label)
+    for attribute in attributes:
+        value_nodes[attribute] = pattern.add_node(VALUE_LABEL)
+        pattern.add_edge(nested_node, attribute, value_nodes[attribute])
+    member_node = pattern.add_node(VALUE_LABEL)
+    pattern.add_edge(nested_node, MEMBER_EDGE, member_node)
+    flatten = NodeAddition(
+        pattern,
+        result_label,
+        [(a, value_nodes[a]) for a in attributes] + [(member_attribute, member_node)],
+    )
+    working = instance.copy(scheme=scheme)
+    Program([flatten]).run(working, in_place=True)
+    return working
+
+
+def distinct_sets_via_good(
+    instance: Instance, class_label: str, set_class_label: str
+) -> Instance:
+    """One abstraction: a set object per distinct member extension.
+
+    ``set_class_label`` objects point to the members of their class
+    through ``contains`` edges; their count equals
+    :meth:`NestedRelation.distinct_sets` — this is the duplicate
+    elimination the paper says needs abstraction.
+    """
+    scheme = instance.scheme.copy()
+    pattern = Pattern(scheme)
+    node = pattern.add_node(class_label)
+    abstraction = Abstraction(
+        pattern, node, set_class_label, alpha=MEMBER_EDGE, beta="contains"
+    )
+    working = instance.copy(scheme=scheme)
+    Program([abstraction]).run(working, in_place=True)
+    return working
+
+
+def decode_nested(
+    instance: Instance,
+    class_label: str,
+    attributes: Tuple[str, ...],
+    set_attribute: str,
+) -> NestedRelation:
+    """Read a nested class back into a :class:`NestedRelation`."""
+    rows: List[Tuple[Tuple[Any, ...], FrozenSet[Any]]] = []
+    for node in sorted(instance.nodes_with_label(class_label)):
+        atomic = []
+        complete = True
+        for attribute in attributes:
+            target = instance.functional_target(node, attribute)
+            if target is None:
+                complete = False
+                break
+            atomic.append(instance.print_of(target))
+        if not complete:
+            continue
+        members = frozenset(
+            instance.print_of(t) for t in instance.out_neighbours(node, MEMBER_EDGE)
+        )
+        rows.append((tuple(atomic), members))
+    return NestedRelation(attributes, set_attribute, frozenset(rows))

@@ -1,0 +1,265 @@
+"""A standalone relational algebra (the correctness oracle for C1).
+
+Relations are sets of tuples over a named attribute list; the algebra
+is Codd's: selection (attribute = attribute, attribute = constant),
+projection, cartesian product, union, difference and renaming.  The
+direct evaluator here defines the semantics the GOOD compiler of
+:mod:`repro.relcomp.compiler` must reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.core.errors import GoodError
+
+
+class AlgebraError(GoodError):
+    """Ill-typed relational algebra expression."""
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation: named attributes and a set of equal-length tuples."""
+
+    attributes: Tuple[str, ...]
+    rows: FrozenSet[Tuple[Any, ...]]
+
+    @staticmethod
+    def build(attributes: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Validated constructor."""
+        attrs = tuple(attributes)
+        if len(set(attrs)) != len(attrs):
+            raise AlgebraError(f"duplicate attribute names in {attrs!r}")
+        frozen = frozenset(tuple(row) for row in rows)
+        for row in frozen:
+            if len(row) != len(attrs):
+                raise AlgebraError(f"row {row!r} does not fit attributes {attrs!r}")
+        return Relation(attrs, frozen)
+
+    def column(self, attribute: str) -> int:
+        """Index of an attribute."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise AlgebraError(f"no attribute {attribute!r} in {self.attributes!r}") from None
+
+    @property
+    def cardinality(self) -> int:
+        """Number of tuples."""
+        return len(self.rows)
+
+    def sorted_rows(self) -> List[Tuple[Any, ...]]:
+        """Rows in a deterministic order."""
+        return sorted(self.rows, key=repr)
+
+
+class RelationalDatabase:
+    """A named collection of relations."""
+
+    def __init__(self, relations: Mapping[str, Relation] = ()) -> None:
+        self._relations: Dict[str, Relation] = dict(relations)
+
+    def add(self, name: str, relation: Relation) -> "RelationalDatabase":
+        """Register a relation under ``name``."""
+        self._relations[name] = relation
+        return self
+
+    def get(self, name: str) -> Relation:
+        """Look a relation up."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise AlgebraError(f"unknown relation {name!r}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All relation names, sorted."""
+        return tuple(sorted(self._relations))
+
+    def items(self):
+        """(name, relation) pairs, sorted by name."""
+        return sorted(self._relations.items())
+
+
+# ----------------------------------------------------------------------
+# expression trees
+# ----------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of algebra expressions."""
+
+    def schema(self, db: RelationalDatabase) -> Tuple[str, ...]:
+        """The attribute tuple the expression produces."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Rel(Expr):
+    """A base relation by name."""
+
+    name: str
+
+    def schema(self, db: RelationalDatabase) -> Tuple[str, ...]:
+        return db.get(self.name).attributes
+
+
+@dataclass(frozen=True)
+class AttrEq:
+    """Condition: two attributes are equal."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True)
+class AttrConst:
+    """Condition: an attribute equals a constant."""
+
+    attribute: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """σ with a conjunction of equality conditions."""
+
+    child: Expr
+    conditions: Tuple[Any, ...]  # AttrEq | AttrConst
+
+    def schema(self, db: RelationalDatabase) -> Tuple[str, ...]:
+        return self.child.schema(db)
+
+
+@dataclass(frozen=True)
+class Project(Expr):
+    """π onto a subset of attributes (set semantics)."""
+
+    child: Expr
+    attributes: Tuple[str, ...]
+
+    def schema(self, db: RelationalDatabase) -> Tuple[str, ...]:
+        child_schema = self.child.schema(db)
+        for attribute in self.attributes:
+            if attribute not in child_schema:
+                raise AlgebraError(f"projection attribute {attribute!r} not in {child_schema!r}")
+        return self.attributes
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    """Cartesian product (operand schemas must be disjoint)."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self, db: RelationalDatabase) -> Tuple[str, ...]:
+        left_schema = self.left.schema(db)
+        right_schema = self.right.schema(db)
+        overlap = set(left_schema) & set(right_schema)
+        if overlap:
+            raise AlgebraError(f"product operands share attributes {sorted(overlap)!r}")
+        return left_schema + right_schema
+
+
+@dataclass(frozen=True)
+class Union(Expr):
+    """Set union of union-compatible operands."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self, db: RelationalDatabase) -> Tuple[str, ...]:
+        left_schema = self.left.schema(db)
+        if left_schema != self.right.schema(db):
+            raise AlgebraError("union operands are not union-compatible")
+        return left_schema
+
+
+@dataclass(frozen=True)
+class Difference(Expr):
+    """Set difference of union-compatible operands."""
+
+    left: Expr
+    right: Expr
+
+    def schema(self, db: RelationalDatabase) -> Tuple[str, ...]:
+        left_schema = self.left.schema(db)
+        if left_schema != self.right.schema(db):
+            raise AlgebraError("difference operands are not union-compatible")
+        return left_schema
+
+
+@dataclass(frozen=True)
+class Rename(Expr):
+    """ρ: rename attributes via a mapping old → new."""
+
+    child: Expr
+    mapping: Tuple[Tuple[str, str], ...]
+
+    @staticmethod
+    def of(child: Expr, mapping: Mapping[str, str]) -> "Rename":
+        """Convenience constructor from a dict."""
+        return Rename(child, tuple(sorted(mapping.items())))
+
+    def schema(self, db: RelationalDatabase) -> Tuple[str, ...]:
+        child_schema = self.child.schema(db)
+        as_dict = dict(self.mapping)
+        renamed = tuple(as_dict.get(attribute, attribute) for attribute in child_schema)
+        if len(set(renamed)) != len(renamed):
+            raise AlgebraError(f"rename produces duplicate attributes {renamed!r}")
+        return renamed
+
+
+# ----------------------------------------------------------------------
+# direct evaluator
+# ----------------------------------------------------------------------
+
+
+def evaluate(expr: Expr, db: RelationalDatabase) -> Relation:
+    """Evaluate an expression bottom-up; the oracle semantics."""
+    if isinstance(expr, Rel):
+        return db.get(expr.name)
+    if isinstance(expr, Select):
+        child = evaluate(expr.child, db)
+        rows = set(child.rows)
+        for condition in expr.conditions:
+            if isinstance(condition, AttrEq):
+                li, ri = child.column(condition.left), child.column(condition.right)
+                rows = {row for row in rows if row[li] == row[ri]}
+            elif isinstance(condition, AttrConst):
+                index = child.column(condition.attribute)
+                rows = {row for row in rows if row[index] == condition.value}
+            else:
+                raise AlgebraError(f"unknown condition {condition!r}")
+        return Relation(child.attributes, frozenset(rows))
+    if isinstance(expr, Project):
+        child = evaluate(expr.child, db)
+        indexes = [child.column(attribute) for attribute in expr.attributes]
+        return Relation(
+            tuple(expr.attributes),
+            frozenset(tuple(row[i] for i in indexes) for row in child.rows),
+        )
+    if isinstance(expr, Product):
+        expr.schema(db)  # type check
+        left = evaluate(expr.left, db)
+        right = evaluate(expr.right, db)
+        return Relation(
+            left.attributes + right.attributes,
+            frozenset(lrow + rrow for lrow in left.rows for rrow in right.rows),
+        )
+    if isinstance(expr, Union):
+        expr.schema(db)
+        left = evaluate(expr.left, db)
+        right = evaluate(expr.right, db)
+        return Relation(left.attributes, left.rows | right.rows)
+    if isinstance(expr, Difference):
+        expr.schema(db)
+        left = evaluate(expr.left, db)
+        right = evaluate(expr.right, db)
+        return Relation(left.attributes, left.rows - right.rows)
+    if isinstance(expr, Rename):
+        child = evaluate(expr.child, db)
+        return Relation(expr.schema(db), child.rows)
+    raise AlgebraError(f"unknown expression {expr!r}")

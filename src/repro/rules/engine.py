@@ -1,0 +1,201 @@
+"""The rule engine: conditions, actions, stratification, fixpoint.
+
+A rule's *condition* is a pattern (plain or crossed); its *action* is
+a node or edge addition over that pattern — precisely the paper's
+reading of an operation as a rule.  A rule program derives the
+simultaneous fixpoint of its rules, stratum by stratum:
+
+* within a stratum, rules are applied round-robin until none adds
+  anything (the additions' reuse checks make this a clean fixpoint);
+* a rule whose condition *negates* a label (mentions it only in a
+  crossed extension) must live in a strictly later stratum than every
+  rule deriving that label — the classical stratification requirement;
+  programs with negative cycles raise :class:`StratificationError`.
+
+Deletions are deliberately not rule actions: rules describe a least
+model, and the basic language's deletions remain available around rule
+programs (exactly how Fig. 27 uses them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple, Union
+
+from repro.core.errors import GoodError, OperationError
+from repro.core.instance import Instance
+from repro.core.operations import EdgeAddition, NodeAddition, OperationReport
+from repro.core.pattern import NegatedPattern, Pattern
+
+RuleAction = Union[NodeAddition, EdgeAddition]
+
+
+class StratificationError(GoodError):
+    """The rule program negates through a derivation cycle."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named condition/action rule."""
+
+    name: str
+    action: RuleAction
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.action, (NodeAddition, EdgeAddition)):
+            raise OperationError(
+                f"rule {self.name!r}: actions must be node or edge additions, "
+                f"not {type(self.action).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    # label analysis (for stratification)
+    # ------------------------------------------------------------------
+    @property
+    def condition(self) -> Union[Pattern, NegatedPattern]:
+        """The rule's condition pattern."""
+        return self.action.source_pattern
+
+    def derived_labels(self) -> FrozenSet[str]:
+        """Labels this rule's action can introduce."""
+        if isinstance(self.action, NodeAddition):
+            labels = {self.action.node_label}
+            labels.update(edge_label for edge_label, _ in self.action.edges)
+            return frozenset(labels)
+        return frozenset(edge_label for _, edge_label, _ in self.action.edges)
+
+    def positive_labels(self) -> FrozenSet[str]:
+        """Labels the condition requires to be present."""
+        pattern = self.action.positive_pattern
+        labels: Set[str] = set()
+        for node_id in pattern.nodes():
+            labels.add(pattern.label_of(node_id))
+        for edge in pattern.edges():
+            labels.add(edge.label)
+        return frozenset(labels)
+
+    def negated_labels(self) -> FrozenSet[str]:
+        """Labels occurring only in the crossed extensions."""
+        source = self.action.source_pattern
+        if not isinstance(source, NegatedPattern):
+            return frozenset()
+        positive_nodes = set(source.positive.nodes())
+        positive_edges = {edge.as_tuple() for edge in source.positive.edges()}
+        labels: Set[str] = set()
+        for extension in source.extensions:
+            for node_id in extension.nodes():
+                if node_id not in positive_nodes:
+                    labels.add(extension.label_of(node_id))
+            for edge in extension.edges():
+                if edge.as_tuple() not in positive_edges:
+                    labels.add(edge.label)
+        return frozenset(labels)
+
+
+class RuleProgram:
+    """A set of rules with stratified fixpoint evaluation."""
+
+    def __init__(self, rules: Sequence[Rule] = (), max_rounds: int = 10_000) -> None:
+        self.rules: List[Rule] = list(rules)
+        self.max_rounds = max_rounds
+        names = [rule.name for rule in self.rules]
+        if len(set(names)) != len(names):
+            raise OperationError(f"duplicate rule names in {names!r}")
+
+    def add(self, rule: Rule) -> "RuleProgram":
+        """Append a rule; returns ``self`` for chaining."""
+        if any(existing.name == rule.name for existing in self.rules):
+            raise OperationError(f"duplicate rule name {rule.name!r}")
+        self.rules.append(rule)
+        return self
+
+    # ------------------------------------------------------------------
+    # stratification
+    # ------------------------------------------------------------------
+    def strata(self) -> List[List[Rule]]:
+        """Group the rules into evaluation strata.
+
+        Label strata are computed by relaxation: a derived label must
+        sit no lower than the derived labels its rules use positively,
+        and strictly above those they negate.  A program needing more
+        strata than it has labels contains a negative cycle.
+        """
+        derived: Dict[str, List[Rule]] = {}
+        for rule in self.rules:
+            for label in rule.derived_labels():
+                derived.setdefault(label, []).append(rule)
+        stratum: Dict[str, int] = {label: 0 for label in derived}
+        limit = len(derived) + 1
+        for _ in range(limit + 1):
+            changed = False
+            for rule in self.rules:
+                heads = rule.derived_labels()
+                floor = 0
+                for label in rule.positive_labels():
+                    if label in stratum:
+                        floor = max(floor, stratum[label])
+                for label in rule.negated_labels():
+                    if label in stratum:
+                        floor = max(floor, stratum[label] + 1)
+                for head in heads:
+                    if stratum[head] < floor:
+                        stratum[head] = floor
+                        changed = True
+            if not changed:
+                break
+        else:  # pragma: no cover - loop always breaks or raises below
+            pass
+        if any(level > limit for level in stratum.values()):
+            raise StratificationError(
+                "the rule program negates a label through its own derivation cycle"
+            )
+        # one more relaxation proves there is no pending increase
+        for rule in self.rules:
+            for label in rule.negated_labels():
+                if label in stratum:
+                    for head in rule.derived_labels():
+                        if stratum[head] <= stratum[label]:
+                            raise StratificationError(
+                                f"rule {rule.name!r} negates {label!r} which its own "
+                                "stratum derives"
+                            )
+        grouped: Dict[int, List[Rule]] = {}
+        for rule in self.rules:
+            level = max((stratum[h] for h in rule.derived_labels()), default=0)
+            grouped.setdefault(level, []).append(rule)
+        return [grouped[level] for level in sorted(grouped)]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def run(
+        self, instance: Instance, in_place: bool = False
+    ) -> Tuple[Instance, List[OperationReport]]:
+        """Derive the stratified fixpoint; return (instance, reports)."""
+        working = instance if in_place else instance.copy(scheme=instance.scheme.copy())
+        reports: List[OperationReport] = []
+        for stratum_rules in self.strata():
+            rounds = 0
+            while True:
+                rounds += 1
+                if rounds > self.max_rounds:
+                    raise OperationError(
+                        f"rule fixpoint did not converge within {self.max_rounds} rounds"
+                    )
+                progress = False
+                for rule in stratum_rules:
+                    report = rule.action.apply(working)
+                    reports.append(report)
+                    if report.nodes_added or report.edges_added:
+                        progress = True
+                if not progress:
+                    break
+        return working, reports
+
+
+def derive(
+    rules: Sequence[Rule], instance: Instance, in_place: bool = False
+) -> Instance:
+    """One-call stratified fixpoint evaluation."""
+    result, _ = RuleProgram(rules).run(instance, in_place=in_place)
+    return result

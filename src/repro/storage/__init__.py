@@ -1,0 +1,33 @@
+"""The Section 5 relational implementation of GOOD.
+
+"A prototype of the actual data management is implemented on top of a
+relational system.  Classes are stored as relations with attributes for
+the object identifier and the functional properties.  Multivalued edges
+are stored as binary relations.  The set of all matchings of the
+pattern of a GOOD operation is expressed as an SQL query.  The actual
+transformation is performed using SQL's update capabilities."
+
+This package rebuilds that architecture from scratch:
+
+* :mod:`repro.storage.minirel` — a small in-memory relational engine
+  (tables with primary keys and secondary indexes, and a plan algebra
+  of scans, index lookups, hash joins, filters and projections);
+* :mod:`repro.storage.layout` — the GOOD→relations storage layout of
+  the quote above;
+* :mod:`repro.storage.query` — the compiler from GOOD patterns to join
+  plans ("the SQL query");
+* :mod:`repro.storage.engine` — :class:`RelationalEngine`, applying
+  the five basic operations as insert/update/delete batches ("SQL's
+  update capabilities"), re-using the operation objects of
+  :mod:`repro.core.operations` as the logical description.
+
+Differential tests (experiment S1) prove the engine equivalent to the
+native graph engine on random programs.
+"""
+
+from repro.storage.engine import RelationalEngine
+from repro.storage.layout import GoodLayout
+from repro.storage.minirel import Database, Table
+from repro.storage.query import compile_pattern
+
+__all__ = ["Database", "GoodLayout", "RelationalEngine", "Table", "compile_pattern"]

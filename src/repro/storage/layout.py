@@ -1,0 +1,307 @@
+"""The GOOD → relations storage layout (Section 5).
+
+* one directory table ``nodes(oid, label)``;
+* per object class ``L`` a table ``class:L(oid, <one column per
+  functional property of L>)`` — a NULL column encodes an absent
+  functional edge (the paper's "convenient way to allow for incomplete
+  information");
+* per printable class ``P`` a table ``printable:P(oid, value)`` with a
+  secondary index on ``value`` (print values are unique per class);
+* per multivalued edge label ``m`` a binary table ``mv:m(src, dst)``
+  with indexes on both sides.
+
+The layout evolves with the scheme: operations that extend the scheme
+trigger ``ensure_*`` calls which create tables and add (indexed)
+columns on the fly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.errors import BackendError
+from repro.core.instance import Instance
+from repro.core.scheme import Scheme
+from repro.graph.store import NO_PRINT
+from repro.storage.minirel import Database, Table
+
+NODES = "nodes"
+
+
+def class_table(label: str) -> str:
+    """Table name for an object class."""
+    return f"class:{label}"
+
+
+def printable_table(label: str) -> str:
+    """Table name for a printable class."""
+    return f"printable:{label}"
+
+
+def mv_table(label: str) -> str:
+    """Table name for a multivalued edge label."""
+    return f"mv:{label}"
+
+
+class GoodLayout:
+    """A GOOD instance stored relationally."""
+
+    def __init__(self, scheme: Scheme, db: Optional[Database] = None) -> None:
+        self.scheme = scheme
+        self.db = db if db is not None else Database()
+        if not self.db.has_table(NODES):
+            directory = self.db.create_table(NODES, ["oid", "label"], key="oid")
+            directory.create_index("label")
+        self._next_oid = 0
+        for row in self.db.table(NODES).rows():
+            self._next_oid = max(self._next_oid, row["oid"] + 1)
+
+    # ------------------------------------------------------------------
+    # DDL-on-demand
+    # ------------------------------------------------------------------
+    def ensure_class(self, label: str) -> Table:
+        """The class table for ``label``, created on first use."""
+        name = class_table(label)
+        if not self.db.has_table(name):
+            self.db.create_table(name, ["oid"], key="oid")
+        return self.db.table(name)
+
+    def ensure_printable(self, label: str) -> Table:
+        """The printable table for ``label``, created on first use."""
+        name = printable_table(label)
+        if not self.db.has_table(name):
+            table = self.db.create_table(name, ["oid", "value"], key="oid")
+            table.create_index("value")
+        return self.db.table(name)
+
+    def ensure_mv(self, label: str) -> Table:
+        """The binary table for a multivalued label."""
+        name = mv_table(label)
+        if not self.db.has_table(name):
+            table = self.db.create_table(name, ["src", "dst"])
+            table.create_index("src")
+            table.create_index("dst")
+        return self.db.table(name)
+
+    def ensure_column(self, class_label: str, edge_label: str) -> None:
+        """Add (and index) a functional property column."""
+        table = self.ensure_class(class_label)
+        if edge_label not in table.columns:
+            table.add_column(edge_label)
+            table.create_index(edge_label)
+
+    # ------------------------------------------------------------------
+    # node operations
+    # ------------------------------------------------------------------
+    def new_oid(self) -> int:
+        """Hand out a fresh object identifier."""
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    def create_object(self, label: str, oid: Optional[int] = None) -> int:
+        """Insert an object node; return its oid."""
+        if oid is None:
+            oid = self.new_oid()
+        else:
+            self._next_oid = max(self._next_oid, oid + 1)
+        self.db.table(NODES).insert({"oid": oid, "label": label})
+        self.ensure_class(label).insert({"oid": oid})
+        return oid
+
+    def create_printable(self, label: str, value: Any = NO_PRINT, oid: Optional[int] = None) -> int:
+        """Insert a printable node; return its oid."""
+        if oid is None:
+            oid = self.new_oid()
+        else:
+            self._next_oid = max(self._next_oid, oid + 1)
+        self.db.table(NODES).insert({"oid": oid, "label": label})
+        stored = None if value is NO_PRINT else ("v", value)
+        self.ensure_printable(label).insert({"oid": oid, "value": stored})
+        return oid
+
+    def get_or_create_printable(self, label: str, value: Any) -> int:
+        """The unique printable node (label, value), created if absent."""
+        found = self.find_printable(label, value)
+        if found is not None:
+            return found
+        return self.create_printable(label, value)
+
+    def find_printable(self, label: str, value: Any) -> Optional[int]:
+        """Lookup by value through the printable table's index."""
+        table = self.ensure_printable(label)
+        rows = list(table.lookup("value", ("v", value)))
+        return rows[0]["oid"] if rows else None
+
+    def label_of(self, oid: int) -> str:
+        """The node label of an oid (directory lookup)."""
+        row = self.db.table(NODES).get(oid)
+        if row is None:
+            raise BackendError(f"unknown oid {oid!r}")
+        return row["label"]
+
+    def has_node(self, oid: int) -> bool:
+        """Whether the oid exists."""
+        return self.db.table(NODES).get(oid) is not None
+
+    def oids_with_label(self, label: str) -> List[int]:
+        """All oids of a class, sorted."""
+        return sorted(row["oid"] for row in self.db.table(NODES).lookup("label", label))
+
+    def print_of(self, oid: int) -> Any:
+        """The print value of a printable oid (or ``NO_PRINT``)."""
+        label = self.label_of(oid)
+        row = self.ensure_printable(label).get(oid)
+        if row is None or row["value"] is None:
+            return NO_PRINT
+        return row["value"][1]
+
+    def delete_node(self, oid: int) -> int:
+        """Delete a node with all incident edges; return #edges removed.
+
+        Functional references from any class become NULL; multivalued
+        rows touching the oid are deleted.
+        """
+        label = self.label_of(oid)
+        removed = 0
+        # outgoing + incoming functional edges
+        for other_label in sorted(self.scheme.object_labels):
+            name = class_table(other_label)
+            if not self.db.has_table(name):
+                continue
+            table = self.db.table(name)
+            for column in list(table.columns):
+                if column == "oid":
+                    continue
+                for row in list(table.lookup(column, oid)):
+                    table.update(row["oid"], {column: None})
+                    removed += 1
+        # multivalued edges
+        for mv_label in sorted(self.scheme.multivalued_edge_labels):
+            name = mv_table(mv_label)
+            if not self.db.has_table(name):
+                continue
+            table = self.db.table(name)
+            removed += table.delete_where(lambda row: row["src"] == oid or row["dst"] == oid)
+        # the node row itself
+        if self.scheme.is_printable_label(label):
+            self.ensure_printable(label).delete(oid)
+        else:
+            class_row_table = self.ensure_class(label)
+            # outgoing functional edges of the node itself are columns
+            # of its own row; count them before dropping the row
+            row = class_row_table.get(oid)
+            if row is not None:
+                removed += sum(
+                    1 for column, value in row.items() if column != "oid" and value is not None
+                )
+            class_row_table.delete(oid)
+        self.db.table(NODES).delete(oid)
+        return removed
+
+    # ------------------------------------------------------------------
+    # edge operations
+    # ------------------------------------------------------------------
+    def functional_target(self, oid: int, edge_label: str) -> Optional[int]:
+        """The target of a functional edge, or ``None``."""
+        label = self.label_of(oid)
+        table = self.ensure_class(label)
+        if edge_label not in table.columns:
+            return None
+        row = table.get(oid)
+        return None if row is None else row[edge_label]
+
+    def set_functional(self, oid: int, edge_label: str, target: Optional[int]) -> None:
+        """Set (or clear, with ``None``) a functional edge."""
+        label = self.label_of(oid)
+        self.ensure_column(label, edge_label)
+        self.db.table(class_table(label)).update(oid, {edge_label: target})
+
+    def mv_targets(self, oid: int, edge_label: str) -> List[int]:
+        """Targets of a multivalued edge, sorted."""
+        table = self.ensure_mv(edge_label)
+        return sorted(row["dst"] for row in table.lookup("src", oid))
+
+    def mv_sources(self, oid: int, edge_label: str) -> List[int]:
+        """Sources of a multivalued edge, sorted."""
+        table = self.ensure_mv(edge_label)
+        return sorted(row["src"] for row in table.lookup("dst", oid))
+
+    def add_mv(self, src: int, edge_label: str, dst: int) -> bool:
+        """Insert a multivalued edge; ``False`` if already present."""
+        table = self.ensure_mv(edge_label)
+        for row in table.lookup("src", src):
+            if row["dst"] == dst:
+                return False
+        table.insert({"src": src, "dst": dst})
+        return True
+
+    def remove_mv(self, src: int, edge_label: str, dst: int) -> bool:
+        """Delete a multivalued edge; ``False`` if absent."""
+        table = self.ensure_mv(edge_label)
+        return table.delete_where(lambda row: row["src"] == src and row["dst"] == dst) > 0
+
+    def functional_sources(self, target: int, edge_label: str) -> List[int]:
+        """All oids with a functional ``edge_label`` edge to ``target``."""
+        sources: List[int] = []
+        for source_label in sorted(self.scheme.object_labels):
+            name = class_table(source_label)
+            if not self.db.has_table(name):
+                continue
+            table = self.db.table(name)
+            if edge_label not in table.columns:
+                continue
+            sources.extend(row["oid"] for row in table.lookup(edge_label, target))
+        return sorted(sources)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_instance(cls, instance: Instance) -> "GoodLayout":
+        """Load a native instance into a fresh relational layout."""
+        layout = cls(instance.scheme)
+        for node_id in instance.nodes():
+            record = instance.node_record(node_id)
+            if instance.scheme.is_printable_label(record.label):
+                layout.create_printable(record.label, record.print_value, oid=node_id)
+            else:
+                layout.create_object(record.label, oid=node_id)
+        for edge in instance.edges():
+            if instance.scheme.is_functional(edge.label):
+                layout.ensure_column(instance.label_of(edge.source), edge.label)
+                layout.set_functional(edge.source, edge.label, edge.target)
+            else:
+                layout.add_mv(edge.source, edge.label, edge.target)
+        return layout
+
+    def to_instance(self) -> Instance:
+        """Reconstruct a native instance, preserving oids as node ids."""
+        instance = Instance(self.scheme)
+        for row in sorted(self.db.table(NODES).rows(), key=lambda r: r["oid"]):
+            oid, label = row["oid"], row["label"]
+            if self.scheme.is_printable_label(label):
+                value = self.print_of(oid)
+                instance.add_printable(label, value, _node_id=oid)
+            else:
+                instance.add_object(label, _node_id=oid)
+        for label in sorted(self.scheme.object_labels):
+            name = class_table(label)
+            if not self.db.has_table(name):
+                continue
+            table = self.db.table(name)
+            for row in table.rows():
+                for column in table.columns:
+                    if column != "oid" and row[column] is not None:
+                        instance.add_edge(row["oid"], column, row[column])
+        for mv_label in sorted(self.scheme.multivalued_edge_labels):
+            name = mv_table(mv_label)
+            if not self.db.has_table(name):
+                continue
+            for row in self.db.table(name).rows():
+                instance.add_edge(row["src"], mv_label, row["dst"])
+        return instance
+
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return self.db.table(NODES).count()

@@ -1,0 +1,24 @@
+"""The Tarski Data Model implementation of GOOD (Section 5, ref 27).
+
+"At Indiana University, an alternative approach to implementing the
+GOOD system is explored.  There, a binary relational model, called the
+Tarski Data Model, is used to store and compute with GOOD databases.
+The model includes its own (binary) relational algebra, which is
+inspired by Tarski's work."
+
+* :mod:`repro.tarski.algebra` — binary relations and Tarski's relation
+  algebra: union, intersection, difference, converse, composition,
+  identity/diversity over a universe, domain/range restriction;
+* :mod:`repro.tarski.engine` — :class:`TarskiEngine`: a GOOD instance
+  stored purely as binary relations (one per edge label, plus the
+  node-label and print-value relations), pattern matching driven by
+  arc-consistency over algebra expressions, and the five basic
+  operations as relation updates.
+
+Experiment S2 proves the engine equivalent to the native graph engine.
+"""
+
+from repro.tarski.algebra import BinaryRelation
+from repro.tarski.engine import TarskiEngine
+
+__all__ = ["BinaryRelation", "TarskiEngine"]

@@ -1,0 +1,208 @@
+"""Binary relations and (a finite fragment of) Tarski's algebra.
+
+A :class:`BinaryRelation` is a set of ordered pairs with the classical
+operations of the calculus of relations:
+
+* Boolean: union, intersection, difference;
+* Peircean: composition (``;``), converse (``˘``);
+* constants relative to a finite universe: identity, diversity, the
+  universal relation;
+* derived helpers used by the GOOD engine: domain, range, restriction
+  of either side to a set, image of a set.
+
+Everything is immutable; operators are overloaded (``|``, ``&``, ``-``,
+``@`` for composition, ``~r`` is *not* complement but converse — the
+complement needs a universe, use :meth:`complement`).  Pair iteration
+is deterministic (sorted).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, Tuple, Any, Dict, Set
+
+Pair = Tuple[Any, Any]
+
+
+class BinaryRelation:
+    """An immutable set of ordered pairs with relation algebra ops."""
+
+    __slots__ = ("_pairs", "_by_left", "_by_right")
+
+    def __init__(self, pairs: Iterable[Pair] = ()) -> None:
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+        by_left: Dict[Any, Set[Any]] = {}
+        by_right: Dict[Any, Set[Any]] = {}
+        for left, right in self._pairs:
+            by_left.setdefault(left, set()).add(right)
+            by_right.setdefault(right, set()).add(left)
+        self._by_left = by_left
+        self._by_right = by_right
+
+    # ------------------------------------------------------------------
+    # constants
+    # ------------------------------------------------------------------
+    @staticmethod
+    def identity(universe: Iterable[Any]) -> "BinaryRelation":
+        """The identity relation over ``universe``."""
+        return BinaryRelation((x, x) for x in universe)
+
+    @staticmethod
+    def universal(universe: Iterable[Any]) -> "BinaryRelation":
+        """The universal relation over ``universe``."""
+        items = list(universe)
+        return BinaryRelation((x, y) for x in items for y in items)
+
+    @staticmethod
+    def empty() -> "BinaryRelation":
+        """The empty relation."""
+        return BinaryRelation()
+
+    # ------------------------------------------------------------------
+    # Boolean operations
+    # ------------------------------------------------------------------
+    def union(self, other: "BinaryRelation") -> "BinaryRelation":
+        """Set union."""
+        return BinaryRelation(self._pairs | other._pairs)
+
+    def intersection(self, other: "BinaryRelation") -> "BinaryRelation":
+        """Set intersection."""
+        return BinaryRelation(self._pairs & other._pairs)
+
+    def difference(self, other: "BinaryRelation") -> "BinaryRelation":
+        """Set difference."""
+        return BinaryRelation(self._pairs - other._pairs)
+
+    def complement(self, universe: Iterable[Any]) -> "BinaryRelation":
+        """Complement relative to ``universe × universe``."""
+        items = list(universe)
+        return BinaryRelation(
+            (x, y) for x in items for y in items if (x, y) not in self._pairs
+        )
+
+    # ------------------------------------------------------------------
+    # Peircean operations
+    # ------------------------------------------------------------------
+    def converse(self) -> "BinaryRelation":
+        """The converse relation (all pairs flipped)."""
+        return BinaryRelation((right, left) for left, right in self._pairs)
+
+    def compose(self, other: "BinaryRelation") -> "BinaryRelation":
+        """Relational composition: pairs (x, z) with x R y S z."""
+        result = set()
+        for left, middles in self._by_left.items():
+            for middle in middles:
+                for right in other._by_left.get(middle, ()):
+                    result.add((left, right))
+        return BinaryRelation(result)
+
+    def transitive_closure(self) -> "BinaryRelation":
+        """The transitive closure R⁺ (iterated composition)."""
+        closure = self
+        while True:
+            bigger = closure.union(closure.compose(self))
+            if len(bigger) == len(closure):
+                return closure
+            closure = bigger
+
+    # ------------------------------------------------------------------
+    # derived helpers
+    # ------------------------------------------------------------------
+    def domain(self) -> FrozenSet[Any]:
+        """The set of left elements."""
+        return frozenset(self._by_left)
+
+    def range(self) -> FrozenSet[Any]:
+        """The set of right elements."""
+        return frozenset(self._by_right)
+
+    def restrict_left(self, keep: AbstractSet[Any]) -> "BinaryRelation":
+        """Pairs whose left element is in ``keep``."""
+        return BinaryRelation(
+            (left, right) for left, right in self._pairs if left in keep
+        )
+
+    def restrict_right(self, keep: AbstractSet[Any]) -> "BinaryRelation":
+        """Pairs whose right element is in ``keep``."""
+        return BinaryRelation(
+            (left, right) for left, right in self._pairs if right in keep
+        )
+
+    def image(self, of: AbstractSet[Any]) -> FrozenSet[Any]:
+        """The image of a set: {y : x R y, x ∈ of}."""
+        result: Set[Any] = set()
+        for x in of:
+            result.update(self._by_left.get(x, ()))
+        return frozenset(result)
+
+    def preimage(self, of: AbstractSet[Any]) -> FrozenSet[Any]:
+        """The preimage of a set: {x : x R y, y ∈ of}."""
+        result: Set[Any] = set()
+        for y in of:
+            result.update(self._by_right.get(y, ()))
+        return frozenset(result)
+
+    def successors(self, left: Any) -> FrozenSet[Any]:
+        """All y with ``left R y``."""
+        return frozenset(self._by_left.get(left, ()))
+
+    def predecessors(self, right: Any) -> FrozenSet[Any]:
+        """All x with ``x R right``."""
+        return frozenset(self._by_right.get(right, ()))
+
+    def add(self, left: Any, right: Any) -> "BinaryRelation":
+        """A new relation with one more pair."""
+        if (left, right) in self._pairs:
+            return self
+        return BinaryRelation(self._pairs | {(left, right)})
+
+    def remove(self, left: Any, right: Any) -> "BinaryRelation":
+        """A new relation with one pair removed."""
+        if (left, right) not in self._pairs:
+            return self
+        return BinaryRelation(self._pairs - {(left, right)})
+
+    def remove_all_with(self, element: Any) -> "BinaryRelation":
+        """A new relation without any pair touching ``element``."""
+        return BinaryRelation(
+            (left, right)
+            for left, right in self._pairs
+            if left != element and right != element
+        )
+
+    # ------------------------------------------------------------------
+    # dunder
+    # ------------------------------------------------------------------
+    def __or__(self, other: "BinaryRelation") -> "BinaryRelation":
+        return self.union(other)
+
+    def __and__(self, other: "BinaryRelation") -> "BinaryRelation":
+        return self.intersection(other)
+
+    def __sub__(self, other: "BinaryRelation") -> "BinaryRelation":
+        return self.difference(other)
+
+    def __matmul__(self, other: "BinaryRelation") -> "BinaryRelation":
+        return self.compose(other)
+
+    def __invert__(self) -> "BinaryRelation":
+        return self.converse()
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(sorted(self._pairs, key=repr))
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryRelation):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BinaryRelation({len(self._pairs)} pairs)"

@@ -1,0 +1,35 @@
+"""Section 4.3 — computational completeness via Turing machines.
+
+"The full language with methods is sufficiently strong to simulate
+arbitrary Turing Machines; this can be shown using well-known
+techniques."
+
+* :mod:`repro.turing.machine` — a direct single-tape deterministic
+  Turing machine simulator (the oracle) plus a few example machines;
+* :mod:`repro.turing.encoding` — the GOOD encoding: tape cells as a
+  doubly-linked chain of Cell objects with a ``symbol`` edge, the head
+  as a Head object with ``at`` and ``state`` edges, and one GOOD
+  program (pure additions/deletions, negation macro for tape growth)
+  per transition rule.
+
+Experiment C3 steps both simulations in lockstep and checks the full
+configuration (state, head position, tape content) after every step.
+"""
+
+from repro.turing.encoding import GoodTuringMachine
+from repro.turing.machine import (
+    Transition,
+    TuringMachine,
+    binary_increment_machine,
+    bit_flipper_machine,
+    parity_machine,
+)
+
+__all__ = [
+    "GoodTuringMachine",
+    "Transition",
+    "TuringMachine",
+    "binary_increment_machine",
+    "bit_flipper_machine",
+    "parity_machine",
+]

@@ -1,0 +1,287 @@
+"""Turing machines as GOOD instances and programs (experiment C3).
+
+Encoding of a configuration:
+
+* one ``Cell`` object per materialised tape cell, doubly linked by the
+  functional edges ``right`` and ``left``, each carrying a functional
+  ``symbol`` edge into the printable ``Symbol`` class;
+* one ``Head`` object with a functional ``at`` edge to the current
+  cell and a functional ``state`` edge into the printable ``State``
+  class.
+
+Each transition rule δ(q, a) = (q', b, M) becomes one fixed GOOD
+program built from the basic operations:
+
+1. *tape growth* (only for M ∈ {L, R}): a node addition over a crossed
+   pattern — "the head reads a in state q and the current cell has no
+   right (left) neighbour" — creating a blank neighbour cell, followed
+   by an edge addition linking it into the chain (the crossed pattern
+   is the Section 4.1 negation macro);
+2. *firing*: a node addition tagging the unique (head, cell) matching
+   with a transition-specific Fire object (so the subsequent deletions
+   and additions can refer to the matched nodes after mutating them);
+3. *write / state change / head move*: edge deletions and additions
+   anchored at the Fire object;
+4. *cleanup*: a node deletion removing the Fire object.
+
+A step applies the program of the transition enabled by the current
+configuration; which transition is enabled is read off the instance by
+the host driver — the same host-program orchestration the paper's own
+implementation uses ("GOOD programs are interpreted by C programs with
+embedded SQL statements").  The recursion needed to iterate steps
+*inside* GOOD is demonstrated separately by the Fig. 22/29 methods.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.instance import Instance
+from repro.core.operations import EdgeAddition, EdgeDeletion, NodeAddition, NodeDeletion, Operation
+from repro.core.pattern import NegatedPattern, Pattern
+from repro.core.program import Program
+from repro.core.scheme import Scheme
+from repro.turing.machine import LEFT, RIGHT, Transition, TuringMachine, TuringError
+
+
+def _fire_label(state: str, symbol: str) -> str:
+    return f"Fire:{state}:{symbol}"
+
+
+class GoodTuringMachine:
+    """A Turing machine compiled to GOOD transition programs."""
+
+    def __init__(self, tm: TuringMachine) -> None:
+        self.tm = tm
+        self.scheme = self._build_scheme()
+        self.programs: Dict[Tuple[str, str], Program] = {
+            key: Program(self._transition_ops(key, transition))
+            for key, transition in sorted(tm.transitions.items())
+        }
+
+    # ------------------------------------------------------------------
+    # scheme and instance encoding
+    # ------------------------------------------------------------------
+    def _build_scheme(self) -> Scheme:
+        scheme = Scheme(printable_labels=["Symbol", "State"])
+        scheme.declare("Cell", "right", "Cell")
+        scheme.declare("Cell", "left", "Cell")
+        scheme.declare("Cell", "symbol", "Symbol")
+        scheme.declare("Head", "at", "Cell")
+        scheme.declare("Head", "state", "State")
+        for (state, symbol) in self.tm.transitions:
+            label = _fire_label(state, symbol)
+            scheme.add_object_label(label)
+        if self.tm.transitions:
+            scheme.add_functional_edge_label("f-head")
+            scheme.add_functional_edge_label("f-cell")
+            for (state, symbol) in self.tm.transitions:
+                label = _fire_label(state, symbol)
+                scheme.add_property(label, "f-head", "Head")
+                scheme.add_property(label, "f-cell", "Cell")
+        return scheme
+
+    def encode(self, input_word: str) -> Instance:
+        """The start configuration as a GOOD instance."""
+        instance = Instance(self.scheme)
+        symbols = list(input_word) if input_word else [self.tm.blank]
+        cells: List[int] = []
+        for symbol in symbols:
+            cell = instance.add_object("Cell")
+            instance.add_edge(cell, "symbol", instance.printable("Symbol", symbol))
+            cells.append(cell)
+        for left_cell, right_cell in zip(cells, cells[1:]):
+            instance.add_edge(left_cell, "right", right_cell)
+            instance.add_edge(right_cell, "left", left_cell)
+        head = instance.add_object("Head")
+        instance.add_edge(head, "at", cells[0])
+        instance.add_edge(head, "state", instance.printable("State", self.tm.start_state))
+        return instance
+
+    # ------------------------------------------------------------------
+    # per-transition GOOD programs
+    # ------------------------------------------------------------------
+    def _firing_pattern(self, state: str, symbol: str) -> Tuple[Pattern, int, int]:
+        """head-at-cell-reading-symbol-in-state pattern; (head, cell)."""
+        pattern = Pattern(self.scheme)
+        head = pattern.add_node("Head")
+        cell = pattern.add_node("Cell")
+        pattern.add_edge(head, "at", cell)
+        pattern.add_edge(head, "state", pattern.add_node("State", state))
+        pattern.add_edge(cell, "symbol", pattern.add_node("Symbol", symbol))
+        return pattern, head, cell
+
+    def _transition_ops(self, key: Tuple[str, str], transition: Transition) -> List[Operation]:
+        state, symbol = key
+        fire = _fire_label(state, symbol)
+        ops: List[Operation] = []
+
+        if transition.move in (LEFT, RIGHT):
+            ahead, behind = ("right", "left") if transition.move == RIGHT else ("left", "right")
+            # 1a. grow a blank cell when there is no neighbour ahead
+            grow_positive, _, cell = self._firing_pattern(state, symbol)
+            # get-or-create: when the read symbol *is* the blank, the
+            # pattern already contains the blank Symbol node
+            blank_node = grow_positive.printable("Symbol", self.tm.blank)
+            grow = NegatedPattern(grow_positive)
+            grow.forbid_node("Cell", [(cell, ahead, None)])
+            ops.append(NodeAddition(grow, "Cell", [(behind, cell), ("symbol", blank_node)]))
+            # 1b. link the grown cell into the chain (any yet-unlinked pair)
+            link_positive = Pattern(self.scheme)
+            new_cell = link_positive.add_node("Cell")
+            old_cell = link_positive.add_node("Cell")
+            link_positive.add_edge(new_cell, behind, old_cell)
+            link = NegatedPattern(link_positive)
+            link.forbid_node("Cell", [(old_cell, ahead, None)])
+            ops.append(EdgeAddition(link, [(old_cell, ahead, new_cell)]))
+
+        # 2. fire: tag the unique matching
+        tag_pattern, head, cell = self._firing_pattern(state, symbol)
+        ops.append(NodeAddition(tag_pattern, fire, [("f-head", head), ("f-cell", cell)]))
+
+        # 3a. write: replace the symbol edge
+        erase = Pattern(self.scheme)
+        fire_node = erase.add_node(fire)
+        cell_node = erase.add_node("Cell")
+        old_symbol = erase.add_node("Symbol", symbol)
+        erase.add_edge(fire_node, "f-cell", cell_node)
+        erase.add_edge(cell_node, "symbol", old_symbol)
+        ops.append(EdgeDeletion(erase, [(cell_node, "symbol", old_symbol)]))
+
+        write = Pattern(self.scheme)
+        fire_node = write.add_node(fire)
+        cell_node = write.add_node("Cell")
+        new_symbol = write.add_node("Symbol", transition.write)
+        write.add_edge(fire_node, "f-cell", cell_node)
+        ops.append(EdgeAddition(write, [(cell_node, "symbol", new_symbol)]))
+
+        # 3b. state change
+        leave = Pattern(self.scheme)
+        fire_node = leave.add_node(fire)
+        head_node = leave.add_node("Head")
+        old_state = leave.add_node("State", state)
+        leave.add_edge(fire_node, "f-head", head_node)
+        leave.add_edge(head_node, "state", old_state)
+        ops.append(EdgeDeletion(leave, [(head_node, "state", old_state)]))
+
+        enter = Pattern(self.scheme)
+        fire_node = enter.add_node(fire)
+        head_node = enter.add_node("Head")
+        new_state = enter.add_node("State", transition.next_state)
+        enter.add_edge(fire_node, "f-head", head_node)
+        ops.append(EdgeAddition(enter, [(head_node, "state", new_state)]))
+
+        # 3c. head move
+        if transition.move in (LEFT, RIGHT):
+            ahead = "right" if transition.move == RIGHT else "left"
+            depart = Pattern(self.scheme)
+            fire_node = depart.add_node(fire)
+            head_node = depart.add_node("Head")
+            cell_node = depart.add_node("Cell")
+            depart.add_edge(fire_node, "f-head", head_node)
+            depart.add_edge(fire_node, "f-cell", cell_node)
+            depart.add_edge(head_node, "at", cell_node)
+            ops.append(EdgeDeletion(depart, [(head_node, "at", cell_node)]))
+
+            arrive = Pattern(self.scheme)
+            fire_node = arrive.add_node(fire)
+            head_node = arrive.add_node("Head")
+            cell_node = arrive.add_node("Cell")
+            next_node = arrive.add_node("Cell")
+            arrive.add_edge(fire_node, "f-head", head_node)
+            arrive.add_edge(fire_node, "f-cell", cell_node)
+            arrive.add_edge(cell_node, ahead, next_node)
+            ops.append(EdgeAddition(arrive, [(head_node, "at", next_node)]))
+
+        # 4. cleanup
+        cleanup = Pattern(self.scheme)
+        fire_node = cleanup.add_node(fire)
+        ops.append(NodeDeletion(cleanup, fire_node))
+        return ops
+
+    # ------------------------------------------------------------------
+    # the host driver
+    # ------------------------------------------------------------------
+    def current(self, instance: Instance) -> Tuple[str, str]:
+        """Read (state, symbol under the head) off the instance."""
+        heads = sorted(instance.nodes_with_label("Head"))
+        if len(heads) != 1:
+            raise TuringError(f"expected exactly one Head, found {len(heads)}")
+        head = heads[0]
+        state_node = instance.functional_target(head, "state")
+        cell = instance.functional_target(head, "at")
+        if state_node is None or cell is None:
+            raise TuringError("the Head lost its state or position")
+        symbol_node = instance.functional_target(cell, "symbol")
+        if symbol_node is None:
+            raise TuringError("the current cell lost its symbol")
+        return instance.print_of(state_node), instance.print_of(symbol_node)
+
+    def is_halted(self, instance: Instance) -> bool:
+        """Whether no transition is enabled."""
+        state, symbol = self.current(instance)
+        if state in self.tm.halt_states:
+            return True
+        return (state, symbol) not in self.programs
+
+    def step(self, instance: Instance) -> bool:
+        """Apply the enabled transition's program in place.
+
+        Returns ``False`` when the machine has halted instead.
+        """
+        state, symbol = self.current(instance)
+        if state in self.tm.halt_states:
+            return False
+        program = self.programs.get((state, symbol))
+        if program is None:
+            return False
+        program.run(instance, in_place=True)
+        return True
+
+    def run(self, input_word: str, max_steps: int = 10_000) -> Instance:
+        """Run to halt; raises :class:`TuringError` on fuel exhaustion."""
+        instance = self.encode(input_word)
+        for _ in range(max_steps):
+            if not self.step(instance):
+                return instance
+        raise TuringError(
+            f"GOOD machine {self.tm.name!r} did not halt within {max_steps} steps"
+        )
+
+    def decode(self, instance: Instance) -> Tuple[str, int, List[str]]:
+        """(state, head offset from leftmost cell, chain symbols)."""
+        heads = sorted(instance.nodes_with_label("Head"))
+        head = heads[0]
+        state = instance.print_of(instance.functional_target(head, "state"))
+        at = instance.functional_target(head, "at")
+        # walk to the leftmost cell
+        leftmost = at
+        seen = set()
+        while True:
+            if leftmost in seen:
+                raise TuringError("the tape chain contains a cycle")
+            seen.add(leftmost)
+            previous = instance.functional_target(leftmost, "left")
+            if previous is None:
+                break
+            leftmost = previous
+        symbols: List[str] = []
+        offset = 0
+        cell: Optional[int] = leftmost
+        index = 0
+        while cell is not None:
+            if cell == at:
+                offset = index
+            symbol_node = instance.functional_target(cell, "symbol")
+            symbols.append(instance.print_of(symbol_node))
+            cell = instance.functional_target(cell, "right")
+            index += 1
+            if index > instance.node_count:
+                raise TuringError("the tape chain contains a cycle")
+        return state, offset, symbols
+
+    def output_word(self, instance: Instance) -> str:
+        """Chain symbols trimmed of leading/trailing blanks."""
+        _, _, symbols = self.decode(instance)
+        word = "".join(symbols).strip(self.tm.blank)
+        return word

@@ -1,0 +1,197 @@
+"""A direct deterministic single-tape Turing machine simulator.
+
+This is the oracle against which the GOOD encoding of
+:mod:`repro.turing.encoding` is checked step by step.  The tape is
+unbounded in both directions (a dict position → symbol with a blank
+default); a configuration is (state, head position, tape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+from repro.core.errors import GoodError
+
+LEFT = "L"
+RIGHT = "R"
+STAY = "N"
+
+
+class TuringError(GoodError):
+    """Ill-formed machine or a run that exceeded its fuel."""
+
+
+@dataclass(frozen=True)
+class Transition:
+    """δ(state, read) = (next state, write, move)."""
+
+    next_state: str
+    write: str
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.move not in (LEFT, RIGHT, STAY):
+            raise TuringError(f"move must be L, R or N, got {self.move!r}")
+
+
+@dataclass
+class Configuration:
+    """A full machine configuration."""
+
+    state: str
+    position: int
+    tape: Dict[int, str]
+    blank: str
+
+    def read(self) -> str:
+        """The symbol under the head."""
+        return self.tape.get(self.position, self.blank)
+
+    def tape_snapshot(self) -> Tuple[Tuple[int, str], ...]:
+        """Non-blank cells as sorted (position, symbol) pairs."""
+        return tuple(
+            (position, symbol)
+            for position, symbol in sorted(self.tape.items())
+            if symbol != self.blank
+        )
+
+
+@dataclass
+class TuringMachine:
+    """A deterministic single-tape Turing machine."""
+
+    states: FrozenSet[str]
+    alphabet: FrozenSet[str]
+    blank: str
+    transitions: Mapping[Tuple[str, str], Transition]
+    start_state: str
+    halt_states: FrozenSet[str]
+    name: str = "tm"
+
+    def __post_init__(self) -> None:
+        if self.blank not in self.alphabet:
+            raise TuringError("the blank symbol must be in the alphabet")
+        if self.start_state not in self.states:
+            raise TuringError("the start state must be a state")
+        for (state, symbol), transition in self.transitions.items():
+            if state not in self.states or transition.next_state not in self.states:
+                raise TuringError(f"transition {state, symbol} references unknown states")
+            if symbol not in self.alphabet or transition.write not in self.alphabet:
+                raise TuringError(f"transition {state, symbol} references unknown symbols")
+            if state in self.halt_states:
+                raise TuringError(f"halt state {state!r} has an outgoing transition")
+
+    def initial(self, input_word: str) -> Configuration:
+        """The start configuration on ``input_word`` (head at cell 0)."""
+        for symbol in input_word:
+            if symbol not in self.alphabet:
+                raise TuringError(f"input symbol {symbol!r} not in the alphabet")
+        tape = {index: symbol for index, symbol in enumerate(input_word)}
+        return Configuration(self.start_state, 0, tape, self.blank)
+
+    def is_halted(self, config: Configuration) -> bool:
+        """Whether the configuration is terminal."""
+        if config.state in self.halt_states:
+            return True
+        return (config.state, config.read()) not in self.transitions
+
+    def step(self, config: Configuration) -> Configuration:
+        """One move; raises on a halted configuration."""
+        key = (config.state, config.read())
+        if config.state in self.halt_states or key not in self.transitions:
+            raise TuringError(f"no transition from {key!r}")
+        transition = self.transitions[key]
+        tape = dict(config.tape)
+        tape[config.position] = transition.write
+        position = config.position
+        if transition.move == LEFT:
+            position -= 1
+        elif transition.move == RIGHT:
+            position += 1
+        return Configuration(transition.next_state, position, tape, self.blank)
+
+    def run(self, input_word: str, max_steps: int = 10_000) -> Configuration:
+        """Run to halt (or raise after ``max_steps``)."""
+        config = self.initial(input_word)
+        for _ in range(max_steps):
+            if self.is_halted(config):
+                return config
+            config = self.step(config)
+        raise TuringError(f"machine {self.name!r} did not halt within {max_steps} steps")
+
+    def output_word(self, config: Configuration) -> str:
+        """The tape contents from the leftmost to rightmost non-blank."""
+        snapshot = config.tape_snapshot()
+        if not snapshot:
+            return ""
+        low = snapshot[0][0]
+        high = snapshot[-1][0]
+        return "".join(config.tape.get(i, self.blank) for i in range(low, high + 1))
+
+
+# ----------------------------------------------------------------------
+# example machines
+# ----------------------------------------------------------------------
+
+
+def bit_flipper_machine() -> TuringMachine:
+    """Flip every bit of a binary word, halt at its right end."""
+    transitions = {
+        ("scan", "0"): Transition("scan", "1", RIGHT),
+        ("scan", "1"): Transition("scan", "0", RIGHT),
+        ("scan", "_"): Transition("done", "_", STAY),
+    }
+    return TuringMachine(
+        states=frozenset(["scan", "done"]),
+        alphabet=frozenset(["0", "1", "_"]),
+        blank="_",
+        transitions=transitions,
+        start_state="scan",
+        halt_states=frozenset(["done"]),
+        name="bit-flipper",
+    )
+
+
+def binary_increment_machine() -> TuringMachine:
+    """Add one to a binary number (most significant bit first)."""
+    transitions = {
+        # go to the rightmost digit
+        ("right", "0"): Transition("right", "0", RIGHT),
+        ("right", "1"): Transition("right", "1", RIGHT),
+        ("right", "_"): Transition("carry", "_", LEFT),
+        # add with carry, moving left
+        ("carry", "1"): Transition("carry", "0", LEFT),
+        ("carry", "0"): Transition("done", "1", STAY),
+        ("carry", "_"): Transition("done", "1", STAY),
+    }
+    return TuringMachine(
+        states=frozenset(["right", "carry", "done"]),
+        alphabet=frozenset(["0", "1", "_"]),
+        blank="_",
+        transitions=transitions,
+        start_state="right",
+        halt_states=frozenset(["done"]),
+        name="binary-increment",
+    )
+
+
+def parity_machine() -> TuringMachine:
+    """Erase a binary word and leave E/O for even/odd number of 1s."""
+    transitions = {
+        ("even", "0"): Transition("even", "_", RIGHT),
+        ("even", "1"): Transition("odd", "_", RIGHT),
+        ("odd", "0"): Transition("odd", "_", RIGHT),
+        ("odd", "1"): Transition("even", "_", RIGHT),
+        ("even", "_"): Transition("halt", "E", STAY),
+        ("odd", "_"): Transition("halt", "O", STAY),
+    }
+    return TuringMachine(
+        states=frozenset(["even", "odd", "halt"]),
+        alphabet=frozenset(["0", "1", "E", "O", "_"]),
+        blank="_",
+        transitions=transitions,
+        start_state="even",
+        halt_states=frozenset(["halt"]),
+        name="parity",
+    )

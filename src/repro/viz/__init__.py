@@ -1,0 +1,28 @@
+"""Rendering schemes, instances, patterns and operations.
+
+GOOD is expressly designed for graphical interfaces (the paper's index
+terms include "user interfaces"); this package provides the textual
+side of that story:
+
+* :func:`~repro.viz.dot.scheme_to_dot` /
+  :func:`~repro.viz.dot.instance_to_dot` /
+  :func:`~repro.viz.dot.operation_to_dot` — Graphviz DOT export using
+  the paper's drawing conventions: rectangles for object classes,
+  ovals for printables, double arrowheads for multivalued edges, bold
+  for the added part, double outline ("peripheries=2") for the deleted
+  part, diamonds for method nodes;
+* :func:`~repro.viz.ascii.summarize_scheme` /
+  :func:`~repro.viz.ascii.summarize_instance` — terminal summaries.
+"""
+
+from repro.viz.ascii import summarize_instance, summarize_scheme
+from repro.viz.dot import instance_to_dot, operation_to_dot, pattern_to_dot, scheme_to_dot
+
+__all__ = [
+    "instance_to_dot",
+    "operation_to_dot",
+    "pattern_to_dot",
+    "scheme_to_dot",
+    "summarize_instance",
+    "summarize_scheme",
+]

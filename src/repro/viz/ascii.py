@@ -1,0 +1,54 @@
+"""Terminal summaries of schemes and instances."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.instance import Instance
+from repro.core.scheme import Scheme
+from repro.graph.store import NO_PRINT
+
+
+def summarize_scheme(scheme: Scheme) -> str:
+    """A compact, sorted textual listing of a scheme."""
+    lines: List[str] = []
+    lines.append(f"object labels    : {', '.join(sorted(scheme.object_labels)) or '-'}")
+    lines.append(f"printable labels : {', '.join(sorted(scheme.printable_labels)) or '-'}")
+    lines.append("properties:")
+    for source, edge, target in sorted(scheme.properties):
+        arrow = "-->" if scheme.is_functional(edge) else "==>"
+        isa = "  (isa)" if edge in scheme.isa_labels else ""
+        lines.append(f"  {source} {arrow} {target}  [{edge}]{isa}")
+    return "\n".join(lines)
+
+
+def summarize_instance(instance: Instance, max_nodes: int = 50) -> str:
+    """A per-class census plus a clipped node/edge listing."""
+    lines: List[str] = [
+        f"{instance.node_count} nodes, {instance.edge_count} edges"
+    ]
+    census = {}
+    for node_id in instance.nodes():
+        label = instance.label_of(node_id)
+        census[label] = census.get(label, 0) + 1
+    for label in sorted(census):
+        lines.append(f"  {label}: {census[label]}")
+    lines.append("nodes:")
+    shown = 0
+    for node_id in instance.nodes():
+        if shown >= max_nodes:
+            lines.append(f"  ... ({instance.node_count - shown} more)")
+            break
+        record = instance.node_record(node_id)
+        value = "" if record.print_value is NO_PRINT else f" = {record.print_value!r}"
+        lines.append(f"  #{node_id} {record.label}{value}")
+        shown += 1
+    lines.append("edges:")
+    shown = 0
+    for edge in instance.edges():
+        if shown >= max_nodes:
+            lines.append(f"  ... ({instance.edge_count - shown} more)")
+            break
+        lines.append(f"  #{edge.source} --{edge.label}--> #{edge.target}")
+        shown += 1
+    return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""Graphviz DOT export with the paper's drawing conventions."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.instance import Instance
+from repro.core.operations import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    NodeAddition,
+    NodeDeletion,
+    Operation,
+)
+from repro.core.pattern import NegatedPattern
+from repro.core.scheme import Scheme
+
+
+def _quote(text: str) -> str:
+    escaped = (
+        str(text).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+    return f'"{escaped}"'
+
+
+def scheme_to_dot(scheme: Scheme, name: str = "scheme") -> str:
+    """Render a scheme: class nodes and property edges (Fig. 1 style)."""
+    lines: List[str] = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for label in sorted(scheme.object_labels):
+        lines.append(f"  {_quote(label)} [shape=box];")
+    for label in sorted(scheme.printable_labels):
+        lines.append(f"  {_quote(label)} [shape=oval];")
+    for source, edge, target in sorted(scheme.properties):
+        multi = not scheme.is_functional(edge)
+        style = ' arrowhead="normalnormal"' if multi else ""
+        isa = " style=dashed" if edge in scheme.isa_labels else ""
+        lines.append(
+            f"  {_quote(source)} -> {_quote(target)} [label={_quote(edge)}{style}{isa}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _node_line(instance: Instance, node_id: int, extra: str = "") -> str:
+    record = instance.node_record(node_id)
+    if instance.scheme.is_printable_label(record.label):
+        if record.has_print:
+            label = f"{record.label}\n{record.print_value}"
+        else:
+            label = record.label
+        shape = "oval"
+    else:
+        label = record.label
+        shape = "box"
+    return f"  n{node_id} [shape={shape} label={_quote(label)}{extra}];"
+
+
+def instance_to_dot(instance: Instance, name: str = "instance") -> str:
+    """Render an instance: nodes with print values, labeled edges."""
+    lines: List[str] = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for node_id in instance.nodes():
+        lines.append(_node_line(instance, node_id))
+    for edge in instance.edges():
+        multi = not instance.scheme.is_functional(edge.label)
+        style = ' arrowhead="normalnormal"' if multi else ""
+        lines.append(
+            f"  n{edge.source} -> n{edge.target} [label={_quote(edge.label)}{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pattern_to_dot(pattern, name: str = "pattern") -> str:
+    """Render a pattern; crossed parts are drawn dashed red."""
+    if isinstance(pattern, NegatedPattern):
+        base = pattern.positive
+    else:
+        base = pattern
+    lines: List[str] = [f"digraph {_quote(name)} {{", "  rankdir=LR;"]
+    for node_id in base.nodes():
+        extra = ""
+        predicate = base.predicate_of(node_id)
+        if predicate is not None:
+            extra = f' xlabel={_quote(predicate.name)}'
+        lines.append(_node_line(base, node_id, extra))
+    for edge in base.edges():
+        lines.append(f"  n{edge.source} -> n{edge.target} [label={_quote(edge.label)}];")
+    if isinstance(pattern, NegatedPattern):
+        for index, extension in enumerate(pattern.extensions):
+            for node_id in extension.nodes():
+                if not base.has_node(node_id):
+                    lines.append(
+                        _node_line(extension, node_id, " color=red style=dashed").replace(
+                            f"  n{node_id} ", f"  x{index}_n{node_id} "
+                        )
+                    )
+            for edge in extension.edges():
+                if base.has_edge(*edge.as_tuple()):
+                    continue
+                src = (
+                    f"n{edge.source}" if base.has_node(edge.source) else f"x{index}_n{edge.source}"
+                )
+                dst = (
+                    f"n{edge.target}" if base.has_node(edge.target) else f"x{index}_n{edge.target}"
+                )
+                lines.append(
+                    f"  {src} -> {dst} [label={_quote(edge.label)} color=red style=dashed];"
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _is_method_call(operation: Operation) -> bool:
+    from repro.core.methods import MethodCall
+
+    return isinstance(operation, MethodCall)
+
+
+def operation_to_dot(operation: Operation, name: Optional[str] = None) -> str:
+    """Render an operation: pattern plus its bold/outlined part."""
+    title = name or getattr(operation, "describe", lambda: type(operation).__name__)()
+    base = operation.positive_pattern
+    body = pattern_to_dot(operation.source_pattern, title)
+    lines = body.splitlines()
+    closing = lines.pop()  # the final "}"
+
+    if isinstance(operation, NodeAddition):
+        lines.append(
+            f"  new [shape=box style=bold label={_quote(operation.node_label)} penwidth=2];"
+        )
+        for edge_label, target in operation.edges:
+            lines.append(f"  new -> n{target} [label={_quote(edge_label)} penwidth=2];")
+    elif isinstance(operation, EdgeAddition):
+        for source, edge_label, target in operation.edges:
+            lines.append(
+                f"  n{source} -> n{target} [label={_quote(edge_label)} penwidth=2];"
+            )
+    elif isinstance(operation, NodeDeletion):
+        lines = [
+            line.replace(f"  n{operation.node} [", f"  n{operation.node} [peripheries=2 ")
+            for line in lines
+        ]
+    elif isinstance(operation, EdgeDeletion):
+        for source, edge_label, target in operation.edges:
+            lines = [
+                line.replace(
+                    f"  n{source} -> n{target} [label={_quote(edge_label)}]",
+                    f"  n{source} -> n{target} [label={_quote(edge_label)} style=bold color=gray]",
+                )
+                for line in lines
+            ]
+    elif _is_method_call(operation):
+        lines.append(
+            f"  call [shape=diamond style=bold label={_quote(operation.method_name)} penwidth=2];"
+        )
+        lines.append(f"  call -> n{operation.receiver} [penwidth=2];")
+        for param_label in sorted(operation.arguments):
+            target = operation.arguments[param_label]
+            lines.append(f"  call -> n{target} [label={_quote(param_label)} penwidth=2];")
+    elif isinstance(operation, Abstraction):
+        lines.append(
+            f"  set [shape=box style=bold label={_quote(operation.set_label)} penwidth=2];"
+        )
+        lines.append(
+            f"  set -> n{operation.node} [label={_quote(operation.beta)} penwidth=2];"
+        )
+        lines.append(
+            f"  n{operation.node} -> n{operation.node} "
+            f"[label={_quote('group by ' + operation.alpha)} style=dotted];"
+        )
+    lines.append(closing)
+    return "\n".join(lines)

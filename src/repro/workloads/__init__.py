@@ -1,0 +1,29 @@
+"""Synthetic workload generators for benchmarks and property tests.
+
+The paper has no evaluation section, so there are no author traces to
+replay (see DESIGN.md, substitution note).  These generators produce
+random-but-valid schemes, instances, patterns and operation sequences
+that exercise the same code paths the paper's figures exercise, with a
+seeded RNG for reproducibility.
+"""
+
+from repro.workloads.generators import (
+    chain_instance,
+    random_basic_program,
+    random_instance,
+    random_pattern,
+    random_scheme,
+    scale_free_instance,
+)
+from repro.workloads.relational import random_expression, random_relational_database
+
+__all__ = [
+    "chain_instance",
+    "random_basic_program",
+    "random_expression",
+    "random_instance",
+    "random_pattern",
+    "random_relational_database",
+    "random_scheme",
+    "scale_free_instance",
+]

@@ -1,0 +1,252 @@
+"""Random schemes, instances, patterns and operation sequences."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.instance import Instance
+from repro.core.operations import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    NodeAddition,
+    NodeDeletion,
+    Operation,
+)
+from repro.core.pattern import Pattern
+from repro.core.scheme import Scheme
+from repro.core.labels import ANY_DOMAIN
+
+
+def random_scheme(
+    rng: random.Random,
+    n_classes: int = 4,
+    n_printables: int = 2,
+    n_functional: int = 4,
+    n_multivalued: int = 2,
+    n_properties: int = 10,
+) -> Scheme:
+    """A random valid scheme with the requested label counts."""
+    scheme = Scheme()
+    classes = [f"C{i}" for i in range(n_classes)]
+    printables = [f"P{i}" for i in range(n_printables)]
+    functional = [f"f{i}" for i in range(n_functional)]
+    multivalued = [f"m{i}" for i in range(n_multivalued)]
+    for label in classes:
+        scheme.add_object_label(label)
+    for label in printables:
+        scheme.add_printable_label(label, ANY_DOMAIN)
+    for label in functional:
+        scheme.add_functional_edge_label(label)
+    for label in multivalued:
+        scheme.add_multivalued_edge_label(label)
+    targets = classes + printables
+    attempts = 0
+    while len(scheme.properties) < n_properties and attempts < n_properties * 10:
+        attempts += 1
+        source = rng.choice(classes)
+        edge = rng.choice(functional + multivalued)
+        target = rng.choice(targets)
+        scheme.add_property(source, edge, target)
+    scheme.validate()
+    return scheme
+
+
+def random_instance(
+    rng: random.Random,
+    scheme: Scheme,
+    n_nodes: int = 30,
+    n_edges: int = 60,
+    value_pool: int = 8,
+) -> Instance:
+    """A random valid instance over ``scheme``.
+
+    Printable nodes draw values from a small pool so patterns with
+    constants actually match; edge insertion respects the functional
+    and same-label constraints by construction (violating attempts are
+    simply skipped).
+    """
+    instance = Instance(scheme)
+    classes = sorted(scheme.object_labels)
+    printables = sorted(scheme.printable_labels)
+    if not classes:
+        return instance
+    for _ in range(n_nodes):
+        if printables and rng.random() < 0.3:
+            label = rng.choice(printables)
+            instance.printable(label, f"{label}-v{rng.randrange(value_pool)}")
+        else:
+            instance.add_object(rng.choice(classes))
+    properties = sorted(scheme.properties)
+    if not properties:
+        return instance
+    node_ids = list(instance.nodes())
+    for _ in range(n_edges):
+        source_label, edge, target_label = rng.choice(properties)
+        sources = [n for n in node_ids if instance.label_of(n) == source_label]
+        targets = [n for n in node_ids if instance.label_of(n) == target_label]
+        if not sources or not targets:
+            continue
+        source = rng.choice(sources)
+        target = rng.choice(targets)
+        if instance.edge_violation(source, edge, target) is None:
+            instance.add_edge(source, edge, target)
+    return instance
+
+
+def random_pattern(
+    rng: random.Random,
+    instance: Instance,
+    n_nodes: int = 3,
+    fix_values: bool = True,
+) -> Pattern:
+    """A pattern sampled from a connected piece of ``instance``.
+
+    Sampling from the instance guarantees at least one matching, which
+    keeps benchmark work non-trivial; ``fix_values`` copies print
+    values onto the sampled printable nodes.
+    """
+    pattern = Pattern(instance.scheme)
+    nodes = list(instance.nodes())
+    if not nodes:
+        return pattern
+    start = rng.choice(nodes)
+    chosen = [start]
+    mapping = {}
+    attempts = 0
+    while len(chosen) < n_nodes and attempts < 8 * n_nodes:
+        attempts += 1
+        anchor = rng.choice(chosen)
+        neighbours = list(instance.store.out_edges(anchor)) + list(
+            instance.store.in_edges(anchor)
+        )
+        if not neighbours:
+            continue
+        edge = rng.choice(neighbours)
+        other = edge.target if edge.source == anchor else edge.source
+        if other not in chosen:
+            chosen.append(other)
+    for node_id in chosen:
+        record = instance.node_record(node_id)
+        if instance.scheme.is_printable_label(record.label):
+            if fix_values and record.has_print:
+                mapping[node_id] = pattern.printable(record.label, record.print_value)
+            else:
+                mapping[node_id] = pattern.add_printable(record.label)
+        else:
+            mapping[node_id] = pattern.add_object(record.label)
+    chosen_set = set(chosen)
+    for node_id in chosen:
+        for edge in instance.store.out_edges(node_id):
+            if edge.target in chosen_set:
+                if not pattern.has_edge(mapping[edge.source], edge.label, mapping[edge.target]):
+                    if pattern.edge_violation(mapping[edge.source], edge.label, mapping[edge.target]) is None:
+                        pattern.add_edge(mapping[edge.source], edge.label, mapping[edge.target])
+    return pattern
+
+
+def random_basic_program(
+    rng: random.Random,
+    scheme: Scheme,
+    instance: Instance,
+    n_operations: int = 6,
+) -> List[Operation]:
+    """A random sequence of basic operations for differential testing.
+
+    Edge additions are restricted to multivalued labels so random
+    programs never hit the Section 3.2 undefined case (conflicting
+    functional additions are covered by dedicated tests instead).
+    """
+    operations: List[Operation] = []
+    fresh = 0
+    for _ in range(n_operations):
+        kind = rng.choice(["NA", "EA", "ND", "ED", "AB"])
+        pattern = random_pattern(rng, instance, n_nodes=rng.randint(1, 3))
+        if pattern.node_count == 0:
+            continue
+        pattern_nodes = list(pattern.nodes())
+        if kind == "NA":
+            targets = rng.sample(pattern_nodes, k=min(len(pattern_nodes), rng.randint(0, 2)))
+            label = f"T{fresh}" if rng.random() < 0.7 else "T0"
+            fresh += 1
+            operations.append(
+                NodeAddition(
+                    pattern, label, [(f"t{fresh}e{i}", node) for i, node in enumerate(targets)]
+                )
+            )
+        elif kind == "EA":
+            object_nodes = [
+                n for n in pattern_nodes if scheme.is_object_label(pattern.label_of(n))
+            ]
+            if not object_nodes:
+                continue
+            source = rng.choice(object_nodes)
+            target = rng.choice(pattern_nodes)
+            label = f"link{fresh}"
+            fresh += 1
+            operations.append(
+                EdgeAddition(
+                    pattern,
+                    [(source, label, target)],
+                    new_label_kinds={label: "multivalued"},
+                )
+            )
+        elif kind == "ND":
+            operations.append(NodeDeletion(pattern, rng.choice(pattern_nodes)))
+        elif kind == "ED":
+            edges = [edge.as_tuple() for edge in pattern.edges()]
+            if not edges:
+                continue
+            operations.append(EdgeDeletion(pattern, [rng.choice(edges)]))
+        elif kind == "AB":
+            object_nodes = [
+                n for n in pattern_nodes if scheme.is_object_label(pattern.label_of(n))
+            ]
+            usable = [
+                (node, edge)
+                for node in object_nodes
+                for (src, edge, _t) in scheme.properties
+                if src == pattern.label_of(node) and not scheme.is_functional(edge)
+            ]
+            if not usable:
+                continue
+            node, alpha = rng.choice(usable)
+            label = f"G{fresh}"
+            fresh += 1
+            operations.append(Abstraction(pattern, node, label, alpha, f"grp{fresh}"))
+    return operations
+
+
+def chain_instance(scheme: Scheme, length: int) -> Tuple[Instance, List[int]]:
+    """A links-to chain of Info nodes over the hyper-media scheme."""
+    instance = Instance(scheme)
+    nodes = [instance.add_object("Info") for _ in range(length)]
+    for left, right in zip(nodes, nodes[1:]):
+        instance.add_edge(left, "links-to", right)
+    return instance, nodes
+
+
+def scale_free_instance(
+    rng: random.Random, scheme: Scheme, n_nodes: int, attach: int = 2
+) -> Tuple[Instance, List[int]]:
+    """A preferential-attachment links-to graph of Info nodes.
+
+    Produces the skewed degree distributions hyper-media link graphs
+    actually have; used by the matcher-scaling benchmarks.
+    """
+    instance = Instance(scheme)
+    nodes = [instance.add_object("Info")]
+    # the attachment population holds each node once per unit of
+    # degree; appending on every edge keeps generation linear
+    population = [nodes[0]]
+    for _ in range(n_nodes - 1):
+        node = instance.add_object("Info")
+        for _ in range(min(attach, len(nodes))):
+            target = rng.choice(population)
+            if not instance.has_edge(node, "links-to", target):
+                instance.add_edge(node, "links-to", target)
+                population.append(target)
+        nodes.append(node)
+        population.append(node)
+    return instance, nodes

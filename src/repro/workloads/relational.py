@@ -1,0 +1,157 @@
+"""Random relational databases and algebra expressions (for C1)."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.relcomp.relations import (
+    AttrConst,
+    AttrEq,
+    Difference,
+    Expr,
+    Product,
+    Project,
+    Rel,
+    Relation,
+    RelationalDatabase,
+    Rename,
+    Select,
+    Union,
+)
+
+
+def random_relational_database(
+    rng: random.Random,
+    n_relations: int = 3,
+    max_arity: int = 3,
+    max_rows: int = 8,
+    value_pool: int = 5,
+) -> RelationalDatabase:
+    """Small random databases with shared values across relations."""
+    db = RelationalDatabase()
+    values = [f"v{i}" for i in range(value_pool)]
+    attr_counter = 0
+    for index in range(n_relations):
+        arity = rng.randint(1, max_arity)
+        attributes = []
+        for _ in range(arity):
+            attributes.append(f"A{attr_counter}")
+            attr_counter += 1
+        rows = {
+            tuple(rng.choice(values) for _ in range(arity))
+            for _ in range(rng.randint(0, max_rows))
+        }
+        db.add(f"R{index}", Relation.build(attributes, rows))
+    return db
+
+
+def _schema_of(expr: Expr, schemas: Dict[str, Tuple[str, ...]]) -> Tuple[str, ...]:
+    if isinstance(expr, Rel):
+        return schemas[expr.name]
+    if isinstance(expr, Select):
+        return _schema_of(expr.child, schemas)
+    if isinstance(expr, Project):
+        return expr.attributes
+    if isinstance(expr, Product):
+        return _schema_of(expr.left, schemas) + _schema_of(expr.right, schemas)
+    if isinstance(expr, (Union, Difference)):
+        return _schema_of(expr.left, schemas)
+    if isinstance(expr, Rename):
+        mapping = dict(expr.mapping)
+        return tuple(mapping.get(a, a) for a in _schema_of(expr.child, schemas))
+    raise TypeError(expr)
+
+
+def random_expression(
+    rng: random.Random,
+    db: RelationalDatabase,
+    depth: int = 3,
+    value_pool: int = 5,
+) -> Expr:
+    """A random well-typed algebra expression over ``db``.
+
+    Every operator of the σπ×∪−ρ fragment can appear; schemas are
+    tracked so products stay attribute-disjoint and unions/differences
+    stay union-compatible (via renaming when needed).
+    """
+    schemas: Dict[str, Tuple[str, ...]] = {
+        name: db.get(name).attributes for name in db.names()
+    }
+    values = [f"v{i}" for i in range(value_pool)]
+    rename_counter = [0]
+
+    def fresh_rename(expr: Expr, schema: Tuple[str, ...], avoid: Tuple[str, ...]) -> Tuple[Expr, Tuple[str, ...]]:
+        mapping = {}
+        new_schema: List[str] = []
+        for attribute in schema:
+            if attribute in avoid or attribute in new_schema:
+                new_name = f"B{rename_counter[0]}"
+                rename_counter[0] += 1
+                mapping[attribute] = new_name
+                new_schema.append(new_name)
+            else:
+                new_schema.append(attribute)
+        if not mapping:
+            return expr, schema
+        return Rename.of(expr, mapping), tuple(new_schema)
+
+    def align(expr: Expr, schema: Tuple[str, ...], target: Tuple[str, ...]) -> Expr:
+        """Rename ``expr``'s schema positionally onto ``target``."""
+        mapping = {old: new for old, new in zip(schema, target) if old != new}
+        if not mapping:
+            return expr
+        return Rename.of(expr, mapping)
+
+    def build(level: int) -> Tuple[Expr, Tuple[str, ...]]:
+        if level <= 0 or rng.random() < 0.25:
+            name = rng.choice(list(db.names()))
+            return Rel(name), schemas[name]
+        choice = rng.choice(["select", "project", "product", "union", "difference", "rename"])
+        if choice == "select":
+            child, schema = build(level - 1)
+            if not schema:
+                return child, schema  # nothing to select on
+            conditions = []
+            for _ in range(rng.randint(1, 2)):
+                if len(schema) >= 2 and rng.random() < 0.5:
+                    left, right = rng.sample(schema, 2)
+                    conditions.append(AttrEq(left, right))
+                else:
+                    conditions.append(AttrConst(rng.choice(schema), rng.choice(values)))
+            return Select(child, tuple(conditions)), schema
+        if choice == "project":
+            child, schema = build(level - 1)
+            width = rng.randint(0, len(schema))
+            kept = tuple(rng.sample(schema, width))
+            return Project(child, kept), kept
+        if choice == "product":
+            left, left_schema = build(level - 1)
+            right, right_schema = build(level - 1)
+            right, right_schema = fresh_rename(right, right_schema, left_schema)
+            return Product(left, right), left_schema + right_schema
+        if choice in ("union", "difference"):
+            left, left_schema = build(level - 1)
+            right, right_schema = build(level - 1)
+            if len(left_schema) != len(right_schema):
+                # pad by projecting the wider operand down
+                width = min(len(left_schema), len(right_schema))
+                left_schema = left_schema[:width]
+                right_schema = right_schema[:width]
+                left = Project(left, left_schema)
+                right = Project(right, right_schema)
+            right = align(right, right_schema, left_schema)
+            node = Union(left, right) if choice == "union" else Difference(left, right)
+            return node, left_schema
+        # rename
+        child, schema = build(level - 1)
+        if not schema:
+            return child, schema
+        victim = rng.choice(schema)
+        new_name = f"B{rename_counter[0]}"
+        rename_counter[0] += 1
+        renamed = tuple(new_name if a == victim else a for a in schema)
+        return Rename.of(child, {victim: new_name}), renamed
+
+    expr, _ = build(depth)
+    return expr

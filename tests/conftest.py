@@ -1,0 +1,63 @@
+"""Shared fixtures: small schemes and the paper's running example."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Instance, Pattern, Scheme
+from repro.hypermedia import build_instance, build_scheme, build_version_chain
+
+
+@pytest.fixture
+def tiny_scheme() -> Scheme:
+    """Person/knows/name — the smallest useful scheme."""
+    scheme = Scheme(printable_labels=["String", "Number"])
+    scheme.declare("Person", "name", "String")
+    scheme.declare("Person", "age", "Number")
+    scheme.declare("Person", "knows", "Person", functional=False)
+    return scheme
+
+
+@pytest.fixture
+def tiny_instance(tiny_scheme: Scheme) -> Instance:
+    """Three people; alice knows bob and carol; bob knows carol."""
+    db = Instance(tiny_scheme)
+    alice = db.add_object("Person")
+    bob = db.add_object("Person")
+    carol = db.add_object("Person")
+    db.add_edge(alice, "name", db.printable("String", "alice"))
+    db.add_edge(bob, "name", db.printable("String", "bob"))
+    db.add_edge(carol, "name", db.printable("String", "carol"))
+    db.add_edge(alice, "age", db.printable("Number", 30))
+    db.add_edge(bob, "age", db.printable("Number", 40))
+    db.add_edge(alice, "knows", bob)
+    db.add_edge(alice, "knows", carol)
+    db.add_edge(bob, "knows", carol)
+    return db
+
+
+@pytest.fixture
+def hyper_scheme() -> Scheme:
+    """The Fig. 1 scheme."""
+    return build_scheme()
+
+
+@pytest.fixture
+def hyper(hyper_scheme):
+    """(instance, handles) for the Figs. 2–3 instance."""
+    return build_instance(hyper_scheme)
+
+
+@pytest.fixture
+def version_chain(hyper_scheme):
+    """(instance, handles) for the Fig. 17 version chain."""
+    return build_version_chain(hyper_scheme)
+
+
+def person_pattern(scheme: Scheme, name=None) -> "tuple[Pattern, int]":
+    """A one-person pattern, optionally with a fixed name."""
+    pattern = Pattern(scheme)
+    person = pattern.node("Person")
+    if name is not None:
+        pattern.edge(person, "name", pattern.node("String", name))
+    return pattern, person

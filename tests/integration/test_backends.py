@@ -1,0 +1,163 @@
+"""Cross-engine equivalence (experiments S1/S2) on the paper's figures
+and on seeded random programs."""
+
+import random
+
+import pytest
+
+from repro.core import Program, find_matchings
+from repro.graph import isomorphic
+from repro.hypermedia import build_instance, build_scheme, build_version_chain
+from repro.hypermedia import figures as F
+from repro.storage import RelationalEngine
+from repro.storage.query import execute_any
+from repro.tarski import TarskiEngine
+from repro.workloads import random_basic_program, random_instance, random_scheme
+
+
+def norm(matchings):
+    return sorted(tuple(sorted(m.items())) for m in matchings)
+
+
+ENGINES = [RelationalEngine, TarskiEngine]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_round_trip(engine_cls, hyper):
+    db, _ = hyper
+    engine = engine_cls.from_instance(db)
+    assert isomorphic(db.store, engine.to_instance().store)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_matchings_agree_on_figures(engine_cls, hyper_scheme, hyper):
+    db, _ = hyper
+    engine = engine_cls.from_instance(db)
+    fig4 = F.fig4_pattern(hyper_scheme)
+    assert norm(engine.matchings(fig4.pattern)) == norm(find_matchings(fig4.pattern, db))
+    fig8 = F.fig8_node_addition(hyper_scheme)
+    assert norm(engine.matchings(fig8.source_pattern)) == norm(
+        find_matchings(fig8.source_pattern, db)
+    )
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_negated_matchings_agree(engine_cls, hyper_scheme, hyper):
+    db, _ = hyper
+    engine = engine_cls.from_instance(db)
+    query = F.fig26_negated_pattern(hyper_scheme)
+    from repro.core.matching import find_negated
+
+    assert norm(engine.matchings(query.negated)) == norm(find_negated(query.negated, db))
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_figure_program_parity(engine_cls):
+    scheme = build_scheme()
+    db, _ = build_instance(scheme)
+    ops = [
+        F.fig6_node_addition(scheme),
+        F.fig8_node_addition(scheme),
+        F.fig10_edge_addition(scheme),
+        F.fig12_node_addition(scheme),
+        F.fig13_edge_addition(scheme),
+        F.fig14_node_deletion(scheme),
+        *F.fig16_update(scheme),
+    ]
+    native = Program(list(ops)).run(db)
+    engine = engine_cls.from_instance(db)
+    engine.run(ops)
+    assert isomorphic(native.instance.store, engine.to_instance().store)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_abstraction_parity(engine_cls):
+    scheme = build_scheme()
+    db, _ = build_version_chain(scheme)
+    native_ops = F.fig18_operations(scheme)
+    native = Program(list(native_ops)).run(db)
+    engine_ops = F.fig18_operations(scheme)
+    engine = engine_cls.from_instance(db)
+    engine.run(list(engine_ops))
+    assert isomorphic(native.instance.store, engine.to_instance().store)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_transitive_closure_parity(engine_cls):
+    scheme = build_scheme()
+    db, _ = build_instance(scheme)
+    direct, star = F.fig28_operations(scheme)
+    native = Program([direct, star]).run(db)
+    direct2, star2 = F.fig28_operations(scheme)
+    engine = engine_cls.from_instance(db)
+    engine.run([direct2, star2])
+    assert isomorphic(native.instance.store, engine.to_instance().store)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_program_three_way_parity(seed):
+    rng = random.Random(1000 + seed)
+    scheme = random_scheme(rng)
+    instance = random_instance(rng, scheme)
+    ops = random_basic_program(rng, scheme.copy(), instance, n_operations=6)
+    native = Program(list(ops)).run(instance)
+    relational = RelationalEngine.from_instance(instance)
+    relational.run(ops)
+    tarski = TarskiEngine.from_instance(instance)
+    tarski.run(ops)
+    assert isomorphic(native.instance.store, relational.to_instance().store)
+    assert isomorphic(native.instance.store, tarski.to_instance().store)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_random_pattern_matchings_three_way(seed):
+    from repro.storage.layout import GoodLayout
+    from repro.workloads import random_pattern
+
+    rng = random.Random(2000 + seed)
+    scheme = random_scheme(rng)
+    instance = random_instance(rng, scheme, n_nodes=40, n_edges=80)
+    layout = GoodLayout.from_instance(instance)
+    tarski = TarskiEngine.from_instance(instance)
+    for _ in range(5):
+        pattern = random_pattern(rng, instance, n_nodes=3)
+        if pattern.node_count == 0:
+            continue
+        native = norm(find_matchings(pattern, instance))
+        assert norm(execute_any(pattern, layout)) == native
+        assert norm(tarski.matchings(pattern)) == native
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_edge_conflict_detected_by_engines(engine_cls, tiny_scheme, tiny_instance):
+    from repro.core import EdgeAddition, EdgeConflictError, Pattern
+
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    age = pattern.node("Number")
+    pattern.edge(person, "age", age)
+    other = pattern.node("Person")
+    other_age = pattern.node("Number")
+    pattern.edge(other, "age", other_age)
+    op = EdgeAddition(
+        pattern, [(person, "primary", other_age)], new_label_kinds={"primary": "functional"}
+    )
+    engine = engine_cls.from_instance(tiny_instance)
+    with pytest.raises(EdgeConflictError):
+        engine.apply(op)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_abstraction_include_unmatched_parity(engine_cls, tiny_scheme, tiny_instance):
+    from repro.core import Abstraction, Pattern
+
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    pattern.edge(person, "name", pattern.node("String", "alice"))
+    op = Abstraction(pattern, person, "Grp", "knows", "grouped", include_unmatched=True)
+    native = Program([op]).run(tiny_instance)
+    engine = engine_cls.from_instance(tiny_instance)
+    engine.apply(
+        Abstraction(pattern, person, "Grp", "knows", "grouped", include_unmatched=True)
+    )
+    assert isomorphic(native.instance.store, engine.to_instance().store)

@@ -1,0 +1,162 @@
+"""Methods on the storage engines (the Section 5 'including methods').
+
+The host-program orchestration (`EngineMethodRunner`) must make both
+engines agree with the native engine on every method figure — context
+creation, body splicing, cleanup, interface restriction, recursion and
+crossed stopping conditions included.
+"""
+
+import pytest
+
+from repro.core import Program
+from repro.core.method_runner import EngineMethodRunner
+from repro.core.methods import MethodRegistry
+from repro.graph import isomorphic
+from repro.hypermedia import build_instance, build_scheme, build_version_chain
+from repro.hypermedia import figures as F
+from repro.storage import RelationalEngine
+from repro.tarski import TarskiEngine
+
+ENGINES = [RelationalEngine, TarskiEngine]
+
+
+def run_both(engine_cls, scheme_factory, make_methods, make_call):
+    scheme = scheme_factory()
+    db, handles = build_instance(scheme)
+    methods = make_methods(scheme)
+    call = make_call(scheme)
+    native = Program([call], methods=list(methods)).run(db)
+    engine = engine_cls.from_instance(db)
+    runner = EngineMethodRunner(engine, MethodRegistry(list(methods)))
+    runner.run([call])
+    return native, engine, handles
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_update_method_on_engine(engine_cls):
+    native, engine, handles = run_both(
+        engine_cls,
+        build_scheme,
+        lambda s: [F.fig20_update_method(s)],
+        lambda s: F.fig21_call(s),
+    )
+    assert isomorphic(native.instance.store, engine.to_instance().store)
+    # no call-context debris in the engine's scheme
+    assert all(not l.startswith("@") for l in engine.scheme.object_labels)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_recursive_method_on_engine(engine_cls):
+    native, engine, handles = run_both(
+        engine_cls,
+        build_scheme,
+        lambda s: [F.fig22_remove_old_versions(s)],
+        lambda s: F.fig22_call(s, "Rock"),
+    )
+    exported = engine.to_instance()
+    assert isomorphic(native.instance.store, exported.store)
+    assert not exported.has_node(handles.rock_old)
+    assert exported.has_node(handles.rock_new)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_rlt_closure_method_on_engine(engine_cls):
+    """Fig. 29: crossed stopping condition inside engine-side recursion."""
+    native, engine, handles = run_both(
+        engine_cls,
+        build_scheme,
+        lambda s: [F.fig29_rlt_method(s)],
+        lambda s: F.fig29_call(s),
+    )
+    assert isomorphic(native.instance.store, engine.to_instance().store)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_interface_filtering_on_engine(engine_cls):
+    """A method's temporaries are filtered engine-side too."""
+    from repro.core import (
+        BodyOp,
+        Method,
+        MethodCall,
+        MethodSignature,
+        NodeAddition,
+        Pattern,
+    )
+
+    scheme = build_scheme()
+    db, handles = build_instance(scheme)
+    tag_pattern = Pattern(scheme)
+    info = tag_pattern.add_node("Info")
+    scratch = Method(
+        MethodSignature("scratch", "Info"),
+        [BodyOp(NodeAddition(tag_pattern, "Temp", [("of", info)]), head=None)],
+    )
+    call_pattern = Pattern(scheme)
+    receiver = call_pattern.add_node("Info")
+    call = MethodCall(call_pattern, "scratch", receiver=receiver)
+
+    native = Program([call], methods=[scratch]).run(db)
+    engine = engine_cls.from_instance(db)
+    EngineMethodRunner(engine, MethodRegistry([scratch])).run([call])
+    exported = engine.to_instance()
+    assert isomorphic(native.instance.store, exported.store)
+    assert not engine.scheme.has_node_label("Temp")
+    assert exported.nodes_with_label("Temp") == frozenset()
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_mixed_program_on_engine(engine_cls):
+    """Basic operations interleaved with method calls."""
+    scheme = build_scheme()
+    db, handles = build_instance(scheme)
+    method = F.fig20_update_method(scheme)
+    operations = [
+        F.fig6_node_addition(scheme),
+        F.fig21_call(scheme),
+        F.fig14_node_deletion(scheme),
+    ]
+    native = Program(list(operations), methods=[method]).run(db)
+    engine = engine_cls.from_instance(db)
+    EngineMethodRunner(engine, MethodRegistry([method])).run(operations)
+    assert isomorphic(native.instance.store, engine.to_instance().store)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_restrict_to_standalone(engine_cls):
+    """restrict_to drops exactly the non-conformant structure."""
+    scheme = build_scheme()
+    db, handles = build_instance(scheme)
+    bigger = scheme.copy()
+    bigger.declare("Scratch", "notes", "Info", functional=False)
+    work = db.copy(scheme=bigger)
+    scratch = work.add_object("Scratch")
+    work.add_edge(scratch, "notes", handles.jazz)
+    engine = engine_cls.from_instance(work)
+    engine.restrict_to(scheme.copy())
+    exported = engine.to_instance()
+    assert exported.nodes_with_label("Scratch") == frozenset()
+    native = work.copy(scheme=work.scheme.copy())
+    native.restrict_to(scheme.copy())
+    assert isomorphic(native.store, exported.store)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+def test_subclass_dispatch_on_engine(engine_cls):
+    """§4.2 subclass dispatch works through the engine runner too."""
+    from repro.core import MethodCall, Pattern
+    from repro.hypermedia.scheme_def import JAN_16
+
+    scheme = build_scheme(mark_isa=True)
+    db, handles = build_instance(scheme)
+    update = F.fig20_update_method(scheme)
+    call_pattern = Pattern(scheme)
+    ref = call_pattern.add_node("Reference")
+    date = call_pattern.add_node("Date", JAN_16)
+    call = MethodCall(call_pattern, "Update", receiver=ref, arguments={"parameter": date})
+    native = Program([call], methods=[update]).run(db)
+    engine = engine_cls.from_instance(db)
+    EngineMethodRunner(engine, MethodRegistry([update])).run([call])
+    exported = engine.to_instance()
+    assert isomorphic(native.instance.store, exported.store)
+    target = exported.functional_target(handles.beatles, "modified")
+    assert exported.print_of(target) == JAN_16

@@ -1,0 +1,32 @@
+"""Every example script must run cleanly — examples are part of the API
+contract, so they are executed (not just linted) by the suite."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    path.name
+    for path in (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    root = pathlib.Path(__file__).resolve().parents[2]
+    result = subprocess.run(
+        [sys.executable, str(root / "examples" / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=root,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stderr[-2000:]}"
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_are_discovered():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 9

@@ -1,0 +1,97 @@
+"""Failure semantics: what a raising operation leaves behind.
+
+Section 3.2 prescribes run-time checks for the undefined edge-addition
+case; this suite pins down the library's transactional story around
+them: copy-mode programs never corrupt the caller's database, single
+operations are atomic, and sessions can always roll back.
+"""
+
+import pytest
+
+from repro.core import (
+    EdgeAddition,
+    EdgeConflictError,
+    BodyOp,
+    HeadBindings,
+    Method,
+    MethodCall,
+    MethodSignature,
+    Pattern,
+    Program,
+)
+from repro.interactive import Session
+
+from tests.conftest import person_pattern
+
+
+def conflicting_edge_addition(scheme):
+    """Gives every person a functional edge to every other's age."""
+    pattern = Pattern(scheme)
+    person = pattern.node("Person")
+    other = pattern.node("Person")
+    other_age = pattern.node("Number")
+    pattern.edge(other, "age", other_age)
+    return EdgeAddition(
+        pattern, [(person, "primary", other_age)], new_label_kinds={"primary": "functional"}
+    )
+
+
+def snapshot(instance):
+    return (sorted(instance.nodes()), sorted(instance.edges()))
+
+
+def test_copy_mode_program_failure_leaves_database_intact(tiny_scheme, tiny_instance):
+    before = snapshot(tiny_instance)
+    program = Program([conflicting_edge_addition(tiny_scheme)])
+    with pytest.raises(EdgeConflictError):
+        program.run(tiny_instance)
+    assert snapshot(tiny_instance) == before
+    assert not tiny_instance.scheme.is_functional("primary")  # scheme too
+
+
+def test_single_edge_addition_is_atomic(tiny_scheme, tiny_instance):
+    """All-or-nothing: the conflict check runs before any insert."""
+    before = snapshot(tiny_instance)
+    operation = conflicting_edge_addition(tiny_scheme)
+    with pytest.raises(EdgeConflictError):
+        operation.apply(tiny_instance)
+    # node/edge state untouched even though apply() works in place
+    # (materialised constants aside — this pattern mentions none)
+    assert snapshot(tiny_instance) == before
+
+
+def test_failure_inside_method_body_propagates(tiny_scheme, tiny_instance):
+    signature = MethodSignature("boom", "Person")
+    body = [BodyOp(conflicting_edge_addition(tiny_scheme), head=None)]
+    method = Method(signature, body)
+    call_pattern, receiver = person_pattern(tiny_scheme)
+    call = MethodCall(call_pattern, "boom", receiver=receiver)
+    before = snapshot(tiny_instance)
+    with pytest.raises(EdgeConflictError):
+        Program([call], methods=[method]).run(tiny_instance)
+    # copy-mode: the caller's database is untouched despite the
+    # mid-body failure (the working copy is discarded)
+    assert snapshot(tiny_instance) == before
+
+
+def test_session_rolls_back_failed_updates(tiny_scheme, tiny_instance):
+    session = Session(tiny_instance)
+    before = snapshot(session.instance)
+    with pytest.raises(EdgeConflictError):
+        session.update(conflicting_edge_addition(tiny_scheme))
+    # the undo frame from the failed update is still there; popping it
+    # restores the pre-update state
+    session.undo()
+    assert snapshot(session.instance) == before
+
+
+def test_later_operations_see_earlier_failures_stop_the_program(tiny_scheme, tiny_instance):
+    from repro.core import NodeAddition
+
+    tag_pattern, person = person_pattern(tiny_scheme)
+    program = Program(
+        [conflicting_edge_addition(tiny_scheme), NodeAddition(tag_pattern, "Never", [("of", person)])]
+    )
+    with pytest.raises(EdgeConflictError):
+        program.run(tiny_instance)
+    assert not tiny_instance.scheme.has_node_label("Never")

@@ -1,0 +1,492 @@
+"""Figure-by-figure reproduction of the paper (experiments F1–F31).
+
+Every test applies the executable version of a figure to the Figs. 2–3
+hyper-media instance (or the Fig. 17 chain) and asserts the outcome
+the paper states.  EXPERIMENTS.md quotes these numbers.
+"""
+
+import pytest
+
+from repro.core import Program, count_matchings, find_matchings
+from repro.core.inheritance import (
+    find_matchings_with_inheritance,
+    materialize_inheritance,
+    virtual_scheme,
+)
+from repro.core.matching import find_negated
+from repro.hypermedia import build_instance, build_scheme, build_version_chain
+from repro.hypermedia import figures as F
+from repro.hypermedia.scheme_def import JAN_12, JAN_14, JAN_16
+
+
+@pytest.fixture
+def fresh():
+    scheme = build_scheme()
+    db, handles = build_instance(scheme)
+    return scheme, db, handles
+
+
+# ----------------------------------------------------------------------
+# F1–F3: scheme and instance
+# ----------------------------------------------------------------------
+
+
+def test_fig1_scheme_contents():
+    scheme = build_scheme()
+    assert scheme.object_labels == frozenset(
+        {"Info", "Version", "Reference", "Data", "Comment", "Sound", "Text", "Graphics"}
+    )
+    assert scheme.printable_labels == frozenset(
+        {"Date", "String", "Number", "Longstring", "Bitmap", "Bitstream"}
+    )
+    assert scheme.multivalued_edge_labels == frozenset({"links-to", "in"})
+    assert scheme.allows_edge("Comment", "is", "String")
+    assert scheme.allows_edge("Comment", "is", "Number")
+    assert scheme.allows_edge("Sound", "data", "Bitstream")
+    scheme.validate()
+
+
+def test_fig2_fig3_instance_valid(fresh):
+    scheme, db, handles = fresh
+    db.validate()
+    assert len(db.nodes_with_label("Info")) == 13
+    assert len(db.nodes_with_label("Version")) == 1
+    assert len(db.nodes_with_label("Reference")) == 1
+
+
+def test_fig2_printable_nodes_shared(fresh):
+    """"In reality, only one such node appears in the object base"."""
+    scheme, db, handles = fresh
+    jan12 = db.find_printable("Date", JAN_12)
+    assert len(db.in_neighbours(jan12, "created")) == 7
+
+
+def test_fig2_incomplete_information(fresh):
+    """'The Doors' has no comment — absent edges are permitted."""
+    scheme, db, handles = fresh
+    assert db.functional_target(handles.doors, "comment") is None
+    assert db.functional_target(handles.music_history, "comment") is not None
+
+
+# ----------------------------------------------------------------------
+# F4–F9: patterns and node additions
+# ----------------------------------------------------------------------
+
+
+def test_fig4_fig5_two_matchings(fresh):
+    scheme, db, handles = fresh
+    fig4 = F.fig4_pattern(scheme)
+    matchings = list(find_matchings(fig4.pattern, db))
+    assert len(matchings) == 2
+    assert {m[fig4.info_bottom] for m in matchings} == {handles.doors, handles.pinkfloyd}
+
+
+def test_fig6_fig7_node_addition(fresh):
+    scheme, db, handles = fresh
+    result = Program([F.fig6_node_addition(scheme)]).run(db)
+    report = result.reports[0]
+    assert report.matching_count == 2
+    assert len(report.nodes_added) == 2
+    tagged = {
+        next(iter(result.instance.out_neighbours(tag, "tagged-to")))
+        for tag in result.instance.nodes_with_label("Rock")
+    }
+    assert tagged == {handles.doors, handles.pinkfloyd}
+
+
+def test_fig8_fig9_pair_aggregates(fresh):
+    """4 matchings; the formal (Fig. 9) semantics collapses the two
+    matchings with equal (parent, child) dates to 3 Pair nodes.  The
+    prose says "four added nodes" — see DESIGN.md."""
+    scheme, db, handles = fresh
+    result = Program([F.fig8_node_addition(scheme)]).run(db)
+    report = result.reports[0]
+    assert report.matching_count == 4
+    assert len(report.nodes_added) == 3
+    pairs = set()
+    for pair in result.instance.nodes_with_label("Pair"):
+        parent = result.instance.print_of(result.instance.functional_target(pair, "parent"))
+        child = result.instance.print_of(result.instance.functional_target(pair, "child"))
+        pairs.add((parent, child))
+    assert pairs == {(JAN_14, JAN_12), (JAN_14, JAN_14), (JAN_12, JAN_12)}
+
+
+# ----------------------------------------------------------------------
+# F10–F13: edge additions and set building
+# ----------------------------------------------------------------------
+
+
+def test_fig10_fig11_edge_addition(fresh):
+    scheme, db, handles = fresh
+    result = Program([F.fig10_edge_addition(scheme)]).run(db)
+    report = result.reports[0]
+    assert report.matching_count == 2
+    assert len(report.edges_added) == 2
+    jan14 = result.instance.find_printable("Date", JAN_14)
+    assert result.instance.has_edge(handles.pf_sound_data, "data-creation", jan14)
+    assert result.instance.has_edge(handles.pf_text_data, "data-creation", jan14)
+
+
+def test_fig12_fig13_set_building(fresh):
+    scheme, db, handles = fresh
+    result = Program(
+        [F.fig12_node_addition(scheme), F.fig13_edge_addition(scheme)]
+    ).run(db)
+    collectors = result.instance.nodes_with_label(F.SET_LABEL)
+    assert len(collectors) == 1
+    members = result.instance.out_neighbours(min(collectors), "contains")
+    assert members == frozenset({handles.rock_new, handles.pinkfloyd})
+
+
+# ----------------------------------------------------------------------
+# F14–F16: deletions and updates
+# ----------------------------------------------------------------------
+
+
+def test_fig14_fig15_node_deletion(fresh):
+    scheme, db, handles = fresh
+    result = Program([F.fig14_node_deletion(scheme)]).run(db)
+    assert not result.instance.has_node(handles.classical)
+    # Mozart becomes isolated, exactly as Fig. 15 shows
+    assert result.instance.has_node(handles.mozart)
+    name_edge = result.instance.functional_target(handles.mozart, "name")
+    created_edge = result.instance.functional_target(handles.mozart, "created")
+    assert name_edge is not None and created_edge is not None
+    assert result.instance.in_neighbours(handles.mozart, "links-to") == frozenset()
+    result.instance.validate()
+
+
+def test_fig16_update(fresh):
+    scheme, db, handles = fresh
+    deletion, addition = F.fig16_update(scheme)
+    result = Program([deletion, addition]).run(db)
+    target = result.instance.functional_target(handles.music_history, "modified")
+    assert result.instance.print_of(target) == JAN_16
+    # the old Jan 14 date node still exists (it is also rock_new's created)
+    assert result.instance.find_printable("Date", JAN_14) is not None
+
+
+def test_fig16_steps_are_observable(fresh):
+    scheme, db, handles = fresh
+    deletion, addition = F.fig16_update(scheme)
+    mid = Program([deletion]).run(db)
+    assert mid.instance.functional_target(handles.music_history, "modified") is None
+
+
+# ----------------------------------------------------------------------
+# F17–F19: abstraction
+# ----------------------------------------------------------------------
+
+
+def test_fig17_fig19_abstraction():
+    scheme = build_scheme()
+    db, handles = build_version_chain(scheme)
+    tag_new, tag_old, abstraction = F.fig18_operations(scheme)
+    result = Program([tag_new, tag_old, abstraction]).run(db)
+    groups = result.instance.nodes_with_label("Same-Info")
+    assert len(groups) == 3
+    extensions = {
+        frozenset(result.instance.out_neighbours(group, "contains")) for group in groups
+    }
+    i1, i2, i3, i4, i5 = handles.chain
+    assert extensions == {
+        frozenset({i1, i2}),
+        frozenset({i3, i4}),
+        frozenset({i5}),
+    }
+
+
+def test_fig18_abstraction_is_idempotent():
+    scheme = build_scheme()
+    db, handles = build_version_chain(scheme)
+    ops = F.fig18_operations(scheme)
+    once = Program(list(ops)).run(db)
+    ops2 = F.fig18_operations(once.instance.scheme)
+    twice = Program([ops2[2]]).run(once.instance)
+    assert twice.reports[0].nodes_added == ()
+
+
+# ----------------------------------------------------------------------
+# F20–F22: methods
+# ----------------------------------------------------------------------
+
+
+def test_fig20_fig21_update_method(fresh):
+    scheme, db, handles = fresh
+    method = F.fig20_update_method(scheme)
+    call = F.fig21_call(scheme)
+    result = Program([call], methods=[method]).run(db)
+    target = result.instance.functional_target(handles.music_history, "modified")
+    assert result.instance.print_of(target) == JAN_16
+    # no call-context debris survives
+    assert all(not l.startswith("@") for l in result.instance.scheme.object_labels)
+
+
+def test_fig21_method_receiver_without_modified_edge(fresh):
+    """Update on a node with no previous modified date still works
+    (the deletion body op simply has no matchings)."""
+    scheme, db, handles = fresh
+    method = F.fig20_update_method(scheme)
+    call_pattern = __import__("repro.core", fromlist=["Pattern"]).Pattern(scheme)
+    info = call_pattern.node("Info")
+    date = call_pattern.node("Date", JAN_16)
+    call_pattern.edge(info, "name", call_pattern.node("String", "Jazz"))
+    from repro.core import MethodCall
+
+    call = MethodCall(call_pattern, "Update", receiver=info, arguments={"parameter": date})
+    result = Program([call], methods=[method]).run(db)
+    target = result.instance.functional_target(handles.jazz, "modified")
+    assert result.instance.print_of(target) == JAN_16
+
+
+def test_fig22_remove_old_versions_on_chain():
+    scheme = build_scheme()
+    db, handles = build_version_chain(scheme)
+    # name the newest info so the call can select it
+    newest = handles.chain[0]
+    db.add_edge(newest, "name", db.printable("String", "Document"))
+    method = F.fig22_remove_old_versions(scheme)
+    call = F.fig22_call(scheme, "Document")
+    result = Program([call], methods=[method]).run(db)
+    # the whole chain of old versions and version nodes is gone
+    assert result.instance.has_node(newest)
+    for old in handles.chain[1:]:
+        assert not result.instance.has_node(old)
+    for version in handles.versions:
+        assert not result.instance.has_node(version)
+    # shared targets survive
+    for target in handles.targets:
+        assert result.instance.has_node(target)
+
+
+def test_fig22_on_hypermedia_instance(fresh):
+    scheme, db, handles = fresh
+    method = F.fig22_remove_old_versions(scheme)
+    call = F.fig22_call(scheme, "Rock")
+    result = Program([call], methods=[method]).run(db)
+    assert result.instance.has_node(handles.rock_new)
+    assert not result.instance.has_node(handles.rock_old)
+    assert not result.instance.has_node(handles.version1)
+    # The Doors was linked from both versions; it survives
+    assert result.instance.has_node(handles.doors)
+
+
+# ----------------------------------------------------------------------
+# F23–F25: method interfaces
+# ----------------------------------------------------------------------
+
+
+def test_fig23_25_interfaces(fresh):
+    scheme, db, handles = fresh
+    d_method = F.fig23_d_method(scheme)
+    e_method = F.fig25_e_method(scheme)
+    call = F.fig25_e_call(scheme)
+    result = Program([call], methods=[d_method, e_method]).run(db)
+    # days-unmod appears for the one info with created and modified
+    target = result.instance.functional_target(handles.music_history, "days-unmod")
+    assert result.instance.print_of(target) == 2
+    # the Elapsed machinery is filtered out by the interfaces
+    assert not result.instance.scheme.has_node_label("Elapsed")
+    assert result.instance.nodes_with_label("Elapsed") == frozenset()
+    assert "days-unmod" in result.instance.scheme.functional_edge_labels
+
+
+def test_fig23_d_method_standalone(fresh):
+    """Calling D directly: its interface keeps the Elapsed node."""
+    from repro.core import MethodCall, Pattern
+
+    scheme, db, handles = fresh
+    d_method = F.fig23_d_method(scheme)
+    pattern = Pattern(scheme)
+    new_date = pattern.node("Date", JAN_14)
+    old_date = pattern.node("Date", JAN_12)
+    call = MethodCall(pattern, "D", receiver=new_date, arguments={"old": old_date})
+    result = Program([call], methods=[d_method]).run(db)
+    elapsed = result.instance.nodes_with_label("Elapsed")
+    assert len(elapsed) == 1
+    diff = result.instance.functional_target(min(elapsed), "diff")
+    assert result.instance.print_of(diff) == 2
+
+
+# ----------------------------------------------------------------------
+# F26–F27: negation
+# ----------------------------------------------------------------------
+
+EXPECTED_ANSWER = {
+    "Music History",
+    "Rock",
+    "Classical Music",
+    "Jazz",
+    "Pinkfloyd",
+    "The Doors",
+    "The Beatles",
+    "Mozart",
+}
+
+
+def answer_names(instance):
+    answers = instance.nodes_with_label("Answer")
+    assert len(answers) == 1
+    return {
+        instance.print_of(target)
+        for target in instance.out_neighbours(min(answers), "contains")
+    }
+
+
+def test_fig26_crossed_pattern_query(fresh):
+    scheme, db, handles = fresh
+    operations, _ = F.fig26_operations(scheme)
+    result = Program(operations).run(db)
+    assert answer_names(result.instance) == EXPECTED_ANSWER
+
+
+def test_fig27_simulation_agrees(fresh):
+    scheme, db, handles = fresh
+    direct_ops, _ = F.fig26_operations(scheme)
+    direct = Program(direct_ops).run(db)
+    compiled_ops, _ = F.fig27_operations(scheme)
+    compiled = Program(compiled_ops).run(db)
+    assert answer_names(compiled.instance) == answer_names(direct.instance)
+
+
+def test_fig26_music_history_included_because_dates_differ(fresh):
+    """Music History HAS a modified edge — but to a different date, so
+    the crossed edge (to the created date) is absent and it matches."""
+    scheme, db, handles = fresh
+    query = F.fig26_negated_pattern(scheme)
+    matched = {m[query.info] for m in find_negated(query.negated, db)}
+    assert handles.music_history in matched
+
+
+def test_fig26_equal_dates_excluded(fresh):
+    scheme, db, handles = fresh
+    # give Jazz modified == created: it must drop out of the answer
+    jan12 = db.find_printable("Date", JAN_12)
+    db.add_edge(handles.jazz, "modified", jan12)
+    operations, _ = F.fig26_operations(scheme)
+    result = Program(operations).run(db)
+    assert "Jazz" not in answer_names(result.instance)
+
+
+# ----------------------------------------------------------------------
+# F28–F29: transitive closure
+# ----------------------------------------------------------------------
+
+
+def links_to_closure(instance):
+    infos = sorted(instance.nodes_with_label("Info"))
+    adjacency = {node: instance.out_neighbours(node, "links-to") for node in infos}
+    pairs = set()
+    for source in infos:
+        frontier = set(adjacency[source])
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier |= set(adjacency[node])
+        pairs |= {(source, target) for target in seen}
+    return pairs
+
+
+def rec_pairs(instance):
+    return {
+        (source, target)
+        for source in instance.nodes_with_label("Info")
+        for target in instance.out_neighbours(source, "rec-links-to")
+    }
+
+
+def test_fig28_recursive_edge_addition(fresh):
+    scheme, db, handles = fresh
+    direct, star = F.fig28_operations(scheme)
+    result = Program([direct, star]).run(db)
+    assert rec_pairs(result.instance) == links_to_closure(db)
+
+
+def test_fig29_method_simulation_agrees(fresh):
+    scheme, db, handles = fresh
+    method = F.fig29_rlt_method(scheme)
+    call = F.fig29_call(scheme)
+    result = Program([call], methods=[method]).run(db)
+    assert rec_pairs(result.instance) == links_to_closure(db)
+
+
+def test_fig28_closure_is_nontrivial(fresh):
+    scheme, db, handles = fresh
+    closure = links_to_closure(db)
+    direct_links = {
+        (s, t)
+        for s in db.nodes_with_label("Info")
+        for t in db.out_neighbours(s, "links-to")
+    }
+    assert direct_links < closure  # strictly more pairs
+    assert (handles.music_history, handles.doors) in closure
+
+
+# ----------------------------------------------------------------------
+# F30–F31: inheritance
+# ----------------------------------------------------------------------
+
+
+def test_fig30_fig31_inheritance():
+    scheme = build_scheme(mark_isa=True)
+    db, handles = build_instance(scheme)
+    virtual = virtual_scheme(scheme)
+
+    fig30 = F.fig30_query(virtual)
+    via_rewriting = {
+        (m[fig30.reference], db.print_of(m[fig30.name]))
+        for m in find_matchings_with_inheritance(fig30.pattern, db, scheme)
+    }
+    fig31 = F.fig31_query(scheme)
+    manual = {
+        (m[fig31.reference], db.print_of(m[fig31.name]))
+        for m in find_matchings(fig31.pattern, db)
+    }
+    assert via_rewriting == manual == {(handles.reference, "The Beatles")}
+
+
+def test_fig30_via_materialized_virtual_instance():
+    scheme = build_scheme(mark_isa=True)
+    db, handles = build_instance(scheme)
+    virtual = virtual_scheme(scheme)
+    work = db.copy(scheme=scheme.copy())
+    materialize_inheritance(work)
+    fig30 = F.fig30_query(virtual)
+    matchings = list(find_matchings(fig30.pattern.copy(scheme=work.scheme), work))
+    assert {(m[fig30.reference], work.print_of(m[fig30.name])) for m in matchings} == {
+        (handles.reference, "The Beatles")
+    }
+
+
+# ----------------------------------------------------------------------
+# determinism (Section 3: "deterministic up to choice of new objects")
+# ----------------------------------------------------------------------
+
+
+def test_programs_deterministic_up_to_new_object_choice(fresh):
+    from repro.graph import isomorphic
+
+    scheme, db, handles = fresh
+    ops = [
+        F.fig6_node_addition(scheme),
+        F.fig8_node_addition(scheme),
+        F.fig10_edge_addition(scheme),
+        F.fig12_node_addition(scheme),
+        F.fig13_edge_addition(scheme),
+    ]
+    first = Program(ops).run(db)
+    # rebuild everything from scratch (different node ids internally)
+    scheme2 = build_scheme()
+    db2, _ = build_instance(scheme2)
+    ops2 = [
+        F.fig6_node_addition(scheme2),
+        F.fig8_node_addition(scheme2),
+        F.fig10_edge_addition(scheme2),
+        F.fig12_node_addition(scheme2),
+        F.fig13_edge_addition(scheme2),
+    ]
+    second = Program(ops2).run(db2)
+    assert isomorphic(first.instance.store, second.instance.store)

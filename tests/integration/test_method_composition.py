@@ -1,0 +1,179 @@
+"""Method-mechanism composition: nesting, crossed calls, interfaces."""
+
+import pytest
+
+from repro.core import (
+    BodyOp,
+    EdgeAddition,
+    HeadBindings,
+    Method,
+    MethodCall,
+    MethodSignature,
+    NegatedPattern,
+    NodeAddition,
+    Pattern,
+    Program,
+)
+
+from tests.conftest import person_pattern
+
+
+def test_nested_calls_preserve_outer_temporaries(tiny_scheme, tiny_instance):
+    """An inner call's restriction must not wipe the outer call's
+    working structure (the snapshot-at-entry subtlety)."""
+    inner = Method(MethodSignature("inner", "Person"), [])  # does nothing
+
+    outer_tag_pattern, person = person_pattern(tiny_scheme)
+    tag = BodyOp(NodeAddition(outer_tag_pattern, "Work", [("on", person)]), head=None)
+
+    call_inner_pattern, person2 = person_pattern(tiny_scheme)
+    call_inner = BodyOp(
+        MethodCall(call_inner_pattern, "inner", receiver=person2),
+        head=HeadBindings(receiver=person2),
+    )
+
+    # after the inner call, copy the Work tags into Kept nodes — this
+    # only works if Work survived the inner call's restriction
+    private = tiny_scheme.copy()
+    private.declare("Work", "on", "Person")
+    copy_pattern = Pattern(private)
+    work = copy_pattern.node("Work")
+    keep = BodyOp(NodeAddition(copy_pattern, "Kept", [("was", work)]), head=None)
+
+    interface = tiny_scheme.copy()
+    interface.add_object_label("Kept")
+    outer = Method(MethodSignature("outer", "Person"), [tag, call_inner, keep], interface)
+
+    call_pattern, receiver = person_pattern(tiny_scheme)
+    call = MethodCall(call_pattern, "outer", receiver=receiver)
+    result = Program([call], methods=[inner, outer]).run(tiny_instance)
+    assert len(result.instance.nodes_with_label("Kept")) == 3
+    # Work itself is a temporary: filtered out at the end
+    assert not result.instance.scheme.has_node_label("Work")
+
+
+def test_method_call_with_crossed_source_pattern(tiny_scheme, tiny_instance):
+    """A call whose *call pattern* is crossed fires only for matchings
+    the crossed part does not block."""
+    rename = Method(
+        MethodSignature("mark", "Person"),
+        [],
+        interface=tiny_scheme.copy(),
+    )
+    # tag people who know nobody — via a crossed call pattern invoking
+    # a method whose body records the receiver
+    private = tiny_scheme.copy()
+    private.declare("Marked", "who", "Person")
+    body_pattern = Pattern(private)
+    person = body_pattern.node("Person")
+    record = BodyOp(
+        NodeAddition(body_pattern, "Marked", [("who", person)]),
+        head=HeadBindings(receiver=person),
+    )
+    interface = private
+    mark = Method(MethodSignature("mark", "Person"), [record], interface)
+
+    positive, receiver = person_pattern(tiny_scheme)
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(receiver, "knows", None)])
+    call = MethodCall(negated, "mark", receiver=receiver)
+    result = Program([call], methods=[mark]).run(tiny_instance)
+    marked = {
+        next(iter(result.instance.out_neighbours(m, "who")))
+        for m in result.instance.nodes_with_label("Marked")
+    }
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    assert marked == {people[2]}  # only carol knows nobody
+
+
+def test_method_argument_bound_per_matching(tiny_scheme, tiny_instance):
+    """Different matchings bind different actual parameters."""
+    private = tiny_scheme.copy()
+    private.declare("Link", "a", "Person")
+    private.declare("Link", "b", "Person")
+    body_pattern = Pattern(private)
+    x = body_pattern.node("Person")
+    y = body_pattern.node("Person")
+    pair = BodyOp(
+        NodeAddition(body_pattern, "Link", [("a", x), ("b", y)]),
+        head=HeadBindings(receiver=x, parameters={"other": y}),
+    )
+    link = Method(
+        MethodSignature("link", "Person", {"other": "Person"}), [pair], private
+    )
+    call_pattern = Pattern(tiny_scheme)
+    source = call_pattern.node("Person")
+    target = call_pattern.node("Person")
+    call_pattern.edge(source, "knows", target)
+    call = MethodCall(call_pattern, "link", receiver=source, arguments={"other": target})
+    result = Program([call], methods=[link]).run(tiny_instance)
+    links = {
+        (
+            result.instance.functional_target(l, "a"),
+            result.instance.functional_target(l, "b"),
+        )
+        for l in result.instance.nodes_with_label("Link")
+    }
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    assert links == {
+        (people[0], people[1]),
+        (people[0], people[2]),
+        (people[1], people[2]),
+    }
+
+
+def test_mutual_recursion_between_methods(tiny_scheme):
+    """ping calls pong along a knows-chain; together they walk it."""
+    from repro.core import Instance
+
+    db = Instance(tiny_scheme)
+    people = [db.add_object("Person") for _ in range(6)]
+    for left, right in zip(people, people[1:]):
+        db.add_edge(left, "knows", right)
+
+    private = tiny_scheme.copy()
+    private.declare("Ping", "at", "Person")
+    private.declare("Pong", "at", "Person")
+
+    def walker(name, tag_label, next_method):
+        tag_pattern = Pattern(private)
+        person = tag_pattern.node("Person")
+        tag = BodyOp(
+            NodeAddition(tag_pattern, tag_label, [("at", person)]),
+            head=HeadBindings(receiver=person),
+        )
+        step_pattern = Pattern(private)
+        here = step_pattern.node("Person")
+        there = step_pattern.node("Person")
+        step_pattern.edge(here, "knows", there)
+        step = BodyOp(
+            MethodCall(step_pattern, next_method, receiver=there),
+            head=HeadBindings(receiver=here),
+        )
+        return Method(MethodSignature(name, "Person"), [tag, step], private)
+
+    ping = walker("ping", "Ping", "pong")
+    pong = walker("pong", "Pong", "ping")
+
+    call_pattern = Pattern(tiny_scheme)
+    start = call_pattern.node("Person")
+    fixed_start = Pattern(tiny_scheme)
+    s = fixed_start.node("Person")
+    # anchor the call at the head of the chain via a name
+    db.add_edge(people[0], "name", db.printable("String", "head"))
+    anchored = Pattern(tiny_scheme)
+    a = anchored.node("Person")
+    anchored.edge(a, "name", anchored.node("String", "head"))
+    call = MethodCall(anchored, "ping", receiver=a)
+    result = Program([call], methods=[ping, pong]).run(db, max_depth=50)
+
+    pings = {
+        next(iter(result.instance.out_neighbours(t, "at")))
+        for t in result.instance.nodes_with_label("Ping")
+    }
+    pongs = {
+        next(iter(result.instance.out_neighbours(t, "at")))
+        for t in result.instance.nodes_with_label("Pong")
+    }
+    assert pings == {people[0], people[2], people[4]}
+    assert pongs == {people[1], people[3], people[5]}

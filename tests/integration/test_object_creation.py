@@ -1,0 +1,122 @@
+"""The §4.3 closing remark, demonstrated constructively.
+
+"GOOD can express all isomorphism-preserving transformations for which
+newly created objects can be effectively 'constructed'" (ref [33]).
+We cannot machine-check a completeness theorem, but we can exhibit its
+witness construction: a *graph copy* — the canonical object-creating
+transformation — written purely in basic operations:
+
+1. one node addition keyed on the original object creates exactly one
+   copy per original (the reuse check gives the bijection);
+2. one edge addition per property wires the copies to each other,
+   mirroring the original edges.
+
+The result must be a fresh subgraph isomorphic to the original — which
+we verify with the isomorphism checker.
+"""
+
+import random
+
+from repro.core import EdgeAddition, Instance, NodeAddition, Pattern, Program, Scheme
+from repro.graph import GraphStore, isomorphic
+from repro.hypermedia import build_scheme
+from repro.workloads import scale_free_instance
+
+
+def copy_program(scheme, source_class, copy_class, functional_labels, multivalued_labels):
+    """A GOOD program deep-copying a class and selected properties."""
+    private = scheme.copy()
+    private.add_object_label(copy_class)
+    private.add_functional_edge_label("copies")
+    private.add_property(copy_class, "copies", source_class)
+    for label in multivalued_labels:
+        private.add_property(copy_class, label, copy_class)
+
+    # 1. one copy per original, keyed by a functional edge to it
+    seed_pattern = Pattern(private)
+    original = seed_pattern.add_node(source_class)
+    seed = NodeAddition(seed_pattern, copy_class, [("copies", original)])
+
+    operations = [seed]
+    # 2. mirror each multivalued property among the copies
+    for label in multivalued_labels:
+        wire_pattern = Pattern(private)
+        src = wire_pattern.add_node(source_class)
+        dst = wire_pattern.add_node(source_class)
+        wire_pattern.add_edge(src, label, dst)
+        src_copy = wire_pattern.add_node(copy_class)
+        dst_copy = wire_pattern.add_node(copy_class)
+        wire_pattern.add_edge(src_copy, "copies", src)
+        wire_pattern.add_edge(dst_copy, "copies", dst)
+        operations.append(EdgeAddition(wire_pattern, [(src_copy, label, dst_copy)]))
+    return operations
+
+
+def extract_subgraph(instance, class_label, edge_labels):
+    """The induced labeled graph of one class (for the isomorphism check)."""
+    store = GraphStore()
+    remap = {}
+    for node in sorted(instance.nodes_with_label(class_label)):
+        remap[node] = store.add_node("X")
+    for node in sorted(instance.nodes_with_label(class_label)):
+        for label in edge_labels:
+            for target in instance.out_neighbours(node, label):
+                if target in remap:
+                    store.add_edge(remap[node], label, remap[target])
+    return store
+
+
+def test_copy_is_isomorphic_on_hypermedia():
+    scheme = build_scheme()
+    from repro.hypermedia import build_instance
+
+    db, _ = build_instance(scheme)
+    program = copy_program(scheme, "Info", "InfoCopy", [], ["links-to"])
+    result = Program(program).run(db)
+    original = extract_subgraph(result.instance, "Info", ["links-to"])
+    copied = extract_subgraph(result.instance, "InfoCopy", ["links-to"])
+    assert original.node_count == copied.node_count == 13
+    assert isomorphic(original, copied)
+
+
+def test_copy_is_isomorphic_on_random_graphs():
+    scheme = build_scheme()
+    rng = random.Random(99)
+    instance, _ = scale_free_instance(rng, scheme, 80)
+    program = copy_program(scheme, "Info", "InfoCopy", [], ["links-to"])
+    result = Program(program).run(instance)
+    original = extract_subgraph(result.instance, "Info", ["links-to"])
+    copied = extract_subgraph(result.instance, "InfoCopy", ["links-to"])
+    assert isomorphic(original, copied)
+
+
+def test_copy_is_idempotent():
+    scheme = build_scheme()
+    from repro.hypermedia import build_instance
+
+    db, _ = build_instance(scheme)
+    program = copy_program(scheme, "Info", "InfoCopy", [], ["links-to"])
+    once = Program(program).run(db)
+    again = Program(copy_program(once.instance.scheme, "Info", "InfoCopy", [], ["links-to"])).run(
+        once.instance
+    )
+    # the seed NA only matches Info originals, and each already has
+    # its copy (reuse check): rerunning adds nothing
+    assert len(again.instance.nodes_with_label("InfoCopy")) == len(
+        once.instance.nodes_with_label("InfoCopy")
+    )
+
+
+def test_copy_preserves_original():
+    scheme = build_scheme()
+    from repro.hypermedia import build_instance
+
+    db, handles = build_instance(scheme)
+    before = {edge.as_tuple() for edge in db.edges()}
+    result = Program(copy_program(scheme, "Info", "InfoCopy", [], ["links-to"])).run(db)
+    after_on_originals = {
+        edge.as_tuple()
+        for edge in result.instance.edges()
+        if result.instance.label_of(edge.source) != "InfoCopy"
+    }
+    assert after_on_originals == before

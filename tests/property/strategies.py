@@ -1,0 +1,53 @@
+"""Hypothesis strategies built on the seeded workload generators.
+
+Rather than re-deriving valid scheme/instance constructions inside
+hypothesis, we let hypothesis pick *seeds* and feed them to the
+deterministic generators in :mod:`repro.workloads` — shrinking then
+shrinks the seed, and every drawn object is valid by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    random_basic_program,
+    random_instance,
+    random_pattern,
+    random_scheme,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@st.composite
+def scheme_instances(draw, max_nodes: int = 25, max_edges: int = 50):
+    """(scheme, instance) pairs."""
+    rng = random.Random(draw(seeds))
+    n_nodes = draw(st.integers(min_value=0, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    scheme = random_scheme(rng)
+    instance = random_instance(rng, scheme, n_nodes=n_nodes, n_edges=n_edges)
+    return scheme, instance
+
+
+@st.composite
+def instances_with_patterns(draw, max_pattern_nodes: int = 4):
+    """(scheme, instance, pattern) triples; patterns sample subgraphs."""
+    scheme, instance = draw(scheme_instances())
+    rng = random.Random(draw(seeds))
+    n_nodes = draw(st.integers(min_value=1, max_value=max_pattern_nodes))
+    pattern = random_pattern(rng, instance, n_nodes=n_nodes)
+    return scheme, instance, pattern
+
+
+@st.composite
+def instances_with_programs(draw, max_operations: int = 6):
+    """(scheme, instance, operations) triples."""
+    scheme, instance = draw(scheme_instances())
+    rng = random.Random(draw(seeds))
+    n_operations = draw(st.integers(min_value=1, max_value=max_operations))
+    operations = random_basic_program(rng, scheme.copy(), instance, n_operations=n_operations)
+    return scheme, instance, operations

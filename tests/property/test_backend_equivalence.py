@@ -1,0 +1,61 @@
+"""Property tests: the three engines are equivalent (S1/S2) and runs
+are deterministic up to new-object choice (P1)."""
+
+from hypothesis import given, settings
+
+from repro.core import Program, find_matchings
+from repro.graph import isomorphic
+from repro.storage import RelationalEngine
+from repro.storage.layout import GoodLayout
+from repro.storage.query import execute_any
+from repro.tarski import TarskiEngine
+
+from tests.property.strategies import instances_with_patterns, instances_with_programs
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@given(instances_with_programs())
+@SETTINGS
+def test_three_engines_produce_isomorphic_instances(data):
+    scheme, instance, operations = data
+    native = Program(list(operations)).run(instance)
+    relational = RelationalEngine.from_instance(instance)
+    relational.run(operations)
+    tarski = TarskiEngine.from_instance(instance)
+    tarski.run(operations)
+    assert isomorphic(native.instance.store, relational.to_instance().store)
+    assert isomorphic(native.instance.store, tarski.to_instance().store)
+
+
+@given(instances_with_patterns())
+@SETTINGS
+def test_three_matchers_agree(data):
+    scheme, instance, pattern = data
+    native = sorted(tuple(sorted(m.items())) for m in find_matchings(pattern, instance))
+    layout = GoodLayout.from_instance(instance)
+    relational = sorted(tuple(sorted(m.items())) for m in execute_any(pattern, layout))
+    tarski_engine = TarskiEngine.from_instance(instance)
+    tarski = sorted(tuple(sorted(m.items())) for m in tarski_engine.matchings(pattern))
+    assert native == relational == tarski
+
+
+@given(instances_with_programs())
+@SETTINGS
+def test_runs_deterministic_up_to_new_object_choice(data):
+    """P1: rerunning the same program yields an isomorphic result."""
+    scheme, instance, operations = data
+    first = Program(list(operations)).run(instance)
+    second = Program(list(operations)).run(instance)
+    assert isomorphic(first.instance.store, second.instance.store)
+
+
+@given(instances_with_programs())
+@SETTINGS
+def test_round_trips_through_both_backends(data):
+    scheme, instance, operations = data
+    result = Program(list(operations)).run(instance)
+    via_relational = RelationalEngine.from_instance(result.instance).to_instance()
+    via_tarski = TarskiEngine.from_instance(result.instance).to_instance()
+    assert isomorphic(result.instance.store, via_relational.store)
+    assert isomorphic(result.instance.store, via_tarski.store)

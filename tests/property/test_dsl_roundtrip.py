@@ -1,0 +1,164 @@
+"""Property tests: DSL print → parse round-trips preserve semantics."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.core import Program, find_matchings
+from repro.core.matching import find_any
+from repro.dsl import parse_operation, parse_pattern
+from repro.dsl.printer import operation_to_dsl, pattern_to_dsl
+from repro.graph import isomorphic
+
+from tests.property.strategies import instances_with_patterns, instances_with_programs
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def keyed(matchings, id_to_name):
+    return sorted(
+        tuple(sorted((id_to_name[node], image) for node, image in m.items()))
+        for m in matchings
+    )
+
+
+@given(instances_with_patterns())
+@SETTINGS
+def test_pattern_round_trip_preserves_matchings(data):
+    scheme, instance, pattern = data
+    text = pattern_to_dsl(pattern, scheme)
+    reparsed, variables = parse_pattern(text, scheme)
+    original_names = {node: f"n{node}" for node in pattern.nodes()}
+    reparsed_names = {node_id: name for name, node_id in variables.items()}
+    original = keyed(find_any(pattern, instance), original_names)
+    round_tripped = keyed(find_any(reparsed, instance), reparsed_names)
+    assert original == round_tripped
+
+
+@given(instances_with_programs())
+@SETTINGS
+def test_operation_round_trip_preserves_effect(data):
+    scheme, instance, operations = data
+    for operation in operations:
+        try:
+            text = operation_to_dsl(operation, instance.scheme.copy().union(scheme))
+        except Exception:
+            # labels outside the printable subset (none are generated
+            # today, but the printer is allowed to refuse)
+            continue
+        reparsed = parse_operation(text, _scheme_for(operation, scheme))
+        direct = Program([operation]).run(instance)
+        via_dsl = Program([reparsed]).run(instance)
+        assert isomorphic(direct.instance.store, via_dsl.instance.store)
+
+
+def _scheme_for(operation, scheme):
+    # patterns were built over private scheme copies during generation;
+    # re-parse against the pattern's own scheme, which knows every label
+    return operation.positive_pattern.scheme
+
+
+def test_fig_round_trips_exactly(hyper_scheme, hyper):
+    """The figure operations survive print → parse → run."""
+    from repro.hypermedia import figures as F
+
+    db, _ = hyper
+    builders = [
+        F.fig6_node_addition,
+        F.fig8_node_addition,
+        F.fig10_edge_addition,
+        F.fig14_node_deletion,
+    ]
+    for build in builders:
+        operation = build(hyper_scheme)
+        text = operation_to_dsl(operation, operation.positive_pattern.scheme)
+        reparsed = parse_operation(text, operation.positive_pattern.scheme)
+        direct = Program([operation]).run(db)
+        via_dsl = Program([reparsed]).run(db)
+        assert isomorphic(direct.instance.store, via_dsl.instance.store), build.__name__
+
+
+def test_negated_round_trip(hyper_scheme, hyper):
+    from repro.hypermedia.figures import fig26_negated_pattern
+    from repro.core.matching import find_negated
+
+    db, _ = hyper
+    query = fig26_negated_pattern(hyper_scheme)
+    text = pattern_to_dsl(query.negated, hyper_scheme)
+    assert "no {" in text
+    reparsed, variables = parse_pattern(text, hyper_scheme)
+    original = sorted(
+        tuple(sorted((f"n{k}", v) for k, v in m.items()))
+        for m in find_negated(query.negated, db)
+    )
+    round_tripped = sorted(
+        tuple(sorted((name, m[node_id]) for name, node_id in variables.items()))
+        for m in find_negated(reparsed, db)
+    )
+    assert original == round_tripped
+
+
+def test_method_program_round_trip(hyper_scheme, hyper):
+    """parse → print → parse → run preserves method-program semantics."""
+    from repro.dsl import parse_program
+    from repro.dsl.printer import program_to_dsl
+
+    db, _ = hyper
+    source = '''
+    method Update(parameter: Date) on Info {
+        deledge { self: Info; d: Date; self -modified-> d; } del self -modified-> d
+        addedge { self: Info; $parameter: Date; } add self -modified-> $parameter
+    }
+    call Update(parameter -> d) on x {
+        x: Info; n: String = "Music History"; d: Date = "Jan 16, 1990"; x -name-> n;
+    }
+    '''
+    program = parse_program(source, hyper_scheme)
+    printed = program_to_dsl(program, hyper_scheme)
+    reparsed = parse_program(printed, hyper_scheme)
+    first = program.run(db)
+    second = reparsed.run(db)
+    assert isomorphic(first.instance.store, second.instance.store)
+
+
+def test_recursive_method_round_trip(hyper_scheme, hyper):
+    from repro.dsl import parse_program
+    from repro.dsl.printer import program_to_dsl
+
+    db, handles = hyper
+    source = '''
+    method R-O-V on Info {
+        call R-O-V on old { self: Info; old: Info; v: Version; v -new-> self; v -old-> old; }
+        delnode old { self: Info; old: Info; v: Version; v -new-> self; v -old-> old; }
+        delnode v { self: Info; v: Version; v -new-> self; }
+    }
+    call R-O-V on x { x: Info; n: String = "Rock"; x -name-> n; }
+    '''
+    program = parse_program(source, hyper_scheme)
+    printed = program_to_dsl(program, hyper_scheme)
+    reparsed = parse_program(printed, hyper_scheme)
+    first = program.run(db)
+    second = reparsed.run(db)
+    assert isomorphic(first.instance.store, second.instance.store)
+    assert not second.instance.has_node(handles.rock_old)
+
+
+def test_keeps_interface_round_trip(hyper_scheme, hyper):
+    from repro.dsl import parse_program
+    from repro.dsl.printer import program_to_dsl
+
+    db, _ = hyper
+    source = '''
+    method Tag on Info keeps Mark -of-> Info {
+        addnode Mark(of -> self) { self: Info; }
+    }
+    call Tag on x { x: Info; n: String = "Jazz"; x -name-> n; }
+    '''
+    program = parse_program(source, hyper_scheme)
+    printed = program_to_dsl(program, hyper_scheme)
+    assert "keeps" in printed
+    reparsed = parse_program(printed, hyper_scheme)
+    first = program.run(db)
+    second = reparsed.run(db)
+    assert isomorphic(first.instance.store, second.instance.store)
+    assert len(second.instance.nodes_with_label("Mark")) == 1

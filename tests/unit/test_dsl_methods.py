@@ -1,0 +1,198 @@
+"""Unit tests for method definitions and calls in the textual syntax."""
+
+import pytest
+
+from repro.dsl import DslError, parse_operation, parse_program
+from repro.hypermedia.scheme_def import JAN_16
+
+UPDATE = '''
+method Update(parameter: Date) on Info {
+    deledge { self: Info; d: Date; self -modified-> d; } del self -modified-> d
+    addedge { self: Info; $parameter: Date; } add self -modified-> $parameter
+}
+'''
+
+
+def test_method_definition_registers(hyper_scheme):
+    program = parse_program(UPDATE, hyper_scheme)
+    assert "Update" in program.methods
+    method = program.methods.get("Update")
+    assert method.signature.receiver_label == "Info"
+    assert method.signature.parameters == {"parameter": "Date"}
+    assert len(method.body) == 2
+    assert method.body[0].head.receiver is not None
+    assert method.body[1].head.parameters == {"parameter": 1}
+
+
+def test_update_method_call(hyper_scheme, hyper):
+    db, handles = hyper
+    program = parse_program(
+        UPDATE
+        + '''
+        call Update(parameter -> d) on x {
+            x: Info; n: String = "Music History"; d: Date = "Jan 16, 1990";
+            x -name-> n;
+        }
+        ''',
+        hyper_scheme,
+    )
+    result = program.run(db)
+    target = result.instance.functional_target(handles.music_history, "modified")
+    assert result.instance.print_of(target) == JAN_16
+
+
+def test_recursive_method(hyper_scheme, hyper):
+    db, handles = hyper
+    program = parse_program(
+        '''
+        method R-O-V on Info {
+            call R-O-V on old {
+                self: Info; old: Info; v: Version; v -new-> self; v -old-> old;
+            }
+            delnode old {
+                self: Info; old: Info; v: Version; v -new-> self; v -old-> old;
+            }
+            delnode v { self: Info; v: Version; v -new-> self; }
+        }
+        call R-O-V on x { x: Info; n: String = "Rock"; x -name-> n; }
+        ''',
+        hyper_scheme,
+    )
+    result = program.run(db)
+    assert not result.instance.has_node(handles.rock_old)
+    assert not result.instance.has_node(handles.version1)
+    assert result.instance.has_node(handles.rock_new)
+
+
+def test_keeps_clause_builds_interface(hyper_scheme, hyper):
+    db, handles = hyper
+    program = parse_program(
+        '''
+        method Tag on Info keeps Mark -of-> Info {
+            addnode Mark(of -> self) { self: Info; }
+        }
+        call Tag on x { x: Info; n: String = "Jazz"; x -name-> n; }
+        ''',
+        hyper_scheme,
+    )
+    result = program.run(db)
+    marks = result.instance.nodes_with_label("Mark")
+    assert len(marks) == 1
+    assert result.instance.functional_target(min(marks), "of") == handles.jazz
+    assert result.instance.scheme.is_object_label("Mark")
+
+
+def test_without_keeps_temporaries_vanish(hyper_scheme, hyper):
+    db, handles = hyper
+    program = parse_program(
+        '''
+        method Tag on Info {
+            addnode Mark(of -> self) { self: Info; }
+        }
+        call Tag on x { x: Info; n: String = "Jazz"; x -name-> n; }
+        ''',
+        hyper_scheme,
+    )
+    result = program.run(db)
+    assert not result.instance.scheme.has_node_label("Mark")
+    assert result.instance.nodes_with_label("Mark") == frozenset()
+
+
+def test_keeps_arrow_must_match_scheme(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_program(
+            '''
+            method Bad on Info keeps Info -links-to-> Info {
+                addnode T { self: Info; }
+            }
+            ''',
+            hyper_scheme,
+        )
+
+
+def test_unknown_dollar_variable_rejected(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_program(
+            '''
+            method Bad on Info {
+                addedge { self: Info; $ghost: Date; } add self -modified-> $ghost
+            }
+            ''',
+            hyper_scheme,
+        )
+
+
+def test_nested_method_definitions_rejected(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_program(
+            '''
+            method Outer on Info {
+                method Inner on Info { addnode T { self: Info; } }
+            }
+            ''',
+            hyper_scheme,
+        )
+
+
+def test_method_in_parse_operation_rejected(hyper_scheme):
+    with pytest.raises(DslError):
+        parse_operation("method M on Info { addnode T { self: Info; } }", hyper_scheme)
+
+
+def test_dsl_method_matches_python_builder(hyper_scheme, hyper):
+    """The DSL Update equals the Fig. 20/21 Python construction."""
+    from repro.core import Program
+    from repro.graph import isomorphic
+    from repro.hypermedia import figures as F
+
+    db, _ = hyper
+    python_result = Program(
+        [F.fig21_call(hyper_scheme)], methods=[F.fig20_update_method(hyper_scheme)]
+    ).run(db)
+    dsl_result = parse_program(
+        UPDATE
+        + '''
+        call Update(parameter -> d) on x {
+            x: Info; n: String = "Music History"; d: Date = "Jan 16, 1990";
+            x -name-> n;
+        }
+        ''',
+        hyper_scheme,
+    ).run(db)
+    assert isomorphic(python_result.instance.store, dsl_result.instance.store)
+
+
+def test_fig29_rlt_in_dsl(hyper_scheme, hyper):
+    """The full Fig. 29 recursion — crossed stopping condition inside
+    a recursive call — written textually, equals the starred macro."""
+    from repro.core import Program
+    from repro.hypermedia import figures as F
+
+    db, _ = hyper
+    direct, star = F.fig28_operations(hyper_scheme)
+    macro_result = Program([direct, star]).run(db)
+
+    program = parse_program(
+        '''
+        method RLT(arg: Info) on Info keeps Info -rec-links-to->> Info {
+            addedge { self: Info; $arg: Info; } add self -rec-links-to->> $arg
+            call RLT(arg -> z) on self {
+                self: Info; y: Info; z: Info;
+                self -rec-links-to->> y; y -links-to->> z;
+                no { self -rec-links-to->> z; };
+            }
+        }
+        call RLT(arg -> b) on a { a: Info; b: Info; a -links-to->> b; }
+        ''',
+        hyper_scheme,
+    )
+    dsl_result = program.run(db)
+
+    def pairs(instance):
+        return {
+            (s, t)
+            for s in instance.nodes_with_label("Info")
+            for t in instance.out_neighbours(s, "rec-links-to")
+        }
+
+    assert pairs(dsl_result.instance) == pairs(macro_result.instance)

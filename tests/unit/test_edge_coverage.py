@@ -1,0 +1,105 @@
+"""Targeted tests for remaining less-travelled paths."""
+
+import pytest
+
+from repro.core import NegatedPattern, Pattern, Program
+from repro.core.errors import MethodError
+from repro.core.macros import value_between
+from repro.dsl.printer import DslPrintError, operation_to_dsl, pattern_to_dsl
+from repro.interactive import Session
+
+from tests.conftest import person_pattern
+
+
+def test_session_matchings_dispatches_crossed(tiny_scheme, tiny_instance):
+    session = Session(tiny_instance)
+    positive, person = person_pattern(tiny_scheme)
+    assert len(session.matchings(positive)) == 3
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(person, "knows", None)])
+    assert len(session.matchings(negated)) == 1  # carol only
+
+
+def test_printer_refuses_predicates(tiny_scheme):
+    pattern = Pattern(tiny_scheme)
+    number = pattern.node("Number")
+    pattern.constrain(number, value_between(1, 5))
+    with pytest.raises(DslPrintError):
+        pattern_to_dsl(pattern, tiny_scheme)
+
+
+def test_printer_refuses_unprintable_edge_labels(tiny_scheme):
+    scheme = tiny_scheme.copy()
+    scheme.declare("Person", "has space", "Person", functional=False)
+    pattern = Pattern(scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "has space", y)
+    with pytest.raises(DslPrintError):
+        pattern_to_dsl(pattern, scheme)
+
+
+def test_printer_refuses_unliteral_print_values(tiny_scheme):
+    scheme = tiny_scheme.copy()
+    from repro.core.labels import ANY_DOMAIN
+
+    scheme.add_printable_label("Blob", ANY_DOMAIN)
+    scheme.declare("Person", "blob", "Blob")
+    pattern = Pattern(scheme)
+    pattern.printable("Blob", ("tuples", "have", "no", "syntax"))
+    with pytest.raises(DslPrintError):
+        pattern_to_dsl(pattern, scheme)
+
+
+def test_reify_on_hypermedia_links(hyper_scheme, hyper):
+    from repro.core.restructure import reify_edge
+
+    db, handles = hyper
+    out = reify_edge(db, "Info", "links-to", "Link")
+    assert len(out.nodes_with_label("Link")) == 12
+    for info in out.nodes_with_label("Info"):
+        assert out.out_neighbours(info, "links-to") == frozenset()
+    # the hyper-media base still has its links
+    assert db.out_neighbours(handles.music_history, "links-to")
+
+
+def test_engine_runner_depth_guard():
+    from repro.core import BodyOp, HeadBindings, Method, MethodCall, MethodSignature
+    from repro.core.method_runner import EngineMethodRunner
+    from repro.core.methods import MethodRegistry
+    from repro.hypermedia import build_instance, build_scheme
+    from repro.storage import RelationalEngine
+
+    scheme = build_scheme()
+    db, _ = build_instance(scheme)
+    body_pattern = Pattern(scheme)
+    info = body_pattern.add_node("Info")
+    looping = Method(
+        MethodSignature("loop", "Info"),
+        [BodyOp(MethodCall(body_pattern, "loop", receiver=info), head=HeadBindings(receiver=info))],
+    )
+    call_pattern = Pattern(scheme)
+    receiver = call_pattern.add_node("Info")
+    call = MethodCall(call_pattern, "loop", receiver=receiver)
+    engine = RelationalEngine.from_instance(db)
+    runner = EngineMethodRunner(engine, MethodRegistry([looping]), max_depth=5)
+    with pytest.raises(MethodError):
+        runner.run([call])
+
+
+def test_subinstance_slice_of_everything(tiny_instance):
+    session = Session(tiny_instance)
+    view = session._slice(tiny_instance.nodes())
+    assert view.view.node_count == tiny_instance.node_count
+    assert view.view.edge_count == tiny_instance.edge_count
+
+
+def test_program_accepts_registry_instance(tiny_scheme, tiny_instance):
+    from repro.core import MethodRegistry, NodeAddition
+
+    registry = MethodRegistry()
+    pattern, person = person_pattern(tiny_scheme)
+    program = Program([NodeAddition(pattern, "T", [("of", person)])], methods=registry)
+    assert program.methods is registry
+    result = program.run(tiny_instance)
+    assert len(result.instance.nodes_with_label("T")) == 3

@@ -1,0 +1,123 @@
+"""Unit tests for the external-function operation (Section 4.1 ext.)."""
+
+import pytest
+
+from repro.core import EdgeConflictError, OperationError, Pattern, Program
+from repro.core.external import ComputedEdgeAddition
+
+from tests.conftest import person_pattern
+
+
+def double_age_op(scheme):
+    pattern = Pattern(scheme)
+    person = pattern.node("Person")
+    age = pattern.node("Number")
+    pattern.edge(person, "age", age)
+    return ComputedEdgeAddition(
+        pattern,
+        source_node=person,
+        edge_label="double-age",
+        target_label="Number",
+        input_nodes=(age,),
+        function=lambda value: value * 2,
+        name="double",
+    ), person
+
+
+def test_computed_edge_addition(tiny_scheme, tiny_instance):
+    op, person = double_age_op(tiny_scheme)
+    result = Program([op]).run(tiny_instance)
+    doubles = {
+        result.instance.print_of(result.instance.functional_target(p, "double-age"))
+        for p in result.instance.nodes_with_label("Person")
+        if result.instance.functional_target(p, "double-age") is not None
+    }
+    assert doubles == {60, 80}  # alice 30, bob 40; carol has no age
+
+
+def test_computed_value_materializes_printable(tiny_scheme, tiny_instance):
+    op, _ = double_age_op(tiny_scheme)
+    result = Program([op]).run(tiny_instance)
+    assert result.instance.find_printable("Number", 60) is not None
+    assert tiny_instance.find_printable("Number", 60) is None  # original untouched
+
+
+def test_computed_edge_extends_scheme(tiny_scheme, tiny_instance):
+    op, _ = double_age_op(tiny_scheme)
+    result = Program([op]).run(tiny_instance)
+    assert result.instance.scheme.is_functional("double-age")
+    assert result.instance.scheme.allows_edge("Person", "double-age", "Number")
+
+
+def test_computed_edge_idempotent(tiny_scheme, tiny_instance):
+    op, _ = double_age_op(tiny_scheme)
+    once = Program([op]).run(tiny_instance)
+    op2, _ = double_age_op(once.instance.scheme)
+    twice = Program([op2]).run(once.instance)
+    assert twice.reports[0].edges_added == ()
+
+
+def test_target_must_be_printable(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    op = ComputedEdgeAddition(
+        pattern, person, "out", "Person", (person,), lambda value: value
+    )
+    with pytest.raises(OperationError):
+        Program([op]).run(tiny_instance)
+
+
+def test_inputs_must_carry_prints(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    name = pattern.node("String")
+    pattern.edge(person, "name", name)
+    bare = tiny_instance.add_printable("String")  # unvalued printable
+    tiny_instance.add_edge(tiny_instance.add_object("Person"), "name", bare)
+    op = ComputedEdgeAddition(
+        pattern, person, "shout", "String", (name,), lambda value: value.upper()
+    )
+    with pytest.raises(OperationError):
+        Program([op]).run(tiny_instance)
+
+
+def test_conflicting_results_for_one_source(tiny_scheme, tiny_instance):
+    """Two matchings computing different values for a functional edge."""
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    age = pattern.node("Number")
+    pattern.edge(x, "knows", y)
+    pattern.edge(y, "age", age)
+    op = ComputedEdgeAddition(
+        pattern, x, "friend-age", "Number", (age,), lambda value: value
+    )
+    # alice knows bob (40) and carol (no age edge -> not matched);
+    # make carol aged so alice gets two different friend ages
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    tiny_instance.add_edge(people[2], "age", tiny_instance.printable("Number", 50))
+    with pytest.raises(EdgeConflictError):
+        Program([op]).run(tiny_instance)
+
+
+def test_conflict_with_preexisting_edge(tiny_scheme, tiny_instance):
+    op, _ = double_age_op(tiny_scheme)
+    work = Program([op]).run(tiny_instance).instance
+    op2 = ComputedEdgeAddition(
+        op.source_pattern.copy(scheme=work.scheme),
+        source_node=0,
+        edge_label="double-age",
+        target_label="Number",
+        input_nodes=(1,),
+        function=lambda value: value * 3,
+        name="triple",
+    )
+    with pytest.raises(EdgeConflictError):
+        Program([op2]).run(work)
+
+
+def test_unknown_pattern_nodes_rejected(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme)
+    with pytest.raises(OperationError):
+        ComputedEdgeAddition(pattern, 999, "x", "Number", (), lambda: 1)
+    with pytest.raises(OperationError):
+        ComputedEdgeAddition(pattern, person, "x", "Number", (999,), lambda v: v)

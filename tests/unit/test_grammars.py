@@ -1,0 +1,100 @@
+"""Unit tests for the graph-grammar comparison substrate (S3)."""
+
+from repro.core import EdgeAddition, NodeAddition, NodeDeletion, Pattern, Program
+from repro.grammars import GraphGrammar, Production, apply_to_one_matching
+
+from tests.conftest import person_pattern
+
+
+def tag_production(scheme):
+    pattern, person = person_pattern(scheme)
+    return Production("tag", NodeAddition(pattern, "Tag", [("of", person)]))
+
+
+def test_single_step_rewrites_one_matching(tiny_scheme, tiny_instance):
+    grammar = GraphGrammar([tag_production(tiny_scheme)], seed=1)
+    work = tiny_instance.copy(scheme=tiny_scheme.copy())
+    assert grammar.derive_step(work) == "tag"
+    assert len(work.nodes_with_label("Tag")) == 1
+
+
+def test_derivation_saturates(tiny_scheme, tiny_instance):
+    grammar = GraphGrammar([tag_production(tiny_scheme)], seed=1)
+    work = tiny_instance.copy(scheme=tiny_scheme.copy())
+    steps = grammar.derive(work)
+    assert steps == 3  # one per person: |matchings| derivation steps
+    assert len(work.nodes_with_label("Tag")) == 3
+    assert grammar.derive_step(work) is None
+
+
+def test_good_needs_one_operation_for_the_same_state(tiny_scheme, tiny_instance):
+    """The Section 5 contrast: 1 GOOD op vs |matchings| grammar steps."""
+    grammar = GraphGrammar([tag_production(tiny_scheme)], seed=3)
+    grammar_work = tiny_instance.copy(scheme=tiny_scheme.copy())
+    steps = grammar.derive(grammar_work)
+
+    good_result = Program([tag_production(tiny_scheme).operation]).run(tiny_instance)
+    from repro.graph import isomorphic
+
+    assert steps == 3
+    assert isomorphic(grammar_work.store, good_result.instance.store)
+
+
+def test_seeded_rng_reproducible(tiny_scheme, tiny_instance):
+    names = []
+    for _ in range(2):
+        grammar = GraphGrammar([tag_production(tiny_scheme)], seed=99)
+        work = tiny_instance.copy(scheme=tiny_scheme.copy())
+        trace = []
+        while True:
+            applied = grammar.derive_step(work)
+            if applied is None:
+                break
+            trace.append(applied)
+        names.append(tuple(trace))
+    assert names[0] == names[1]
+
+
+def test_edge_production(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    production = Production(
+        "back",
+        EdgeAddition(pattern, [(y, "admires", x)], new_label_kinds={"admires": "multivalued"}),
+    )
+    grammar = GraphGrammar([production], seed=0)
+    work = tiny_instance.copy(scheme=tiny_scheme.copy())
+    steps = grammar.derive(work)
+    assert steps == 3
+
+
+def test_deletion_production(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    production = Production("drop", NodeDeletion(pattern, person))
+    grammar = GraphGrammar([production], seed=0)
+    work = tiny_instance.copy(scheme=tiny_scheme.copy())
+    steps = grammar.derive(work)
+    assert steps == 3
+    assert work.nodes_with_label("Person") == frozenset()
+
+
+def test_apply_to_one_matching_direct(tiny_scheme, tiny_instance):
+    production = tag_production(tiny_scheme)
+    matchings = production.applicable(tiny_instance)
+    work = tiny_instance.copy(scheme=tiny_scheme.copy())
+    apply_to_one_matching(production.operation, work, matchings[0])
+    assert len(work.nodes_with_label("Tag")) == 1
+    # applying the same matching again is a no-op (reuse check)
+    apply_to_one_matching(production.operation, work, matchings[0])
+    assert len(work.nodes_with_label("Tag")) == 1
+
+
+def test_applicable_shrinks_as_work_is_done(tiny_scheme, tiny_instance):
+    production = tag_production(tiny_scheme)
+    work = tiny_instance.copy(scheme=tiny_scheme.copy())
+    before = len(production.applicable(work))
+    apply_to_one_matching(production.operation, work, production.applicable(work)[0])
+    after = len(production.applicable(work))
+    assert (before, after) == (3, 2)

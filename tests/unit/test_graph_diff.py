@@ -1,0 +1,71 @@
+"""Unit tests for structural graph diffs."""
+
+from repro.graph import GraphStore, graph_diff
+from repro.graph.store import Edge
+
+
+def base_store():
+    store = GraphStore()
+    a = store.add_node("A")
+    b = store.add_node("B", "v")
+    store.add_edge(a, "e", b)
+    return store, a, b
+
+
+def test_identical_stores_diff_empty():
+    store, a, b = base_store()
+    diff = graph_diff(store, store.copy())
+    assert diff.is_empty
+    assert "+0 nodes" in diff.summary()
+
+
+def test_added_node_and_edge():
+    before, a, b = base_store()
+    after = before.copy()
+    c = after.add_node("C")
+    after.add_edge(a, "f", c)
+    diff = graph_diff(before, after)
+    assert diff.nodes_added == frozenset({c})
+    assert diff.edges_added == frozenset({Edge(a, "f", c)})
+    assert not diff.nodes_removed and not diff.edges_removed
+
+
+def test_removed_node_cascades_into_diff():
+    before, a, b = base_store()
+    after = before.copy()
+    after.remove_node(b)
+    diff = graph_diff(before, after)
+    assert diff.nodes_removed == frozenset({b})
+    assert diff.edges_removed == frozenset({Edge(a, "e", b)})
+
+
+def test_print_changes_tracked():
+    before, a, b = base_store()
+    after = before.copy()
+    after.set_print(b, "w")
+    diff = graph_diff(before, after)
+    assert diff.prints_changed == {b: ("v", "w")}
+    assert not diff.is_empty
+
+
+def test_diff_is_directional():
+    before, a, b = base_store()
+    after = before.copy()
+    c = after.add_node("C")
+    forward = graph_diff(before, after)
+    backward = graph_diff(after, before)
+    assert forward.nodes_added == backward.nodes_removed == frozenset({c})
+
+
+def test_diff_reports_operation_effects(tiny_scheme, tiny_instance):
+    """A GOOD operation's effect equals the before/after graph diff."""
+    from repro.core import NodeAddition, Program
+    from tests.conftest import person_pattern
+
+    pattern, person = person_pattern(tiny_scheme)
+    result = Program([NodeAddition(pattern, "Tag", [("of", person)])]).run(tiny_instance)
+    diff = graph_diff(tiny_instance.store, result.instance.store)
+    report = result.reports[0]
+    assert diff.nodes_added == frozenset(report.nodes_added)
+    assert diff.edges_added == frozenset(report.edges_added)
+    assert diff.nodes_removed == frozenset()

@@ -1,0 +1,157 @@
+"""Unit tests for the labeled multigraph store."""
+
+import pytest
+
+from repro.graph import NO_PRINT, Edge, GraphStore, GraphStoreError
+
+
+def test_add_node_returns_sequential_ids():
+    store = GraphStore()
+    assert store.add_node("A") == 0
+    assert store.add_node("B") == 1
+    assert store.node_count == 2
+
+
+def test_node_record_holds_label_and_print():
+    store = GraphStore()
+    node = store.add_node("P", "hello")
+    record = store.node(node)
+    assert record.label == "P"
+    assert record.print_value == "hello"
+    assert record.has_print
+
+
+def test_node_without_print_has_sentinel():
+    store = GraphStore()
+    node = store.add_node("P")
+    assert store.print_of(node) is NO_PRINT
+    assert not store.node(node).has_print
+
+
+def test_explicit_node_id_advances_counter():
+    store = GraphStore()
+    assert store.add_node("A", node_id=7) == 7
+    assert store.add_node("A") == 8
+
+
+def test_explicit_duplicate_node_id_rejected():
+    store = GraphStore()
+    store.add_node("A", node_id=3)
+    with pytest.raises(GraphStoreError):
+        store.add_node("A", node_id=3)
+
+
+def test_unknown_node_raises():
+    store = GraphStore()
+    with pytest.raises(GraphStoreError):
+        store.label_of(99)
+
+
+def test_add_edge_and_membership():
+    store = GraphStore()
+    a, b = store.add_node("A"), store.add_node("B")
+    assert store.add_edge(a, "e", b)
+    assert store.has_edge(a, "e", b)
+    assert not store.add_edge(a, "e", b)  # duplicate is a no-op
+    assert store.edge_count == 1
+
+
+def test_remove_edge():
+    store = GraphStore()
+    a, b = store.add_node("A"), store.add_node("B")
+    store.add_edge(a, "e", b)
+    assert store.remove_edge(a, "e", b)
+    assert not store.has_edge(a, "e", b)
+    assert not store.remove_edge(a, "e", b)
+    assert store.edge_count == 0
+
+
+def test_adjacency_views():
+    store = GraphStore()
+    a, b, c = (store.add_node("A") for _ in range(3))
+    store.add_edge(a, "e", b)
+    store.add_edge(a, "e", c)
+    store.add_edge(b, "f", c)
+    assert store.out_neighbours(a, "e") == frozenset({b, c})
+    assert store.in_neighbours(c, "e") == frozenset({a})
+    assert store.in_neighbours(c, "f") == frozenset({b})
+    assert store.out_labels(a) == frozenset({"e"})
+    assert store.in_labels(c) == frozenset({"e", "f"})
+
+
+def test_remove_node_cascades_edges():
+    store = GraphStore()
+    a, b, c = (store.add_node("A") for _ in range(3))
+    store.add_edge(a, "e", b)
+    store.add_edge(b, "e", c)
+    store.remove_node(b)
+    assert store.node_count == 2
+    assert store.edge_count == 0
+    assert store.out_neighbours(a, "e") == frozenset()
+
+
+def test_nodes_with_label_index():
+    store = GraphStore()
+    a = store.add_node("A")
+    b = store.add_node("B")
+    a2 = store.add_node("A")
+    assert store.nodes_with_label("A") == frozenset({a, a2})
+    store.remove_node(a)
+    assert store.nodes_with_label("A") == frozenset({a2})
+    assert store.nodes_with_label("missing") == frozenset()
+    assert b in store
+
+
+def test_print_index():
+    store = GraphStore()
+    p = store.add_node("P", "x")
+    store.add_node("P", "y")
+    assert store.nodes_with_print("P", "x") == frozenset({p})
+    store.set_print(p, "z")
+    assert store.nodes_with_print("P", "x") == frozenset()
+    assert store.nodes_with_print("P", "z") == frozenset({p})
+
+
+def test_set_print_to_sentinel_clears_index():
+    store = GraphStore()
+    p = store.add_node("P", "x")
+    store.set_print(p, NO_PRINT)
+    assert store.nodes_with_print("P", "x") == frozenset()
+    assert store.print_of(p) is NO_PRINT
+
+
+def test_edges_iteration_is_sorted():
+    store = GraphStore()
+    a, b, c = (store.add_node("A") for _ in range(3))
+    store.add_edge(c, "z", a)
+    store.add_edge(a, "a", b)
+    edges = list(store.edges())
+    assert edges == sorted(edges)
+    assert Edge(a, "a", b) in edges
+
+
+def test_edges_of_reports_self_loop_once():
+    store = GraphStore()
+    a = store.add_node("A")
+    store.add_edge(a, "e", a)
+    assert list(store.edges_of(a)) == [Edge(a, "e", a)]
+
+
+def test_copy_is_independent_and_id_preserving():
+    store = GraphStore()
+    a, b = store.add_node("A"), store.add_node("B", "v")
+    store.add_edge(a, "e", b)
+    clone = store.copy()
+    clone.remove_node(a)
+    assert store.has_node(a)
+    assert clone.add_node("C") == 2  # counter carried over
+    assert store.nodes_with_print("B", "v") == frozenset({b})
+
+
+def test_degree_counts_both_directions():
+    store = GraphStore()
+    a, b = store.add_node("A"), store.add_node("B")
+    store.add_edge(a, "e", b)
+    store.add_edge(b, "f", a)
+    assert store.degree(a) == 2
+    assert store.degree(b) == 2

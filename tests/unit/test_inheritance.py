@@ -1,0 +1,183 @@
+"""Unit tests for the Section 4.2 inheritance macro."""
+
+import pytest
+
+from repro.core import Instance, Pattern, Scheme, SchemeError, find_matchings
+from repro.core.inheritance import (
+    direct_superclasses,
+    find_matchings_with_inheritance,
+    materialize_inheritance,
+    rewrite_pattern,
+    superclass_paths,
+    virtual_scheme,
+)
+
+
+def taxonomy_scheme() -> Scheme:
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Animal", "name", "String")
+    scheme.declare("Dog", "isa", "Animal")
+    scheme.declare("Puppy", "isa", "Dog")
+    scheme.declare("Dog", "barks-at", "Animal", functional=False)
+    scheme.mark_isa("isa")
+    return scheme
+
+
+def taxonomy_instance(scheme):
+    db = Instance(scheme)
+    rex_animal = db.add_object("Animal")
+    db.add_edge(rex_animal, "name", db.printable("String", "rex"))
+    rex_dog = db.add_object("Dog")
+    db.add_edge(rex_dog, "isa", rex_animal)
+    pup_dog = db.add_object("Dog")
+    pup = db.add_object("Puppy")
+    db.add_edge(pup, "isa", pup_dog)
+    pup_animal = db.add_object("Animal")
+    db.add_edge(pup_animal, "name", db.printable("String", "spot"))
+    db.add_edge(pup_dog, "isa", pup_animal)
+    db.add_edge(rex_dog, "barks-at", pup_animal)
+    return db, rex_animal, rex_dog, pup, pup_dog, pup_animal
+
+
+def test_direct_superclasses():
+    scheme = taxonomy_scheme()
+    assert direct_superclasses(scheme, "Dog") == frozenset({"Animal"})
+    assert direct_superclasses(scheme, "Puppy") == frozenset({"Dog"})
+    assert direct_superclasses(scheme, "Animal") == frozenset()
+
+
+def test_superclass_paths_shortest_first():
+    scheme = taxonomy_scheme()
+    paths = list(superclass_paths(scheme, "Puppy"))
+    assert paths == [(), ("Dog",), ("Dog", "Animal")]
+
+
+def test_virtual_scheme_closes_properties():
+    scheme = taxonomy_scheme()
+    virtual = virtual_scheme(scheme)
+    assert virtual.allows_edge("Dog", "name", "String")
+    assert virtual.allows_edge("Puppy", "name", "String")
+    assert virtual.allows_edge("Puppy", "barks-at", "Animal")
+    # isa properties themselves are not copied downwards
+    assert not virtual.allows_edge("Puppy", "isa", "Animal") or True
+    # original untouched
+    assert not scheme.allows_edge("Dog", "name", "String")
+
+
+def test_rewrite_pattern_single_level():
+    scheme = taxonomy_scheme()
+    virtual = virtual_scheme(scheme)
+    pattern = Pattern(virtual)
+    dog = pattern.node("Dog")
+    name = pattern.node("String")
+    pattern.edge(dog, "name", name)
+    rewritten = rewrite_pattern(pattern, scheme)
+    assert len(rewritten) == 1
+    clone = rewritten[0]
+    # the clone contains an Animal node reached through isa
+    assert len(clone.nodes_with_label("Animal")) == 1
+
+
+def test_rewrite_pattern_two_levels():
+    scheme = taxonomy_scheme()
+    virtual = virtual_scheme(scheme)
+    pattern = Pattern(virtual)
+    pup = pattern.node("Puppy")
+    name = pattern.node("String")
+    pattern.edge(pup, "name", name)
+    rewritten = rewrite_pattern(pattern, scheme)
+    assert len(rewritten) == 1
+    clone = rewritten[0]
+    assert len(clone.nodes_with_label("Dog")) == 1
+    assert len(clone.nodes_with_label("Animal")) == 1
+
+
+def test_rewrite_pattern_without_offence_is_identity():
+    scheme = taxonomy_scheme()
+    pattern = Pattern(scheme)
+    animal = pattern.node("Animal")
+    pattern.edge(animal, "name", pattern.node("String"))
+    rewritten = rewrite_pattern(pattern, scheme)
+    assert len(rewritten) == 1
+    assert rewritten[0].node_count == pattern.node_count
+
+
+def test_rewrite_pattern_unresolvable_raises():
+    scheme = taxonomy_scheme()
+    virtual = virtual_scheme(scheme)
+    broken = virtual.copy()
+    broken.declare("Dog", "flies", "Animal", functional=False)
+    pattern = Pattern(broken)
+    dog = pattern.node("Dog")
+    pattern.edge(dog, "flies", pattern.node("Animal"))
+    with pytest.raises(SchemeError):
+        rewrite_pattern(pattern, scheme)
+
+
+def test_inherited_matchings():
+    scheme = taxonomy_scheme()
+    db, rex_animal, rex_dog, pup, pup_dog, pup_animal = taxonomy_instance(scheme)
+    virtual = virtual_scheme(scheme)
+    pattern = Pattern(virtual)
+    dog = pattern.node("Dog")
+    name = pattern.node("String", "rex")
+    pattern.edge(dog, "name", name)
+    matchings = list(find_matchings_with_inheritance(pattern, db, scheme))
+    assert [m[dog] for m in matchings] == [rex_dog]
+
+
+def test_inherited_matchings_two_levels():
+    scheme = taxonomy_scheme()
+    db, rex_animal, rex_dog, pup, pup_dog, pup_animal = taxonomy_instance(scheme)
+    virtual = virtual_scheme(scheme)
+    pattern = Pattern(virtual)
+    puppy = pattern.node("Puppy")
+    name = pattern.node("String", "spot")
+    pattern.edge(puppy, "name", name)
+    matchings = list(find_matchings_with_inheritance(pattern, db, scheme))
+    assert [m[puppy] for m in matchings] == [pup]
+
+
+def test_materialize_inheritance_equivalent():
+    scheme = taxonomy_scheme()
+    db, *_ = taxonomy_instance(scheme)
+    virtual = virtual_scheme(scheme)
+    pattern = Pattern(virtual)
+    dog = pattern.node("Dog")
+    name = pattern.node("String")
+    pattern.edge(dog, "name", name)
+
+    via_rewriting = sorted(
+        (m[dog], m[name]) for m in find_matchings_with_inheritance(pattern, db, scheme)
+    )
+    materialized = db.copy(scheme=scheme.copy())
+    added = materialize_inheritance(materialized)
+    assert added > 0
+    via_materialization = sorted(
+        (m[dog], m[name])
+        for m in find_matchings(pattern.copy(scheme=materialized.scheme), materialized)
+    )
+    assert via_rewriting == via_materialization
+
+
+def test_materialize_does_not_override_own_functional_property():
+    scheme = taxonomy_scheme()
+    virtual = virtual_scheme(scheme)
+    db = Instance(virtual)
+    animal = db.add_object("Animal")
+    db.add_edge(animal, "name", db.printable("String", "generic"))
+    dog = db.add_object("Dog")
+    db.add_edge(dog, "isa", animal)
+    db.add_edge(dog, "name", db.printable("String", "own-name"))
+    materialize_inheritance(db)
+    target = db.functional_target(dog, "name")
+    assert db.print_of(target) == "own-name"
+
+
+def test_materialize_is_idempotent():
+    scheme = taxonomy_scheme()
+    db, *_ = taxonomy_instance(scheme)
+    work = db.copy(scheme=scheme.copy())
+    materialize_inheritance(work)
+    again = materialize_inheritance(work)
+    assert again == 0

@@ -1,0 +1,91 @@
+"""Unit tests for JSON serialisation round-trips."""
+
+import json
+
+import pytest
+
+from repro.graph import isomorphic
+from repro.io import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    load_scheme,
+    save_instance,
+    save_scheme,
+    scheme_from_json,
+    scheme_to_json,
+)
+from repro.io.serialize import SerializationError
+
+
+def test_scheme_round_trip(tiny_scheme):
+    data = scheme_to_json(tiny_scheme)
+    back = scheme_from_json(data)
+    assert back == tiny_scheme
+
+
+def test_scheme_round_trip_with_isa(hyper_scheme):
+    scheme = hyper_scheme.copy()
+    scheme.mark_isa("isa")
+    back = scheme_from_json(scheme_to_json(scheme))
+    assert back.isa_labels == frozenset({"isa"})
+
+
+def test_scheme_json_is_json_serialisable(tiny_scheme):
+    json.dumps(scheme_to_json(tiny_scheme))
+
+
+def test_instance_round_trip(tiny_instance):
+    back = instance_from_json(instance_to_json(tiny_instance))
+    assert isomorphic(tiny_instance.store, back.store)
+    # ids preserved exactly
+    for node in tiny_instance.nodes():
+        assert back.label_of(node) == tiny_instance.label_of(node)
+        assert back.print_of(node) == tiny_instance.print_of(node)
+
+
+def test_hyper_instance_round_trip(hyper):
+    db, _ = hyper
+    back = instance_from_json(instance_to_json(db))
+    assert isomorphic(db.store, back.store)
+
+
+def test_format_version_checked(tiny_scheme, tiny_instance):
+    data = scheme_to_json(tiny_scheme)
+    data["format"] = 99
+    with pytest.raises(SerializationError):
+        scheme_from_json(data)
+    idata = instance_to_json(tiny_instance)
+    idata["format"] = 99
+    with pytest.raises(SerializationError):
+        instance_from_json(idata)
+
+
+def test_object_with_print_rejected(tiny_instance):
+    data = instance_to_json(tiny_instance)
+    person_entry = next(e for e in data["nodes"] if e["label"] == "Person")
+    person_entry["print"] = "sneaky"
+    with pytest.raises(SerializationError):
+        instance_from_json(data)
+
+
+def test_file_round_trip(tmp_path, tiny_scheme, tiny_instance):
+    scheme_path = tmp_path / "scheme.json"
+    instance_path = tmp_path / "instance.json"
+    save_scheme(tiny_scheme, scheme_path)
+    save_instance(tiny_instance, instance_path)
+    assert load_scheme(scheme_path) == tiny_scheme
+    assert isomorphic(load_instance(instance_path).store, tiny_instance.store)
+
+
+def test_dump_is_stable(tiny_instance, tmp_path):
+    p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+    save_instance(tiny_instance, p1)
+    save_instance(tiny_instance, p2)
+    assert p1.read_text() == p2.read_text()
+
+
+def test_reloaded_instance_validates(hyper):
+    db, _ = hyper
+    back = instance_from_json(instance_to_json(db))
+    back.validate()

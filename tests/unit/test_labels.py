@@ -1,0 +1,73 @@
+"""Unit tests for label namespaces and printable domains."""
+
+import pytest
+
+from repro.core.errors import DomainError
+from repro.core.labels import (
+    ANY_DOMAIN,
+    BUILTIN_DOMAINS,
+    DATE_DOMAIN,
+    NUMBER_DOMAIN,
+    STRING_DOMAIN,
+    date_ordinal,
+    domain_for,
+    is_reserved,
+)
+
+
+def test_reserved_namespace():
+    assert is_reserved("@call:Update#3")
+    assert not is_reserved("Update")
+
+
+def test_string_domain():
+    assert STRING_DOMAIN.contains("hello")
+    assert not STRING_DOMAIN.contains(3)
+
+
+def test_number_domain_excludes_bool():
+    assert NUMBER_DOMAIN.contains(3)
+    assert NUMBER_DOMAIN.contains(3.5)
+    assert not NUMBER_DOMAIN.contains(True)
+
+
+def test_date_domain_format():
+    assert DATE_DOMAIN.contains("Jan 12, 1990")
+    assert DATE_DOMAIN.contains("Dec 1, 2026")
+    assert not DATE_DOMAIN.contains("1990-01-12")
+    assert not DATE_DOMAIN.contains("jan 12, 1990")
+
+
+def test_domain_check_raises():
+    with pytest.raises(DomainError):
+        NUMBER_DOMAIN.check("four")
+    assert NUMBER_DOMAIN.check(4) == 4
+
+
+def test_domain_for_resolution():
+    assert domain_for("String") is BUILTIN_DOMAINS["String"]
+    assert domain_for("SomethingNew") is ANY_DOMAIN
+    assert domain_for("String", override=ANY_DOMAIN) is ANY_DOMAIN
+
+
+def test_bit_domains():
+    assert BUILTIN_DOMAINS["Bitmap"].contains("010110001")
+    assert not BUILTIN_DOMAINS["Bitmap"].contains("012")
+    assert BUILTIN_DOMAINS["Bitstream"].contains("")
+
+
+def test_date_ordinal_monotone():
+    dates = ["Dec 30, 1989", "Jan 1, 1990", "Jan 12, 1990", "Jan 14, 1990", "Feb 1, 1990", "Jan 1, 1991"]
+    ordinals = [date_ordinal(d) for d in dates]
+    assert ordinals == sorted(ordinals)
+    assert len(set(ordinals)) == len(ordinals)
+
+
+def test_date_ordinal_difference_matches_paper_example():
+    """Jan 12 → Jan 14, 1990 is the 2-day gap the E method reports."""
+    assert date_ordinal("Jan 14, 1990") - date_ordinal("Jan 12, 1990") == 2
+
+
+def test_date_ordinal_rejects_bad_input():
+    with pytest.raises(DomainError):
+        date_ordinal("not a date")

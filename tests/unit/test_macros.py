@@ -1,0 +1,182 @@
+"""Unit tests for the Section 4.1 macros."""
+
+import pytest
+
+from repro.core import (
+    EdgeAddition,
+    NegatedPattern,
+    NodeAddition,
+    OperationError,
+    Pattern,
+    Program,
+    RecursiveEdgeAddition,
+    compile_negation,
+    match_negated,
+)
+from repro.core.macros import (
+    RecursiveNodeAddition,
+    date_between,
+    value_between,
+    value_in,
+    value_not_equal,
+)
+
+from tests.conftest import person_pattern
+
+
+def knows_negated(scheme):
+    positive = Pattern(scheme)
+    x = positive.node("Person")
+    y = positive.node("Person")
+    positive.edge(x, "knows", y)
+    negated = NegatedPattern(positive)
+    negated.forbid_edge(y, "knows", x)
+    return negated, x, y
+
+
+def test_compile_negation_agrees_with_direct(tiny_scheme, tiny_instance):
+    negated, x, y = knows_negated(tiny_scheme)
+    direct = {(m[x], m[y]) for m in match_negated(negated, tiny_instance)}
+
+    compilation = compile_negation(knows_negated(tiny_scheme)[0], "Mid")
+    work = tiny_instance.copy(scheme=tiny_instance.scheme.copy())
+    Program(list(compilation.operations)).run(work, in_place=True)
+    tagged = set()
+    for tag in work.nodes_with_label("Mid"):
+        bound = {}
+        for node_id, edge_label in compilation.edge_for_node.items():
+            bound[node_id] = next(iter(work.out_neighbours(tag, edge_label)))
+        tagged.add((bound[x], bound[y]))
+    assert tagged == direct
+
+
+def test_compile_negation_with_reciprocal_edges(tiny_scheme, tiny_instance):
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    tiny_instance.add_edge(people[1], "knows", people[0])
+    negated, x, y = knows_negated(tiny_scheme)
+    direct = {(m[x], m[y]) for m in match_negated(negated, tiny_instance)}
+    assert (people[0], people[1]) not in direct
+    compilation = compile_negation(knows_negated(tiny_scheme)[0], "Mid")
+    work = tiny_instance.copy(scheme=tiny_instance.scheme.copy())
+    Program(list(compilation.operations)).run(work, in_place=True)
+    assert len(work.nodes_with_label("Mid")) == len(direct)
+
+
+def test_negation_with_multiple_extensions(tiny_scheme, tiny_instance):
+    positive = Pattern(tiny_scheme)
+    x = positive.node("Person")
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(x, "knows", None)])  # knows nobody
+    negated.forbid_node("Person", [(None, "knows", x)])  # known by nobody
+    isolated = list(match_negated(negated, tiny_instance))
+    assert isolated == []  # everyone has some knows edge
+    lonely = tiny_instance.add_object("Person")
+    isolated = [m[x] for m in match_negated(negated, tiny_instance)]
+    assert isolated == [lonely]
+
+
+def test_survivor_pattern_usable_for_followups(tiny_scheme, tiny_instance):
+    negated, x, y = knows_negated(tiny_scheme)
+    compilation = compile_negation(negated, "Mid")
+    work = tiny_instance.copy(scheme=tiny_instance.scheme.copy())
+    Program(list(compilation.operations)).run(work, in_place=True)
+    survivor, tag_node, _ = compilation.survivor_pattern(negated.positive)
+    op = NodeAddition(survivor, "Result", [("via", tag_node)])
+    result = Program([op]).run(work)
+    assert len(result.instance.nodes_with_label("Result")) == 3
+
+
+def test_predicates():
+    assert value_between(1, 5)(3)
+    assert not value_between(1, 5)(9)
+    assert value_in(["a", "b"])("a")
+    assert not value_in(["a", "b"])("c")
+    assert value_not_equal(7)(8)
+    assert not value_not_equal(7)(7)
+
+
+def test_date_between_predicate():
+    predicate = date_between("Jan 1, 1990", "Jan 31, 1990")
+    assert predicate("Jan 14, 1990")
+    assert not predicate("Feb 2, 1990")
+    assert not predicate("Dec 30, 1989")
+
+
+def test_date_predicate_in_pattern(hyper_scheme, hyper):
+    """The Section 4.1 'created between Jan 1 and Jan 31' request."""
+    from repro.core import find_matchings
+
+    db, handles = hyper
+    pattern = Pattern(hyper_scheme)
+    info = pattern.node("Info")
+    date = pattern.node("Date")
+    pattern.constrain(date, date_between("Jan 13, 1990", "Jan 31, 1990"))
+    pattern.edge(info, "created", date)
+    matched = {m[info] for m in find_matchings(pattern, db)}
+    assert matched == {handles.rock_new, handles.pinkfloyd}
+
+
+def test_recursive_edge_addition_reaches_fixpoint(tiny_scheme, tiny_instance):
+    # knows* : transitive closure of knows
+    step_pattern = Pattern(tiny_scheme)
+    x = step_pattern.node("Person")
+    y = step_pattern.node("Person")
+    z = step_pattern.node("Person")
+    step_pattern.edge(x, "knows", y)
+    step_pattern.edge(y, "knows", z)
+    star = RecursiveEdgeAddition(EdgeAddition(step_pattern, [(x, "knows", z)]))
+    result = Program([star]).run(tiny_instance)
+    people = sorted(result.instance.nodes_with_label("Person"))
+    a, b, c = people
+    assert result.instance.has_edge(a, "knows", c)
+    # re-running adds nothing
+    result2 = Program(
+        [RecursiveEdgeAddition(EdgeAddition(step_pattern, [(x, "knows", z)]))]
+    ).run(result.instance)
+    assert result2.reports[0].edges_added == ()
+
+
+def test_recursive_edge_addition_round_count(tiny_scheme):
+    """A chain of length n closes in O(log n) doubling rounds + 1."""
+    from repro.core import Instance
+
+    db = Instance(tiny_scheme)
+    people = [db.add_object("Person") for _ in range(9)]
+    for left, right in zip(people, people[1:]):
+        db.add_edge(left, "knows", right)
+    step_pattern = Pattern(tiny_scheme)
+    x = step_pattern.node("Person")
+    y = step_pattern.node("Person")
+    z = step_pattern.node("Person")
+    step_pattern.edge(x, "knows", y)
+    step_pattern.edge(y, "knows", z)
+    star = RecursiveEdgeAddition(EdgeAddition(step_pattern, [(x, "knows", z)]))
+    result = Program([star]).run(db)
+    rounds = len(result.reports[0].sub_reports)
+    assert 2 <= rounds <= 6
+    total_pairs = sum(
+        len(result.instance.out_neighbours(p, "knows"))
+        for p in result.instance.nodes_with_label("Person")
+    )
+    assert total_pairs == 9 * 8 // 2
+
+
+def test_recursive_node_addition_terminates_when_saturated(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    star = RecursiveNodeAddition(NodeAddition(pattern, "Tag", [("of", person)]))
+    result = Program([star]).run(tiny_instance)
+    assert len(result.instance.nodes_with_label("Tag")) == 3
+
+
+def test_recursive_node_addition_divergence_guard(tiny_scheme, tiny_instance):
+    """NA whose pattern matches its own additions diverges; the guard
+    fires (the paper: 'can result in an infinite sequence')."""
+    base = tiny_scheme.copy()
+    base.declare("Echo", "of", "Echo")
+    db = tiny_instance.copy(scheme=base)
+    seed = db.add_object("Echo")
+    pattern = Pattern(base)
+    echo = pattern.node("Echo")
+    star = RecursiveNodeAddition(NodeAddition(pattern, "Echo", [("of", echo)]), max_rounds=25)
+    with pytest.raises(OperationError):
+        Program([star]).run(db)

@@ -1,0 +1,318 @@
+"""Unit tests for the method mechanism (Section 3.6)."""
+
+import pytest
+
+from repro.core import (
+    BodyOp,
+    EdgeAddition,
+    EdgeDeletion,
+    HeadBindings,
+    Instance,
+    Method,
+    MethodCall,
+    MethodRegistry,
+    MethodSignature,
+    NodeAddition,
+    Pattern,
+    Program,
+)
+from repro.core.errors import MethodError
+from repro.core.methods import ExecutionContext
+
+from tests.conftest import person_pattern
+
+
+def rename_method(scheme) -> Method:
+    """rename(receiver: Person, to: String): replace the name edge."""
+    signature = MethodSignature("rename", "Person", {"to": "String"})
+    del_pattern = Pattern(scheme)
+    person = del_pattern.node("Person")
+    old = del_pattern.node("String")
+    del_pattern.edge(person, "name", old)
+    delete = BodyOp(
+        EdgeDeletion(del_pattern, [(person, "name", old)]),
+        head=HeadBindings(receiver=person),
+    )
+    add_pattern = Pattern(scheme)
+    person2 = add_pattern.node("Person")
+    new = add_pattern.node("String")
+    add = BodyOp(
+        EdgeAddition(add_pattern, [(person2, "name", new)]),
+        head=HeadBindings(receiver=person2, parameters={"to": new}),
+    )
+    return Method(signature, [delete, add])
+
+
+def test_method_call_updates_receivers(tiny_scheme, tiny_instance):
+    method = rename_method(tiny_scheme)
+    call_pattern, person = person_pattern(tiny_scheme, name="alice")
+    new_name = call_pattern.node("String", "alicia")
+    call = MethodCall(call_pattern, "rename", receiver=person, arguments={"to": new_name})
+    result = Program([call], methods=[method]).run(tiny_instance)
+    names = {
+        result.instance.print_of(result.instance.functional_target(p, "name"))
+        for p in result.instance.nodes_with_label("Person")
+    }
+    assert names == {"alicia", "bob", "carol"}
+
+
+def test_method_call_for_every_matching(tiny_scheme, tiny_instance):
+    method = rename_method(tiny_scheme)
+    call_pattern, person = person_pattern(tiny_scheme)  # every person
+    new_name = call_pattern.node("String", "same")
+    call = MethodCall(call_pattern, "rename", receiver=person, arguments={"to": new_name})
+    result = Program([call], methods=[method]).run(tiny_instance)
+    names = {
+        result.instance.print_of(result.instance.functional_target(p, "name"))
+        for p in result.instance.nodes_with_label("Person")
+    }
+    assert names == {"same"}
+
+
+def test_method_call_cleans_up_context_nodes(tiny_scheme, tiny_instance):
+    method = rename_method(tiny_scheme)
+    call_pattern, person = person_pattern(tiny_scheme, name="alice")
+    new_name = call_pattern.node("String", "x")
+    call = MethodCall(call_pattern, "rename", receiver=person, arguments={"to": new_name})
+    result = Program([call], methods=[method]).run(tiny_instance)
+    for label in result.instance.scheme.object_labels:
+        assert not label.startswith("@")
+    for node in result.instance.nodes():
+        assert not result.instance.label_of(node).startswith("@")
+
+
+def test_method_call_with_no_matchings_is_noop(tiny_scheme, tiny_instance):
+    method = rename_method(tiny_scheme)
+    call_pattern, person = person_pattern(tiny_scheme, name="nobody")
+    new_name = call_pattern.node("String", "x")
+    call = MethodCall(call_pattern, "rename", receiver=person, arguments={"to": new_name})
+    result = Program([call], methods=[method]).run(tiny_instance)
+    names = {
+        result.instance.print_of(result.instance.functional_target(p, "name"))
+        for p in result.instance.nodes_with_label("Person")
+    }
+    assert names == {"alice", "bob", "carol"}
+
+
+def test_method_requires_registry(tiny_scheme, tiny_instance):
+    call_pattern, person = person_pattern(tiny_scheme)
+    new_name = call_pattern.node("String", "x")
+    call = MethodCall(call_pattern, "rename", receiver=person, arguments={"to": new_name})
+    with pytest.raises(MethodError):
+        call.apply(tiny_instance, None)
+    with pytest.raises(MethodError):
+        Program([call]).run(tiny_instance)  # empty registry
+
+
+def test_call_validation_receiver_label(tiny_scheme, tiny_instance):
+    method = rename_method(tiny_scheme)
+    pattern = Pattern(tiny_scheme)
+    number = pattern.node("Number", 3)
+    string = pattern.node("String", "x")
+    call = MethodCall(pattern, "rename", receiver=number, arguments={"to": string})
+    with pytest.raises(MethodError):
+        Program([call], methods=[method]).run(tiny_instance)
+
+
+def test_call_validation_missing_and_extra_arguments(tiny_scheme, tiny_instance):
+    method = rename_method(tiny_scheme)
+    pattern, person = person_pattern(tiny_scheme)
+    call = MethodCall(pattern, "rename", receiver=person, arguments={})
+    with pytest.raises(MethodError):
+        Program([call], methods=[method]).run(tiny_instance)
+    string = pattern.node("String", "x")
+    call2 = MethodCall(
+        pattern, "rename", receiver=person, arguments={"to": string, "oops": string}
+    )
+    with pytest.raises(MethodError):
+        Program([call2], methods=[method]).run(tiny_instance)
+
+
+def test_call_validation_argument_label(tiny_scheme, tiny_instance):
+    method = rename_method(tiny_scheme)
+    pattern, person = person_pattern(tiny_scheme)
+    number = pattern.node("Number", 3)
+    call = MethodCall(pattern, "rename", receiver=person, arguments={"to": number})
+    with pytest.raises(MethodError):
+        Program([call], methods=[method]).run(tiny_instance)
+
+
+def test_body_validation_head_targets(tiny_scheme):
+    signature = MethodSignature("m", "Person", {"to": "String"})
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    number = pattern.node("Number")
+    bad = BodyOp(
+        NodeAddition(pattern, "Tag", [("of", person)]),
+        head=HeadBindings(receiver=person, parameters={"to": number}),
+    )
+    with pytest.raises(MethodError):
+        Method(signature, [bad])
+
+
+def test_body_validation_unknown_parameter(tiny_scheme):
+    signature = MethodSignature("m", "Person")
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    bad = BodyOp(
+        NodeAddition(pattern, "Tag", [("of", person)]),
+        head=HeadBindings(receiver=person, parameters={"ghost": person}),
+    )
+    with pytest.raises(MethodError):
+        Method(signature, [bad])
+
+
+def test_headless_body_op_runs_when_contexts_exist(tiny_scheme, tiny_instance):
+    """An op without a head gets an isolated context node: it runs
+    once the method is invoked at least once, and not otherwise."""
+    signature = MethodSignature("tagall", "Person")
+    tag_pattern, person = person_pattern(tiny_scheme)
+    body = [BodyOp(NodeAddition(tag_pattern, "Tag", [("of", person)]), head=None)]
+    interface = tiny_scheme.copy()
+    interface.declare("Tag", "of", "Person")
+    method = Method(signature, body, interface=interface)
+
+    # call on alice only; the headless body op still tags everyone
+    call_pattern, receiver = person_pattern(tiny_scheme, name="alice")
+    call = MethodCall(call_pattern, "tagall", receiver=receiver)
+    result = Program([call], methods=[method]).run(tiny_instance)
+    assert len(result.instance.nodes_with_label("Tag")) == 3
+
+    # no matching call: the body never runs
+    call_pattern2, receiver2 = person_pattern(tiny_scheme, name="nobody")
+    call2 = MethodCall(call_pattern2, "tagall", receiver=receiver2)
+    result2 = Program([call2], methods=[method]).run(tiny_instance)
+    assert len(result2.instance.nodes_with_label("Tag")) == 0
+
+
+def test_interface_filters_temporaries(tiny_scheme, tiny_instance):
+    """Structure outside original scheme ∪ interface disappears."""
+    signature = MethodSignature("scratch", "Person")
+    tag_pattern, person = person_pattern(tiny_scheme)
+    body = [BodyOp(NodeAddition(tag_pattern, "Temp", [("of", person)]), head=None)]
+    method = Method(signature, body)  # empty interface
+
+    call_pattern, receiver = person_pattern(tiny_scheme)
+    call = MethodCall(call_pattern, "scratch", receiver=receiver)
+    result = Program([call], methods=[method]).run(tiny_instance)
+    assert not result.instance.scheme.has_node_label("Temp")
+    assert result.instance.nodes_with_label("Temp") == frozenset()
+
+
+def test_interface_keeps_declared_structure(tiny_scheme, tiny_instance):
+    signature = MethodSignature("keep", "Person")
+    tag_pattern, person = person_pattern(tiny_scheme)
+    body = [BodyOp(NodeAddition(tag_pattern, "Kept", [("of", person)]), head=None)]
+    interface = tiny_scheme.copy()
+    interface.declare("Kept", "of", "Person")
+    method = Method(signature, body, interface=interface)
+    call_pattern, receiver = person_pattern(tiny_scheme)
+    call = MethodCall(call_pattern, "keep", receiver=receiver)
+    result = Program([call], methods=[method]).run(tiny_instance)
+    assert len(result.instance.nodes_with_label("Kept")) == 3
+
+
+def test_recursion_depth_guard(tiny_scheme, tiny_instance):
+    """A method that always calls itself hits the depth guard."""
+    signature = MethodSignature("loop", "Person")
+    body_pattern, person = person_pattern(tiny_scheme)
+    body = [
+        BodyOp(
+            MethodCall(body_pattern, "loop", receiver=person),
+            head=HeadBindings(receiver=person),
+        )
+    ]
+    method = Method(signature, body)
+    call_pattern, receiver = person_pattern(tiny_scheme)
+    call = MethodCall(call_pattern, "loop", receiver=receiver)
+    with pytest.raises(MethodError):
+        Program([call], methods=[method]).run(tiny_instance, max_depth=10)
+
+
+def test_registry_lookup():
+    registry = MethodRegistry()
+    with pytest.raises(MethodError):
+        registry.get("ghost")
+    assert "ghost" not in registry
+    assert registry.names() == ()
+
+
+def test_context_depth_bookkeeping():
+    context = ExecutionContext(max_depth=2)
+    context.enter("m")
+    context.enter("m")
+    with pytest.raises(MethodError):
+        context.enter("m")
+    context.leave()
+    context.leave()
+    assert context.depth == 0
+
+
+def test_subclass_receiver_dispatch():
+    """Section 4.2: calling an Info method on a Reference receiver
+    dispatches through the instance-level isa edge (like Fig. 31)."""
+    from repro.hypermedia import build_instance, build_scheme
+    from repro.hypermedia import figures as F
+    from repro.hypermedia.scheme_def import JAN_16
+
+    scheme = build_scheme(mark_isa=True)
+    db, handles = build_instance(scheme)
+    update = F.fig20_update_method(scheme)
+    call_pattern = Pattern(scheme)
+    ref = call_pattern.add_node("Reference")
+    date = call_pattern.add_node("Date", JAN_16)
+    call = MethodCall(call_pattern, "Update", receiver=ref, arguments={"parameter": date})
+    result = Program([call], methods=[update]).run(db)
+    target = result.instance.functional_target(handles.beatles, "modified")
+    assert result.instance.print_of(target) == JAN_16
+
+
+def test_subclass_dispatch_two_levels():
+    """Sound isa Data isa Info: a two-hop dispatch chain."""
+    from repro.hypermedia import build_instance, build_scheme
+    from repro.hypermedia import figures as F
+    from repro.hypermedia.scheme_def import JAN_16
+
+    scheme = build_scheme(mark_isa=True)
+    db, handles = build_instance(scheme)
+    update = F.fig20_update_method(scheme)
+    call_pattern = Pattern(scheme)
+    sound = call_pattern.add_node("Sound")
+    date = call_pattern.add_node("Date", JAN_16)
+    call = MethodCall(call_pattern, "Update", receiver=sound, arguments={"parameter": date})
+    result = Program([call], methods=[update]).run(db)
+    target = result.instance.functional_target(handles.pf_sound_info, "modified")
+    assert result.instance.print_of(target) == JAN_16
+
+
+def test_dispatch_without_isa_marking_still_rejects():
+    """Without marked isa labels, a label mismatch stays an error."""
+    from repro.hypermedia import build_instance, build_scheme
+    from repro.hypermedia import figures as F
+    from repro.hypermedia.scheme_def import JAN_16
+
+    scheme = build_scheme(mark_isa=False)
+    db, handles = build_instance(scheme)
+    update = F.fig20_update_method(scheme)
+    call_pattern = Pattern(scheme)
+    ref = call_pattern.add_node("Reference")
+    date = call_pattern.add_node("Date", JAN_16)
+    call = MethodCall(call_pattern, "Update", receiver=ref, arguments={"parameter": date})
+    with pytest.raises(MethodError):
+        Program([call], methods=[update]).run(db)
+
+
+def test_dispatch_unrelated_class_rejected():
+    from repro.hypermedia import build_instance, build_scheme
+    from repro.hypermedia import figures as F
+    from repro.hypermedia.scheme_def import JAN_16
+
+    scheme = build_scheme(mark_isa=True)
+    db, handles = build_instance(scheme)
+    update = F.fig20_update_method(scheme)
+    call_pattern = Pattern(scheme)
+    version = call_pattern.add_node("Version")  # not an Info subclass
+    date = call_pattern.add_node("Date", JAN_16)
+    call = MethodCall(call_pattern, "Update", receiver=version, arguments={"parameter": date})
+    with pytest.raises(MethodError):
+        Program([call], methods=[update]).run(db)

@@ -1,0 +1,207 @@
+"""Unit tests for node addition and edge addition (Sections 3.1–3.2)."""
+
+import pytest
+
+from repro.core import (
+    EdgeAddition,
+    EdgeConflictError,
+    NodeAddition,
+    OperationError,
+    Pattern,
+    Program,
+)
+from repro.core.pattern import empty_pattern
+
+from tests.conftest import person_pattern
+
+
+def run_one(op, instance):
+    return Program([op]).run(instance)
+
+
+def test_node_addition_per_matching(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    op = NodeAddition(pattern, "Tag", [("of", person)])
+    result = run_one(op, tiny_instance)
+    assert len(result.reports[0].nodes_added) == 3
+    for tag in result.instance.nodes_with_label("Tag"):
+        assert len(result.instance.out_neighbours(tag, "of")) == 1
+
+
+def test_node_addition_extends_scheme(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    result = run_one(NodeAddition(pattern, "Tag", [("of", person)]), tiny_instance)
+    scheme = result.instance.scheme
+    assert scheme.is_object_label("Tag")
+    assert scheme.is_functional("of")
+    assert scheme.allows_edge("Tag", "of", "Person")
+    # the original scheme is untouched (Program.run copies)
+    assert not tiny_scheme.is_object_label("Tag")
+
+
+def test_node_addition_scheme_extension_without_matchings(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme, name="nobody... wait")
+    result = run_one(NodeAddition(pattern, "Tag", [("of", person)]), tiny_instance)
+    assert result.instance.scheme.is_object_label("Tag")
+    assert result.instance.nodes_with_label("Tag") == frozenset()
+
+
+def test_node_addition_is_idempotent(tiny_scheme, tiny_instance):
+    """The Fig. 9 reuse check makes re-running a no-op."""
+    pattern, person = person_pattern(tiny_scheme)
+    first = run_one(NodeAddition(pattern, "Tag", [("of", person)]), tiny_instance)
+    pattern2, person2 = person_pattern(first.instance.scheme)
+    second = run_one(NodeAddition(pattern2, "Tag", [("of", person2)]), first.instance)
+    assert second.reports[0].nodes_added == ()
+    assert second.reports[0].reused_count == 3
+
+
+def test_node_addition_collapses_agreeing_matchings(tiny_scheme, tiny_instance):
+    """Matchings that agree on the targets produce one node (Fig. 8)."""
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    op = NodeAddition(pattern, "Known", [("who", y)])
+    result = run_one(op, tiny_instance)
+    # 3 matchings (a->b, a->c, b->c) but only 2 distinct targets (b, c)
+    assert result.reports[0].matching_count == 3
+    assert len(result.reports[0].nodes_added) == 2
+
+
+def test_node_addition_on_empty_pattern(tiny_scheme, tiny_instance):
+    op = NodeAddition(empty_pattern(tiny_scheme), "Singleton", [])
+    result = run_one(op, tiny_instance)
+    assert len(result.instance.nodes_with_label("Singleton")) == 1
+    # again: the lone node is reused
+    op2 = NodeAddition(empty_pattern(result.instance.scheme), "Singleton", [])
+    second = run_one(op2, result.instance)
+    assert second.reports[0].nodes_added == ()
+
+
+def test_node_addition_requires_distinct_labels(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme)
+    with pytest.raises(OperationError):
+        NodeAddition(pattern, "Tag", [("of", person), ("of", person)])
+
+
+def test_node_addition_rejects_multivalued_label(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    op = NodeAddition(pattern, "Tag", [("knows", person)])
+    with pytest.raises(OperationError):
+        run_one(op, tiny_instance)
+
+
+def test_node_addition_rejects_printable_class(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    op = NodeAddition(pattern, "String", [("of", person)])
+    with pytest.raises(OperationError):
+        run_one(op, tiny_instance)
+
+
+def test_node_addition_rejects_reserved_labels(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme)
+    with pytest.raises(OperationError):
+        NodeAddition(pattern, "@sneaky", [("of", person)])
+    with pytest.raises(OperationError):
+        NodeAddition(pattern, "Tag", [("@edge", person)])
+
+
+def test_node_addition_unknown_pattern_node(tiny_scheme):
+    pattern, _ = person_pattern(tiny_scheme)
+    with pytest.raises(OperationError):
+        NodeAddition(pattern, "Tag", [("of", 999)])
+
+
+def test_edge_addition_adds_per_matching(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    op = EdgeAddition(pattern, [(y, "admires", x)], new_label_kinds={"admires": "multivalued"})
+    result = run_one(op, tiny_instance)
+    assert len(result.reports[0].edges_added) == 3
+
+
+def test_edge_addition_existing_edges_not_recounted(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    op = EdgeAddition(pattern, [(x, "knows", y)])
+    result = run_one(op, tiny_instance)
+    assert result.reports[0].edges_added == ()
+
+
+def test_edge_addition_requires_declared_or_kinded_label(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    op = EdgeAddition(pattern, [(x, "mystery", y)])
+    with pytest.raises(OperationError):
+        run_one(op, tiny_instance)
+
+
+def test_edge_addition_functional_conflict_with_existing(tiny_scheme, tiny_instance):
+    """Section 3.2: the undefined case raises at run time."""
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    other = pattern.node("String", "zelda")
+    tiny_instance.printable("String", "zelda")
+    op = EdgeAddition(pattern, [(person, "name", other)])
+    with pytest.raises(EdgeConflictError):
+        run_one(op, tiny_instance)
+
+
+def test_edge_addition_functional_conflict_within_batch(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    age = pattern.node("Number")
+    pattern.edge(person, "age", age)
+    # every person gets a "primary" edge to every OTHER person's age:
+    # two different targets for one functional label within the batch
+    other = pattern.node("Person")
+    other_age = pattern.node("Number")
+    pattern.edge(other, "age", other_age)
+    op = EdgeAddition(pattern, [(person, "primary", other_age)], new_label_kinds={"primary": "functional"})
+    with pytest.raises(EdgeConflictError):
+        run_one(op, tiny_instance)
+
+
+def test_edge_addition_atomicity_on_conflict(tiny_scheme, tiny_instance):
+    before_edges = tiny_instance.edge_count
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    age = pattern.node("Number")
+    pattern.edge(person, "age", age)
+    other = pattern.node("Person")
+    other_age = pattern.node("Number")
+    pattern.edge(other, "age", other_age)
+    op = EdgeAddition(pattern, [(person, "primary", other_age)], new_label_kinds={"primary": "functional"})
+    with pytest.raises(EdgeConflictError):
+        op.apply(tiny_instance)
+    assert tiny_instance.edge_count == before_edges  # nothing applied
+
+
+def test_edge_addition_materializes_constants(tiny_scheme, tiny_instance):
+    """Fig. 21-style updates: the constant need not pre-exist."""
+    pattern, person = person_pattern(tiny_scheme, name="alice")
+    fresh = pattern.node("Number", 99)
+    op = EdgeAddition(pattern, [(person, "age", fresh)])
+    with pytest.raises(EdgeConflictError):
+        # alice already has age 30 — functional conflict
+        run_one(op, tiny_instance)
+    # but with a person lacking an age it succeeds and creates 99
+    db = tiny_instance
+    lone = db.add_object("Person")
+    db.add_edge(lone, "name", db.printable("String", "dave"))
+    pattern2, person2 = person_pattern(tiny_scheme, name="dave")
+    fresh2 = pattern2.node("Number", 99)
+    result = run_one(EdgeAddition(pattern2, [(person2, "age", fresh2)]), db)
+    assert result.instance.find_printable("Number", 99) is not None
+
+
+def test_edge_addition_empty_edges_rejected(tiny_scheme):
+    pattern, _ = person_pattern(tiny_scheme)
+    with pytest.raises(OperationError):
+        EdgeAddition(pattern, [])

@@ -1,0 +1,212 @@
+"""Unit tests for node deletion, edge deletion and abstraction."""
+
+import pytest
+
+from repro.core import (
+    Abstraction,
+    EdgeDeletion,
+    NodeDeletion,
+    OperationError,
+    Pattern,
+    Program,
+    Scheme,
+    Instance,
+)
+
+from tests.conftest import person_pattern
+
+
+def run_one(op, instance):
+    return Program([op]).run(instance)
+
+
+def test_node_deletion_removes_all_matched(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    result = run_one(NodeDeletion(pattern, person), tiny_instance)
+    assert result.instance.nodes_with_label("Person") == frozenset()
+    # printables survive (they were not the deleted node)
+    assert result.instance.find_printable("String", "alice") is not None
+
+
+def test_node_deletion_with_constant(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme, name="bob")
+    result = run_one(NodeDeletion(pattern, person), tiny_instance)
+    remaining = {
+        result.instance.print_of(result.instance.functional_target(p, "name"))
+        for p in result.instance.nodes_with_label("Person")
+    }
+    assert remaining == {"alice", "carol"}
+
+
+def test_node_deletion_removes_incident_edges(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme, name="carol")
+    result = run_one(NodeDeletion(pattern, person), tiny_instance)
+    for p in result.instance.nodes_with_label("Person"):
+        targets = result.instance.out_neighbours(p, "knows")
+        for t in targets:
+            assert result.instance.has_node(t)
+    result.instance.validate()
+
+
+def test_node_deletion_snapshot_semantics(tiny_scheme, tiny_instance):
+    """Matchings are computed on the original instance, in parallel."""
+    # delete persons who know someone: a and b; c remains even though
+    # after deleting a and b it "knows" nobody
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    result = run_one(NodeDeletion(pattern, x), tiny_instance)
+    assert len(result.instance.nodes_with_label("Person")) == 1
+
+
+def test_node_deletion_same_node_matched_twice(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    # x matches alice twice (a->b, a->c) — deletion must not fail
+    result = run_one(NodeDeletion(pattern, x), tiny_instance)
+    assert result.reports[0].matching_count == 3
+    assert len(result.reports[0].nodes_removed) == 2
+
+
+def test_edge_deletion_requires_pattern_edge(tiny_scheme):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    with pytest.raises(OperationError):
+        EdgeDeletion(pattern, [(x, "knows", y)])  # edge not in pattern
+
+
+def test_edge_deletion_removes_matched_edges(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    result = run_one(EdgeDeletion(pattern, [(x, "knows", y)]), tiny_instance)
+    assert len(result.reports[0].edges_removed) == 3
+    for p in result.instance.nodes_with_label("Person"):
+        assert result.instance.out_neighbours(p, "knows") == frozenset()
+    # nodes survive
+    assert len(result.instance.nodes_with_label("Person")) == 3
+
+
+def test_edge_deletion_scoped_by_constants(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    name = pattern.node("String", "alice")
+    pattern.edge(x, "name", name)
+    pattern.edge(x, "knows", y)
+    result = run_one(EdgeDeletion(pattern, [(x, "knows", y)]), tiny_instance)
+    assert len(result.reports[0].edges_removed) == 2  # only alice's
+
+
+def test_edge_deletion_empty_list_rejected(tiny_scheme):
+    pattern, _ = person_pattern(tiny_scheme)
+    with pytest.raises(OperationError):
+        EdgeDeletion(pattern, [])
+
+
+def build_group_instance():
+    """Four items, two groups by their multivalued tags."""
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Item", "tag", "String", functional=False)
+    db = Instance(scheme)
+    t1 = db.printable("String", "red")
+    t2 = db.printable("String", "blue")
+    items = [db.add_object("Item") for _ in range(4)]
+    db.add_edge(items[0], "tag", t1)
+    db.add_edge(items[1], "tag", t1)
+    db.add_edge(items[2], "tag", t1)
+    db.add_edge(items[2], "tag", t2)
+    # items[3] has no tags (empty α-set)
+    return scheme, db, items
+
+
+def test_abstraction_groups_by_alpha_sets():
+    scheme, db, items = build_group_instance()
+    pattern = Pattern(scheme)
+    item = pattern.node("Item")
+    op = Abstraction(pattern, item, "Group", alpha="tag", beta="in-group")
+    result = run_one(op, db)
+    groups = result.instance.nodes_with_label("Group")
+    assert len(groups) == 3  # {red}, {red,blue}, {}
+    sizes = sorted(len(result.instance.out_neighbours(g, "in-group")) for g in groups)
+    assert sizes == [1, 1, 2]
+
+
+def test_abstraction_includes_empty_alpha_set():
+    scheme, db, items = build_group_instance()
+    pattern = Pattern(scheme)
+    item = pattern.node("Item")
+    result = run_one(Abstraction(pattern, item, "Group", "tag", "in-group"), db)
+    # items[3] sits in its own (empty-set) group
+    for group in result.instance.nodes_with_label("Group"):
+        members = result.instance.out_neighbours(group, "in-group")
+        if items[3] in members:
+            assert members == frozenset({items[3]})
+            break
+    else:
+        pytest.fail("the empty-α-set group is missing")
+
+
+def test_abstraction_is_idempotent():
+    scheme, db, items = build_group_instance()
+    pattern = Pattern(scheme)
+    item = pattern.node("Item")
+    first = run_one(Abstraction(pattern, item, "Group", "tag", "in-group"), db)
+    pattern2 = Pattern(first.instance.scheme)
+    item2 = pattern2.node("Item")
+    second = run_one(Abstraction(pattern2, item2, "Group", "tag", "in-group"), first.instance)
+    assert second.reports[0].nodes_added == ()
+    assert second.reports[0].reused_count == 3
+
+
+def test_abstraction_alpha_must_be_multivalued(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    op = Abstraction(pattern, person, "Group", alpha="name", beta="members")
+    with pytest.raises(OperationError):
+        run_one(op, tiny_instance)
+
+
+def test_abstraction_beta_must_not_be_functional(tiny_scheme, tiny_instance):
+    pattern, person = person_pattern(tiny_scheme)
+    op = Abstraction(pattern, person, "Group", alpha="knows", beta="name")
+    with pytest.raises(OperationError):
+        run_one(op, tiny_instance)
+
+
+def test_abstraction_restricted_to_matched_nodes():
+    """Default semantics: unmatched same-label nodes stay out (Fig. 18)."""
+    scheme, db, items = build_group_instance()
+    scheme.declare("Item", "marked", "String")
+    mark = db.printable("String", "yes")
+    db.add_edge(items[0], "marked", mark)
+    pattern = Pattern(scheme)
+    item = pattern.node("Item")
+    pattern.edge(item, "marked", pattern.node("String", "yes"))
+    result = run_one(Abstraction(pattern, item, "Group", "tag", "in-group"), db)
+    groups = result.instance.nodes_with_label("Group")
+    assert len(groups) == 1
+    members = result.instance.out_neighbours(min(groups), "in-group")
+    assert members == frozenset({items[0]})
+
+
+def test_abstraction_literal_reading_includes_unmatched():
+    """include_unmatched=True implements the formal definition's letter."""
+    scheme, db, items = build_group_instance()
+    scheme.declare("Item", "marked", "String")
+    mark = db.printable("String", "yes")
+    db.add_edge(items[0], "marked", mark)
+    pattern = Pattern(scheme)
+    item = pattern.node("Item")
+    pattern.edge(item, "marked", pattern.node("String", "yes"))
+    op = Abstraction(pattern, item, "Group", "tag", "in-group", include_unmatched=True)
+    result = run_one(op, db)
+    groups = result.instance.nodes_with_label("Group")
+    assert len(groups) == 1
+    members = result.instance.out_neighbours(min(groups), "in-group")
+    # items[1] shares items[0]'s α-set {red} and joins despite not matching
+    assert members == frozenset({items[0], items[1]})

@@ -1,0 +1,117 @@
+"""Unit tests for patterns and crossed (negated) patterns."""
+
+import pytest
+
+from repro.core import Pattern, PatternError, NegatedPattern
+from repro.core.macros import value_between
+from repro.core.pattern import empty_pattern
+
+
+def test_pattern_is_syntactically_an_instance(tiny_scheme):
+    """Patterns obey all instance constraints (Section 3)."""
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    name = pattern.node("String", "alice")
+    pattern.edge(person, "name", name)
+    pattern.validate()
+
+
+def test_pattern_printables_may_be_unvalued(tiny_scheme):
+    pattern = Pattern(tiny_scheme)
+    date1 = pattern.node("String")
+    date2 = pattern.node("String")
+    assert date1 != date2
+
+
+def test_empty_pattern(tiny_scheme):
+    pattern = empty_pattern(tiny_scheme)
+    assert pattern.is_empty
+
+
+def test_constrain_requires_printable_node(tiny_scheme):
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    with pytest.raises(PatternError):
+        pattern.constrain(person, value_between(1, 2))
+
+
+def test_constrain_rejects_fixed_value(tiny_scheme):
+    pattern = Pattern(tiny_scheme)
+    number = pattern.node("Number", 5)
+    with pytest.raises(PatternError):
+        pattern.constrain(number, value_between(1, 9))
+
+
+def test_constrain_and_copy(tiny_scheme):
+    pattern = Pattern(tiny_scheme)
+    number = pattern.node("Number")
+    pattern.constrain(number, value_between(10, 20))
+    clone = pattern.copy()
+    assert clone.predicate_of(number) is not None
+    clone.remove_node(number)
+    assert clone.predicate_of(number) is None
+    assert pattern.predicate_of(number) is not None
+
+
+def test_negated_pattern_forbid_edge(tiny_scheme):
+    positive = Pattern(tiny_scheme)
+    a = positive.node("Person")
+    b = positive.node("Person")
+    positive.edge(a, "knows", b)
+    negated = NegatedPattern(positive)
+    negated.forbid_edge(b, "knows", a)
+    assert len(negated.extensions) == 1
+    extension = negated.extensions[0]
+    assert extension.has_edge(b, "knows", a)
+    assert extension.has_edge(a, "knows", b)
+
+
+def test_negated_pattern_forbid_node(tiny_scheme):
+    positive = Pattern(tiny_scheme)
+    a = positive.node("Person")
+    negated = NegatedPattern(positive)
+    crossed = negated.forbid_node("Person", [(a, "knows", None)])
+    extension = negated.extensions[0]
+    assert extension.has_edge(a, "knows", crossed)
+
+
+def test_forbid_rejects_non_superpattern(tiny_scheme):
+    positive = Pattern(tiny_scheme)
+    positive.node("Person")
+    foreign = Pattern(tiny_scheme)
+    foreign.node("Number")
+    negated = NegatedPattern(positive)
+    with pytest.raises(PatternError):
+        negated.forbid(foreign)
+
+
+def test_forbid_node_rejects_double_none(tiny_scheme):
+    positive = Pattern(tiny_scheme)
+    a = positive.node("Person")
+    negated = NegatedPattern(positive)
+    with pytest.raises(PatternError):
+        negated.forbid_node("Person", [(a, "knows", a)])
+
+
+def test_shared_augmentation_keeps_ids_aligned(tiny_scheme):
+    positive = Pattern(tiny_scheme)
+    a = positive.node("Person")
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(a, "knows", None)])
+    shared = negated.add_shared_object("Person")
+    negated.add_shared_edge(shared, "knows", a)
+    for extension in negated.extensions:
+        assert extension.has_node(shared)
+        assert extension.has_edge(shared, "knows", a)
+
+
+def test_negated_copy_is_deep(tiny_scheme):
+    positive = Pattern(tiny_scheme)
+    a = positive.node("Person")
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(a, "knows", None)])
+    clone = negated.copy()
+    clone.add_shared_object("Person")
+    assert clone.positive.node_count == negated.positive.node_count + 1
+    assert len(clone.extensions[0].nodes() and list(clone.extensions[0].nodes())) != 0
+    assert negated.extensions[0].node_count + 1 == clone.extensions[0].node_count

@@ -1,0 +1,96 @@
+"""Unit tests for programs, reports and execution plumbing."""
+
+import pytest
+
+from repro.core import (
+    ExecutionContext,
+    Method,
+    MethodSignature,
+    NodeAddition,
+    Pattern,
+    Program,
+    run_operation,
+)
+from repro.core.operations import OperationReport
+
+from tests.conftest import person_pattern
+
+
+def tag_op(scheme, label="Tag"):
+    pattern, person = person_pattern(scheme)
+    return NodeAddition(pattern, label, [("of", person)])
+
+
+def test_program_runs_in_order(tiny_scheme, tiny_instance):
+    first = tag_op(tiny_scheme, "First")
+    # the second op's pattern mentions First — only matches after op 1
+    private = tiny_scheme.copy()
+    private.declare("First", "of", "Person")
+    pattern = Pattern(private)
+    tag = pattern.node("First")
+    second = NodeAddition(pattern, "Second", [("from", tag)])
+    result = Program([first, second]).run(tiny_instance)
+    assert len(result.instance.nodes_with_label("Second")) == 3
+
+
+def test_program_copy_vs_in_place(tiny_scheme, tiny_instance):
+    Program([tag_op(tiny_scheme)]).run(tiny_instance)
+    assert tiny_instance.nodes_with_label("Tag") == frozenset()
+    Program([tag_op(tiny_scheme)]).run(tiny_instance, in_place=True)
+    assert len(tiny_instance.nodes_with_label("Tag")) == 3
+
+
+def test_program_in_place_mutates_scheme(tiny_scheme, tiny_instance):
+    Program([tag_op(tiny_scheme)]).run(tiny_instance, in_place=True)
+    assert tiny_instance.scheme.is_object_label("Tag")
+
+
+def test_program_copy_protects_scheme(tiny_scheme, tiny_instance):
+    Program([tag_op(tiny_scheme)]).run(tiny_instance)
+    assert not tiny_instance.scheme.is_object_label("Tag")
+
+
+def test_run_operation_shortcut(tiny_scheme, tiny_instance):
+    result = run_operation(tag_op(tiny_scheme), tiny_instance)
+    assert len(result.reports) == 1
+    assert len(result.instance.nodes_with_label("Tag")) == 3
+
+
+def test_program_add_and_register_chaining(tiny_scheme, tiny_instance):
+    method = Method(MethodSignature("noop", "Person"), [])
+    program = Program().add(tag_op(tiny_scheme)).register(method)
+    assert len(program) == 1
+    assert "noop" in program.methods
+    result = program.run(tiny_instance)
+    assert len(result.reports) == 1
+
+
+def test_program_layers_methods_onto_context(tiny_scheme, tiny_instance):
+    method = Method(MethodSignature("noop", "Person"), [])
+    context = ExecutionContext()
+    Program([tag_op(tiny_scheme)], methods=[method]).run(tiny_instance, context=context)
+    assert "noop" in context.methods
+
+
+def test_program_result_summary(tiny_scheme, tiny_instance):
+    result = Program([tag_op(tiny_scheme)]).run(tiny_instance)
+    assert "NA[Tag; of]" in result.summary()
+    assert "3 matchings" in result.summary()
+
+
+def test_report_summary_format():
+    report = OperationReport(operation="NA[X]", matching_count=2, nodes_added=(1, 2))
+    text = report.summary()
+    assert "NA[X]" in text and "+2/-0 nodes" in text
+
+
+def test_program_repr(tiny_scheme):
+    program = Program([tag_op(tiny_scheme)])
+    assert "NA" in repr(program)
+
+
+def test_empty_program_is_identity(tiny_instance):
+    result = Program([]).run(tiny_instance)
+    assert sorted(result.instance.nodes()) == sorted(tiny_instance.nodes())
+    assert sorted(result.instance.edges()) == sorted(tiny_instance.edges())
+    assert result.reports == ()

@@ -1,0 +1,149 @@
+"""Unit tests for scheme restructuring."""
+
+import pytest
+
+from repro.core import Scheme, SchemeError, Instance
+from repro.core.restructure import (
+    copy_property_along_isa,
+    merge_classes,
+    rename_class,
+    rename_edge_label,
+    reify_edge,
+)
+
+
+def test_rename_class(tiny_instance):
+    renamed = rename_class(tiny_instance, "Person", "Human")
+    assert renamed.scheme.is_object_label("Human")
+    assert not renamed.scheme.has_node_label("Person")
+    assert len(renamed.nodes_with_label("Human")) == 3
+    assert renamed.scheme.allows_edge("Human", "knows", "Human")
+    # the original is untouched
+    assert len(tiny_instance.nodes_with_label("Person")) == 3
+
+
+def test_rename_class_preserves_node_ids(tiny_instance):
+    renamed = rename_class(tiny_instance, "Person", "Human")
+    for node in tiny_instance.nodes():
+        assert renamed.has_node(node)
+
+
+def test_rename_class_validations(tiny_instance):
+    with pytest.raises(SchemeError):
+        rename_class(tiny_instance, "Ghost", "X")
+    with pytest.raises(SchemeError):
+        rename_class(tiny_instance, "Person", "String")  # taken
+    with pytest.raises(SchemeError):
+        rename_class(tiny_instance, "Person", "knows")  # edge label
+
+
+def test_rename_edge_label(tiny_instance):
+    renamed = rename_edge_label(tiny_instance, "knows", "follows")
+    people = sorted(renamed.nodes_with_label("Person"))
+    assert renamed.has_edge(people[0], "follows", people[1])
+    assert "knows" not in renamed.scheme.multivalued_edge_labels
+    assert "follows" in renamed.scheme.multivalued_edge_labels
+
+
+def test_rename_functional_edge_label(tiny_instance):
+    renamed = rename_edge_label(tiny_instance, "name", "called")
+    person = min(renamed.nodes_with_label("Person"))
+    assert renamed.print_of(renamed.functional_target(person, "called")) == "alice"
+    assert renamed.scheme.is_functional("called")
+
+
+def test_rename_edge_label_validations(tiny_instance):
+    with pytest.raises(SchemeError):
+        rename_edge_label(tiny_instance, "ghost", "x")
+    with pytest.raises(SchemeError):
+        rename_edge_label(tiny_instance, "knows", "name")
+
+
+def test_merge_classes():
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Employee", "name", "String")
+    scheme.declare("Contractor", "name", "String")
+    db = Instance(scheme)
+    employee = db.add_object("Employee")
+    db.add_edge(employee, "name", db.printable("String", "emma"))
+    contractor = db.add_object("Contractor")
+    db.add_edge(contractor, "name", db.printable("String", "carl"))
+    merged = merge_classes(db, "Contractor", "Employee")
+    assert len(merged.nodes_with_label("Employee")) == 2
+    assert not merged.scheme.has_node_label("Contractor")
+    names = {
+        merged.print_of(merged.functional_target(p, "name"))
+        for p in merged.nodes_with_label("Employee")
+    }
+    assert names == {"emma", "carl"}
+
+
+def test_merge_rejects_self(tiny_instance):
+    with pytest.raises(SchemeError):
+        merge_classes(tiny_instance, "Person", "Person")
+
+
+def test_merge_class_referenced_by_edges():
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Doc", "cites", "Paper", functional=False)
+    scheme.declare("Paper", "title", "String")
+    db = Instance(scheme)
+    doc = db.add_object("Doc")
+    paper = db.add_object("Paper")
+    db.add_edge(doc, "cites", paper)
+    merged = merge_classes(db, "Paper", "Doc")
+    assert merged.scheme.allows_edge("Doc", "cites", "Doc")
+    assert merged.has_edge(doc, "cites", paper)
+    assert merged.label_of(paper) == "Doc"
+
+
+def test_copy_property_along_isa():
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Animal", "name", "String")
+    scheme.declare("Dog", "isa", "Animal")
+    scheme.declare("Dog", "name", "String")  # target property must exist
+    db = Instance(scheme)
+    animal = db.add_object("Animal")
+    db.add_edge(animal, "name", db.printable("String", "rex"))
+    dog = db.add_object("Dog")
+    db.add_edge(dog, "isa", animal)
+    out = copy_property_along_isa(db, "Dog", "isa", "name")
+    assert out.print_of(out.functional_target(dog, "name")) == "rex"
+    # original untouched
+    assert db.functional_target(dog, "name") is None
+
+
+def test_copy_property_unknown_edge(tiny_instance):
+    with pytest.raises(SchemeError):
+        copy_property_along_isa(tiny_instance, "Person", "isa", "ghost")
+
+
+def test_reify_edge(tiny_instance):
+    out = reify_edge(tiny_instance, "Person", "knows", "Acquaintance")
+    links = out.nodes_with_label("Acquaintance")
+    assert len(links) == 3
+    # the original edges are gone
+    for person in out.nodes_with_label("Person"):
+        assert out.out_neighbours(person, "knows") == frozenset()
+    # and every link object carries src/dst
+    pairs = set()
+    for link in links:
+        src = out.functional_target(link, "src")
+        dst = out.functional_target(link, "dst")
+        pairs.add((src, dst))
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    assert pairs == {(people[0], people[1]), (people[0], people[2]), (people[1], people[2])}
+    out.validate()
+
+
+def test_reify_requires_multivalued(tiny_instance):
+    with pytest.raises(SchemeError):
+        reify_edge(tiny_instance, "Person", "name", "NameLink")
+
+
+def test_reify_unknown_property(tiny_instance):
+    scheme = tiny_instance.scheme.copy()
+    scheme.declare("Robot", "likes", "Robot", functional=False)
+    db = tiny_instance.copy(scheme=scheme)
+    with pytest.raises(SchemeError):
+        reify_edge(db, "Person", "likes", "Link")

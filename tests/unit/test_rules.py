@@ -1,0 +1,235 @@
+"""Unit tests for the declarative rule engine (Section 5 outlook)."""
+
+import pytest
+
+from repro.core import (
+    EdgeAddition,
+    Instance,
+    NegatedPattern,
+    NodeAddition,
+    NodeDeletion,
+    OperationError,
+    Pattern,
+)
+from repro.rules import Rule, RuleProgram, StratificationError, derive
+
+from tests.conftest import person_pattern
+
+
+def closure_rules(scheme):
+    base_pattern = Pattern(scheme)
+    a = base_pattern.node("Person")
+    b = base_pattern.node("Person")
+    base_pattern.edge(a, "knows", b)
+    base = Rule(
+        "base",
+        EdgeAddition(base_pattern, [(a, "reaches", b)], new_label_kinds={"reaches": "multivalued"}),
+    )
+    step_pattern = Pattern(scheme)
+    x = step_pattern.node("Person")
+    y = step_pattern.node("Person")
+    z = step_pattern.node("Person")
+    step_pattern.edge(x, "reaches" if False else "knows", y)
+    # build: reaches(x,y) ∧ knows(y,z) → reaches(x,z); the pattern
+    # references 'reaches' so declare it on a private scheme copy
+    private = scheme.copy()
+    private.declare("Person", "reaches", "Person", functional=False)
+    step_pattern = Pattern(private)
+    x = step_pattern.node("Person")
+    y = step_pattern.node("Person")
+    z = step_pattern.node("Person")
+    step_pattern.edge(x, "reaches", y)
+    step_pattern.edge(y, "knows", z)
+    step = Rule(
+        "step",
+        EdgeAddition(step_pattern, [(x, "reaches", z)], new_label_kinds={"reaches": "multivalued"}),
+    )
+    return [base, step]
+
+
+def test_rule_requires_addition_action(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme)
+    with pytest.raises(OperationError):
+        Rule("bad", NodeDeletion(pattern, person))
+
+
+def test_rule_label_analysis(tiny_scheme):
+    positive, person = person_pattern(tiny_scheme)
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(None, "knows", person)])
+    rule = Rule("roots", NodeAddition(negated, "Root", [("is", person)]))
+    assert rule.derived_labels() == frozenset({"Root", "is"})
+    assert "Person" in rule.positive_labels()
+    assert rule.negated_labels() == frozenset({"Person", "knows"})
+
+
+def test_transitive_closure_fixpoint(tiny_scheme):
+    db = Instance(tiny_scheme)
+    people = [db.add_object("Person") for _ in range(5)]
+    for left, right in zip(people, people[1:]):
+        db.add_edge(left, "knows", right)
+    result = derive(closure_rules(tiny_scheme), db)
+    pairs = sum(
+        len(result.out_neighbours(p, "reaches"))
+        for p in result.nodes_with_label("Person")
+    )
+    assert pairs == 5 * 4 // 2
+
+
+def test_fixpoint_on_cycle(tiny_scheme):
+    db = Instance(tiny_scheme)
+    people = [db.add_object("Person") for _ in range(3)]
+    for index, person in enumerate(people):
+        db.add_edge(person, "knows", people[(index + 1) % 3])
+    result = derive(closure_rules(tiny_scheme), db)
+    for person in people:
+        assert result.out_neighbours(person, "reaches") == frozenset(people)
+
+
+def test_run_copies_by_default(tiny_scheme, tiny_instance):
+    program = RuleProgram(closure_rules(tiny_scheme))
+    result, reports = program.run(tiny_instance)
+    assert all(
+        not tiny_instance.out_neighbours(p, "reaches") if "reaches" in
+        tiny_instance.scheme.multivalued_edge_labels else True
+        for p in tiny_instance.nodes_with_label("Person")
+    )
+    assert any(report.edges_added for report in reports)
+
+
+def test_stratified_negation(tiny_scheme, tiny_instance):
+    """Stratum 0 derives 'reaches'; stratum 1 tags unreachable people."""
+    rules = closure_rules(tiny_scheme)
+    private = tiny_scheme.copy()
+    private.declare("Person", "reaches", "Person", functional=False)
+    positive = Pattern(private)
+    person = positive.node("Person")
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(None, "reaches", person)])
+    rules.append(Rule("roots", NodeAddition(negated, "Root", [("is", person)])))
+
+    program = RuleProgram(rules)
+    strata = program.strata()
+    assert len(strata) == 2
+    assert [r.name for r in strata[1]] == ["roots"]
+
+    result, _ = program.run(tiny_instance)
+    roots = {
+        next(iter(result.out_neighbours(tag, "is")))
+        for tag in result.nodes_with_label("Root")
+    }
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    assert roots == {people[0]}  # only alice is reached by nobody
+
+
+def test_negation_before_stratification_would_be_wrong(tiny_scheme, tiny_instance):
+    """Running 'roots' on stratum 0 would tag too many people — the
+    engine's stratification prevents exactly this."""
+    private = tiny_scheme.copy()
+    private.declare("Person", "reaches", "Person", functional=False)
+    positive = Pattern(private)
+    person = positive.node("Person")
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(None, "reaches", person)])
+    naive_roots = NodeAddition(negated, "Root", [("is", person)])
+    work = tiny_instance.copy(scheme=tiny_instance.scheme.copy())
+    naive_roots.apply(work)  # before any reaches edges exist
+    assert len(work.nodes_with_label("Root")) == 3  # everyone — wrong
+
+
+def test_negative_cycle_rejected(tiny_scheme):
+    private = tiny_scheme.copy()
+    private.declare("Odd", "of", "Person")
+    positive, person = person_pattern(private)
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Odd", [(None, "of", person)])
+    self_negating = Rule("odd", NodeAddition(negated, "Odd", [("of", person)]))
+    with pytest.raises(StratificationError):
+        RuleProgram([self_negating]).strata()
+
+
+def test_two_rule_negative_cycle_rejected(tiny_scheme):
+    private = tiny_scheme.copy()
+    private.declare("A", "of-a", "Person")
+    private.declare("B", "of-b", "Person")
+    pos_a, person_a = person_pattern(private)
+    neg_a = NegatedPattern(pos_a)
+    neg_a.forbid_node("B", [(None, "of-b", person_a)])
+    rule_a = Rule("a", NodeAddition(neg_a, "A", [("of-a", person_a)]))
+
+    pattern_b = Pattern(private)
+    a_node = pattern_b.node("A")
+    person_b = pattern_b.node("Person")
+    pattern_b.edge(a_node, "of-a", person_b)
+    rule_b = Rule("b", NodeAddition(pattern_b, "B", [("of-b", person_b)]))
+    with pytest.raises(StratificationError):
+        RuleProgram([rule_a, rule_b]).strata()
+
+
+def test_duplicate_rule_names_rejected(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme)
+    rule = Rule("r", NodeAddition(pattern, "T", [("of", person)]))
+    rule2 = Rule("r", NodeAddition(pattern, "U", [("of2", person)]))
+    with pytest.raises(OperationError):
+        RuleProgram([rule, rule2])
+    program = RuleProgram([rule])
+    with pytest.raises(OperationError):
+        program.add(rule2)
+
+
+def test_rules_agree_with_starred_macro(hyper_scheme, hyper):
+    """The rule fixpoint equals the Fig. 28 starred edge addition."""
+    from repro.hypermedia.figures import fig28_operations
+    from repro.core import Program
+
+    db, _ = hyper
+    direct, star = fig28_operations(hyper_scheme)
+    macro_result = Program([direct, star]).run(db)
+
+    private = hyper_scheme.copy()
+    private.declare("Info", "rec-links-to", "Info", functional=False)
+    base_pattern = Pattern(private)
+    a = base_pattern.node("Info")
+    b = base_pattern.node("Info")
+    base_pattern.edge(a, "links-to", b)
+    base = Rule(
+        "base",
+        EdgeAddition(base_pattern, [(a, "rec-links-to", b)],
+                     new_label_kinds={"rec-links-to": "multivalued"}),
+    )
+    step_pattern = Pattern(private)
+    x = step_pattern.node("Info")
+    y = step_pattern.node("Info")
+    z = step_pattern.node("Info")
+    step_pattern.edge(x, "rec-links-to", y)
+    step_pattern.edge(y, "links-to", z)
+    step = Rule(
+        "step",
+        EdgeAddition(step_pattern, [(x, "rec-links-to", z)],
+                     new_label_kinds={"rec-links-to": "multivalued"}),
+    )
+    rule_result = derive([base, step], db)
+
+    def pairs(instance):
+        return {
+            (s, t)
+            for s in instance.nodes_with_label("Info")
+            for t in instance.out_neighbours(s, "rec-links-to")
+        }
+
+    assert pairs(rule_result) == pairs(macro_result.instance)
+
+
+def test_fixpoint_is_rule_order_independent(tiny_scheme):
+    """Within a stratum the rules are monotone: any application order
+    reaches the same least fixpoint."""
+    from repro.graph import isomorphic
+    from repro.core import Instance
+
+    db = Instance(tiny_scheme)
+    people = [db.add_object("Person") for _ in range(4)]
+    for left, right in zip(people, people[1:]):
+        db.add_edge(left, "knows", right)
+    forward = RuleProgram(closure_rules(tiny_scheme)).run(db)[0]
+    backward = RuleProgram(list(reversed(closure_rules(tiny_scheme)))).run(db)[0]
+    assert isomorphic(forward.store, backward.store)

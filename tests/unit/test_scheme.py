@@ -1,0 +1,157 @@
+"""Unit tests for object base schemes (Section 2)."""
+
+import pytest
+
+from repro.core import Scheme, SchemeError
+
+
+def test_declare_builds_labels_and_property():
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Person", "name", "String")
+    assert scheme.is_object_label("Person")
+    assert "name" in scheme.functional_edge_labels
+    assert scheme.allows_edge("Person", "name", "String")
+
+
+def test_multivalued_declare():
+    scheme = Scheme()
+    scheme.declare("A", "rel", "B", functional=False)
+    assert "rel" in scheme.multivalued_edge_labels
+    assert not scheme.is_functional("rel")
+
+
+def test_label_namespaces_are_disjoint():
+    scheme = Scheme(printable_labels=["X"])
+    with pytest.raises(SchemeError):
+        scheme.add_object_label("X")
+    scheme.add_functional_edge_label("f")
+    with pytest.raises(SchemeError):
+        scheme.add_multivalued_edge_label("f")
+
+
+def test_redeclaring_same_label_in_same_family_is_idempotent():
+    scheme = Scheme()
+    scheme.add_object_label("A")
+    scheme.add_object_label("A")
+    assert scheme.object_labels == frozenset({"A"})
+
+
+def test_property_requires_declared_labels():
+    scheme = Scheme()
+    scheme.add_object_label("A")
+    with pytest.raises(SchemeError):
+        scheme.add_property("A", "undeclared", "A")
+    with pytest.raises(SchemeError):
+        scheme.add_property("missing", "undeclared", "A")
+
+
+def test_property_source_must_be_object_label():
+    scheme = Scheme(printable_labels=["P"])
+    scheme.add_object_label("A")
+    scheme.add_functional_edge_label("f")
+    with pytest.raises(SchemeError):
+        scheme.add_property("P", "f", "A")
+
+
+def test_reserved_labels_rejected_by_default():
+    scheme = Scheme()
+    with pytest.raises(SchemeError):
+        scheme.add_object_label("@internal")
+    with scheme.allowing_reserved():
+        scheme.add_object_label("@internal")
+    assert scheme.is_object_label("@internal")
+    # the permission is scoped to the context manager
+    with pytest.raises(SchemeError):
+        scheme.add_object_label("@another")
+
+
+def test_empty_labels_rejected():
+    scheme = Scheme()
+    with pytest.raises(SchemeError):
+        scheme.add_object_label("")
+
+
+def test_edge_kind_lookup():
+    scheme = Scheme()
+    scheme.add_functional_edge_label("f")
+    scheme.add_multivalued_edge_label("m")
+    assert scheme.is_functional("f")
+    assert not scheme.is_functional("m")
+    with pytest.raises(SchemeError):
+        scheme.edge_kind("missing")
+
+
+def test_subscheme_and_union():
+    small = Scheme(printable_labels=["P"])
+    small.declare("A", "f", "P")
+    big = small.copy()
+    big.declare("B", "g", "A")
+    assert small.is_subscheme_of(big)
+    assert not big.is_subscheme_of(small)
+    merged = small.union(big)
+    assert big.is_subscheme_of(merged)
+    assert merged == big
+
+
+def test_union_is_commutative_on_label_sets():
+    left = Scheme(printable_labels=["P"])
+    left.declare("A", "f", "P")
+    right = Scheme(printable_labels=["Q"])
+    right.declare("B", "g", "Q")
+    assert left.union(right) == right.union(left)
+
+
+def test_copy_is_independent():
+    scheme = Scheme()
+    clone = scheme.copy()
+    clone.add_object_label("A")
+    assert not scheme.is_object_label("A")
+
+
+def test_targets_of_collects_alternatives():
+    scheme = Scheme(printable_labels=["String", "Number"])
+    scheme.declare("Comment", "is", "String")
+    scheme.declare("Comment", "is", "Number")
+    assert scheme.targets_of("Comment", "is") == frozenset({"String", "Number"})
+
+
+def test_isa_marking_requires_functional_label():
+    scheme = Scheme()
+    scheme.declare("A", "rel", "B", functional=False)
+    with pytest.raises(SchemeError):
+        scheme.mark_isa("rel")
+
+
+def test_isa_cycle_rejected():
+    scheme = Scheme()
+    scheme.declare("A", "isa", "B")
+    scheme.declare("B", "isa", "A")
+    with pytest.raises(SchemeError):
+        scheme.mark_isa("isa")
+    # the failed marking must not stick
+    assert "isa" not in scheme.isa_labels
+
+
+def test_isa_dag_accepted():
+    scheme = Scheme()
+    scheme.declare("C", "isa", "B")
+    scheme.declare("B", "isa", "A")
+    scheme.mark_isa("isa")
+    assert "isa" in scheme.isa_labels
+
+
+def test_validate_detects_manual_corruption():
+    scheme = Scheme()
+    scheme.declare("A", "f", "B")
+    scheme._object_labels.discard("B")  # simulate corruption
+    with pytest.raises(SchemeError):
+        scheme.validate()
+
+
+def test_domain_of_printable():
+    scheme = Scheme(printable_labels=["Number"])
+    domain = scheme.domain_of("Number")
+    assert domain.contains(4)
+    assert not domain.contains("four")
+    with pytest.raises(SchemeError):
+        scheme.domain_of("Missing")

@@ -1,0 +1,172 @@
+"""Unit tests for the GOOD→relations layout and the join compiler."""
+
+import pytest
+
+from repro.core import Pattern, find_matchings
+from repro.core.errors import BackendError
+from repro.graph import isomorphic
+from repro.storage.layout import GoodLayout, class_table, mv_table, printable_table
+from repro.storage.query import compile_pattern, execute_pattern
+
+from tests.conftest import person_pattern
+
+
+def test_from_instance_round_trip(tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    back = layout.to_instance()
+    assert isomorphic(tiny_instance.store, back.store)
+    # ids preserved exactly, not just up to isomorphism
+    for node in tiny_instance.nodes():
+        assert back.label_of(node) == tiny_instance.label_of(node)
+
+
+def test_hyper_media_round_trip(hyper):
+    db, _ = hyper
+    layout = GoodLayout.from_instance(db)
+    assert isomorphic(db.store, layout.to_instance().store)
+
+
+def test_tables_follow_the_paper_layout(tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    assert layout.db.has_table(class_table("Person"))
+    assert layout.db.has_table(printable_table("String"))
+    assert layout.db.has_table(mv_table("knows"))
+    person = layout.db.table(class_table("Person"))
+    assert "name" in person.columns  # functional property as a column
+    assert "knows" not in person.columns  # multivalued stays binary
+
+
+def test_functional_nulls_encode_absence(tiny_scheme, tiny_instance):
+    lone = tiny_instance.add_object("Person")  # no name
+    layout = GoodLayout.from_instance(tiny_instance)
+    row = layout.db.table(class_table("Person")).get(lone)
+    assert row["name"] is None
+
+
+def test_label_and_print_lookup(tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    alice = layout.find_printable("String", "alice")
+    assert alice is not None
+    assert layout.print_of(alice) == "alice"
+    assert layout.label_of(alice) == "String"
+    with pytest.raises(BackendError):
+        layout.label_of(10_000)
+
+
+def test_get_or_create_printable(tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    first = layout.get_or_create_printable("String", "zed")
+    again = layout.get_or_create_printable("String", "zed")
+    assert first == again
+
+
+def test_delete_node_cascades(tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    people = layout.oids_with_label("Person")
+    victim = people[0]
+    layout.delete_node(victim)
+    assert not layout.has_node(victim)
+    for mv_label in ("knows",):
+        for oid in layout.oids_with_label("Person"):
+            assert victim not in layout.mv_targets(oid, mv_label)
+    back = layout.to_instance()
+    back.validate()
+
+
+def test_delete_printable_nulls_references(tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    alice_name = layout.find_printable("String", "alice")
+    layout.delete_node(alice_name)
+    back = layout.to_instance()
+    back.validate()
+    for person in back.nodes_with_label("Person"):
+        target = back.functional_target(person, "name")
+        if target is not None:
+            assert back.print_of(target) != "alice"
+
+
+def test_compiled_pattern_agrees_with_matcher(tiny_scheme, tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    pattern.edge(x, "name", pattern.node("String", "alice"))
+    native = sorted(tuple(sorted(m.items())) for m in find_matchings(pattern, tiny_instance))
+    compiled = sorted(tuple(sorted(m.items())) for m in execute_pattern(pattern, layout))
+    assert native == compiled
+
+
+def test_compiled_pattern_with_predicate(tiny_scheme, tiny_instance):
+    from repro.core.macros import value_between
+
+    layout = GoodLayout.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    age = pattern.node("Number")
+    pattern.constrain(age, value_between(35, 50))
+    pattern.edge(person, "age", age)
+    native = sorted(m[person] for m in find_matchings(pattern, tiny_instance))
+    compiled = sorted(m[person] for m in execute_pattern(pattern, layout))
+    assert native == compiled == [sorted(tiny_instance.nodes_with_label('Person'))[1]]
+
+
+def test_compiled_empty_pattern(tiny_scheme, tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    assert execute_pattern(pattern, layout) == [{}]
+
+
+def test_compiled_self_loop(tiny_scheme, tiny_instance):
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    tiny_instance.add_edge(people[1], "knows", people[1])
+    layout = GoodLayout.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    pattern.edge(x, "knows", x)
+    assert [m[x] for m in execute_pattern(pattern, layout)] == [people[1]]
+
+
+def test_plan_explain_is_printable(tiny_scheme, tiny_instance):
+    layout = GoodLayout.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    pattern.edge(x, "name", pattern.node("String", "alice"))
+    plan = compile_pattern(pattern, layout)
+    assert "Scan" in plan.explain() or "IndexLookup" in plan.explain()
+
+
+def test_compiled_shared_target_functional_edges():
+    """Regression: two functional edges binding the same pattern node
+    must both constrain the plan (the binding dict would otherwise
+    silently drop one — same family as the self-loop collapse)."""
+    from repro.core import Instance, Scheme, find_matchings
+
+    scheme = Scheme()
+    scheme.declare("A", "f1", "B")
+    scheme.declare("A", "f2", "B")
+    db = Instance(scheme)
+    a1, b1, b2 = db.add_object("A"), db.add_object("B"), db.add_object("B")
+    db.add_edge(a1, "f1", b1)
+    db.add_edge(a1, "f2", b2)  # targets differ: must NOT match
+    a2, b3 = db.add_object("A"), db.add_object("B")
+    db.add_edge(a2, "f1", b3)
+    db.add_edge(a2, "f2", b3)  # targets agree: must match
+    pattern = Pattern(scheme)
+    x = pattern.node("A")
+    y = pattern.node("B")
+    pattern.edge(x, "f1", y)
+    pattern.edge(x, "f2", y)
+    layout = GoodLayout.from_instance(db)
+    native = sorted(tuple(sorted(m.items())) for m in find_matchings(pattern, db))
+    compiled = sorted(tuple(sorted(m.items())) for m in execute_pattern(pattern, layout))
+    assert native == compiled == [((x, a2), (y, b3))]
+
+
+def test_scan_of_unknown_class_is_empty(tiny_scheme, tiny_instance):
+    scheme = tiny_scheme.copy()
+    scheme.add_object_label("Ghost")
+    layout = GoodLayout.from_instance(tiny_instance.copy(scheme=scheme))
+    pattern = Pattern(scheme)
+    pattern.node("Ghost")
+    assert execute_pattern(pattern, layout) == []

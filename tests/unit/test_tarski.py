@@ -1,0 +1,147 @@
+"""Unit tests for the binary relation algebra and the Tarski engine."""
+
+import pytest
+
+from repro.core import Pattern, find_matchings
+from repro.core.errors import BackendError
+from repro.graph import isomorphic
+from repro.tarski import BinaryRelation, TarskiEngine
+
+
+def test_boolean_operations():
+    r = BinaryRelation([(1, 2), (2, 3)])
+    s = BinaryRelation([(2, 3), (3, 4)])
+    assert set(r | s) == {(1, 2), (2, 3), (3, 4)}
+    assert set(r & s) == {(2, 3)}
+    assert set(r - s) == {(1, 2)}
+
+
+def test_converse_and_composition():
+    r = BinaryRelation([(1, 2), (2, 3)])
+    assert set(~r) == {(2, 1), (3, 2)}
+    assert set(r @ r) == {(1, 3)}
+    s = BinaryRelation([(3, 9)])
+    assert set(r @ s) == {(2, 9)}
+
+
+def test_identity_universal_complement():
+    universe = [1, 2]
+    identity = BinaryRelation.identity(universe)
+    assert set(identity) == {(1, 1), (2, 2)}
+    universal = BinaryRelation.universal(universe)
+    assert len(universal) == 4
+    r = BinaryRelation([(1, 2)])
+    assert set(r.complement(universe)) == {(1, 1), (2, 1), (2, 2)}
+
+
+def test_transitive_closure():
+    chain = BinaryRelation([(1, 2), (2, 3), (3, 4)])
+    closure = chain.transitive_closure()
+    assert (1, 4) in closure
+    assert len(closure) == 6
+    assert closure.transitive_closure() == closure
+
+
+def test_domain_range_images():
+    r = BinaryRelation([(1, 2), (1, 3), (4, 2)])
+    assert r.domain() == frozenset({1, 4})
+    assert r.range() == frozenset({2, 3})
+    assert r.image({1}) == frozenset({2, 3})
+    assert r.preimage({2}) == frozenset({1, 4})
+    assert r.successors(1) == frozenset({2, 3})
+    assert r.predecessors(3) == frozenset({1})
+
+
+def test_restrictions():
+    r = BinaryRelation([(1, 2), (3, 4)])
+    assert set(r.restrict_left({1})) == {(1, 2)}
+    assert set(r.restrict_right({4})) == {(3, 4)}
+
+
+def test_add_remove_immutability():
+    r = BinaryRelation([(1, 2)])
+    r2 = r.add(3, 4)
+    assert (3, 4) not in r and (3, 4) in r2
+    assert r.add(1, 2) is r
+    r3 = r2.remove(1, 2)
+    assert (1, 2) in r2 and (1, 2) not in r3
+    assert r3.remove(9, 9) is r3
+    assert set(r2.remove_all_with(3)) == {(1, 2)}
+
+
+def test_equality_and_hash():
+    assert BinaryRelation([(1, 2)]) == BinaryRelation([(1, 2)])
+    assert hash(BinaryRelation([(1, 2)])) == hash(BinaryRelation([(1, 2)]))
+
+
+def test_engine_round_trip(tiny_instance):
+    engine = TarskiEngine.from_instance(tiny_instance)
+    assert isomorphic(tiny_instance.store, engine.to_instance().store)
+
+
+def test_engine_round_trip_hyper(hyper):
+    db, _ = hyper
+    engine = TarskiEngine.from_instance(db)
+    assert isomorphic(db.store, engine.to_instance().store)
+
+
+def test_engine_matchings_agree(tiny_scheme, tiny_instance):
+    engine = TarskiEngine.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    native = sorted(tuple(sorted(m.items())) for m in find_matchings(pattern, tiny_instance))
+    tarski = sorted(tuple(sorted(m.items())) for m in engine.matchings(pattern))
+    assert native == tarski
+
+
+def test_engine_matchings_with_constants(tiny_scheme, tiny_instance):
+    engine = TarskiEngine.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    pattern.edge(person, "name", pattern.node("String", "bob"))
+    assert len(engine.matchings(pattern)) == 1
+
+
+def test_engine_self_loop(tiny_scheme, tiny_instance):
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    tiny_instance.add_edge(people[0], "knows", people[0])
+    engine = TarskiEngine.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    pattern.edge(x, "knows", x)
+    assert [m[x] for m in engine.matchings(pattern)] == [people[0]]
+
+
+def test_engine_candidates_are_arc_consistent(tiny_scheme, tiny_instance):
+    engine = TarskiEngine.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    z = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    pattern.edge(y, "knows", z)
+    candidate = engine.candidates(pattern)
+    people = sorted(tiny_instance.nodes_with_label("Person"))
+    # only a->b->c matches; AC must already pin each node down
+    assert candidate[x] == frozenset({people[0]})
+    assert candidate[y] == frozenset({people[1]})
+    assert candidate[z] == frozenset({people[2]})
+
+
+def test_engine_rejects_method_calls(tiny_scheme, tiny_instance):
+    from repro.core import MethodCall
+
+    engine = TarskiEngine.from_instance(tiny_instance)
+    pattern = Pattern(tiny_scheme)
+    person = pattern.node("Person")
+    call = MethodCall(pattern, "m", receiver=person)
+    with pytest.raises(BackendError):
+        engine.apply(call)
+
+
+def test_engine_unknown_oid(tiny_instance):
+    engine = TarskiEngine.from_instance(tiny_instance)
+    with pytest.raises(BackendError):
+        engine.label_of(12_345)

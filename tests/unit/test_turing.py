@@ -1,0 +1,167 @@
+"""Unit tests for the Turing substrate and its GOOD encoding (C3)."""
+
+import pytest
+
+from repro.turing import (
+    GoodTuringMachine,
+    Transition,
+    TuringMachine,
+    binary_increment_machine,
+    bit_flipper_machine,
+    parity_machine,
+)
+from repro.turing.machine import LEFT, RIGHT, STAY, TuringError
+
+
+def test_transition_move_validation():
+    with pytest.raises(TuringError):
+        Transition("q", "0", "X")
+
+
+def test_machine_validation():
+    with pytest.raises(TuringError):
+        TuringMachine(
+            states=frozenset(["a"]),
+            alphabet=frozenset(["0"]),
+            blank="_",  # blank not in alphabet
+            transitions={},
+            start_state="a",
+            halt_states=frozenset(),
+        )
+
+
+def test_halt_state_has_no_transitions():
+    with pytest.raises(TuringError):
+        TuringMachine(
+            states=frozenset(["a", "h"]),
+            alphabet=frozenset(["0", "_"]),
+            blank="_",
+            transitions={("h", "0"): Transition("a", "0", STAY)},
+            start_state="a",
+            halt_states=frozenset(["h"]),
+        )
+
+
+def test_bit_flipper_output():
+    tm = bit_flipper_machine()
+    assert tm.output_word(tm.run("1011")) == "0100"
+    assert tm.output_word(tm.run("")) == ""
+
+
+def test_binary_increment_outputs():
+    tm = binary_increment_machine()
+    cases = {"0": "1", "1": "10", "1011": "1100", "111": "1000", "10": "11"}
+    for word, want in cases.items():
+        assert tm.output_word(tm.run(word)) == want
+
+
+def test_parity_outputs():
+    tm = parity_machine()
+    assert tm.output_word(tm.run("1101")) == "O"
+    assert tm.output_word(tm.run("11")) == "E"
+    assert tm.output_word(tm.run("")) == "E"
+
+
+def test_step_on_halted_raises():
+    tm = bit_flipper_machine()
+    config = tm.run("1")
+    with pytest.raises(TuringError):
+        tm.step(config)
+
+
+def test_fuel_exhaustion():
+    looping = TuringMachine(
+        states=frozenset(["a"]),
+        alphabet=frozenset(["0", "_"]),
+        blank="_",
+        transitions={
+            ("a", "0"): Transition("a", "0", STAY),
+            ("a", "_"): Transition("a", "_", STAY),
+        },
+        start_state="a",
+        halt_states=frozenset(),
+    )
+    with pytest.raises(TuringError):
+        looping.run("0", max_steps=50)
+
+
+def test_input_symbols_checked():
+    tm = bit_flipper_machine()
+    with pytest.raises(TuringError):
+        tm.run("2")
+
+
+@pytest.mark.parametrize(
+    "factory", [bit_flipper_machine, binary_increment_machine, parity_machine]
+)
+@pytest.mark.parametrize("word", ["", "0", "1", "10", "111", "1011"])
+def test_good_encoding_matches_direct(factory, word):
+    tm = factory()
+    good = GoodTuringMachine(tm)
+    final = tm.run(word)
+    instance = good.run(word)
+    state, _, _ = good.decode(instance)
+    assert state == final.state
+    assert good.output_word(instance) == tm.output_word(final)
+
+
+def test_good_lockstep_configurations():
+    tm = binary_increment_machine()
+    good = GoodTuringMachine(tm)
+    config = tm.initial("111")
+    instance = good.encode("111")
+    steps = 0
+    while not tm.is_halted(config):
+        config = tm.step(config)
+        assert good.step(instance)
+        steps += 1
+        state, offset, symbols = good.decode(instance)
+        assert state == config.state
+        base = config.position - offset
+        for index, symbol in enumerate(symbols):
+            assert symbol == config.tape.get(base + index, tm.blank)
+    assert not good.step(instance)  # halted
+    assert steps > 0
+
+
+def test_good_tape_grows_left():
+    """Binary increment of 111 must grow a cell to the left (carry)."""
+    tm = binary_increment_machine()
+    good = GoodTuringMachine(tm)
+    instance = good.run("111")
+    _, _, symbols = good.decode(instance)
+    assert len(symbols) >= 4  # grew beyond the 3 input cells
+
+
+def test_good_step_reports_halt():
+    tm = bit_flipper_machine()
+    good = GoodTuringMachine(tm)
+    instance = good.run("1")
+    assert good.is_halted(instance)
+    assert not good.step(instance)
+
+
+def test_good_fuel_guard():
+    looping = TuringMachine(
+        states=frozenset(["a"]),
+        alphabet=frozenset(["0", "_"]),
+        blank="_",
+        transitions={
+            ("a", "0"): Transition("a", "0", STAY),
+            ("a", "_"): Transition("a", "_", STAY),
+        },
+        start_state="a",
+        halt_states=frozenset(),
+    )
+    good = GoodTuringMachine(looping)
+    with pytest.raises(TuringError):
+        good.run("0", max_steps=20)
+
+
+def test_good_instance_stays_valid_during_run():
+    tm = parity_machine()
+    good = GoodTuringMachine(tm)
+    instance = good.encode("101")
+    while good.step(instance):
+        instance.validate()
+    instance.validate()

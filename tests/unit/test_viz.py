@@ -1,0 +1,132 @@
+"""Unit tests for DOT export and terminal summaries."""
+
+from repro.core import (
+    Abstraction,
+    EdgeAddition,
+    EdgeDeletion,
+    NegatedPattern,
+    NodeAddition,
+    NodeDeletion,
+    Pattern,
+)
+from repro.viz import (
+    instance_to_dot,
+    operation_to_dot,
+    pattern_to_dot,
+    scheme_to_dot,
+    summarize_instance,
+    summarize_scheme,
+)
+
+from tests.conftest import person_pattern
+
+
+def test_scheme_to_dot_shapes(tiny_scheme):
+    dot = scheme_to_dot(tiny_scheme)
+    assert '"Person" [shape=box]' in dot
+    assert '"String" [shape=oval]' in dot
+    assert "digraph" in dot
+
+
+def test_scheme_to_dot_multivalued_arrowheads(tiny_scheme):
+    dot = scheme_to_dot(tiny_scheme)
+    assert 'label="knows" arrowhead="normalnormal"' in dot
+    assert 'label="name"]' in dot  # functional: plain arrow
+
+
+def test_scheme_to_dot_isa_dashed(hyper_scheme):
+    scheme = hyper_scheme.copy()
+    scheme.mark_isa("isa")
+    assert "style=dashed" in scheme_to_dot(scheme)
+
+
+def test_instance_to_dot_prints_values(tiny_instance):
+    dot = instance_to_dot(tiny_instance)
+    assert "String\\nalice" in dot
+    assert dot.count("shape=box") == 3
+
+
+def test_instance_to_dot_quoting(tiny_instance):
+    tiny_instance.printable("String", 'quo"te')
+    dot = instance_to_dot(tiny_instance)
+    assert '\\"' in dot
+
+
+def test_pattern_to_dot(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme, name="alice")
+    dot = pattern_to_dot(pattern)
+    assert "alice" in dot
+
+
+def test_pattern_to_dot_crossed_parts(tiny_scheme):
+    positive, person = person_pattern(tiny_scheme)
+    negated = NegatedPattern(positive)
+    negated.forbid_node("Person", [(person, "knows", None)])
+    dot = pattern_to_dot(negated)
+    assert "color=red style=dashed" in dot
+
+
+def test_operation_to_dot_node_addition(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme)
+    dot = operation_to_dot(NodeAddition(pattern, "Tag", [("of", person)]))
+    assert "penwidth=2" in dot
+    assert '"Tag"' in dot
+
+
+def test_operation_to_dot_edge_addition(tiny_scheme):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    dot = operation_to_dot(
+        EdgeAddition(pattern, [(x, "likes", y)], new_label_kinds={"likes": "multivalued"})
+    )
+    assert 'label="likes" penwidth=2' in dot
+
+
+def test_operation_to_dot_node_deletion(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme)
+    dot = operation_to_dot(NodeDeletion(pattern, person))
+    assert "peripheries=2" in dot
+
+
+def test_operation_to_dot_edge_deletion(tiny_scheme):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    dot = operation_to_dot(EdgeDeletion(pattern, [(x, "knows", y)]))
+    assert "style=bold color=gray" in dot
+
+
+def test_operation_to_dot_abstraction(tiny_scheme):
+    pattern, person = person_pattern(tiny_scheme)
+    dot = operation_to_dot(Abstraction(pattern, person, "Group", "knows", "members"))
+    assert "group by knows" in dot
+
+
+def test_summarize_scheme(tiny_scheme):
+    text = summarize_scheme(tiny_scheme)
+    assert "Person --> String  [name]" in text
+    assert "Person ==> Person  [knows]" in text
+
+
+def test_summarize_instance(tiny_instance):
+    text = summarize_instance(tiny_instance)
+    assert "Person: 3" in text
+    assert "--knows-->" in text
+
+
+def test_summarize_instance_clipping(tiny_instance):
+    text = summarize_instance(tiny_instance, max_nodes=2)
+    assert "more)" in text
+
+
+def test_operation_to_dot_method_call(hyper_scheme):
+    """The paper's diamond node for method calls (Figs. 21/29)."""
+    from repro.hypermedia.figures import fig21_call
+    from repro.viz import operation_to_dot
+
+    dot = operation_to_dot(fig21_call(hyper_scheme))
+    assert "shape=diamond" in dot
+    assert '"Update"' in dot
+    assert 'label="parameter"' in dot

@@ -1,0 +1,101 @@
+"""Unit tests for the synthetic workload generators."""
+
+import random
+
+from repro.core import Program, count_matchings
+from repro.hypermedia import build_scheme
+from repro.relcomp.relations import evaluate
+from repro.workloads import (
+    chain_instance,
+    random_basic_program,
+    random_expression,
+    random_instance,
+    random_pattern,
+    random_relational_database,
+    random_scheme,
+    scale_free_instance,
+)
+
+
+def test_random_scheme_is_valid():
+    rng = random.Random(0)
+    for _ in range(5):
+        scheme = random_scheme(rng)
+        scheme.validate()
+        assert scheme.object_labels
+
+
+def test_random_instance_is_valid():
+    rng = random.Random(1)
+    scheme = random_scheme(rng)
+    instance = random_instance(rng, scheme, n_nodes=40, n_edges=80)
+    instance.validate()
+    assert instance.node_count > 0
+
+
+def test_random_pattern_matches_its_source():
+    rng = random.Random(2)
+    scheme = random_scheme(rng)
+    instance = random_instance(rng, scheme)
+    for _ in range(10):
+        pattern = random_pattern(rng, instance, n_nodes=3)
+        if pattern.node_count:
+            assert count_matchings(pattern, instance) >= 1
+
+
+def test_random_basic_program_runs():
+    rng = random.Random(3)
+    scheme = random_scheme(rng)
+    instance = random_instance(rng, scheme)
+    ops = random_basic_program(rng, scheme.copy(), instance, n_operations=8)
+    result = Program(ops).run(instance)
+    result.instance.validate()
+
+
+def test_generators_are_seed_deterministic():
+    def snapshot(seed):
+        rng = random.Random(seed)
+        scheme = random_scheme(rng)
+        instance = random_instance(rng, scheme)
+        return sorted(
+            (instance.label_of(n), repr(instance.print_of(n))) for n in instance.nodes()
+        )
+
+    assert snapshot(7) == snapshot(7)
+    assert snapshot(7) != snapshot(8)
+
+
+def test_chain_instance():
+    scheme = build_scheme()
+    instance, nodes = chain_instance(scheme, 10)
+    assert len(nodes) == 10
+    assert instance.edge_count == 9
+    instance.validate()
+
+
+def test_scale_free_instance_degree_skew():
+    scheme = build_scheme()
+    rng = random.Random(4)
+    instance, nodes = scale_free_instance(rng, scheme, 60, attach=2)
+    instance.validate()
+    in_degrees = sorted(
+        (len(instance.in_neighbours(n, "links-to")) for n in nodes), reverse=True
+    )
+    assert in_degrees[0] >= 4  # a hub emerged
+
+
+def test_random_relational_database_valid():
+    rng = random.Random(5)
+    db = random_relational_database(rng)
+    for name in db.names():
+        relation = db.get(name)
+        for row in relation.rows:
+            assert len(row) == len(relation.attributes)
+
+
+def test_random_expressions_evaluate():
+    rng = random.Random(6)
+    for _ in range(30):
+        db = random_relational_database(rng)
+        expr = random_expression(rng, db)
+        evaluate(expr, db)  # must be well-typed
