@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Transactions: atomic programs, savepoints, faults, resource budgets.
+
+Section 3.2 of the paper makes edge addition fail at run time when a
+functional edge label would get two targets — so any multi-operation
+GOOD program can die halfway.  This demo shows the library's answer:
+in-place runs roll back all-or-nothing by default (scheme included),
+`repro.txn.Transaction` adds savepoints for partial rollback, faults
+can be injected at any operation index to prove the guarantee, and
+resource budgets abort runaway programs cleanly.
+
+Run:  python examples/transactions_demo.py
+"""
+
+from repro import (
+    EdgeAddition,
+    EdgeConflictError,
+    Instance,
+    NodeAddition,
+    Pattern,
+    Program,
+    ResourceLimitError,
+    Scheme,
+)
+from repro.txn import Transaction, inject, limits
+
+
+def build_database():
+    """Three people who know each other."""
+    scheme = Scheme(printable_labels=["String", "Number"])
+    scheme.declare("Person", "name", "String")
+    scheme.declare("Person", "age", "Number")
+    scheme.declare("Person", "knows", "Person", functional=False)
+    db = Instance(scheme)
+    people = {}
+    for name, age in [("ada", 36), ("grace", 45), ("edsger", 40)]:
+        person = people[name] = db.add_object("Person")
+        db.add_edge(person, "name", db.printable("String", name))
+        db.add_edge(person, "age", db.printable("Number", age))
+    db.add_edge(people["ada"], "knows", people["grace"])
+    db.add_edge(people["grace"], "knows", people["edsger"])
+    return scheme, db
+
+
+def tag_everyone(scheme, label):
+    pattern = Pattern(scheme)
+    person = pattern.node("Person")
+    return NodeAddition(pattern, label, [("of", person)])
+
+
+def conflicting_edge(scheme):
+    """Functional 'idol' edge from every person to every OTHER person's
+    age — two matches per person, so Section 3.2 makes this undefined."""
+    pattern = Pattern(scheme)
+    person = pattern.node("Person")
+    other = pattern.node("Person")
+    age = pattern.node("Number")
+    pattern.edge(other, "age", age)
+    return EdgeAddition(pattern, [(person, "idol", age)], new_label_kinds={"idol": "functional"})
+
+
+def main():
+    scheme, db = build_database()
+    print(f"start: {db.node_count} nodes, {db.edge_count} edges")
+
+    # 1. atomic by default: the mid-program failure undoes EVERYTHING,
+    #    including op 0's completed work and its scheme declarations
+    print("\n-- atomic rollback --")
+    program = Program([tag_everyone(scheme, "Reviewed"), conflicting_edge(scheme)])
+    try:
+        program.run(db, in_place=True)
+    except EdgeConflictError as error:
+        print(f"failed as designed: {error}")
+        print(f"report: {error.failure_report.summary()}")
+    print(f"after rollback: {db.node_count} nodes, {db.edge_count} edges")
+    print(f"'Reviewed' left in scheme? {scheme.has_node_label('Reviewed')}")
+
+    # 2. savepoints: keep a good prefix, retry the bad suffix
+    print("\n-- savepoints --")
+    with Transaction(db, name="demo") as txn:
+        Program([tag_everyone(scheme, "Checked")]).run(db, in_place=True)
+        point = txn.savepoint("after-tagging")
+        Program([tag_everyone(scheme, "Flagged")]).run(db, in_place=True)
+        print(f"before rollback_to: {db.node_count} nodes")
+        txn.rollback_to(point)
+        print(f"after  rollback_to: {db.node_count} nodes "
+              f"(kept 'Checked', undid 'Flagged')")
+    print(f"'Checked' committed? {scheme.has_node_label('Checked')}; "
+          f"'Flagged' gone? {not scheme.has_node_label('Flagged')}")
+
+    # 3. fault injection: manufacture a crash at any operation index
+    print("\n-- fault injection --")
+    nodes_before = db.node_count
+    with inject(EdgeConflictError, at_operation=1) as injector:
+        try:
+            Program([tag_everyone(scheme, "A"), tag_everyone(scheme, "B")]).run(
+                db, in_place=True
+            )
+        except EdgeConflictError:
+            pass
+    print(f"fault fired at {injector.fired_at}; "
+          f"instance unchanged? {db.node_count == nodes_before}")
+
+    # 4. resource budgets: runaway matching aborts with a clean rollback
+    print("\n-- resource budgets --")
+    try:
+        with limits(max_matchings=2):
+            Program([tag_everyone(scheme, "Audited")]).run(db, in_place=True)
+    except ResourceLimitError as error:
+        print(f"guard tripped: {error}")
+    print(f"'Audited' left behind? {scheme.has_node_label('Audited')}")
+
+    print("\ndone: every failure path restored the exact pre-run state")
+
+
+if __name__ == "__main__":
+    main()

@@ -62,8 +62,10 @@ from repro.core import (
     Program,
     ProgramResult,
     RecursiveEdgeAddition,
+    ResourceLimitError,
     Scheme,
     SchemeError,
+    TransactionError,
     compile_negation,
     count_matchings,
     empty_pattern,
@@ -98,8 +100,10 @@ __all__ = [
     "Program",
     "ProgramResult",
     "RecursiveEdgeAddition",
+    "ResourceLimitError",
     "Scheme",
     "SchemeError",
+    "TransactionError",
     "compile_negation",
     "count_matchings",
     "empty_pattern",

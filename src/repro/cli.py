@@ -118,9 +118,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.script) as handle:
             source = handle.read()
         program = parse_program(source, instance.scheme)
-        result = program.run(instance)
     except (GoodError, OSError, ValueError) as error:
         print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    if args.savepoint:
+        return _run_with_savepoints(program, instance, args)
+    try:
+        result = program.run(instance, in_place=True, atomic=args.atomic)
+    except (GoodError, OSError, ValueError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        report = getattr(error, "failure_report", None)
+        if report is not None:
+            print(report.summary(), file=sys.stderr)
         return 1
     for report in result.reports:
         print(report.summary())
@@ -131,6 +140,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"result: {result.instance.node_count} nodes, "
             f"{result.instance.edge_count} edges (use -o to save)"
+        )
+    return 0
+
+
+def _run_with_savepoints(program, instance, args: argparse.Namespace) -> int:
+    """``repro run --savepoint N``: checkpoint every N operations.
+
+    On failure the instance is rolled back only to the most recent
+    savepoint — the completed prefix survives — and, with ``-o``, that
+    partial-but-consistent state is saved before exiting non-zero.
+    """
+    from repro.core.methods import ExecutionContext
+    from repro.io import save_instance
+    from repro.txn import Transaction
+
+    context = ExecutionContext(program.methods)
+    txn = Transaction(instance, name="cli-run")
+    last = txn.savepoint("start")
+    kept = 0
+    reports = []
+    try:
+        for index, operation in enumerate(program.operations):
+            reports.append(operation.apply(instance, context))
+            if (index + 1) % args.savepoint == 0:
+                last = txn.savepoint(f"op-{index + 1}")
+                kept = index + 1
+    except GoodError as error:
+        txn.rollback_to(last)
+        txn.commit()
+        failed = len(reports)
+        print(f"ERROR at operation {failed}: {error}", file=sys.stderr)
+        print(
+            f"rolled back to savepoint {last.name!r}; "
+            f"{kept} of {len(program.operations)} operations kept",
+            file=sys.stderr,
+        )
+        for report in reports[:kept]:
+            print(report.summary())
+        if args.output:
+            save_instance(instance, args.output)
+            print(f"wrote {args.output} (state at savepoint {last.name!r})")
+        return 1
+    txn.commit()
+    for report in reports:
+        print(report.summary())
+    if args.output:
+        save_instance(instance, args.output)
+        print(f"wrote {args.output}")
+    else:
+        print(
+            f"result: {instance.node_count} nodes, "
+            f"{instance.edge_count} edges (use -o to save)"
         )
     return 0
 
@@ -263,7 +324,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("instance", help="JSON instance file")
     run.add_argument("script", help="DSL program file")
     run.add_argument("-o", "--output", help="write the transformed instance here")
-    run.set_defaults(handler=_cmd_run)
+    run.add_argument(
+        "--no-atomic",
+        dest="atomic",
+        action="store_false",
+        help="on failure, keep partial state instead of rolling back",
+    )
+    run.add_argument(
+        "--savepoint",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint every N operations; on failure roll back only "
+        "to the last savepoint and keep the completed prefix",
+    )
+    run.set_defaults(handler=_cmd_run, atomic=True)
 
     shell = commands.add_parser(
         "shell", help="interactive DSL shell over a JSON instance"

@@ -15,7 +15,9 @@ from repro.core.errors import (
     MethodError,
     OperationError,
     PatternError,
+    ResourceLimitError,
     SchemeError,
+    TransactionError,
 )
 from repro.core.instance import Instance
 from repro.core.labels import BUILTIN_DOMAINS, Domain, date_ordinal
@@ -106,9 +108,11 @@ __all__ = [
     "ProgramResult",
     "RecursiveEdgeAddition",
     "RecursiveNodeAddition",
+    "ResourceLimitError",
     "run_operation",
     "Scheme",
     "SchemeError",
+    "TransactionError",
     "value_between",
     "value_in",
     "value_not_equal",

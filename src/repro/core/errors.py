@@ -61,3 +61,23 @@ class DomainError(GoodError):
 
 class BackendError(GoodError):
     """Failure inside a storage backend (relational/Tarski engines)."""
+
+
+class TransactionError(GoodError):
+    """Misuse of the transaction layer (:mod:`repro.txn`).
+
+    Examples: committing a transaction twice, rolling back to a
+    savepoint that was already released, or opening a transaction on a
+    target that exposes no snapshot hooks.
+    """
+
+
+class ResourceLimitError(GoodError):
+    """A resource guard budget was exceeded (:mod:`repro.txn.guards`).
+
+    Raised when a guarded execution region performs more pattern
+    matchings or deeper method recursion than the configured
+    :class:`~repro.txn.guards.ResourceLimits` allow.  Distinct from
+    :class:`MethodError`'s hard recursion ceiling: this is a caller-set
+    budget, not a safety backstop.
+    """

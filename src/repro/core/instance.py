@@ -228,6 +228,33 @@ class Instance:
         """Copy the instance (optionally rebinding to a scheme copy)."""
         return Instance(scheme if scheme is not None else self._scheme, self._store.copy())
 
+    # ------------------------------------------------------------------
+    # transactional target protocol (repro.txn.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Tuple[Scheme, Scheme, GraphStore]:
+        """Opaque full-state snapshot for the transaction layer.
+
+        Keeps a reference to the *current scheme object* alongside its
+        copy so :meth:`restore_state` can restore that object in place
+        — patterns and sessions holding it then see the rollback.
+        """
+        return (self._scheme, self._scheme.copy(), self._store.copy())
+
+    def restore_state(self, state: Tuple[Scheme, Scheme, GraphStore]) -> None:
+        """Reinstall a :meth:`capture_state` snapshot (reusably)."""
+        scheme_object, scheme_copy, store = state
+        scheme_object.restore_from(scheme_copy)
+        self._scheme = scheme_object
+        self._store = store.copy()
+
+    def state_summary(self) -> Tuple[int, int]:
+        """``(node_count, edge_count)`` — cheap census for reports."""
+        return (self._store.node_count, self._store.edge_count)
+
+    def check_invariants(self) -> None:
+        """Re-validate every Section 2 constraint (alias of validate)."""
+        self.validate()
+
     def restrict_to(self, scheme: Scheme) -> None:
         """Drop all nodes and edges not conformant with ``scheme``.
 

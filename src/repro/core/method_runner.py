@@ -35,6 +35,8 @@ from repro.core.operations import (
     fresh_tag,
 )
 from repro.core.pattern import Pattern
+from repro.txn import faults as _faults
+from repro.txn.transaction import atomic_run
 
 #: Reserved receiver-edge prefix (mirrors repro.core.methods).
 RECEIVER_EDGE = "@self"
@@ -52,9 +54,30 @@ class EngineMethodRunner:
         self.engine = engine
         self.context = ExecutionContext(methods, max_depth=max_depth)
 
-    def run(self, operations: Sequence[Union[Operation, MethodCall]]) -> List[OperationReport]:
-        """Apply a sequence of operations/calls in order."""
-        return [self.apply(operation) for operation in operations]
+    def run(
+        self,
+        operations: Sequence[Union[Operation, MethodCall]],
+        atomic: bool = True,
+    ) -> List[OperationReport]:
+        """Apply a sequence of operations/calls in order.
+
+        With ``atomic=True`` (the default) the program is
+        all-or-nothing: any failure rolls the engine back to the exact
+        pre-run state (scheme included) before re-raising, with a
+        :class:`~repro.txn.transaction.FailureReport` attached to the
+        exception.  ``atomic=False`` preserves the historical
+        partial-mutation-on-error behavior (the method-call interface
+        restriction still cleans ``@call:`` scaffolding out of the
+        scheme even then).
+        """
+        if atomic:
+            return atomic_run(self.engine, operations, self.apply)
+        reports: List[OperationReport] = []
+        for index, operation in enumerate(operations):
+            _faults.before_operation(operation, index)
+            reports.append(self.apply(operation))
+            _faults.after_operation(operation, index)
+        return reports
 
     def apply(self, operation: Union[Operation, MethodCall]) -> OperationReport:
         """Apply one operation, orchestrating method calls here."""
@@ -91,17 +114,21 @@ class EngineMethodRunner:
         na_report = engine.apply(context_na)
         sub_reports: List[OperationReport] = [na_report]
 
-        if na_report.nodes_added:
-            for body_op in method.body:
-                transformed = transform_body_op(
-                    body_op, context_label, receiver_edge, engine.scheme
-                )
-                sub_reports.append(self.apply(transformed))
-            cleanup_pattern = Pattern(engine.scheme)
-            context_node = cleanup_pattern.add_object(context_label)
-            sub_reports.append(engine.apply(NodeDeletion(cleanup_pattern, context_node)))
-
-        engine.restrict_to(original_scheme.union(method.interface))
+        try:
+            if na_report.nodes_added:
+                for body_op in method.body:
+                    transformed = transform_body_op(
+                        body_op, context_label, receiver_edge, engine.scheme
+                    )
+                    sub_reports.append(self.apply(transformed))
+                cleanup_pattern = Pattern(engine.scheme)
+                context_node = cleanup_pattern.add_object(context_label)
+                sub_reports.append(engine.apply(NodeDeletion(cleanup_pattern, context_node)))
+        finally:
+            # a raising body op must not leak @call:/@self scaffolding
+            # into the engine scheme — the interface restriction always
+            # runs, even on the failure path
+            engine.restrict_to(original_scheme.union(method.interface))
         return OperationReport(
             operation=call.describe(),
             matching_count=na_report.matching_count,

@@ -49,6 +49,7 @@ from repro.core.operations import (
 )
 from repro.core.pattern import NegatedPattern, Pattern
 from repro.core.scheme import Scheme
+from repro.txn import guards as _guards
 
 #: Reserved functional edge label realising the paper's "unlabeled"
 #: receiver edge from the method/diamond node.
@@ -186,8 +187,18 @@ class ExecutionContext:
         self.depth = 0
 
     def enter(self, method_name: str) -> None:
-        """Track one level of method-call nesting."""
+        """Track one level of method-call nesting.
+
+        Checks the caller-set recursion budget of any armed resource
+        guard (:mod:`repro.txn.guards`) before the hard ``max_depth``
+        backstop.
+        """
         self.depth += 1
+        try:
+            _guards.check_call_depth(self.depth)
+        except Exception:
+            self.depth -= 1
+            raise
         if self.depth > self.max_depth:
             self.depth -= 1
             raise MethodError(
@@ -347,22 +358,22 @@ class MethodCall(Operation):
         na_report = context_na.apply(instance)
         sub_reports: List[OperationReport] = [na_report]
 
-        if na_report.nodes_added:
-            for index, body_op in enumerate(method.body):
-                transformed = self._transform_body_op(
-                    body_op, context_label, receiver_edge, instance.scheme
-                )
-                sub_reports.append(transformed.apply(instance, context))
-            cleanup_pattern = Pattern(instance.scheme)
-            context_node = cleanup_pattern.add_object(context_label)
-            cleanup = NodeDeletion(cleanup_pattern, context_node)
-            sub_reports.append(cleanup.apply(instance))
-        else:
-            # no call contexts: remove the (empty) context class quietly
-            pass
-
-        final_scheme = original_scheme.union(method.interface)
-        instance.restrict_to(final_scheme)
+        try:
+            if na_report.nodes_added:
+                for index, body_op in enumerate(method.body):
+                    transformed = self._transform_body_op(
+                        body_op, context_label, receiver_edge, instance.scheme
+                    )
+                    sub_reports.append(transformed.apply(instance, context))
+                cleanup_pattern = Pattern(instance.scheme)
+                context_node = cleanup_pattern.add_object(context_label)
+                cleanup = NodeDeletion(cleanup_pattern, context_node)
+                sub_reports.append(cleanup.apply(instance))
+        finally:
+            # a raising body op must not leak @call:/@self scaffolding
+            # into the scheme — the interface restriction always runs
+            final_scheme = original_scheme.union(method.interface)
+            instance.restrict_to(final_scheme)
         return OperationReport(
             operation=self.describe(),
             matching_count=na_report.matching_count,

@@ -49,6 +49,7 @@ from repro.core.pattern import NegatedPattern, Pattern
 from repro.core.scheme import Scheme
 from repro.graph.store import Edge
 from repro.core.labels import is_reserved
+from repro.txn import guards as _guards
 
 
 @dataclass
@@ -107,8 +108,12 @@ class Operation:
         """The matchings of the source pattern in ``instance``.
 
         Crossed source patterns get the Fig. 26 negation semantics.
+        Charges the enumeration against any armed resource guard
+        (:mod:`repro.txn.guards`).
         """
-        return list(find_any(self.source_pattern, instance))
+        found = list(find_any(self.source_pattern, instance))
+        _guards.charge_matchings(len(found))
+        return found
 
     def materialize_constants(self, instance: Instance) -> None:
         """Ensure the pattern's constants exist as printable nodes.

@@ -11,6 +11,14 @@ graph) and a trace of per-operation reports.
 Whether the resulting instance replaces the original (update) or is a
 temporary entity (query) is the caller's choice: pass ``in_place=True``
 to mutate, or keep the default copy-on-run semantics.
+
+In-place runs are **atomic by default**: Section 3.2 makes edge
+addition fail at run time, and a mid-program failure must not leave the
+database partially transformed.  A failure rolls the instance (and its
+scheme) back to the exact pre-run state via :mod:`repro.txn` and
+re-raises with a :class:`~repro.txn.transaction.FailureReport` attached
+to the exception; ``atomic=False`` is the escape hatch preserving the
+historical partial-mutation-on-error behavior.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.core.instance import Instance
 from repro.core.methods import ExecutionContext, Method, MethodCall, MethodRegistry
 from repro.core.operations import Operation, OperationReport
+from repro.txn import faults as _faults
+from repro.txn.transaction import atomic_run
 
 
 @dataclass
@@ -65,6 +75,7 @@ class Program:
         in_place: bool = False,
         context: Optional[ExecutionContext] = None,
         max_depth: int = 200,
+        atomic: bool = True,
     ) -> ProgramResult:
         """Execute all operations in order.
 
@@ -73,6 +84,15 @@ class Program:
         ``in_place=True`` the transformation is applied destructively
         (update mode).  ``context`` may carry a pre-built registry; the
         program's own methods are layered on top of it.
+
+        With ``atomic=True`` (the default) a mid-program failure rolls
+        the working instance back to its exact pre-run state — scheme
+        included — before re-raising, with a
+        :class:`~repro.txn.transaction.FailureReport` attached to the
+        exception.  In copy mode this simply discards the copy; in
+        in-place mode it protects the caller's database from partial
+        transformation.  ``atomic=False`` preserves the historical
+        leave-partial-state-on-error behavior.
         """
         if context is None:
             context = ExecutionContext(self.methods, max_depth=max_depth)
@@ -83,9 +103,18 @@ class Program:
             working = instance
         else:
             working = instance.copy(scheme=instance.scheme.copy())
+        if atomic:
+            reports = atomic_run(
+                working,
+                self.operations,
+                lambda operation: operation.apply(working, context),
+            )
+            return ProgramResult(working, tuple(reports))
         reports: List[OperationReport] = []
-        for operation in self.operations:
+        for index, operation in enumerate(self.operations):
+            _faults.before_operation(operation, index)
             reports.append(operation.apply(working, context))
+            _faults.after_operation(operation, index)
         return ProgramResult(working, tuple(reports))
 
     def __len__(self) -> int:
@@ -101,6 +130,9 @@ def run_operation(
     instance: Instance,
     methods: Optional[MethodRegistry] = None,
     in_place: bool = False,
+    atomic: bool = True,
 ) -> ProgramResult:
     """Run a single operation as a one-step program."""
-    return Program([operation], methods).run(instance, in_place=in_place)
+    return Program([operation], methods).run(
+        instance, in_place=in_place, atomic=atomic
+    )

@@ -279,6 +279,24 @@ class Scheme:
         clone._isa_labels = set(self._isa_labels)
         return clone
 
+    def restore_from(self, other: "Scheme") -> "Scheme":
+        """Overwrite this scheme's contents with ``other``'s, in place.
+
+        Identity-preserving restore for the transaction layer
+        (:mod:`repro.txn`): patterns, instances and sessions holding a
+        reference to this scheme object see the rollback.  ``other`` is
+        left untouched (fresh containers are installed here).
+        """
+        self._object_labels = set(other._object_labels)
+        self._printable_labels = set(other._printable_labels)
+        self._functional = set(other._functional)
+        self._multivalued = set(other._multivalued)
+        self._properties = set(other._properties)
+        self._domains = dict(other._domains)
+        self._isa_labels = set(other._isa_labels)
+        self._allow_reserved = other._allow_reserved
+        return self
+
     def validate(self) -> None:
         """Re-check all scheme invariants; raise :class:`SchemeError`."""
         families = [self._object_labels, self._printable_labels, self._functional, self._multivalued]

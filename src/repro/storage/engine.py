@@ -38,8 +38,11 @@ from repro.core.operations import (
 from repro.core.pattern import NegatedPattern
 from repro.core.scheme import Scheme
 from repro.graph.store import Edge
-from repro.storage.layout import GoodLayout
+from repro.storage.layout import GoodLayout, NODES
 from repro.storage.query import execute_any
+from repro.txn import faults as _faults
+from repro.txn import guards as _guards
+from repro.txn.transaction import atomic_run
 
 
 class RelationalEngine:
@@ -114,14 +117,70 @@ class RelationalEngine:
         self.layout.scheme = scheme
 
     # ------------------------------------------------------------------
+    # transactional target protocol (repro.txn.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self):
+        """Opaque full-state snapshot (scheme + relational store)."""
+        return (self.scheme, self.scheme.copy(), self.layout.db.copy(), self.layout._next_oid)
+
+    def restore_state(self, state) -> None:
+        """Reinstall a :meth:`capture_state` snapshot (reusably).
+
+        The scheme object held by callers at capture time is restored
+        in place and rebound, so patterns referencing it see the
+        rollback even across ``restrict_to`` rebinding.
+        """
+        scheme_object, scheme_copy, db, next_oid = state
+        scheme_object.restore_from(scheme_copy)
+        self.scheme = scheme_object
+        self.layout.scheme = scheme_object
+        self.layout.db = db.copy()
+        self.layout._next_oid = next_oid
+
+    def state_summary(self) -> Tuple[int, int]:
+        """``(node_count, edge_count)`` over the relational layout."""
+        nodes = self.layout.db.table(NODES).count()
+        edges = 0
+        for name in self.layout.db.table_names():
+            table = self.layout.db.table(name)
+            if name.startswith("class:"):
+                for row in table.rows():
+                    edges += sum(
+                        1 for column in table.columns if column != "oid" and row[column] is not None
+                    )
+            elif name.startswith("mv:"):
+                edges += table.count()
+        return (nodes, edges)
+
+    def check_invariants(self) -> None:
+        """Re-validate by exporting to a native (checking) instance."""
+        self.to_instance().validate()
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, operations) -> List[OperationReport]:
-        """Apply a sequence of operations in order."""
-        return [self.apply(operation) for operation in operations]
+    def run(self, operations, atomic: bool = True) -> List[OperationReport]:
+        """Apply a sequence of operations in order.
+
+        With ``atomic=True`` (the default) the whole sequence is
+        all-or-nothing: any failure rolls the engine back to the exact
+        pre-run state (scheme included) before re-raising, with a
+        :class:`~repro.txn.transaction.FailureReport` attached to the
+        exception.  ``atomic=False`` preserves the historical
+        partial-mutation-on-error behavior.
+        """
+        if atomic:
+            return atomic_run(self, operations, self.apply)
+        reports: List[OperationReport] = []
+        for index, operation in enumerate(operations):
+            _faults.before_operation(operation, index)
+            reports.append(self.apply(operation))
+            _faults.after_operation(operation, index)
+        return reports
 
     def apply(self, operation: Operation) -> OperationReport:
         """Apply one operation; dispatch on its type."""
+        _faults.on_engine_call(self, operation)
         if isinstance(operation, NodeAddition):
             return self._node_addition(operation)
         if isinstance(operation, RecursiveEdgeAddition):
@@ -141,7 +200,9 @@ class RelationalEngine:
 
     def matchings(self, pattern) -> List[Dict[int, int]]:
         """All matchings via the compiled join plan."""
-        return execute_any(pattern, self.layout)
+        found = execute_any(pattern, self.layout)
+        _guards.charge_matchings(len(found))
+        return found
 
     # ------------------------------------------------------------------
     # the five operations as DML batches

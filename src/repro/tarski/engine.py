@@ -41,6 +41,9 @@ from repro.core.pattern import NegatedPattern, Pattern
 from repro.core.scheme import Scheme
 from repro.graph.store import NO_PRINT, Edge
 from repro.tarski.algebra import BinaryRelation
+from repro.txn import faults as _faults
+from repro.txn import guards as _guards
+from repro.txn.transaction import atomic_run
 
 
 class TarskiEngine:
@@ -113,6 +116,42 @@ class TarskiEngine:
             if len(kept) != len(relation):
                 self.edges[edge_label] = BinaryRelation(kept)
         self.scheme = scheme
+
+    # ------------------------------------------------------------------
+    # transactional target protocol (repro.txn.snapshot)
+    # ------------------------------------------------------------------
+    def capture_state(self):
+        """Opaque full-state snapshot of the relation family.
+
+        :class:`BinaryRelation` values are updated functionally, so the
+        snapshot shares them safely; only the dicts are copied.
+        """
+        return (
+            self.scheme,
+            self.scheme.copy(),
+            self.member,
+            dict(self.values),
+            dict(self.edges),
+            self._next_oid,
+        )
+
+    def restore_state(self, state) -> None:
+        """Reinstall a :meth:`capture_state` snapshot (reusably)."""
+        scheme_object, scheme_copy, member, values, edges, next_oid = state
+        scheme_object.restore_from(scheme_copy)
+        self.scheme = scheme_object
+        self.member = member
+        self.values = dict(values)
+        self.edges = dict(edges)
+        self._next_oid = next_oid
+
+    def state_summary(self) -> Tuple[int, int]:
+        """``(node_count, edge_count)`` over the relation family."""
+        return (len(self.member), sum(len(relation) for relation in self.edges.values()))
+
+    def check_invariants(self) -> None:
+        """Re-validate by exporting to a native (checking) instance."""
+        self.to_instance().validate()
 
     # ------------------------------------------------------------------
     # node/edge primitives (functional updates)
@@ -285,17 +324,35 @@ class TarskiEngine:
 
         backtrack(0)
         results.sort(key=lambda m: tuple(m[node] for node in sorted(pattern.nodes())))
+        # crossed patterns charge through their recursive sub-calls
+        _guards.charge_matchings(len(results))
         return results
 
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
-    def run(self, operations) -> List[OperationReport]:
-        """Apply a sequence of operations in order."""
-        return [self.apply(operation) for operation in operations]
+    def run(self, operations, atomic: bool = True) -> List[OperationReport]:
+        """Apply a sequence of operations in order.
+
+        With ``atomic=True`` (the default) any failure rolls the engine
+        back to the exact pre-run state (scheme included) before
+        re-raising, with a
+        :class:`~repro.txn.transaction.FailureReport` attached to the
+        exception; ``atomic=False`` preserves the historical
+        partial-mutation-on-error behavior.
+        """
+        if atomic:
+            return atomic_run(self, operations, self.apply)
+        reports: List[OperationReport] = []
+        for index, operation in enumerate(operations):
+            _faults.before_operation(operation, index)
+            reports.append(self.apply(operation))
+            _faults.after_operation(operation, index)
+        return reports
 
     def apply(self, operation: Operation) -> OperationReport:
         """Apply one operation; dispatch on its type."""
+        _faults.on_engine_call(self, operation)
         if isinstance(operation, NodeAddition):
             return self._node_addition(operation)
         if isinstance(operation, RecursiveEdgeAddition):

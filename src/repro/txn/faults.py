@@ -1,0 +1,169 @@
+"""Deterministic fault injection for transactional execution tests.
+
+The paper's Section 3.2 makes edge addition fail *at run time* under
+conflicting functional/label constraints; a robust implementation must
+therefore survive a failure at any point of a program.  This module is
+the harness that manufactures such failures on demand:
+
+* a :class:`FaultPlan` names the error to raise and the trigger site —
+  the Nth top-level operation of a program (``at_operation``, matched
+  against the 0-based operation index, firing ``before`` or ``after``
+  the operation applies) or the Nth engine call (``at_engine_call``,
+  counting every basic operation an engine executes, body operations of
+  method calls included);
+* :func:`inject` arms a plan for the duration of a ``with`` block; the
+  yielded :class:`FaultInjector` records what it saw and whether it
+  fired;
+* the execution layer reports progress through the module-level hooks
+  :func:`before_operation` / :func:`after_operation` (called by
+  :meth:`~repro.core.program.Program.run`,
+  :class:`~repro.core.method_runner.EngineMethodRunner` and the engine
+  ``run`` loops) and :func:`on_engine_call` (called by the engines'
+  ``apply``).  With no armed plan the hooks are near-free.
+
+A plan fires at most once, so a single armed fault produces exactly one
+deterministic failure.  Injected errors are ordinary library exceptions
+(:class:`~repro.core.errors.EdgeConflictError`,
+:class:`~repro.core.errors.MethodError`,
+:class:`~repro.core.errors.BackendError`, ...) and take the same
+rollback path a genuine failure would.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, List, Optional, Tuple, Union
+
+from repro.core.errors import GoodError
+
+BEFORE = "before"
+AFTER = "after"
+
+#: Either a ready-made exception instance or an exception class the
+#: injector instantiates with a descriptive message.
+FaultError = Union[BaseException, type]
+
+
+class FaultPlan:
+    """Where and what to inject: one error at one deterministic site."""
+
+    def __init__(
+        self,
+        error: FaultError,
+        at_operation: Optional[int] = None,
+        at_engine_call: Optional[int] = None,
+        when: str = BEFORE,
+    ) -> None:
+        if at_operation is None and at_engine_call is None:
+            raise ValueError("a FaultPlan needs at_operation or at_engine_call")
+        if when not in (BEFORE, AFTER):
+            raise ValueError(f"when must be 'before' or 'after', got {when!r}")
+        self.error = error
+        self.at_operation = at_operation
+        self.at_engine_call = at_engine_call
+        self.when = when
+
+    def make_error(self, site: str) -> BaseException:
+        """The exception to raise at ``site``."""
+        if isinstance(self.error, BaseException):
+            return self.error
+        return self.error(f"injected fault at {site}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan(error={self.error!r}, at_operation={self.at_operation}, "
+            f"at_engine_call={self.at_engine_call}, when={self.when!r})"
+        )
+
+
+class FaultInjector:
+    """An armed :class:`FaultPlan` plus execution counters."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.operations_seen = 0
+        self.engine_calls_seen = 0
+        self.fired = False
+        self.fired_at: Optional[Tuple[str, int]] = None
+
+    def _fire(self, site: str, count: int) -> None:
+        self.fired = True
+        self.fired_at = (site, count)
+        raise self.plan.make_error(f"{site} {count}")
+
+    def note_operation(self, operation: Any, index: int, moment: str) -> None:
+        """Called before/after each top-level operation."""
+        if moment == BEFORE:
+            self.operations_seen += 1
+        if (
+            not self.fired
+            and self.plan.at_operation is not None
+            and self.plan.at_operation == index
+            and self.plan.when == moment
+        ):
+            self._fire("operation", index)
+
+    def note_engine_call(self, engine: Any, operation: Any) -> None:
+        """Called on entry of every engine ``apply``."""
+        index = self.engine_calls_seen
+        self.engine_calls_seen += 1
+        if (
+            not self.fired
+            and self.plan.at_engine_call is not None
+            and self.plan.at_engine_call == index
+        ):
+            self._fire("engine call", index)
+
+
+#: Currently armed injectors (innermost last).  Multiple nested
+#: ``inject`` blocks all observe execution.
+_ACTIVE: List[FaultInjector] = []
+
+
+@contextmanager
+def inject(
+    error: FaultError,
+    at_operation: Optional[int] = None,
+    at_engine_call: Optional[int] = None,
+    when: str = BEFORE,
+) -> Iterator[FaultInjector]:
+    """Arm one fault for the duration of the ``with`` block.
+
+    ``error`` may be an exception instance (raised as-is) or class.
+    Exactly the configured site fires, exactly once::
+
+        with faults.inject(EdgeConflictError, at_operation=2):
+            program.run(db, in_place=True)   # raises before op #2
+    """
+    injector = FaultInjector(FaultPlan(error, at_operation, at_engine_call, when))
+    _ACTIVE.append(injector)
+    try:
+        yield injector
+    finally:
+        _ACTIVE.remove(injector)
+
+
+def active_injectors() -> Tuple[FaultInjector, ...]:
+    """The armed injectors, outermost first (for introspection)."""
+    return tuple(_ACTIVE)
+
+
+def before_operation(operation: Any, index: int) -> None:
+    """Hook: a top-level operation is about to be applied."""
+    if _ACTIVE:
+        for injector in tuple(_ACTIVE):
+            injector.note_operation(operation, index, BEFORE)
+
+
+def after_operation(operation: Any, index: int) -> None:
+    """Hook: a top-level operation finished applying."""
+    if _ACTIVE:
+        for injector in tuple(_ACTIVE):
+            injector.note_operation(operation, index, AFTER)
+
+
+def on_engine_call(engine: Any, operation: Any) -> None:
+    """Hook: an engine is about to execute one basic operation."""
+    if _ACTIVE:
+        for injector in tuple(_ACTIVE):
+            injector.note_engine_call(engine, operation)

@@ -1,0 +1,107 @@
+"""Resource guards: caller-set budgets on matching work and recursion.
+
+GOOD operations are set-oriented — one operation works "on every
+matching of the pattern, in parallel" (Section 5) — so a single
+ill-chosen pattern can enumerate a combinatorial number of matchings,
+and a method can recurse unboundedly (the paper's non-terminating
+recursive method).  A production deployment needs budgets, not just the
+hard ``max_depth`` backstop.
+
+:func:`limits` arms a :class:`ResourceLimits` for a ``with`` block::
+
+    with guards.limits(max_matchings=10_000, max_call_depth=16):
+        program.run(db, in_place=True)
+
+While armed,
+
+* every matching enumeration (native matcher and both engines) charges
+  its result size against the cumulative ``max_matchings`` budget;
+* every method-call entry checks its nesting depth against
+  ``max_call_depth``;
+
+and exceeding either budget raises
+:class:`~repro.core.errors.ResourceLimitError`.  Combined with atomic
+program execution the overrun rolls back like any other failure.
+Guards nest; every armed guard is charged, and the tightest one fires.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import ResourceLimitError
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Budgets for one guarded execution region (``None`` = unlimited)."""
+
+    max_matchings: Optional[int] = None
+    max_call_depth: Optional[int] = None
+
+
+class ResourceGuard:
+    """One armed :class:`ResourceLimits` plus consumption counters."""
+
+    def __init__(self, resource_limits: ResourceLimits) -> None:
+        self.limits = resource_limits
+        self.matchings_used = 0
+        self.max_depth_seen = 0
+
+    def charge_matchings(self, count: int) -> None:
+        """Charge one enumeration of ``count`` matchings."""
+        self.matchings_used += count
+        budget = self.limits.max_matchings
+        if budget is not None and self.matchings_used > budget:
+            raise ResourceLimitError(
+                f"matching budget exceeded: {self.matchings_used} matchings "
+                f"enumerated, limit is {budget}"
+            )
+
+    def check_call_depth(self, depth: int) -> None:
+        """Check one method-call nesting level."""
+        self.max_depth_seen = max(self.max_depth_seen, depth)
+        budget = self.limits.max_call_depth
+        if budget is not None and depth > budget:
+            raise ResourceLimitError(
+                f"method recursion budget exceeded: depth {depth}, limit is {budget}"
+            )
+
+
+#: Currently armed guards (innermost last).
+_ACTIVE: List[ResourceGuard] = []
+
+
+@contextmanager
+def limits(
+    max_matchings: Optional[int] = None,
+    max_call_depth: Optional[int] = None,
+) -> Iterator[ResourceGuard]:
+    """Arm a guard for the duration of the ``with`` block."""
+    guard = ResourceGuard(ResourceLimits(max_matchings, max_call_depth))
+    _ACTIVE.append(guard)
+    try:
+        yield guard
+    finally:
+        _ACTIVE.remove(guard)
+
+
+def active_guards() -> Tuple[ResourceGuard, ...]:
+    """The armed guards, outermost first (for introspection)."""
+    return tuple(_ACTIVE)
+
+
+def charge_matchings(count: int) -> None:
+    """Hook: a matcher enumerated ``count`` matchings."""
+    if _ACTIVE:
+        for guard in tuple(_ACTIVE):
+            guard.charge_matchings(count)
+
+
+def check_call_depth(depth: int) -> None:
+    """Hook: a method call entered nesting level ``depth``."""
+    if _ACTIVE:
+        for guard in tuple(_ACTIVE):
+            guard.check_call_depth(depth)

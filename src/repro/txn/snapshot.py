@@ -1,0 +1,63 @@
+"""Snapshot capture/restore over any transactional target.
+
+The transaction layer is generic over *targets* — objects holding one
+GOOD database state.  A target participates by exposing four hooks
+(duck-typed, no registration needed):
+
+* ``capture_state() -> object`` — an opaque, self-contained snapshot of
+  the full state (scheme included).  Capturing must not alias mutable
+  structure with the live state;
+* ``restore_state(state) -> None`` — reinstall a captured snapshot.
+  Restoring must leave the snapshot reusable (a savepoint can be rolled
+  back to more than once) and must restore the *scheme object held by
+  callers at capture time* in place where possible, so patterns and
+  sessions pointing at it see the rollback;
+* ``state_summary() -> (node_count, edge_count)`` — cheap size census
+  used for :class:`~repro.txn.transaction.FailureReport` deltas;
+* ``check_invariants() -> None`` — re-validate every model constraint,
+  raising on violation (used to certify a rollback).
+
+:class:`~repro.core.instance.Instance`,
+:class:`~repro.storage.engine.RelationalEngine` and
+:class:`~repro.tarski.engine.TarskiEngine` all implement the hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.core.errors import TransactionError
+
+_HOOKS = ("capture_state", "restore_state", "state_summary", "check_invariants")
+
+
+def is_transactional(target: Any) -> bool:
+    """Whether ``target`` exposes the full snapshot protocol."""
+    return all(callable(getattr(target, hook, None)) for hook in _HOOKS)
+
+
+def _require(target: Any) -> None:
+    missing = [hook for hook in _HOOKS if not callable(getattr(target, hook, None))]
+    if missing:
+        raise TransactionError(
+            f"{type(target).__name__} is not a transactional target "
+            f"(missing hooks: {', '.join(missing)})"
+        )
+
+
+def capture(target: Any) -> Any:
+    """Capture an opaque full-state snapshot of ``target``."""
+    _require(target)
+    return target.capture_state()
+
+
+def restore(target: Any, state: Any) -> None:
+    """Reinstall a snapshot previously captured from ``target``."""
+    _require(target)
+    target.restore_state(state)
+
+
+def summarize(target: Any) -> Tuple[int, int]:
+    """``(node_count, edge_count)`` of the target's current state."""
+    _require(target)
+    return target.state_summary()

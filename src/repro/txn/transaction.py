@@ -1,0 +1,270 @@
+"""Atomic execution: transactions, savepoints, rollback, failure reports.
+
+Section 3.2 defines a run-time failure mode (the undefined edge
+addition), and a failed operation mid-program would otherwise leave the
+database partially transformed.  :class:`Transaction` provides the
+crash-consistency discipline: it snapshots a transactional *target* (a
+native :class:`~repro.core.instance.Instance` or either storage engine
+— see :mod:`repro.txn.snapshot` for the protocol) at begin, supports
+named :class:`Savepoint`\\ s, and restores the exact pre-transaction
+state — scheme included — on ``rollback``.
+
+Used as a context manager, an exception anywhere inside the block
+triggers an automatic rollback (and re-raises, with the
+:class:`FailureReport` attached to the exception as
+``error.failure_report``)::
+
+    with Transaction(db):
+        program.run(db, in_place=True, atomic=False)
+
+:func:`atomic_run` is the shared all-or-nothing driver the program and
+engine runners build on: it applies a sequence of operations inside a
+transaction, reports progress to the fault-injection hooks, and on any
+failure rolls back, certifies the restored state, and re-raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TransactionError
+from repro.txn import faults
+from repro.txn.snapshot import capture, restore, summarize
+
+ACTIVE = "active"
+COMMITTED = "committed"
+ROLLED_BACK = "rolled back"
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Structured account of one rolled-back failure.
+
+    ``nodes_rolled_back``/``edges_rolled_back`` are the net size deltas
+    the rollback undid (dirty minus restored — negative when the failed
+    program had net-deleted structure that the rollback resurrected).
+    ``invariants_ok`` records whether a from-scratch re-validation of
+    every model constraint passed on the restored state.
+    """
+
+    failed_index: int
+    operation: str
+    error_type: str
+    error: str
+    completed_operations: int
+    nodes_rolled_back: int
+    edges_rolled_back: int
+    scheme_rolled_back: bool
+    invariants_ok: bool
+
+    def summary(self) -> str:
+        """One-line human-readable account of the failure and rollback."""
+        return (
+            f"{self.error_type} at operation {self.failed_index} ({self.operation}): "
+            f"rolled back {self.completed_operations} completed operation(s), "
+            f"{self.nodes_rolled_back:+d} nodes, {self.edges_rolled_back:+d} edges"
+            f"{', scheme changes' if self.scheme_rolled_back else ''}; "
+            f"invariants {'OK' if self.invariants_ok else 'VIOLATED'}"
+        )
+
+
+class Savepoint:
+    """A named intermediate snapshot inside an active transaction."""
+
+    def __init__(self, name: str, sequence: int, state: Any) -> None:
+        self.name = name
+        self.sequence = sequence
+        self._state = state
+        self.released = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "released" if self.released else "active"
+        return f"Savepoint({self.name!r}, {status})"
+
+
+class Transaction:
+    """All-or-nothing mutation of one transactional target."""
+
+    def __init__(self, target: Any, name: Optional[str] = None) -> None:
+        self.target = target
+        self.name = name if name is not None else f"txn@{id(target):x}"
+        self.status = ACTIVE
+        self.failure_report: Optional[FailureReport] = None
+        self._begin = capture(target)
+        self._begin_scheme = target.scheme.copy()
+        self._savepoints: List[Savepoint] = []
+        self._savepoint_counter = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _require_active(self, verb: str) -> None:
+        if self.status != ACTIVE:
+            raise TransactionError(f"cannot {verb}: transaction {self.name!r} is {self.status}")
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the transaction can still commit or roll back."""
+        return self.status == ACTIVE
+
+    def commit(self) -> None:
+        """Keep all changes; the transaction (and its savepoints) end."""
+        self._require_active("commit")
+        self.status = COMMITTED
+        self._begin = None
+        self._savepoints.clear()
+
+    def rollback(
+        self,
+        error: Optional[BaseException] = None,
+        failed_index: int = -1,
+        operation: str = "",
+        completed: int = 0,
+    ) -> FailureReport:
+        """Restore the exact begin state (scheme included).
+
+        The optional arguments describe *why* (which operation failed
+        with what error, and how many operations had completed); they
+        flow into the returned :class:`FailureReport`, which is also
+        kept as ``self.failure_report``.
+        """
+        self._require_active("roll back")
+        dirty_nodes, dirty_edges = summarize(self.target)
+        scheme_dirty = self.target.scheme != self._begin_scheme
+        restore(self.target, self._begin)
+        clean_nodes, clean_edges = summarize(self.target)
+        invariants_ok = True
+        try:
+            self.target.check_invariants()
+        except Exception:  # the report records the violation; no mask
+            invariants_ok = False
+        self.status = ROLLED_BACK
+        self._begin = None
+        self._savepoints.clear()
+        self.failure_report = FailureReport(
+            failed_index=failed_index,
+            operation=operation,
+            error_type=type(error).__name__ if error is not None else "",
+            error=str(error) if error is not None else "",
+            completed_operations=completed,
+            nodes_rolled_back=dirty_nodes - clean_nodes,
+            edges_rolled_back=dirty_edges - clean_edges,
+            scheme_rolled_back=scheme_dirty,
+            invariants_ok=invariants_ok,
+        )
+        return self.failure_report
+
+    # ------------------------------------------------------------------
+    # savepoints
+    # ------------------------------------------------------------------
+    def savepoint(self, name: Optional[str] = None) -> Savepoint:
+        """Snapshot the current state as a rollback anchor."""
+        self._require_active("create a savepoint")
+        self._savepoint_counter += 1
+        label = name if name is not None else f"sp{self._savepoint_counter}"
+        point = Savepoint(label, self._savepoint_counter, capture(self.target))
+        self._savepoints.append(point)
+        return point
+
+    def _find(self, savepoint: Savepoint) -> int:
+        for index, candidate in enumerate(self._savepoints):
+            if candidate is savepoint:
+                return index
+        raise TransactionError(
+            f"savepoint {savepoint.name!r} does not belong to transaction {self.name!r} "
+            "or was already released"
+        )
+
+    def rollback_to(self, savepoint: Savepoint) -> None:
+        """Restore the state at ``savepoint``; later savepoints vanish.
+
+        The transaction stays active (and the savepoint stays valid, so
+        it can be rolled back to again).
+        """
+        self._require_active("roll back to a savepoint")
+        index = self._find(savepoint)
+        restore(self.target, savepoint._state)
+        for stale in self._savepoints[index + 1 :]:
+            stale.released = True
+        del self._savepoints[index + 1 :]
+
+    def release(self, savepoint: Savepoint) -> None:
+        """Discard ``savepoint`` (and any later ones) without restoring."""
+        self._require_active("release a savepoint")
+        index = self._find(savepoint)
+        for stale in self._savepoints[index:]:
+            stale.released = True
+        del self._savepoints[index:]
+
+    @property
+    def savepoints(self) -> Tuple[Savepoint, ...]:
+        """The live savepoints, oldest first."""
+        return tuple(self._savepoints)
+
+    # ------------------------------------------------------------------
+    # context manager
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Transaction":
+        self._require_active("enter")
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        if not self.is_active:  # explicit commit/rollback inside the block
+            return False
+        if exc is None:
+            self.commit()
+            return False
+        report = self.rollback(error=exc)
+        try:
+            exc.failure_report = report
+        except AttributeError:  # exceptions with __slots__
+            pass
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Transaction({self.name!r}, {self.status}, savepoints={len(self._savepoints)})"
+
+
+def atomic_run(
+    target: Any,
+    operations: Sequence[Any],
+    apply: Callable[[Any], Any],
+    name: Optional[str] = None,
+) -> List[Any]:
+    """Apply ``operations`` all-or-nothing against ``target``.
+
+    Shared driver for :meth:`Program.run <repro.core.program.Program.run>`
+    (atomic in-place mode), the engine ``run`` loops and
+    :class:`~repro.core.method_runner.EngineMethodRunner`: each
+    operation is announced to the fault-injection hooks and applied via
+    ``apply``; any exception rolls the target back to the pre-run state
+    and re-raises with ``error.failure_report`` attached.  Returns the
+    per-operation reports on success.
+    """
+    txn = Transaction(target, name=name)
+    reports: List[Any] = []
+    index = -1
+    operation = None
+    try:
+        for index, operation in enumerate(operations):
+            faults.before_operation(operation, index)
+            reports.append(apply(operation))
+            faults.after_operation(operation, index)
+    except Exception as error:
+        described = ""
+        if operation is not None and hasattr(operation, "describe"):
+            described = operation.describe()
+        report = txn.rollback(
+            error=error,
+            failed_index=max(index, 0),
+            operation=described,
+            completed=len(reports),
+        )
+        try:
+            error.failure_report = report
+        except AttributeError:  # pragma: no cover - exotic exceptions
+            pass
+        raise
+    txn.commit()
+    return reports

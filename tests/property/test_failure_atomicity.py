@@ -1,0 +1,80 @@
+"""Property: a fault at ANY operation index leaves NO trace behind.
+
+For random (instance, program) pairs and a random injection point, a
+fault injected before or after the Nth operation must leave each of the
+three engines holding an instance graph-isomorphic to the pre-run state
+with a scheme equal to the pre-run scheme — the transactional layer's
+atomicity promise, exercised across the whole input space.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Program
+from repro.core.errors import BackendError, EdgeConflictError
+from repro.graph import isomorphic
+from repro.storage import RelationalEngine
+from repro.tarski import TarskiEngine
+from repro.txn import faults, inject
+
+from tests.property.strategies import instances_with_programs
+
+pytestmark = pytest.mark.faults
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+@st.composite
+def programs_with_fault_points(draw, max_operations: int = 6):
+    """(scheme, instance, operations, fault_index, when) tuples."""
+    scheme, instance, operations = draw(instances_with_programs(max_operations))
+    assume(len(operations) > 0)  # the generator may come up empty
+    fault_index = draw(st.integers(min_value=0, max_value=len(operations) - 1))
+    when = draw(st.sampled_from([faults.BEFORE, faults.AFTER]))
+    return scheme, instance, operations, fault_index, when
+
+
+@given(programs_with_fault_points())
+@SETTINGS
+def test_native_engine_is_atomic_under_any_fault(data):
+    scheme, instance, operations, fault_index, when = data
+    working = instance.copy(scheme=instance.scheme.copy())
+    before_store = working.store.copy()
+    before_scheme = working.scheme.copy()
+    with inject(EdgeConflictError, at_operation=fault_index, when=when) as injector:
+        with pytest.raises(EdgeConflictError):
+            Program(list(operations)).run(working, in_place=True)
+    assert injector.fired
+    assert isomorphic(working.store, before_store)
+    assert working.scheme == before_scheme
+
+
+@given(programs_with_fault_points())
+@SETTINGS
+def test_relational_engine_is_atomic_under_any_fault(data):
+    scheme, instance, operations, fault_index, when = data
+    engine = RelationalEngine.from_instance(instance)
+    before_store = engine.to_instance().store
+    before_scheme = engine.scheme.copy()
+    with inject(BackendError, at_operation=fault_index, when=when) as injector:
+        with pytest.raises(BackendError):
+            engine.run(operations)
+    assert injector.fired
+    assert isomorphic(engine.to_instance().store, before_store)
+    assert engine.scheme == before_scheme
+
+
+@given(programs_with_fault_points())
+@SETTINGS
+def test_tarski_engine_is_atomic_under_any_fault(data):
+    scheme, instance, operations, fault_index, when = data
+    engine = TarskiEngine.from_instance(instance)
+    before_store = engine.to_instance().store
+    before_scheme = engine.scheme.copy()
+    with inject(BackendError, at_operation=fault_index, when=when) as injector:
+        with pytest.raises(BackendError):
+            engine.run(operations)
+    assert injector.fired
+    assert isomorphic(engine.to_instance().store, before_store)
+    assert engine.scheme == before_scheme

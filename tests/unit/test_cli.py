@@ -178,3 +178,64 @@ def test_shell_reports_bad_statements(tmp_path):
     )
     assert proc.returncode == 0
     assert "ERROR" in proc.stdout
+
+
+def _failing_script(tmp_path):
+    """Two tagging ops, then an edge addition that conflicts (functional
+    'favorite' edge to every links-to target)."""
+    script = tmp_path / "prog.good"
+    script.write_text(
+        "addnode Tag1(of -> x) { x: Info; }\n"
+        "addnode Tag2(of -> x) { x: Info; }\n"
+        "addedge { x: Info; y: Info; x -links-to->> y; } add x -favorite-> y\n"
+    )
+    return script
+
+
+def test_run_atomic_failure_reports_rollback(tmp_path, capsys):
+    scheme = build_scheme()
+    db, _ = build_instance(scheme)
+    instance_path = tmp_path / "db.json"
+    save_instance(db, instance_path)
+    script = _failing_script(tmp_path)
+    output = tmp_path / "out.json"
+    assert main(["run", str(instance_path), str(script), "-o", str(output)]) == 1
+    err = capsys.readouterr().err
+    assert "ERROR" in err
+    assert "rolled back" in err  # the FailureReport summary
+    assert not output.exists()  # nothing saved on an atomic failure
+
+
+def test_run_no_atomic_skips_the_report(tmp_path, capsys):
+    scheme = build_scheme()
+    db, _ = build_instance(scheme)
+    instance_path = tmp_path / "db.json"
+    save_instance(db, instance_path)
+    script = _failing_script(tmp_path)
+    assert main(["run", str(instance_path), str(script), "--no-atomic"]) == 1
+    err = capsys.readouterr().err
+    assert "ERROR" in err
+    assert "rolled back" not in err
+
+
+def test_run_savepoint_keeps_completed_prefix(tmp_path, capsys):
+    from repro.io import load_instance
+
+    scheme = build_scheme()
+    db, _ = build_instance(scheme)
+    instance_path = tmp_path / "db.json"
+    save_instance(db, instance_path)
+    script = _failing_script(tmp_path)
+    output = tmp_path / "out.json"
+    assert (
+        main(["run", str(instance_path), str(script), "--savepoint", "1", "-o", str(output)])
+        == 1
+    )
+    captured = capsys.readouterr()
+    assert "rolled back to savepoint 'op-2'" in captured.err
+    assert "2 of 3 operations kept" in captured.err
+    result = load_instance(output)
+    # the two completed tagging ops survived; the failed one left nothing
+    assert result.nodes_with_label("Tag1")
+    assert result.nodes_with_label("Tag2")
+    assert not result.scheme.is_functional("favorite")

@@ -1,0 +1,291 @@
+"""The transaction layer: snapshots, savepoints, faults, guards.
+
+Unit coverage for :mod:`repro.txn` — exact-state capture/restore on the
+native instance, the :class:`Transaction` lifecycle, deterministic
+fault injection, and the resource-guard budgets.
+"""
+
+import pytest
+
+from repro.core import (
+    BodyOp,
+    EdgeAddition,
+    EdgeConflictError,
+    HeadBindings,
+    Method,
+    MethodCall,
+    MethodRegistry,
+    MethodSignature,
+    NodeAddition,
+    Pattern,
+    Program,
+    ResourceLimitError,
+    TransactionError,
+)
+from repro.core.errors import BackendError
+from repro.core.method_runner import EngineMethodRunner
+from repro.graph import isomorphic
+from repro.storage import RelationalEngine
+from repro.tarski import TarskiEngine
+from repro.txn import Savepoint, Transaction, faults, guards, inject, limits
+from repro.txn.snapshot import capture, is_transactional, restore
+
+from tests.conftest import person_pattern
+
+
+def tag_everyone(scheme, label="Tagged"):
+    pattern, person = person_pattern(scheme)
+    return NodeAddition(pattern, label, [("of", person)])
+
+
+def conflicting_edge(scheme):
+    pattern = Pattern(scheme)
+    person = pattern.node("Person")
+    other = pattern.node("Person")
+    other_age = pattern.node("Number")
+    pattern.edge(other, "age", other_age)
+    return EdgeAddition(
+        pattern, [(person, "primary", other_age)], new_label_kinds={"primary": "functional"}
+    )
+
+
+def exact_state(instance):
+    return (sorted(instance.nodes()), sorted(instance.edges()))
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+def test_capture_restore_is_exact_including_node_ids(tiny_scheme, tiny_instance):
+    before = exact_state(tiny_instance)
+    state = capture(tiny_instance)
+    Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    assert exact_state(tiny_instance) != before
+    restore(tiny_instance, state)
+    assert exact_state(tiny_instance) == before
+
+
+def test_restore_preserves_scheme_object_identity(tiny_scheme, tiny_instance):
+    state = capture(tiny_instance)
+    Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    assert tiny_scheme.has_node_label("Tagged")
+    restore(tiny_instance, state)
+    # the very scheme object the fixtures hold sees the rollback
+    assert tiny_instance.scheme is tiny_scheme
+    assert not tiny_scheme.has_node_label("Tagged")
+
+
+def test_non_transactional_target_is_rejected():
+    assert not is_transactional(object())
+    with pytest.raises(TransactionError, match="capture_state"):
+        capture(object())
+
+
+# ----------------------------------------------------------------------
+# transaction lifecycle
+# ----------------------------------------------------------------------
+def test_commit_keeps_changes(tiny_scheme, tiny_instance):
+    txn = Transaction(tiny_instance)
+    Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    txn.commit()
+    assert not txn.is_active
+    assert tiny_instance.scheme.has_node_label("Tagged")
+    with pytest.raises(TransactionError, match="committed"):
+        txn.rollback()
+
+
+def test_rollback_restores_begin_state(tiny_scheme, tiny_instance):
+    before = exact_state(tiny_instance)
+    txn = Transaction(tiny_instance)
+    Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    report = txn.rollback(error=RuntimeError("boom"), failed_index=1, completed=1)
+    assert exact_state(tiny_instance) == before
+    assert not tiny_instance.scheme.has_node_label("Tagged")
+    assert report.error_type == "RuntimeError"
+    assert report.nodes_rolled_back == 3  # one Tagged node per person
+    assert report.scheme_rolled_back
+    assert report.invariants_ok
+    assert "rolled back" in report.summary()
+
+
+def test_context_manager_commits_on_clean_exit(tiny_scheme, tiny_instance):
+    with Transaction(tiny_instance) as txn:
+        Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    assert txn.status == "committed"
+    assert tiny_instance.scheme.has_node_label("Tagged")
+
+
+def test_context_manager_rolls_back_and_attaches_report(tiny_scheme, tiny_instance):
+    before = exact_state(tiny_instance)
+    with pytest.raises(EdgeConflictError) as excinfo:
+        with Transaction(tiny_instance):
+            Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+            # atomic=False: let the failure escape with partial state,
+            # so the enclosing transaction is what cleans up
+            Program([conflicting_edge(tiny_scheme)]).run(
+                tiny_instance, in_place=True, atomic=False
+            )
+    assert exact_state(tiny_instance) == before
+    assert excinfo.value.failure_report.scheme_rolled_back
+
+
+# ----------------------------------------------------------------------
+# savepoints
+# ----------------------------------------------------------------------
+def test_savepoint_rollback_to_keeps_prefix(tiny_scheme, tiny_instance):
+    txn = Transaction(tiny_instance)
+    Program([tag_everyone(tiny_scheme, "First")]).run(tiny_instance, in_place=True)
+    point = txn.savepoint("after-first")
+    Program([tag_everyone(tiny_scheme, "Second")]).run(tiny_instance, in_place=True)
+    txn.rollback_to(point)
+    assert tiny_instance.scheme.has_node_label("First")
+    assert not tiny_instance.scheme.has_node_label("Second")
+    assert txn.is_active
+    # the savepoint survives a rollback_to and can be used again
+    Program([tag_everyone(tiny_scheme, "Third")]).run(tiny_instance, in_place=True)
+    txn.rollback_to(point)
+    assert not tiny_instance.scheme.has_node_label("Third")
+    txn.commit()
+
+
+def test_rollback_to_discards_later_savepoints(tiny_instance):
+    txn = Transaction(tiny_instance)
+    first = txn.savepoint()
+    second = txn.savepoint()
+    assert txn.savepoints == (first, second)
+    txn.rollback_to(first)
+    assert second.released
+    assert txn.savepoints == (first,)
+    with pytest.raises(TransactionError, match="does not belong"):
+        txn.rollback_to(second)
+
+
+def test_release_discards_without_restoring(tiny_scheme, tiny_instance):
+    txn = Transaction(tiny_instance)
+    point = txn.savepoint("sp")
+    Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    txn.release(point)
+    assert point.released
+    assert tiny_instance.scheme.has_node_label("Tagged")  # nothing restored
+    with pytest.raises(TransactionError):
+        txn.rollback_to(point)
+
+
+def test_savepoints_need_an_active_transaction(tiny_instance):
+    txn = Transaction(tiny_instance)
+    txn.commit()
+    with pytest.raises(TransactionError):
+        txn.savepoint()
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+def test_inject_fires_once_at_the_requested_operation(tiny_scheme, tiny_instance):
+    program = Program([tag_everyone(tiny_scheme, "A"), tag_everyone(tiny_scheme, "B")])
+    with inject(EdgeConflictError, at_operation=1) as injector:
+        with pytest.raises(EdgeConflictError, match="injected fault"):
+            program.run(tiny_instance, in_place=True)
+    assert injector.fired
+    assert injector.fired_at == ("operation", 1)
+    assert injector.operations_seen == 2
+    # op 0 committed work was rolled back with the rest
+    assert not tiny_instance.scheme.has_node_label("A")
+
+
+def test_inject_after_lets_the_operation_complete_first(tiny_scheme, tiny_instance):
+    program = Program([tag_everyone(tiny_scheme, "A")])
+    with inject(RuntimeError("late"), at_operation=0, when=faults.AFTER) as injector:
+        with pytest.raises(RuntimeError):
+            program.run(tiny_instance, in_place=True, atomic=False)
+    assert injector.fired_at == ("operation", 0)
+    # non-atomic: the completed operation's effects survive
+    assert tiny_instance.scheme.has_node_label("A")
+
+
+def test_inject_at_engine_call_counts_every_basic_operation(tiny_scheme, tiny_instance):
+    engine = RelationalEngine.from_instance(tiny_instance)
+    pristine = engine.to_instance()
+    operations = [tag_everyone(engine.scheme, "A"), tag_everyone(engine.scheme, "B")]
+    with inject(BackendError, at_engine_call=1) as injector:
+        with pytest.raises(BackendError):
+            engine.run(operations)
+    assert injector.fired_at == ("engine call", 1)
+    assert injector.engine_calls_seen == 2
+    assert isomorphic(engine.to_instance().store, pristine.store)
+
+
+def test_unfired_plan_reports_not_fired(tiny_scheme, tiny_instance):
+    with inject(RuntimeError, at_operation=99) as injector:
+        Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    assert not injector.fired
+    assert injector.operations_seen == 1
+    assert faults.active_injectors() == ()
+
+
+def test_fault_plan_validates_its_site():
+    with pytest.raises(ValueError, match="at_operation or at_engine_call"):
+        faults.FaultPlan(RuntimeError)
+    with pytest.raises(ValueError, match="before"):
+        faults.FaultPlan(RuntimeError, at_operation=0, when="sometime")
+
+
+# ----------------------------------------------------------------------
+# resource guards
+# ----------------------------------------------------------------------
+def test_matching_budget_trips_on_native_engine(tiny_scheme, tiny_instance):
+    before = exact_state(tiny_instance)
+    with limits(max_matchings=2):
+        with pytest.raises(ResourceLimitError, match="matching"):
+            Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    assert exact_state(tiny_instance) == before  # guard failure rolls back too
+
+
+@pytest.mark.parametrize("engine_cls", [RelationalEngine, TarskiEngine])
+def test_matching_budget_trips_on_storage_engines(tiny_instance, engine_cls):
+    engine = engine_cls.from_instance(tiny_instance)
+    with limits(max_matchings=2):
+        with pytest.raises(ResourceLimitError):
+            engine.run([tag_everyone(engine.scheme)])
+    assert guards.active_guards() == ()
+
+
+def test_generous_budget_does_not_trip(tiny_scheme, tiny_instance):
+    with limits(max_matchings=1000, max_call_depth=50):
+        Program([tag_everyone(tiny_scheme)]).run(tiny_instance, in_place=True)
+    assert tiny_instance.scheme.has_node_label("Tagged")
+
+
+def test_call_depth_budget_beats_the_method_error_backstop(tiny_scheme, tiny_instance):
+    body_pattern = Pattern(tiny_scheme)
+    person = body_pattern.add_node("Person")
+    looping = Method(
+        MethodSignature("loop", "Person"),
+        [BodyOp(MethodCall(body_pattern, "loop", receiver=person), head=HeadBindings(receiver=person))],
+    )
+    call_pattern, receiver = person_pattern(tiny_scheme)
+    call = MethodCall(call_pattern, "loop", receiver=receiver)
+    program = Program([call], methods=[looping])
+    with limits(max_call_depth=3):
+        with pytest.raises(ResourceLimitError, match="depth"):
+            program.run(tiny_instance, in_place=True, max_depth=200)
+
+
+def test_call_depth_budget_on_engine_runner(tiny_instance):
+    scheme = tiny_instance.scheme
+    body_pattern = Pattern(scheme)
+    person = body_pattern.add_node("Person")
+    looping = Method(
+        MethodSignature("loop", "Person"),
+        [BodyOp(MethodCall(body_pattern, "loop", receiver=person), head=HeadBindings(receiver=person))],
+    )
+    call_pattern, receiver = person_pattern(scheme)
+    call = MethodCall(call_pattern, "loop", receiver=receiver)
+    engine = RelationalEngine.from_instance(tiny_instance)
+    pristine = engine.to_instance()
+    runner = EngineMethodRunner(engine, MethodRegistry([looping]))
+    with limits(max_call_depth=3):
+        with pytest.raises(ResourceLimitError):
+            runner.run([call])
+    # the atomic runner rolled the engine back to pre-call state
+    assert isomorphic(engine.to_instance().store, pristine.store)
