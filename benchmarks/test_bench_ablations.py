@@ -12,7 +12,7 @@ import random
 
 import pytest
 
-from repro.core import Program, compile_negation, match_negated
+from repro.core import Program
 from repro.core.matching import find_negated
 from repro.hypermedia import build_instance, build_scheme
 from repro.hypermedia import figures as F

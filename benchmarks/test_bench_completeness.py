@@ -1,6 +1,5 @@
 """Benchmarks C1/C2/C3: the Section 4.3 completeness simulations."""
 
-import random
 
 import pytest
 

@@ -5,11 +5,10 @@ Figs. 2–3 instance (or the Fig. 17 chain) and asserts the paper-stated
 outcome, so the timing numbers always describe a *correct* run.
 """
 
-import pytest
 
-from repro.core import Program, count_matchings, find_matchings
+from repro.core import Program, find_matchings
 from repro.core.inheritance import find_matchings_with_inheritance, virtual_scheme
-from repro.hypermedia import build_instance, build_scheme, build_version_chain
+from repro.hypermedia import build_instance, build_scheme
 from repro.hypermedia import figures as F
 from repro.hypermedia.scheme_def import JAN_16
 

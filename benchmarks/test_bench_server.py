@@ -1,0 +1,177 @@
+"""Benchmarks for the served database (`repro.server`).
+
+Measures the serving layer's overhead and its concurrent throughput:
+
+* wire round trips — PING (pure protocol cost), MATCH (read path
+  through the shared lock + worker pool), RUN (atomic write path
+  through the exclusive lock + txn snapshot);
+* a threaded burst of mixed readers/writers, reported as requests/s
+  with latency percentiles from the server's own ring buffer.
+
+On top of the per-test pytest-benchmark numbers, the module writes a
+machine-readable ``BENCH_server.json`` next to the repo root (path
+overridable via ``REPRO_BENCH_SERVER_OUT``) so CI can archive the
+serving numbers without parsing test output.  The file is written on
+module teardown and also under ``--benchmark-disable``, where each
+benchmarked callable still runs once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import Instance, Scheme
+from repro.server import BackgroundServer, Catalog, GoodClient, GoodServer
+
+RESULTS: dict = {"benchmarks": {}}
+
+OUT_PATH = Path(
+    os.environ.get(
+        "REPRO_BENCH_SERVER_OUT",
+        Path(__file__).resolve().parent.parent / "BENCH_server.json",
+    )
+)
+
+
+def people_scheme() -> Scheme:
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Person", "name", "String")
+    scheme.declare("Person", "knows", "Person", functional=False)
+    return scheme
+
+
+def seeded_instance(persons: int = 50) -> Instance:
+    db = Instance(people_scheme())
+    previous = None
+    for index in range(persons):
+        person = db.add_object("Person")
+        db.add_edge(person, "name", db.printable("String", f"p{index}"))
+        if previous is not None:
+            db.add_edge(previous, "knows", person)
+        previous = person
+    return db
+
+
+@pytest.fixture(scope="module")
+def served():
+    catalog = Catalog()
+    catalog.add("people", seeded_instance(), backend="native")
+    server = GoodServer(catalog, max_concurrent=8, max_queue=256)
+    with BackgroundServer(server):
+        host, port = server.address
+        yield server, host, port
+    OUT_PATH.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture
+def client(served):
+    _, host, port = served
+    with GoodClient(host, port) as good_client:
+        good_client.use("people")
+        yield good_client
+
+
+def record(name: str, seconds: float, requests: int, **extra) -> None:
+    RESULTS["benchmarks"][name] = {
+        "requests": requests,
+        "seconds": round(seconds, 6),
+        "requests_per_s": round(requests / seconds, 1) if seconds else None,
+        **extra,
+    }
+
+
+def test_ping_round_trip(benchmark, client):
+    started = time.perf_counter()
+    assert benchmark(client.ping) is True
+    record("ping", time.perf_counter() - started, 1)
+
+
+def test_match_round_trip(benchmark, client):
+    pattern = "{ a: Person; b: Person; a -knows->> b }"
+    started = time.perf_counter()
+    found = benchmark(lambda: client.match(pattern))
+    record("match", time.perf_counter() - started, 1, matchings=found["total"])
+    assert found["total"] == 49
+
+
+def test_run_round_trip(benchmark, served):
+    _, host, port = served
+    counter = iter(range(10_000_000))
+
+    def run_one():
+        index = next(counter)
+        return client.run(
+            f'addnode Person(name -> n) {{ n: String = "bench-{index}" }}'
+        )
+
+    with GoodClient(host, port) as client:
+        client.use("people")
+        started = time.perf_counter()
+        report = benchmark(run_one)
+        record("run", time.perf_counter() - started, 1)
+    assert report["nodes"] >= 1
+
+
+def test_concurrent_mixed_burst(served):
+    """4 reader + 2 writer threads; throughput from wall clock, latency
+    percentiles from the server's own STATS ring."""
+    server, host, port = served
+    readers, writers = 4, 2
+    reads, writes = 40, 10
+    errors = []
+    barrier = threading.Barrier(readers + writers + 1)
+
+    def reader():
+        try:
+            with GoodClient(host, port) as c:
+                c.use("people")
+                barrier.wait()
+                for _ in range(reads):
+                    c.match("{ p: Person }")
+        except Exception as error:  # pragma: no cover - diagnostic
+            errors.append(error)
+
+    def writer(index):
+        try:
+            with GoodClient(host, port) as c:
+                c.use("people")
+                barrier.wait()
+                for i in range(writes):
+                    c.run(
+                        f'addnode Person(name -> n) {{ n: String = "burst-{index}-{i}" }}'
+                    )
+        except Exception as error:  # pragma: no cover - diagnostic
+            errors.append(error)
+
+    threads = [threading.Thread(target=reader) for _ in range(readers)]
+    threads += [threading.Thread(target=writer, args=(i,)) for i in range(writers)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.perf_counter() - started
+    assert not errors, errors
+
+    total = readers * reads + writers * writes
+    snapshot = server.stats_snapshot()
+    latency = snapshot["databases"]["people"]["latency"]
+    record(
+        "concurrent_mixed_burst",
+        elapsed,
+        total,
+        readers=readers,
+        writers=writers,
+        p50_ms=latency["p50_ms"],
+        p95_ms=latency["p95_ms"],
+        max_ms=latency["max_ms"],
+    )
+    assert snapshot["total"]["errors"] == 0
+    assert latency["p95_ms"] is not None

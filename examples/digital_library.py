@@ -113,10 +113,7 @@ def main():
 
     def collect():
         method = F.fig22_remove_old_versions(scheme)
-        head = None
         # call on the newest doc of the version chain (docs[30])
-        pattern = Pattern(scheme)
-        info = pattern.node("Info")
         call_db = instance.copy(scheme=scheme.copy())
         call_db.add_edge(docs[30], "name", call_db.printable("String", "HEAD"))
         call = F.fig22_call(scheme, "HEAD")

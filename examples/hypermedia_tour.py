@@ -8,7 +8,7 @@ object base — a faithful, runnable rendition of the paper's narrative.
 Run:  python examples/hypermedia_tour.py
 """
 
-from repro.core import Program, count_matchings, find_matchings
+from repro.core import Program, find_matchings
 from repro.core.inheritance import find_matchings_with_inheritance, virtual_scheme
 from repro.hypermedia import build_instance, build_scheme, build_version_chain
 from repro.hypermedia import figures as F

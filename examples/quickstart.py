@@ -20,7 +20,6 @@ from repro import (
     Program,
     Scheme,
     Instance,
-    find_matchings,
     match_negated,
 )
 from repro.viz import summarize_instance, summarize_scheme

@@ -1,0 +1,113 @@
+"""Serving a GOOD database over TCP — `repro.server` end to end.
+
+One process plays both roles: a `GoodServer` runs on a background
+thread, and a blocking `GoodClient` talks to it over a real socket.
+The demo walks the whole serving loop:
+
+1. serve a catalog, create a database over the wire;
+2. run an atomic program remotely and enumerate matchings;
+3. watch a failed run roll back (the structured error carries the
+   transaction layer's failure report);
+4. arm a per-session budget and watch it contain one greedy session;
+5. read the live STATS counters and latency percentiles.
+
+Also used by CI as the server smoke test: every step asserts.
+"""
+
+from __future__ import annotations
+
+from repro.core import Scheme
+from repro.io.serialize import scheme_to_json
+from repro.server import (
+    BackgroundServer,
+    Catalog,
+    GoodClient,
+    GoodServer,
+    RemoteError,
+)
+
+
+def people_scheme() -> Scheme:
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Person", "name", "String")
+    scheme.declare("Person", "knows", "Person", functional=False)
+    return scheme
+
+
+def main() -> None:
+    server = GoodServer(Catalog(), max_concurrent=4, max_queue=32)
+    with BackgroundServer(server):
+        host, port = server.address
+        print(f"serving on {host}:{port}")
+
+        with GoodClient(host, port) as client:
+            hello = client.hello()
+            print(f"protocol v{hello['protocol']}, server {hello['server']}")
+
+            # -- create a database over the wire --------------------------
+            client.create("people", scheme=scheme_to_json(people_scheme()))
+            client.use("people")
+
+            # -- an atomic run: two Persons, two String constants ---------
+            report = client.run(
+                'addnode Person(name -> n) { n: String = "ada" }\n'
+                'addnode Person(name -> n) { n: String = "bob" }\n'
+            )
+            assert report["nodes"] == 4, report
+            print(f"RUN committed: {report['nodes']} nodes, {report['edges']} edges")
+
+            found = client.match('{ p: Person; n: String = "ada"; p -name-> n }')
+            assert found["total"] == 1
+            print(f"MATCH found ada: {found['matchings']}")
+
+            # -- a failing run rolls back atomically ----------------------
+            try:
+                client.run(
+                    'addnode Person(name -> n) { n: String = "temp" }\n'
+                    'addedge { p: Person; a: String = "ada"; b: String = "temp";'
+                    " p -name-> a } add p -name-> b\n"
+                )
+            except RemoteError as error:
+                report = error.details["failure_report"]
+                print(
+                    f"failed RUN rolled back: [{error.code}] "
+                    f"{report['nodes_rolled_back']} nodes undone, "
+                    f"invariants_ok={report['invariants_ok']}"
+                )
+                assert report["invariants_ok"] is True
+            assert client.match("{ p: Person }")["total"] == 2  # still just ada+bob
+
+            # -- budgets are per session ----------------------------------
+            client.limit(max_matchings=1)
+            try:
+                client.match("{ p: Person }")
+                raise AssertionError("budget should have fired")
+            except RemoteError as error:
+                assert error.code == "RESOURCE_LIMIT"
+                print(f"budgeted session contained: [{error.code}] {error.remote_message}")
+            client.limit(max_matchings=None)  # lift it again
+
+            # ...while a second, unbudgeted session proceeds untouched
+            with GoodClient(host, port) as other:
+                other.use("people")
+                assert other.match("{ p: Person }")["total"] == 2
+                print("second session unaffected by the first session's budget")
+
+            # -- live stats -----------------------------------------------
+            stats = client.stats()
+            bucket = stats["databases"]["people"]
+            assert bucket["runs"] == 1  # only the committed run counts
+            assert bucket["rollbacks"] == 1
+            assert stats["total"]["requests"] >= 8
+            print(
+                f"STATS: {stats['total']['requests']} requests, "
+                f"{bucket['matchings_enumerated']} matchings enumerated, "
+                f"p50 {bucket['latency']['p50_ms']} ms, "
+                f"p95 {bucket['latency']['p95_ms']} ms"
+            )
+
+    print("server demo OK")
+
+
+if __name__ == "__main__":
+    main()

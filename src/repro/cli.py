@@ -283,6 +283,180 @@ def _cmd_shell(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import Catalog, GoodServer
+    from repro.txn.guards import ResourceLimits
+
+    catalog = Catalog()
+    try:
+        for spec in args.db or ():
+            name, _, path = spec.partition("=")
+            if not name or not path:
+                print(f"ERROR: --db expects NAME=FILE, got {spec!r}", file=sys.stderr)
+                return 1
+            catalog.load_file(name, path, backend=args.backend)
+    except (GoodError, OSError, ValueError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    server = GoodServer(
+        catalog,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_clients,
+        max_queue=args.queue,
+        lock_timeout=args.lock_timeout,
+        default_limits=ResourceLimits(
+            max_matchings=args.max_matchings, max_call_depth=args.max_call_depth
+        ),
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        names = ", ".join(catalog.names()) or "none (clients can CREATE)"
+        print(f"serving GOOD on {host}:{port} — databases: {names}")
+        print("stop with Ctrl-C")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nserver stopped.")
+    return 0
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    from repro.server import GoodClient, RemoteError
+    from repro.server.protocol import ProtocolError
+
+    host, _, port_text = args.address.partition(":")
+    try:
+        port = int(port_text) if port_text else 2590
+    except ValueError:
+        print(f"ERROR: bad port in {args.address!r}", file=sys.stderr)
+        return 1
+    try:
+        client = GoodClient(host or "127.0.0.1", port).connect()
+    except OSError as error:
+        print(f"ERROR: cannot connect to {host}:{port}: {error}", file=sys.stderr)
+        return 1
+    hello = client.hello()
+    names = ", ".join(entry["name"] for entry in hello["databases"]) or "none"
+    print(f"connected to {host}:{port} (protocol {hello['protocol']}) — databases: {names}")
+    if args.use:
+        try:
+            client.use(args.use)
+            print(f"using {args.use!r}")
+        except (RemoteError, ProtocolError) as error:
+            print(f"ERROR: {error}", file=sys.stderr)
+            client.close()
+            return 1
+    print(
+        "Enter DSL statements (end with a blank line) to RUN them remotely.\n"
+        "Commands: :use NAME, :list, :match {PATTERN}, :browse NODE [HOPS],\n"
+        ":limit MATCHINGS [DEPTH], :undo, :save FILE, :stats, :quit"
+    )
+    code = _connect_repl(client)
+    client.close()
+    return code
+
+
+def _connect_repl(client) -> int:
+    import json as _json
+
+    from repro.core.errors import GoodError as _GoodError
+
+    def show(result) -> None:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+
+    def command(stripped: str) -> bool:
+        """Handle one ``:command``; returns False on :quit."""
+        name, _, argument = stripped.partition(" ")
+        argument = argument.strip()
+        if name in (":quit", ":q"):
+            return False
+        if name == ":use" and argument:
+            print(f"using {client.use(argument)['using']['name']!r}")
+        elif name == ":list":
+            for entry in client.list()["databases"]:
+                print(
+                    f"  {entry['name']:<20} {entry['backend']:<10} "
+                    f"{entry['nodes']} nodes, {entry['edges']} edges"
+                )
+        elif name == ":match" and argument:
+            found = client.match(argument)
+            print(f"{found['total']} matchings")
+            for matching in found["matchings"][:20]:
+                print(f"  {matching}")
+        elif name == ":browse" and argument:
+            parts = argument.split()
+            found = client.browse(int(parts[0]), hops=int(parts[1]) if len(parts) > 1 else 1)
+            print(f"nodes: {found['nodes']}")
+        elif name == ":limit" and argument:
+            parts = argument.split()
+            budgets = client.limit(
+                max_matchings=int(parts[0]),
+                max_call_depth=int(parts[1]) if len(parts) > 1 else None,
+            )
+            print(f"budgets: {budgets}")
+        elif name == ":undo":
+            print(f"undone: {client.undo()}")
+        elif name == ":save" and argument:
+            print(f"saved: {client.save(argument)['saved']}")
+        elif name == ":stats":
+            show(client.stats())
+        else:
+            print(f"unknown or incomplete command {stripped!r}")
+        return True
+
+    buffer: list = []
+
+    def run_buffer() -> None:
+        source = "\n".join(buffer)
+        buffer.clear()
+        result = client.run(source)
+        for report in result["reports"]:
+            print(report["summary"])
+        print(f"database now: {result['nodes']} nodes, {result['edges']} edges")
+
+    stream = sys.stdin
+    while True:
+        try:
+            prompt = "....> " if buffer else "good> "
+            if stream.isatty():
+                line = input(prompt)
+            else:
+                line = stream.readline()
+                if not line:
+                    break
+                line = line.rstrip("\n")
+        except EOFError:
+            break
+        stripped = line.strip()
+        try:
+            if stripped.startswith(":"):
+                if not command(stripped):
+                    return 0
+            elif stripped:
+                buffer.append(line)
+            elif buffer:
+                run_buffer()
+        except (_GoodError, ValueError, OSError) as error:
+            buffer.clear()
+            print(f"ERROR: {error}")
+    if buffer:
+        try:
+            run_buffer()
+        except (_GoodError, ValueError, OSError) as error:
+            print(f"ERROR: {error}")
+            return 1
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     try:
         instance = load_instance(args.file)
@@ -350,6 +524,47 @@ def build_parser() -> argparse.ArgumentParser:
     validate = commands.add_parser("validate", help="validate a JSON instance")
     validate.add_argument("file")
     validate.set_defaults(handler=_cmd_validate)
+
+    serve = commands.add_parser(
+        "serve", help="serve a catalog of GOOD databases over TCP (see repro.server)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("-p", "--port", type=int, default=2590)
+    serve.add_argument(
+        "--db",
+        action="append",
+        metavar="NAME=FILE",
+        help="serve a JSON instance file under NAME (repeatable)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["native", "relational", "tarski"],
+        default="native",
+        help="backend for the databases loaded via --db",
+    )
+    serve.add_argument(
+        "--max-clients", type=int, default=8, help="concurrent requests executing"
+    )
+    serve.add_argument(
+        "--queue", type=int, default=64, help="admission queue bound (then OVERLOADED)"
+    )
+    serve.add_argument(
+        "--lock-timeout", type=float, default=30.0, help="seconds to wait for a database lock"
+    )
+    serve.add_argument(
+        "--max-matchings", type=int, default=None, help="default per-session matching budget"
+    )
+    serve.add_argument(
+        "--max-call-depth", type=int, default=None, help="default per-session recursion budget"
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    connect = commands.add_parser(
+        "connect", help="interactive client for a served GOOD catalog"
+    )
+    connect.add_argument("address", help="HOST[:PORT] of a repro serve instance")
+    connect.add_argument("-u", "--use", help="select this database on connect")
+    connect.set_defaults(handler=_cmd_connect)
     return parser
 
 

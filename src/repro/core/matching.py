@@ -60,11 +60,15 @@ def _search_order(
     pattern: Pattern,
     instance: Instance,
     fixed: Sequence[int],
+    base_candidates: Dict[int, FrozenSet[int]],
 ) -> List[int]:
     """Most-constrained-first order, preferring nodes touching placed ones.
 
     Nodes already placed (``fixed``) come first implicitly; the rest are
     picked greedily by (not-adjacent-to-placed, candidate-count, id).
+    ``base_candidates`` is the shared per-node candidate table — computed
+    once per :func:`find_matchings` call and reused by the backtracking
+    search, so the label/print/predicate scans run once per pattern node.
     """
     remaining = [n for n in pattern.nodes() if n not in fixed]
     placed = set(fixed)
@@ -72,7 +76,7 @@ def _search_order(
     for source, _, target in _pattern_edges(pattern):
         adjacency[source].add(target)
         adjacency[target].add(source)
-    counts = {n: len(_base_candidates(pattern, instance, n)) for n in remaining}
+    counts = {n: len(base_candidates[n]) for n in remaining}
     order: List[int] = []
     while remaining:
         remaining.sort(key=lambda n: (not (adjacency[n] & placed), counts[n], n))
@@ -104,7 +108,12 @@ def find_matchings(
             if not instance.has_edge(fixed[source], label, fixed[target]):
                 return
 
-    order = _search_order(pattern, instance, list(fixed))
+    base = {
+        node: _base_candidates(pattern, instance, node)
+        for node in pattern.nodes()
+        if node not in fixed
+    }
+    order = _search_order(pattern, instance, list(fixed), base)
     out_constraints: Dict[int, List[Tuple[str, int]]] = {n: [] for n in pattern.nodes()}
     in_constraints: Dict[int, List[Tuple[str, int]]] = {n: [] for n in pattern.nodes()}
     for source, label, target in edges:
@@ -150,7 +159,7 @@ def find_matchings(
                     return []
             result = {c for c in result if node_ok(node, c)}
         else:
-            result = set(_base_candidates(pattern, instance, node))
+            result = set(base[node])
         for label, source in out_constraints[node]:
             if source == node:
                 # self-loop pattern edge: the candidate must carry the

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Union
 
-from repro.core.errors import MethodError
 from repro.core.methods import (
     ExecutionContext,
     MethodCall,

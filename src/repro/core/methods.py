@@ -36,7 +36,7 @@ terminate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.errors import MethodError
 from repro.core.instance import Instance

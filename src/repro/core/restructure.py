@@ -168,8 +168,6 @@ def copy_property_along_isa(
         raise SchemeError(f"{edge_label!r} is not used by any property")
     functional = scheme.is_functional(edge_label)
     for target_label in sorted(targets):
-        pattern = Pattern(scheme)
-        sub = pattern.add_node(subclass)
         # the superclass node: any class reachable via isa that has the property
         supers = sorted(
             s for (s, e, t) in scheme.properties if e == edge_label and t == target_label
@@ -213,8 +211,6 @@ def reify_edge(
     scheme = working.scheme
     if scheme.is_functional(edge_label):
         raise SchemeError(f"{edge_label!r} is functional; reify multivalued edges")
-    pattern = Pattern(scheme)
-    source = pattern.add_node(source_label)
     target_labels = sorted(
         t for (s, e, t) in scheme.properties if s == source_label and e == edge_label
     )

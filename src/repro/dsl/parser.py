@@ -40,10 +40,9 @@ interface (Figs. 23–25): structure with labels outside
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.core.errors import GoodError
-from repro.core.instance import Instance
 from repro.core.operations import (
     Abstraction,
     EdgeAddition,

@@ -40,6 +40,17 @@ class Subinstance:
         """Terminal summary of the slice."""
         return summarize_instance(self.view)
 
+    def to_json(self) -> dict:
+        """A serialisable document for the slice (wire format).
+
+        ``nodes`` lists the kept node ids; ``view`` is a full instance
+        document (:func:`repro.io.serialize.instance_to_json`), so the
+        slice can be reloaded or rendered client-side.
+        """
+        from repro.io.serialize import instance_to_json
+
+        return {"nodes": list(self.nodes), "view": instance_to_json(self.view)}
+
 
 class Session:
     """One object base, manipulated through interpretation modes."""

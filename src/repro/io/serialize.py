@@ -24,7 +24,35 @@ FORMAT_VERSION = 1
 
 
 class SerializationError(GoodError):
-    """Malformed serialised data."""
+    """Malformed serialised data.
+
+    Always names the offending key (and, for node/edge entries, the
+    list position) so a server can reject a bad payload with a precise,
+    structured error instead of a bare ``KeyError``/``TypeError``.
+    """
+
+
+def _require_mapping(data: Any, what: str) -> Dict[str, Any]:
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"{what} document must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def _require_key(data: Dict[str, Any], key: str, where: str) -> Any:
+    if key not in data:
+        raise SerializationError(f"{where}: missing required key {key!r}")
+    return data[key]
+
+
+def _require_list(data: Dict[str, Any], key: str, where: str) -> list:
+    value = _require_key(data, key, where)
+    if not isinstance(value, list):
+        raise SerializationError(
+            f"{where}: {key!r} must be an array, got {type(value).__name__}"
+        )
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -47,18 +75,33 @@ def scheme_to_json(scheme: Scheme) -> Dict[str, Any]:
 
 def scheme_from_json(data: Dict[str, Any]) -> Scheme:
     """Rebuild a scheme; domains resolve through the built-in registry."""
+    data = _require_mapping(data, "scheme")
     if data.get("format") != FORMAT_VERSION:
         raise SerializationError(f"unsupported scheme format {data.get('format')!r}")
-    scheme = Scheme(
-        object_labels=data["object_labels"],
-        printable_labels=data["printable_labels"],
-        functional_edge_labels=data["functional_edge_labels"],
-        multivalued_edge_labels=data["multivalued_edge_labels"],
-        properties=[tuple(triple) for triple in data["properties"]],
-    )
-    for label in data.get("isa_labels", ()):
-        scheme.mark_isa(label)
-    scheme.validate()
+    labels = {
+        key: _require_list(data, key, "scheme")
+        for key in (
+            "object_labels",
+            "printable_labels",
+            "functional_edge_labels",
+            "multivalued_edge_labels",
+        )
+    }
+    properties = []
+    for position, triple in enumerate(_require_list(data, "properties", "scheme")):
+        if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+            raise SerializationError(
+                f"scheme: properties[{position}] must be a [source, edge, target] "
+                f"triple, got {triple!r}"
+            )
+        properties.append(tuple(triple))
+    try:
+        scheme = Scheme(properties=properties, **labels)
+        for label in data.get("isa_labels", ()):
+            scheme.mark_isa(label)
+        scheme.validate()
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"scheme: malformed declaration: {error}") from error
     return scheme
 
 
@@ -90,21 +133,40 @@ def instance_to_json(instance: Instance) -> Dict[str, Any]:
 
 def instance_from_json(data: Dict[str, Any]) -> Instance:
     """Rebuild an instance, preserving node ids, and validate it."""
+    data = _require_mapping(data, "instance")
     if data.get("format") != FORMAT_VERSION:
         raise SerializationError(f"unsupported instance format {data.get('format')!r}")
-    scheme = scheme_from_json(data["scheme"])
+    scheme = scheme_from_json(_require_key(data, "scheme", "instance"))
     instance = Instance(scheme)
-    for entry in data["nodes"]:
-        label = entry["label"]
-        node_id = entry["id"]
+    for position, entry in enumerate(_require_list(data, "nodes", "instance")):
+        where = f"instance: nodes[{position}]"
+        entry = _require_mapping(entry, where)
+        label = _require_key(entry, "label", where)
+        node_id = _require_key(entry, "id", where)
+        if not isinstance(node_id, int) or isinstance(node_id, bool):
+            raise SerializationError(f"{where}: 'id' must be an integer, got {node_id!r}")
+        if not isinstance(label, str):
+            raise SerializationError(f"{where}: 'label' must be a string, got {label!r}")
         if scheme.is_printable_label(label):
             instance.add_printable(label, entry.get("print", NO_PRINT), _node_id=node_id)
         else:
             if "print" in entry:
-                raise SerializationError(f"object node {node_id} carries a print value")
+                raise SerializationError(f"{where}: object node {node_id} carries a print value")
             instance.add_object(label, _node_id=node_id)
-    for entry in data["edges"]:
-        instance.add_edge(entry["source"], entry["label"], entry["target"])
+    for position, entry in enumerate(_require_list(data, "edges", "instance")):
+        where = f"instance: edges[{position}]"
+        entry = _require_mapping(entry, where)
+        source = _require_key(entry, "source", where)
+        label = _require_key(entry, "label", where)
+        target = _require_key(entry, "target", where)
+        for key, endpoint in (("source", source), ("target", target)):
+            if not isinstance(endpoint, int) or isinstance(endpoint, bool):
+                raise SerializationError(
+                    f"{where}: {key!r} must be an integer node id, got {endpoint!r}"
+                )
+        if not isinstance(label, str):
+            raise SerializationError(f"{where}: 'label' must be a string, got {label!r}")
+        instance.add_edge(source, label, target)
     instance.validate()
     return instance
 
@@ -119,9 +181,16 @@ def save_scheme(scheme: Scheme, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(scheme_to_json(scheme), indent=2, sort_keys=True))
 
 
+def _parse_file(path: Union[str, Path]) -> Any:
+    try:
+        return json.loads(Path(path).read_text())
+    except ValueError as error:
+        raise SerializationError(f"{path}: not valid JSON: {error}") from error
+
+
 def load_scheme(path: Union[str, Path]) -> Scheme:
     """Read a scheme from a JSON file."""
-    return scheme_from_json(json.loads(Path(path).read_text()))
+    return scheme_from_json(_parse_file(path))
 
 
 def save_instance(instance: Instance, path: Union[str, Path]) -> None:
@@ -131,4 +200,4 @@ def save_instance(instance: Instance, path: Union[str, Path]) -> None:
 
 def load_instance(path: Union[str, Path]) -> Instance:
     """Read an instance from a JSON file."""
-    return instance_from_json(json.loads(Path(path).read_text()))
+    return instance_from_json(_parse_file(path))

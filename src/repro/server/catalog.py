@@ -1,0 +1,280 @@
+"""The database catalog: named scheme+instance pairs, one backend each.
+
+A :class:`ServedDatabase` wraps one GOOD object base behind a uniform
+verb-shaped API (run / query / matchings / browse / export) so the
+session layer never branches on the backend:
+
+* ``native`` — the in-memory graph :class:`~repro.core.instance.Instance`,
+  wrapped in an :class:`~repro.interactive.Session` (which supplies
+  query/update modes, browsing and the undo stack);
+* ``relational`` — :class:`~repro.storage.engine.RelationalEngine`
+  (Section 5's embedded-SQL architecture);
+* ``tarski`` — :class:`~repro.tarski.engine.TarskiEngine` (the binary
+  relation algebra substrate).
+
+All three are transactional targets (:mod:`repro.txn.snapshot`), so
+program runs are atomic on every backend and query mode on the engines
+is implemented as run-then-restore against a snapshot.
+
+:class:`Catalog` is the name -> database directory with create / drop /
+load / save.  It is deliberately synchronous and lock-free: the server
+layer serialises catalog mutations and wraps per-database access in
+reader-writer locks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import GoodError
+from repro.core.instance import Instance
+from repro.core.program import Program
+from repro.dsl import parse_pattern, parse_program
+from repro.interactive import Session, Subinstance
+from repro.io.serialize import (
+    instance_from_json,
+    instance_to_json,
+    load_instance,
+    save_instance,
+    scheme_from_json,
+)
+from repro.server.protocol import register_error_code
+from repro.txn import guards
+from repro.txn.snapshot import capture, restore, summarize
+
+BACKENDS = ("native", "relational", "tarski")
+
+
+class CatalogError(GoodError):
+    """Catalog misuse: duplicate create, bad backend, invalid name."""
+
+
+class UnknownDatabaseError(CatalogError):
+    """The named database does not exist."""
+
+
+register_error_code(CatalogError, "CATALOG")
+register_error_code(UnknownDatabaseError, "NO_SUCH_DATABASE")
+
+
+class ServedDatabase:
+    """One named object base behind the uniform serving API."""
+
+    def __init__(self, name: str, instance: Instance, backend: str = "native") -> None:
+        if backend not in BACKENDS:
+            raise CatalogError(f"unknown backend {backend!r} (expected one of {BACKENDS})")
+        self.name = name
+        self.backend = backend
+        self._engine: Any = None
+        if backend == "native":
+            self.session: Optional[Session] = Session(instance)
+        elif backend == "relational":
+            from repro.storage.engine import RelationalEngine
+
+            self.session = None
+            self._engine = RelationalEngine.from_instance(instance)
+        else:
+            from repro.tarski.engine import TarskiEngine
+
+            self.session = None
+            self._engine = TarskiEngine.from_instance(instance)
+
+    @property
+    def target(self) -> Any:
+        """The transactional target holding the current state.
+
+        For the native backend this tracks ``session.instance`` — undo
+        rebinds the session to a previous copy, and a stale alias here
+        would silently serve the pre-undo state.
+        """
+        if self.session is not None:
+            return self.session.instance
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def scheme(self):
+        """The live scheme (patterns and programs parse against it)."""
+        if self.session is not None:
+            return self.session.instance.scheme
+        return self.target.scheme
+
+    def counts(self) -> Tuple[int, int]:
+        """``(node_count, edge_count)`` of the current state."""
+        return summarize(self.target)
+
+    def describe(self) -> Dict[str, Any]:
+        """The ``LIST`` entry for this database."""
+        nodes, edges = self.counts()
+        return {"name": self.name, "backend": self.backend, "nodes": nodes, "edges": edges}
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+    def _compile(self, source: str) -> Program:
+        return parse_program(source, self.scheme)
+
+    def run_program(self, source: str) -> List[Any]:
+        """Atomic in-place run of DSL ``source``; per-operation reports.
+
+        On any failure the backend state (scheme included) is exactly
+        the pre-run state — the :mod:`repro.txn` guarantee — and the
+        exception carries a ``failure_report``.
+        """
+        program = self._compile(source)
+        if self.session is not None:
+            try:
+                return list(self.session.update(program).reports)
+            except Exception:
+                # the failed atomic run already rolled the instance
+                # back; drop the undo frame pushed for it
+                if self.session.undo_depth:
+                    self.session.undo()
+                raise
+        return list(self.target.run(program.operations, atomic=True))
+
+    def query_program(self, source: str) -> Tuple[List[Any], Tuple[int, int]]:
+        """Query-mode run: the result is "only a temporary entity".
+
+        Returns the per-operation reports and the (nodes, edges) size
+        of the temporary result.  The served state is untouched: the
+        native backend runs on a copy, the engines run inside a
+        snapshot that is restored afterwards.
+        """
+        program = self._compile(source)
+        if self.session is not None:
+            result = self.session.query(program)
+            return list(result.reports), (result.instance.node_count, result.instance.edge_count)
+        state = capture(self.target)
+        try:
+            reports = list(self.target.run(program.operations, atomic=False))
+            return reports, summarize(self.target)
+        finally:
+            restore(self.target, state)
+
+    def matchings(self, pattern_source: str, limit: Optional[int] = None) -> Dict[str, Any]:
+        """All matchings of a DSL pattern, keyed by variable name."""
+        pattern, bindings = parse_pattern(pattern_source, self.scheme)
+        if self.session is not None:
+            found = self.session.matchings(pattern)
+            # the engines charge inside their matchings(); the native
+            # session path charges here so budgets bind everywhere
+            guards.charge_matchings(len(found))
+        else:
+            found = list(self.target.matchings(pattern))
+        total = len(found)
+        if limit is not None:
+            found = found[:limit]
+        named = [
+            {variable: matching[node] for variable, node in bindings.items()}
+            for matching in found
+        ]
+        return {"total": total, "returned": len(named), "matchings": named}
+
+    def _browse_session(self) -> Session:
+        if self.session is not None:
+            return self.session
+        return Session(self.target.to_instance())
+
+    def browse(self, node: int, hops: int = 1) -> Subinstance:
+        """The neighbourhood slice around ``node``."""
+        return self._browse_session().browse(node, hops=hops)
+
+    def undo(self) -> Tuple[int, int]:
+        """Native backend only: pop the most recent update."""
+        if self.session is None:
+            raise CatalogError(
+                f"database {self.name!r} uses the {self.backend!r} backend; "
+                "UNDO is only available on the native backend"
+            )
+        self.session.undo()
+        return self.counts()
+
+    # ------------------------------------------------------------------
+    # import / export
+    # ------------------------------------------------------------------
+    def to_instance(self) -> Instance:
+        """The current state as a native instance (a copy for engines)."""
+        if self.session is not None:
+            return self.session.instance
+        return self.target.to_instance()
+
+    def to_json(self) -> Dict[str, Any]:
+        """The current state as a serialisable instance document."""
+        return instance_to_json(self.to_instance())
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the current state to a JSON file."""
+        save_instance(self.to_instance(), path)
+
+
+class Catalog:
+    """The name -> :class:`ServedDatabase` directory."""
+
+    def __init__(self) -> None:
+        self._databases: Dict[str, ServedDatabase] = {}
+
+    def __len__(self) -> int:
+        return len(self._databases)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._databases
+
+    def names(self) -> List[str]:
+        """All database names, sorted."""
+        return sorted(self._databases)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """The ``LIST`` payload."""
+        return [self._databases[name].describe() for name in self.names()]
+
+    def get(self, name: str) -> ServedDatabase:
+        """Look a database up, or fail with a structured error."""
+        try:
+            return self._databases[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "none"
+            raise UnknownDatabaseError(
+                f"no database named {name!r} (known: {known})"
+            ) from None
+
+    def add(self, name: str, instance: Instance, backend: str = "native") -> ServedDatabase:
+        """Serve an already-built instance under ``name``."""
+        if not name or not isinstance(name, str):
+            raise CatalogError(f"invalid database name {name!r}")
+        if name in self._databases:
+            raise CatalogError(f"database {name!r} already exists")
+        database = ServedDatabase(name, instance, backend)
+        self._databases[name] = database
+        return database
+
+    def create(
+        self,
+        name: str,
+        backend: str = "native",
+        scheme_data: Optional[Dict[str, Any]] = None,
+        instance_data: Optional[Dict[str, Any]] = None,
+    ) -> ServedDatabase:
+        """Create a database from a scheme document (empty instance) or
+        a full instance document."""
+        if scheme_data is not None and instance_data is not None:
+            raise CatalogError("pass either a scheme or an instance, not both")
+        if instance_data is not None:
+            instance = instance_from_json(instance_data)
+        elif scheme_data is not None:
+            instance = Instance(scheme_from_json(scheme_data))
+        else:
+            raise CatalogError("creating a database needs a scheme or an instance document")
+        return self.add(name, instance, backend)
+
+    def drop(self, name: str) -> None:
+        """Forget a database (the state is discarded)."""
+        self.get(name)
+        del self._databases[name]
+
+    def load_file(self, name: str, path: Union[str, Path], backend: str = "native") -> ServedDatabase:
+        """Serve a JSON instance file under ``name``."""
+        return self.add(name, load_instance(path), backend)

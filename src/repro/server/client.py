@@ -1,0 +1,190 @@
+"""A blocking socket client for the GOOD server.
+
+Usable from tests, scripts and the ``repro connect`` REPL without any
+asyncio on the caller's side::
+
+    with GoodClient("127.0.0.1", 2590) as client:
+        client.use("library")
+        client.run("addnode Person() {}")
+        for matching in client.match("{ p: Person }")["matchings"]:
+            print(matching["p"])
+
+Every call sends one request frame and blocks for its response.  A
+failure response raises :class:`RemoteError`, which carries the
+structured payload (``code``, ``error_type``, ``details``) so callers
+can dispatch on stable codes rather than message text.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Dict, Optional
+
+from repro.core.errors import GoodError
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_response,
+    encode_frame,
+)
+
+
+class RemoteError(GoodError):
+    """A structured error response from the server."""
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self.code = payload.get("code", "INTERNAL")
+        self.error_type = payload.get("type", "")
+        self.details = payload.get("details", {})
+        message = payload.get("message", "")
+        super().__init__(f"[{self.code}] {message}")
+        self.remote_message = message
+
+
+class GoodClient:
+    """One blocking connection to a :class:`~repro.server.GoodServer`."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+    def connect(self) -> "GoodClient":
+        """Open the TCP connection (idempotent)."""
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+            self._file = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent; best-effort ``BYE``)."""
+        if self._sock is None:
+            return
+        try:
+            self._sock.sendall(encode_frame(self._frame("BYE", {})))
+        except OSError:
+            pass
+        try:
+            self._file.close()
+            self._sock.close()
+        finally:
+            self._sock = None
+            self._file = None
+
+    def __enter__(self) -> "GoodClient":
+        return self.connect()
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the wire
+    # ------------------------------------------------------------------
+    def _frame(self, verb: str, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {"good": PROTOCOL_VERSION, "id": next(self._ids), "verb": verb, "args": args}
+
+    def call(self, verb: str, **args: Any) -> Dict[str, Any]:
+        """One request/response round trip; returns the ``result``."""
+        self.connect()
+        frame = self._frame(verb, args)
+        self._sock.sendall(encode_frame(frame))
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("connection closed by the server")
+        response = decode_response(line)
+        if response.get("id") != frame["id"]:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match request id {frame['id']!r}"
+            )
+        if not response["ok"]:
+            raise RemoteError(response.get("error", {}))
+        return response.get("result", {})
+
+    # ------------------------------------------------------------------
+    # convenience verbs
+    # ------------------------------------------------------------------
+    def hello(self) -> Dict[str, Any]:
+        return self.call("HELLO")
+
+    def ping(self) -> bool:
+        return bool(self.call("PING").get("pong"))
+
+    def list(self) -> Dict[str, Any]:
+        return self.call("LIST")
+
+    def use(self, name: str) -> Dict[str, Any]:
+        return self.call("USE", name=name)
+
+    def create(
+        self,
+        name: str,
+        backend: str = "native",
+        scheme: Optional[Dict[str, Any]] = None,
+        instance: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        args: Dict[str, Any] = {"name": name, "backend": backend}
+        if scheme is not None:
+            args["scheme"] = scheme
+        if instance is not None:
+            args["instance"] = instance
+        return self.call("CREATE", **args)
+
+    def drop(self, name: str) -> Dict[str, Any]:
+        return self.call("DROP", name=name)
+
+    def load(self, name: str, path: str, backend: str = "native") -> Dict[str, Any]:
+        return self.call("LOAD", name=name, path=path, backend=backend)
+
+    def run(self, program: str, db: Optional[str] = None) -> Dict[str, Any]:
+        return self.call("RUN", program=program, **({"db": db} if db else {}))
+
+    def query(self, program: str, db: Optional[str] = None) -> Dict[str, Any]:
+        return self.call("QUERY", program=program, **({"db": db} if db else {}))
+
+    def match(
+        self, pattern: str, limit: Optional[int] = None, db: Optional[str] = None
+    ) -> Dict[str, Any]:
+        args: Dict[str, Any] = {"pattern": pattern}
+        if limit is not None:
+            args["limit"] = limit
+        if db:
+            args["db"] = db
+        return self.call("MATCH", **args)
+
+    def browse(self, node: int, hops: int = 1, db: Optional[str] = None) -> Dict[str, Any]:
+        return self.call("BROWSE", node=node, hops=hops, **({"db": db} if db else {}))
+
+    def export(self, db: Optional[str] = None) -> Dict[str, Any]:
+        return self.call("EXPORT", **({"db": db} if db else {}))
+
+    def save(self, path: str, db: Optional[str] = None) -> Dict[str, Any]:
+        return self.call("SAVE", path=path, **({"db": db} if db else {}))
+
+    def undo(self, db: Optional[str] = None) -> Dict[str, Any]:
+        return self.call("UNDO", **({"db": db} if db else {}))
+
+    def limit(
+        self,
+        max_matchings: Optional[int] = None,
+        max_call_depth: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Set this session's budgets; omitted budgets are unchanged.
+
+        With no arguments this just reports the current budgets.
+        """
+        args: Dict[str, Any] = {}
+        if max_matchings is not None:
+            args["max_matchings"] = max_matchings
+        if max_call_depth is not None:
+            args["max_call_depth"] = max_call_depth
+        return self.call("LIMIT", **args)
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("STATS")

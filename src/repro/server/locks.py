@@ -1,0 +1,165 @@
+"""Concurrency core: per-database reader-writer locks and admission.
+
+The server's isolation discipline is simple and strict:
+
+* *queries* (``MATCH``, ``QUERY``, ``BROWSE``, ``EXPORT``, ``SAVE``)
+  take a **read** lock — any number may run concurrently;
+* *program runs* and catalog mutations (``RUN``, ``UNDO``, ``CREATE``,
+  ``DROP``, ``LOAD``) take a **write** lock — exclusive against both
+  readers and other writers.
+
+Because an atomic run only ever commits or fully rolls back (the
+:mod:`repro.txn` guarantee) and readers are excluded for its whole
+duration, no client can observe a torn intermediate state.
+
+:class:`RWLock` is writer-preferring: once a writer is waiting, new
+readers queue behind it, so a steady stream of cheap queries cannot
+starve updates.
+
+:class:`AdmissionController` bounds the work the server accepts: at
+most ``max_concurrent`` requests execute at once, at most ``max_queue``
+wait; past that, requests are refused immediately with
+:class:`AdmissionError` (wire code ``OVERLOADED``) rather than piling
+up latency.  ``queue_depth`` feeds the ``STATS`` verb.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import AsyncIterator, Optional
+
+from repro.core.errors import GoodError
+from repro.server.protocol import register_error_code
+
+
+class AdmissionError(GoodError):
+    """The server is saturated; the request was refused, not queued."""
+
+
+register_error_code(AdmissionError, "OVERLOADED")
+
+
+class RWLock:
+    """An asyncio many-readers / one-writer lock, writer-preferring."""
+
+    def __init__(self) -> None:
+        self._cond = asyncio.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    async def acquire_read(self) -> None:
+        async with self._cond:
+            while self._writer_active or self._writers_waiting:
+                await self._cond.wait()
+            self._readers += 1
+
+    async def release_read(self) -> None:
+        async with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    async def acquire_write(self) -> None:
+        async with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    await self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    async def release_write(self) -> None:
+        async with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    @asynccontextmanager
+    async def read_locked(self, timeout: Optional[float] = None) -> AsyncIterator[None]:
+        """Hold a read lock for the block; ``timeout`` bounds the wait."""
+        await _acquire(self.acquire_read(), timeout, "read")
+        try:
+            yield
+        finally:
+            await self.release_read()
+
+    @asynccontextmanager
+    async def write_locked(self, timeout: Optional[float] = None) -> AsyncIterator[None]:
+        """Hold the write lock for the block; ``timeout`` bounds the wait."""
+        await _acquire(self.acquire_write(), timeout, "write")
+        try:
+            yield
+        finally:
+            await self.release_write()
+
+    @property
+    def state(self) -> str:
+        """Debugging/stats snapshot: ``idle``, ``Nr`` or ``w``."""
+        if self._writer_active:
+            return "w"
+        if self._readers:
+            return f"{self._readers}r"
+        return "idle"
+
+
+async def _acquire(waiter, timeout: Optional[float], mode: str) -> None:
+    if timeout is None:
+        await waiter
+        return
+    try:
+        await asyncio.wait_for(waiter, timeout)
+    except asyncio.TimeoutError:
+        raise TimeoutError(
+            f"timed out after {timeout:g}s waiting for the {mode} lock"
+        ) from None
+
+
+class AdmissionController:
+    """Bounded concurrency + bounded queue, refuse-don't-collapse."""
+
+    def __init__(self, max_concurrent: int = 8, max_queue: int = 64) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self._slots = asyncio.Semaphore(max_concurrent)
+        self._queued = 0
+        self._running = 0
+        self.admitted_total = 0
+        self.rejected_total = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but waiting for an execution slot."""
+        return self._queued
+
+    @property
+    def running(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._running
+
+    @asynccontextmanager
+    async def admit(self) -> AsyncIterator[None]:
+        """Hold one execution slot for the block, or refuse at once."""
+        if self._queued >= self.max_queue:
+            self.rejected_total += 1
+            raise AdmissionError(
+                f"server saturated: {self._running} running, "
+                f"{self._queued} queued (queue limit {self.max_queue})"
+            )
+        self._queued += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self._queued -= 1
+        self._running += 1
+        self.admitted_total += 1
+        try:
+            yield
+        finally:
+            self._running -= 1
+            self._slots.release()

@@ -1,0 +1,261 @@
+"""Per-connection server sessions: verb dispatch, locking, budgets.
+
+A :class:`ServerSession` lives for one TCP connection.  It tracks the
+client's current database (``USE``), its resource budgets (``LIMIT``,
+seeded from the server defaults) and routes each verb through the
+right concurrency discipline:
+
+========  =======  ==========================================
+mode      lock     runs where
+========  =======  ==========================================
+local     none     event loop (cheap, catalog metadata only)
+read      read     worker thread, budgets armed
+write     write    worker thread, budgets armed
+catalog   both     worker thread, under the catalog mutex and
+                   the target database's write lock
+========  =======  ==========================================
+
+Budgets are armed *inside the worker thread* via
+:func:`repro.txn.guards.limits` — the guard stacks are thread-local, so
+one session's budget never charges another session's work.  A budget
+overrun surfaces as a structured ``RESOURCE_LIMIT`` error; because runs
+are atomic, the database state is untouched.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.server import protocol
+from repro.server.catalog import ServedDatabase
+from repro.server.protocol import ProtocolError, require_arg
+from repro.txn.guards import ResourceLimits
+
+_SESSION_IDS = itertools.count(1)
+
+#: verb -> (handler name, mode)
+VERBS: Dict[str, Tuple[str, str]] = {}
+
+
+def _verb(name: str, mode: str) -> Callable[[Callable], Callable]:
+    def register(handler: Callable) -> Callable:
+        VERBS[name] = (handler.__name__, mode)
+        return handler
+
+    return register
+
+
+def _report_json(report: Any) -> Dict[str, Any]:
+    return {
+        "operation": report.operation,
+        "matchings": report.matching_count,
+        "nodes_added": len(report.nodes_added),
+        "nodes_removed": len(report.nodes_removed),
+        "edges_added": len(report.edges_added),
+        "edges_removed": len(report.edges_removed),
+        "summary": report.summary(),
+    }
+
+
+class ServerSession:
+    """One client's view of the server."""
+
+    def __init__(self, server: Any) -> None:
+        self.server = server
+        self.catalog = server.catalog
+        self.session_id = next(_SESSION_IDS)
+        self.database_name: Optional[str] = None
+        self.limits: ResourceLimits = server.default_limits
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def dispatch(self, verb: str, args: Dict[str, Any]) -> Tuple[Dict[str, Any], Optional[str]]:
+        """Run one verb; returns ``(result, database_name_for_stats)``."""
+        entry = VERBS.get(verb)
+        if entry is None:
+            raise ProtocolError(f"unknown verb {verb!r} (known: {', '.join(sorted(VERBS))})")
+        handler_name, mode = entry
+        handler = getattr(self, handler_name)
+        server = self.server
+        if mode == "local":
+            return handler(args), self.database_name
+        if mode == "catalog":
+            name = require_arg(args, "name", str)
+            async with server.catalog_lock:
+                async with server.lock_for(name).write_locked(server.lock_timeout):
+                    result = await server.run_blocking(lambda: handler(args))
+        else:
+            name = args.get("db", self.database_name)
+            if not isinstance(name, str) or not name:
+                raise ProtocolError("no database selected (USE one first or pass 'db')")
+            database = self.catalog.get(name)
+            lock = server.lock_for(name)
+            locked = (
+                lock.read_locked(server.lock_timeout)
+                if mode == "read"
+                else lock.write_locked(server.lock_timeout)
+            )
+            async with locked:
+                try:
+                    result = await server.run_blocking(
+                        lambda: handler(database, args), limits=self.limits
+                    )
+                except Exception as error:
+                    if getattr(error, "failure_report", None) is not None:
+                        server.stats.charge(name, rollbacks=1)
+                    raise
+        charges = result.pop("_charges", None)
+        if charges:
+            server.stats.charge(name, **charges)
+        return result, name
+
+    # ------------------------------------------------------------------
+    # local verbs (event loop, no lock)
+    # ------------------------------------------------------------------
+    @_verb("HELLO", "local")
+    def _hello(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "server": "repro.server",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "session": self.session_id,
+            "databases": self.catalog.describe(),
+        }
+
+    @_verb("PING", "local")
+    def _ping(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True}
+
+    @_verb("LIST", "local")
+    def _list(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {"databases": self.catalog.describe()}
+
+    @_verb("USE", "local")
+    def _use(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        name = require_arg(args, "name", str)
+        database = self.catalog.get(name)
+        self.database_name = name
+        return {"using": database.describe()}
+
+    @_verb("LIMIT", "local")
+    def _limit(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        matchings = args.get("max_matchings", self.limits.max_matchings)
+        depth = args.get("max_call_depth", self.limits.max_call_depth)
+        for label, value in (("max_matchings", matchings), ("max_call_depth", depth)):
+            if value is not None and (not isinstance(value, int) or value < 0):
+                raise ProtocolError(f"{label} must be a non-negative integer or null")
+        self.limits = ResourceLimits(max_matchings=matchings, max_call_depth=depth)
+        return {"max_matchings": matchings, "max_call_depth": depth}
+
+    @_verb("STATS", "local")
+    def _stats(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return self.server.stats_snapshot()
+
+    @_verb("BYE", "local")
+    def _bye(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        self.closed = True
+        return {"bye": True}
+
+    # ------------------------------------------------------------------
+    # catalog verbs (catalog mutex + write lock)
+    # ------------------------------------------------------------------
+    @_verb("CREATE", "catalog")
+    def _create(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        name = require_arg(args, "name", str)
+        database = self.catalog.create(
+            name,
+            backend=args.get("backend", "native"),
+            scheme_data=args.get("scheme"),
+            instance_data=args.get("instance"),
+        )
+        return {"created": database.describe()}
+
+    @_verb("DROP", "catalog")
+    def _drop(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        name = require_arg(args, "name", str)
+        self.catalog.drop(name)
+        self.server.stats.forget_database(name)
+        if self.database_name == name:
+            self.database_name = None
+        return {"dropped": name}
+
+    @_verb("LOAD", "catalog")
+    def _load(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        name = require_arg(args, "name", str)
+        path = require_arg(args, "path", str)
+        database = self.catalog.load_file(name, path, backend=args.get("backend", "native"))
+        return {"loaded": database.describe()}
+
+    # ------------------------------------------------------------------
+    # write verbs (exclusive)
+    # ------------------------------------------------------------------
+    @_verb("RUN", "write")
+    def _run(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        source = require_arg(args, "program", str)
+        reports = database.run_program(source)
+        nodes, edges = database.counts()
+        return {
+            "reports": [_report_json(report) for report in reports],
+            "nodes": nodes,
+            "edges": edges,
+            "_charges": {
+                "runs": 1,
+                "operations_applied": len(reports),
+                "matchings_enumerated": sum(r.matching_count for r in reports),
+            },
+        }
+
+    @_verb("UNDO", "write")
+    def _undo(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        nodes, edges = database.undo()
+        return {"nodes": nodes, "edges": edges}
+
+    # ------------------------------------------------------------------
+    # read verbs (shared)
+    # ------------------------------------------------------------------
+    @_verb("QUERY", "read")
+    def _query(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        source = require_arg(args, "program", str)
+        reports, (nodes, edges) = database.query_program(source)
+        return {
+            "reports": [_report_json(report) for report in reports],
+            "result_nodes": nodes,
+            "result_edges": edges,
+            "_charges": {
+                "queries": 1,
+                "matchings_enumerated": sum(r.matching_count for r in reports),
+            },
+        }
+
+    @_verb("MATCH", "read")
+    def _match(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        source = require_arg(args, "pattern", str)
+        limit = args.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            raise ProtocolError("limit must be a non-negative integer or null")
+        found = database.matchings(source, limit=limit)
+        found["_charges"] = {"queries": 1, "matchings_enumerated": found["total"]}
+        return found
+
+    @_verb("BROWSE", "read")
+    def _browse(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        node = require_arg(args, "node", int)
+        hops = args.get("hops", 1)
+        if not isinstance(hops, int) or hops < 0:
+            raise ProtocolError("hops must be a non-negative integer")
+        slice_ = database.browse(node, hops=hops)
+        payload = slice_.to_json()
+        payload["_charges"] = {"queries": 1}
+        return payload
+
+    @_verb("EXPORT", "read")
+    def _export(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        return {"instance": database.to_json(), "_charges": {"queries": 1}}
+
+    @_verb("SAVE", "read")
+    def _save(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        path = require_arg(args, "path", str)
+        database.save(path)
+        return {"saved": path}

@@ -1,0 +1,144 @@
+"""Live server statistics: counters and a latency ring buffer.
+
+The ``STATS`` verb must be cheap enough to call while the server is
+under load, so everything here is O(1) per recorded request except the
+percentile computation, which sorts the (bounded) ring on demand.
+
+All mutation happens on the event-loop thread — request timing is
+recorded after the executor hands the result back — so no locking is
+needed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+
+class LatencyRing:
+    """The last ``capacity`` request latencies, with percentiles."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: List[float] = []
+        self._next = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one observation, evicting the oldest when full."""
+        if len(self._ring) < self.capacity:
+            self._ring.append(seconds)
+        else:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        """Nearest-rank percentile in seconds; ``None`` when empty."""
+        if not self._ring:
+            return None
+        ordered = sorted(self._ring)
+        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``{samples, p50_ms, p95_ms, max_ms}`` over the window."""
+        p50 = self.percentile(0.50)
+        p95 = self.percentile(0.95)
+        return {
+            "samples": len(self._ring),
+            "p50_ms": None if p50 is None else round(p50 * 1000, 3),
+            "p95_ms": None if p95 is None else round(p95 * 1000, 3),
+            "max_ms": None if not self._ring else round(max(self._ring) * 1000, 3),
+        }
+
+
+class DatabaseStats:
+    """Per-database counters plus a latency window."""
+
+    def __init__(self, ring_capacity: int = 1024) -> None:
+        self.requests = 0
+        self.errors = 0
+        self.runs = 0
+        self.queries = 0
+        self.matchings_enumerated = 0
+        self.operations_applied = 0
+        self.rollbacks = 0
+        self.latency = LatencyRing(ring_capacity)
+
+    def record_request(self, seconds: float, error: bool = False) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        self.latency.record(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "runs": self.runs,
+            "queries": self.queries,
+            "matchings_enumerated": self.matchings_enumerated,
+            "operations_applied": self.operations_applied,
+            "rollbacks": self.rollbacks,
+            "latency": self.latency.snapshot(),
+        }
+
+
+class ServerStats:
+    """Whole-server view: totals plus one bucket per database."""
+
+    def __init__(self, ring_capacity: int = 1024) -> None:
+        self.started_at = time.time()
+        self._ring_capacity = ring_capacity
+        self.total = DatabaseStats(ring_capacity)
+        self.per_database: Dict[str, DatabaseStats] = {}
+        self.connections_open = 0
+        self.connections_total = 0
+
+    def database(self, name: str) -> DatabaseStats:
+        """The (lazily created) bucket for one database."""
+        bucket = self.per_database.get(name)
+        if bucket is None:
+            bucket = self.per_database[name] = DatabaseStats(self._ring_capacity)
+        return bucket
+
+    def forget_database(self, name: str) -> None:
+        """Drop a bucket (after ``DROP``); totals keep the history."""
+        self.per_database.pop(name, None)
+
+    def record(self, database: Optional[str], seconds: float, error: bool = False) -> None:
+        """Record one completed request against the totals and, when the
+        request addressed a database, against that database's bucket."""
+        self.total.record_request(seconds, error=error)
+        if database is not None:
+            self.database(database).record_request(seconds, error=error)
+
+    def charge(self, database: Optional[str], **charges: int) -> None:
+        """Add verb-specific counters (runs, matchings_enumerated, ...)
+        to the totals and to the addressed database's bucket."""
+        buckets = [self.total]
+        if database is not None:
+            buckets.append(self.database(database))
+        for bucket in buckets:
+            for key, value in charges.items():
+                setattr(bucket, key, getattr(bucket, key) + value)
+
+    def snapshot(self, queue_depth: int = 0, running: int = 0) -> Dict[str, Any]:
+        """The full ``STATS`` payload."""
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "connections": {
+                "open": self.connections_open,
+                "total": self.connections_total,
+            },
+            "queue_depth": queue_depth,
+            "running": running,
+            "total": self.total.snapshot(),
+            "databases": {
+                name: bucket.snapshot() for name, bucket in sorted(self.per_database.items())
+            },
+        }

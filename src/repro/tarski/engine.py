@@ -503,7 +503,6 @@ class TarskiEngine:
                 key = alpha.successors(oid)
                 if key in groups:
                     groups[key].add(oid)
-        beta = self.edge_relation(op.beta)
         nodes_added: List[int] = []
         edges_added: List[Edge] = []
         reused = 0

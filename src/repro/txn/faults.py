@@ -34,7 +34,6 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, List, Optional, Tuple, Union
 
-from repro.core.errors import GoodError
 
 BEFORE = "before"
 AFTER = "after"

@@ -23,10 +23,16 @@ and exceeding either budget raises
 :class:`~repro.core.errors.ResourceLimitError`.  Combined with atomic
 program execution the overrun rolls back like any other failure.
 Guards nest; every armed guard is charged, and the tightest one fires.
+
+The armed-guard stack is **thread-local**: a guard armed in one thread
+is neither charged nor tripped by work running in another.  This is
+what lets :mod:`repro.server` arm one budget per client session on a
+worker pool without sessions charging each other.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
@@ -70,8 +76,15 @@ class ResourceGuard:
             )
 
 
-#: Currently armed guards (innermost last).
-_ACTIVE: List[ResourceGuard] = []
+#: Per-thread armed-guard stacks (innermost last).
+_LOCAL = threading.local()
+
+
+def _stack() -> List[ResourceGuard]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
 
 
 @contextmanager
@@ -79,29 +92,35 @@ def limits(
     max_matchings: Optional[int] = None,
     max_call_depth: Optional[int] = None,
 ) -> Iterator[ResourceGuard]:
-    """Arm a guard for the duration of the ``with`` block."""
+    """Arm a guard for the duration of the ``with`` block.
+
+    The guard is armed only in the calling thread.
+    """
     guard = ResourceGuard(ResourceLimits(max_matchings, max_call_depth))
-    _ACTIVE.append(guard)
+    stack = _stack()
+    stack.append(guard)
     try:
         yield guard
     finally:
-        _ACTIVE.remove(guard)
+        stack.remove(guard)
 
 
 def active_guards() -> Tuple[ResourceGuard, ...]:
-    """The armed guards, outermost first (for introspection)."""
-    return tuple(_ACTIVE)
+    """This thread's armed guards, outermost first (for introspection)."""
+    return tuple(_stack())
 
 
 def charge_matchings(count: int) -> None:
     """Hook: a matcher enumerated ``count`` matchings."""
-    if _ACTIVE:
-        for guard in tuple(_ACTIVE):
+    stack = _stack()
+    if stack:
+        for guard in tuple(stack):
             guard.charge_matchings(count)
 
 
 def check_call_depth(depth: int) -> None:
     """Hook: a method call entered nesting level ``depth``."""
-    if _ACTIVE:
-        for guard in tuple(_ACTIVE):
+    stack = _stack()
+    if stack:
+        for guard in tuple(stack):
             guard.check_call_depth(depth)

@@ -120,7 +120,6 @@ def _is_method_call(operation: Operation) -> bool:
 def operation_to_dot(operation: Operation, name: Optional[str] = None) -> str:
     """Render an operation: pattern plus its bold/outlined part."""
     title = name or getattr(operation, "describe", lambda: type(operation).__name__)()
-    base = operation.positive_pattern
     body = pattern_to_dot(operation.source_pattern, title)
     lines = body.splitlines()
     closing = lines.pop()  # the final "}"

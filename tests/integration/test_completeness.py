@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.relcomp import (
-    AttrConst,
     AttrEq,
     Difference,
     Product,
@@ -14,7 +13,6 @@ from repro.relcomp import (
     Relation,
     RelationalCompiler,
     RelationalDatabase,
-    Rename,
     Select,
     Union,
     encode_database,

@@ -12,7 +12,7 @@ from repro.core import Program
 from repro.core.method_runner import EngineMethodRunner
 from repro.core.methods import MethodRegistry
 from repro.graph import isomorphic
-from repro.hypermedia import build_instance, build_scheme, build_version_chain
+from repro.hypermedia import build_instance, build_scheme
 from repro.hypermedia import figures as F
 from repro.storage import RelationalEngine
 from repro.tarski import TarskiEngine

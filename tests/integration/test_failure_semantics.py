@@ -15,7 +15,6 @@ from repro.core import (
     EdgeAddition,
     EdgeConflictError,
     BodyOp,
-    HeadBindings,
     Method,
     MethodCall,
     MethodSignature,

@@ -7,7 +7,7 @@ the paper states.  EXPERIMENTS.md quotes these numbers.
 
 import pytest
 
-from repro.core import Program, count_matchings, find_matchings
+from repro.core import Program, find_matchings
 from repro.core.inheritance import (
     find_matchings_with_inheritance,
     materialize_inheritance,

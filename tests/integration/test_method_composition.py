@@ -1,10 +1,8 @@
 """Method-mechanism composition: nesting, crossed calls, interfaces."""
 
-import pytest
 
 from repro.core import (
     BodyOp,
-    EdgeAddition,
     HeadBindings,
     Method,
     MethodCall,
@@ -55,11 +53,6 @@ def test_nested_calls_preserve_outer_temporaries(tiny_scheme, tiny_instance):
 def test_method_call_with_crossed_source_pattern(tiny_scheme, tiny_instance):
     """A call whose *call pattern* is crossed fires only for matchings
     the crossed part does not block."""
-    rename = Method(
-        MethodSignature("mark", "Person"),
-        [],
-        interface=tiny_scheme.copy(),
-    )
     # tag people who know nobody — via a crossed call pattern invoking
     # a method whose body records the receiver
     private = tiny_scheme.copy()
@@ -155,10 +148,6 @@ def test_mutual_recursion_between_methods(tiny_scheme):
     ping = walker("ping", "Ping", "pong")
     pong = walker("pong", "Pong", "ping")
 
-    call_pattern = Pattern(tiny_scheme)
-    start = call_pattern.node("Person")
-    fixed_start = Pattern(tiny_scheme)
-    s = fixed_start.node("Person")
     # anchor the call at the head of the chain via a name
     db.add_edge(people[0], "name", db.printable("String", "head"))
     anchored = Pattern(tiny_scheme)

@@ -17,7 +17,7 @@ we verify with the isomorphism checker.
 
 import random
 
-from repro.core import EdgeAddition, Instance, NodeAddition, Pattern, Program, Scheme
+from repro.core import EdgeAddition, NodeAddition, Pattern, Program
 from repro.graph import GraphStore, isomorphic
 from repro.hypermedia import build_scheme
 from repro.workloads import scale_free_instance

@@ -1,10 +1,9 @@
 """Property tests: DSL print → parse round-trips preserve semantics."""
 
-import random
 
 from hypothesis import given, settings
 
-from repro.core import Program, find_matchings
+from repro.core import Program
 from repro.core.matching import find_any
 from repro.dsl import parse_operation, parse_pattern
 from repro.dsl.printer import operation_to_dsl, pattern_to_dsl

@@ -12,7 +12,6 @@ from hypothesis import given, settings
 from networkx.algorithms.isomorphism import DiGraphMatcher
 
 from repro.graph import GraphStore, isomorphic
-from repro.graph.store import NO_PRINT
 
 from tests.property.strategies import scheme_instances, seeds
 

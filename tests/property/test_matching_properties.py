@@ -63,5 +63,7 @@ def test_fixed_bindings_select_a_subset(data):
     fixed = {node: probe[node]}
     restricted = list(find_matchings(pattern, instance, fixed=fixed))
     expected = [m for m in all_matchings if m[node] == probe[node]]
-    key = lambda ms: sorted(tuple(sorted(m.items())) for m in ms)
+    def key(ms):
+        return sorted(tuple(sorted(m.items())) for m in ms)
+
     assert key(restricted) == key(expected)

@@ -3,7 +3,6 @@
 import random
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core import Program, find_matchings
 from repro.core.operations import NodeAddition, NodeDeletion, EdgeDeletion, Abstraction

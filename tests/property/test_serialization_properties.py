@@ -48,7 +48,6 @@ def test_isomorphism_invariant_under_id_shuffling(data, seed):
     rng.shuffle(nodes)
     remap = {old: new for new, old in enumerate(nodes)}
     from repro.core import Instance
-    from repro.graph.store import NO_PRINT
 
     shuffled = Instance(scheme)
     for old in sorted(nodes, key=lambda n: remap[n]):

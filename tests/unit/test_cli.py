@@ -239,3 +239,78 @@ def test_run_savepoint_keeps_completed_prefix(tmp_path, capsys):
     assert result.nodes_with_label("Tag1")
     assert result.nodes_with_label("Tag2")
     assert not result.scheme.is_functional("favorite")
+
+
+def test_serve_parser_wiring():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        [
+            "serve",
+            "--db",
+            "a=a.json",
+            "--db",
+            "b=b.json",
+            "--backend",
+            "tarski",
+            "-p",
+            "9999",
+            "--max-clients",
+            "4",
+            "--queue",
+            "16",
+            "--max-matchings",
+            "5000",
+        ]
+    )
+    assert args.db == ["a=a.json", "b=b.json"]
+    assert args.backend == "tarski"
+    assert args.port == 9999
+    assert args.max_clients == 4
+    assert args.queue == 16
+    assert args.max_matchings == 5000
+    assert args.max_call_depth is None
+
+
+def test_serve_rejects_bad_db_spec(capsys):
+    assert main(["serve", "--db", "no-equals-sign"]) == 1
+    assert "NAME=FILE" in capsys.readouterr().err
+
+
+def test_serve_rejects_missing_instance_file(capsys):
+    assert main(["serve", "--db", "x=/does/not/exist.json"]) == 1
+    assert "ERROR" in capsys.readouterr().err
+
+
+def test_connect_rejects_bad_port(capsys):
+    assert main(["connect", "localhost:notaport"]) == 1
+    assert "bad port" in capsys.readouterr().err
+
+
+def test_connect_refused_connection(capsys):
+    # nothing listens on this port of the loopback
+    assert main(["connect", "127.0.0.1:1"]) == 1
+    assert "cannot connect" in capsys.readouterr().err
+
+
+def test_connect_piped_session(tmp_path, capsys, monkeypatch):
+    import io
+    import sys as _sys
+
+    from repro.server import BackgroundServer, Catalog, GoodServer
+
+    scheme = build_scheme()
+    db, _ = build_instance(scheme)
+    catalog = Catalog()
+    catalog.add("hyper", db, backend="native")
+    server = GoodServer(catalog)
+    with BackgroundServer(server):
+        host, port = server.address
+        script = ":list\n:match { d: Info }\naddnode Comment() { }\n\n:stats\n:quit\n"
+        monkeypatch.setattr(_sys, "stdin", io.StringIO(script))
+        assert main(["connect", f"{host}:{port}", "-u", "hyper"]) == 0
+    out = capsys.readouterr().out
+    assert "connected to" in out
+    assert "13 matchings" in out
+    assert "database now:" in out
+    assert '"requests"' in out

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import (
-    Abstraction,
     EdgeAddition,
     EdgeDeletion,
     NegatedPattern,
@@ -15,7 +14,6 @@ from repro.core import (
 )
 from repro.dsl import DslError, parse_operation, parse_pattern, parse_program
 from repro.dsl.lexer import DslLexError, tokenize
-from repro.hypermedia.scheme_def import JAN_14
 
 
 # ----------------------------------------------------------------------

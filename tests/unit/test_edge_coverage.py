@@ -5,7 +5,7 @@ import pytest
 from repro.core import NegatedPattern, Pattern, Program
 from repro.core.errors import MethodError
 from repro.core.macros import value_between
-from repro.dsl.printer import DslPrintError, operation_to_dsl, pattern_to_dsl
+from repro.dsl.printer import DslPrintError, pattern_to_dsl
 from repro.interactive import Session
 
 from tests.conftest import person_pattern

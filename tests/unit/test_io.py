@@ -89,3 +89,92 @@ def test_reloaded_instance_validates(hyper):
     db, _ = hyper
     back = instance_from_json(instance_to_json(db))
     back.validate()
+
+
+# ----------------------------------------------------------------------
+# malformed payloads must fail with a clear, located SerializationError
+# ----------------------------------------------------------------------
+
+
+def test_non_object_documents_rejected():
+    with pytest.raises(SerializationError, match="must be a JSON object"):
+        scheme_from_json([1, 2, 3])
+    with pytest.raises(SerializationError, match="must be a JSON object"):
+        instance_from_json("nope")
+
+
+def test_scheme_missing_key_is_named(tiny_scheme):
+    data = scheme_to_json(tiny_scheme)
+    del data["object_labels"]
+    with pytest.raises(SerializationError, match="'object_labels'"):
+        scheme_from_json(data)
+
+
+def test_scheme_non_list_section_is_named(tiny_scheme):
+    data = scheme_to_json(tiny_scheme)
+    data["printable_labels"] = {"String": True}
+    with pytest.raises(SerializationError, match="'printable_labels'.*array"):
+        scheme_from_json(data)
+
+
+def test_scheme_bad_property_triple_is_located(tiny_scheme):
+    data = scheme_to_json(tiny_scheme)
+    data["properties"][1] = ["Person", "name"]  # not a triple
+    with pytest.raises(SerializationError, match=r"properties\[1\]"):
+        scheme_from_json(data)
+
+
+def test_instance_missing_scheme_is_named(tiny_instance):
+    data = instance_to_json(tiny_instance)
+    del data["scheme"]
+    with pytest.raises(SerializationError, match="'scheme'"):
+        instance_from_json(data)
+
+
+def test_instance_node_entry_errors_are_located(tiny_instance):
+    data = instance_to_json(tiny_instance)
+    del data["nodes"][2]["label"]
+    with pytest.raises(SerializationError, match=r"nodes\[2\].*'label'"):
+        instance_from_json(data)
+
+
+def test_instance_node_bad_id_type_is_located(tiny_instance):
+    data = instance_to_json(tiny_instance)
+    data["nodes"][0]["id"] = "one"
+    with pytest.raises(SerializationError, match=r"nodes\[0\].*integer"):
+        instance_from_json(data)
+
+
+def test_instance_edge_entry_errors_are_located(tiny_instance):
+    data = instance_to_json(tiny_instance)
+    del data["edges"][3]["target"]
+    with pytest.raises(SerializationError, match=r"edges\[3\].*'target'"):
+        instance_from_json(data)
+    data = instance_to_json(tiny_instance)
+    data["edges"][0]["source"] = None
+    with pytest.raises(SerializationError, match=r"edges\[0\].*'source'"):
+        instance_from_json(data)
+
+
+def test_instance_nodes_not_a_list_is_named(tiny_instance):
+    data = instance_to_json(tiny_instance)
+    data["nodes"] = {"0": {}}
+    with pytest.raises(SerializationError, match="'nodes'.*array"):
+        instance_from_json(data)
+
+
+def test_boolean_ids_rejected(tiny_instance):
+    # bool is an int subclass; it must not slip through as a node id
+    data = instance_to_json(tiny_instance)
+    data["nodes"][0]["id"] = True
+    with pytest.raises(SerializationError, match=r"nodes\[0\].*integer"):
+        instance_from_json(data)
+
+
+def test_unparseable_file_names_the_path(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(SerializationError, match="broken.json"):
+        load_instance(path)
+    with pytest.raises(SerializationError, match="broken.json"):
+        load_scheme(path)

@@ -174,7 +174,7 @@ def test_recursive_node_addition_divergence_guard(tiny_scheme, tiny_instance):
     base = tiny_scheme.copy()
     base.declare("Echo", "of", "Echo")
     db = tiny_instance.copy(scheme=base)
-    seed = db.add_object("Echo")
+    db.add_object("Echo")
     pattern = Pattern(base)
     echo = pattern.node("Echo")
     star = RecursiveNodeAddition(NodeAddition(pattern, "Echo", [("of", echo)]), max_rounds=25)

@@ -43,8 +43,8 @@ def test_edge_preservation(tiny_scheme, tiny_instance):
 def test_matchings_are_homomorphisms_not_injections(tiny_scheme, tiny_instance):
     """Two pattern nodes may map to the same instance node."""
     pattern = Pattern(tiny_scheme)
-    x = pattern.node("Person")
-    y = pattern.node("Person")
+    pattern.node("Person")
+    pattern.node("Person")
     # no edges: all 9 pairs, including the 3 diagonal ones
     assert count_matchings(pattern, tiny_instance) == 9
 
@@ -156,3 +156,38 @@ def test_fig4_matchings(hyper_scheme, hyper):
     matchings = list(find_matchings(fig4.pattern, db))
     assert {m[fig4.info_bottom] for m in matchings} == {handles.doors, handles.pinkfloyd}
     assert all(m[fig4.info_top] == handles.rock_new for m in matchings)
+
+
+def test_base_candidates_computed_once_per_node(tiny_scheme, tiny_instance, monkeypatch):
+    """The candidate table is shared between the search-order heuristic
+    and the backtracking search — one label/print scan per pattern node."""
+    from repro.core import matching as matching_module
+
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+
+    calls = []
+    original = matching_module._base_candidates
+
+    def counting(pattern_arg, instance_arg, node):
+        calls.append(node)
+        return original(pattern_arg, instance_arg, node)
+
+    monkeypatch.setattr(matching_module, "_base_candidates", counting)
+    found = list(find_matchings(pattern, tiny_instance))
+    assert len(found) == 3  # alice->bob, alice->carol, bob->carol
+    assert sorted(calls) == sorted(pattern.nodes())  # exactly once per node
+
+
+def test_shared_candidates_agree_with_naive(tiny_scheme, tiny_instance):
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    z = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+    pattern.edge(y, "knows", z)
+    fast = {tuple(sorted(m.items())) for m in find_matchings(pattern, tiny_instance)}
+    naive = {tuple(sorted(m.items())) for m in find_matchings_naive(pattern, tiny_instance)}
+    assert fast == naive

@@ -7,7 +7,6 @@ from repro.core import (
     EdgeAddition,
     EdgeDeletion,
     HeadBindings,
-    Instance,
     Method,
     MethodCall,
     MethodRegistry,

@@ -10,7 +10,6 @@ from repro.storage.minirel import (
     IndexLookup,
     Project,
     Scan,
-    Table,
     join_greedily,
 )
 
@@ -166,7 +165,6 @@ def test_join_greedily_rejects_empty():
 
 
 def test_explain_renders():
-    db = people_db()
     plan = Project(
         HashJoin(Scan("people", {"oid": "p", "dept": "d"}), Scan("depts", {"dept": "d"})),
         ["p"],

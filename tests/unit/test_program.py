@@ -1,6 +1,5 @@
 """Unit tests for programs, reports and execution plumbing."""
 
-import pytest
 
 from repro.core import (
     ExecutionContext,

@@ -173,7 +173,7 @@ def test_constant_plus_equality(db):
 
 def test_decode_skips_partial_objects(db):
     scheme, instance = encode_database(db)
-    node = instance.add_object("R")  # tuple object missing attributes
+    instance.add_object("R")  # tuple object missing attributes
     relation = decode_relation(instance, "R", ("A", "B"))
     assert relation.cardinality == 3
 

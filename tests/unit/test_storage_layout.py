@@ -8,7 +8,6 @@ from repro.graph import isomorphic
 from repro.storage.layout import GoodLayout, class_table, mv_table, printable_table
 from repro.storage.query import compile_pattern, execute_pattern
 
-from tests.conftest import person_pattern
 
 
 def test_from_instance_round_trip(tiny_instance):

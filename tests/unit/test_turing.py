@@ -10,7 +10,7 @@ from repro.turing import (
     bit_flipper_machine,
     parity_machine,
 )
-from repro.turing.machine import LEFT, RIGHT, STAY, TuringError
+from repro.turing.machine import STAY, TuringError
 
 
 def test_transition_move_validation():

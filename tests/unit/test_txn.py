@@ -27,7 +27,7 @@ from repro.core.method_runner import EngineMethodRunner
 from repro.graph import isomorphic
 from repro.storage import RelationalEngine
 from repro.tarski import TarskiEngine
-from repro.txn import Savepoint, Transaction, faults, guards, inject, limits
+from repro.txn import Transaction, faults, guards, inject, limits
 from repro.txn.snapshot import capture, is_transactional, restore
 
 from tests.conftest import person_pattern
