@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
+from repro.core import counters as _counters
 from repro.core.errors import SchemeError
 from repro.core.instance import Instance
 from repro.core.matching import Matching, find_matchings
@@ -176,40 +177,59 @@ def find_matchings_with_inheritance(
 def materialize_inheritance(instance: Instance) -> int:
     """Build the virtual instance in place; return #edges added.
 
-    Repeatedly copies each outgoing non-isa property of the target of
-    an instance-level isa edge onto the source, skipping functional
+    Copies each outgoing non-isa property of the target of an
+    instance-level isa edge onto the source, skipping functional
     properties the source already has, until a fixpoint.  The
     instance's scheme is replaced by its :func:`virtual_scheme`.
+
+    Evaluation is delta-driven: the first pass visits every node, and
+    each later pass revisits only the isa-children of nodes that gained
+    edges in the previous pass (copied edges can cascade down isa
+    chains — nothing else changes between passes).  Passes charge the
+    :mod:`repro.core.counters` round tally.
     """
     scheme = virtual_scheme(instance.scheme)
     instance.restrict_to(scheme)  # rebinds; removes nothing (superset scheme)
     isa_labels = scheme.isa_labels
     added = 0
-    changed = True
-    while changed:
-        changed = False
-        for node_id in list(instance.nodes()):
-            node_label = instance.label_of(node_id)
-            if not scheme.is_object_label(node_label):
-                continue
-            for isa_label in sorted(isa_labels):
-                for parent in sorted(instance.out_neighbours(node_id, isa_label)):
-                    for edge in list(instance.store.out_edges(parent)):
-                        if edge.label in isa_labels:
-                            continue
-                        if instance.has_edge(node_id, edge.label, edge.target):
-                            continue
-                        if scheme.is_functional(edge.label) and instance.out_neighbours(
-                            node_id, edge.label
-                        ):
-                            continue
-                        if not scheme.allows_edge(
-                            node_label, edge.label, instance.label_of(edge.target)
-                        ):
-                            continue
-                        instance.add_edge(node_id, edge.label, edge.target)
-                        added += 1
-                        changed = True
+
+    def copy_from_parents(node_id: int) -> int:
+        node_label = instance.label_of(node_id)
+        if not scheme.is_object_label(node_label):
+            return 0
+        copied = 0
+        for isa_label in sorted(isa_labels):
+            for parent in sorted(instance.out_neighbours(node_id, isa_label)):
+                for edge in list(instance.store.out_edges(parent)):
+                    if edge.label in isa_labels:
+                        continue
+                    if instance.has_edge(node_id, edge.label, edge.target):
+                        continue
+                    if scheme.is_functional(edge.label) and instance.out_neighbours(
+                        node_id, edge.label
+                    ):
+                        continue
+                    if not scheme.allows_edge(
+                        node_label, edge.label, instance.label_of(edge.target)
+                    ):
+                        continue
+                    instance.add_edge(node_id, edge.label, edge.target)
+                    copied += 1
+        return copied
+
+    frontier = sorted(instance.nodes())
+    while frontier:
+        with instance.track_changes() as delta:
+            for node_id in frontier:
+                added += copy_from_parents(node_id)
+        _counters.charge(rounds=1)
+        # only the isa-children of nodes that just gained edges can
+        # still have something new to copy
+        dirty: Set[int] = set()
+        for source, _, _ in delta.sorted_edges():
+            for isa_label in isa_labels:
+                dirty.update(instance.in_neighbours(source, isa_label))
+        frontier = sorted(dirty)
     return added
 
 

@@ -21,11 +21,12 @@ instances and therefore reuse this class (see
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, FrozenSet, Iterator, Optional, Set, Tuple
 
 from repro.core.errors import InstanceError
 from repro.core.scheme import Scheme
-from repro.graph.store import NO_PRINT, Edge, GraphStore, NodeRecord
+from repro.graph.store import NO_PRINT, Delta, Edge, GraphStore, NodeRecord
 
 
 class Instance:
@@ -220,6 +221,40 @@ class Instance:
     def edge_count(self) -> int:
         """Number of edges."""
         return self._store.edge_count
+
+    @property
+    def generation(self) -> int:
+        """The store's monotone mutation counter."""
+        return self._store.generation
+
+    # ------------------------------------------------------------------
+    # change tracking (semi-naive evaluation support)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def track_changes(self) -> Iterator[Delta]:
+        """Record all additions inside the ``with`` block into a delta.
+
+        ::
+
+            with instance.track_changes() as delta:
+                operation.apply(instance)
+            # delta.nodes / delta.edges now hold what was added
+
+        The delta is the seed set for
+        :func:`repro.core.matching.find_matchings_delta` — the matcher
+        behind the semi-naive rule engine.  Tracking attaches to the
+        *current* store, so the block must not swap the store out (a
+        transaction rollback mid-block detaches the recorder safely:
+        the delta simply stops receiving changes).
+        """
+        store = self._store
+        delta = store.start_tracking()
+        try:
+            yield delta
+        finally:
+            # detach from the store tracking started on, even if a
+            # rollback swapped ``self._store`` out mid-block
+            store.stop_tracking(delta)
 
     # ------------------------------------------------------------------
     # whole-instance operations

@@ -20,7 +20,10 @@ expressive power of the basic language; they are *macros*:
   terminates (the edge universe is finite once the instance's nodes
   are fixed); recursive *node* addition "can result in an infinite
   sequence" — exactly as the paper warns — so it takes a round bound
-  and raises when exceeded.  Fig. 29's method-based simulation of the
+  and raises when exceeded.  Both starred macros evaluate
+  **semi-naively**: repetitions after the first match only against the
+  previous repetition's delta (see :mod:`repro.rules.engine` for the
+  general discipline).  Fig. 29's method-based simulation of the
   starred macro lives in :mod:`repro.hypermedia.figures` and is tested
   equivalent.
 """
@@ -30,10 +33,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core import counters as _counters
 from repro.core.errors import OperationError
 from repro.core.instance import Instance
 from repro.core.labels import date_ordinal
-from repro.core.matching import Matching, find_negated
+from repro.core.matching import Matching, find_matchings_delta, find_negated
 from repro.core.operations import (
     EdgeAddition,
     NodeAddition,
@@ -42,6 +46,7 @@ from repro.core.operations import (
     OperationReport,
 )
 from repro.core.pattern import NegatedPattern, Pattern, PrintPredicate
+from repro.txn import guards as _guards
 
 # ----------------------------------------------------------------------
 # negation
@@ -175,11 +180,37 @@ def date_between(low: str, high: str) -> PrintPredicate:
 # ----------------------------------------------------------------------
 
 
+def _delta_round(
+    operation: Operation,
+    instance: Instance,
+    delta,
+    context: Optional[object],
+) -> OperationReport:
+    """One semi-naive round: apply over the delta-constrained matchings.
+
+    The caller guarantees a plain (non-crossed) source pattern and that
+    ``delta`` records the previous round's additions.
+    """
+    operation.extend_scheme(instance.scheme)
+    operation.materialize_constants(instance)
+    found = list(find_matchings_delta(operation.source_pattern, instance, delta))
+    _guards.charge_matchings(len(found), delta=True)
+    _counters.charge(delta_matchings=len(found))
+    return operation.apply(instance, context, matchings=found)
+
+
 class RecursiveEdgeAddition(Operation):
     """A starred edge addition: repeat until no new edges appear.
 
     Terminates because the node set is fixed and the edge universe is
     finite; the round count is still reported for the benchmarks.
+
+    Evaluation is semi-naive: round 1 matches the whole instance, every
+    later round only the matchings touching the previous round's delta
+    (a matching inside older structure already fired in an earlier
+    round).  Crossed source patterns fall back to full rematching —
+    a crossed part's *absence* can validate matchings the delta never
+    touches.
     """
 
     kind = "EA*"
@@ -192,11 +223,20 @@ class RecursiveEdgeAddition(Operation):
         return RecursiveEdgeAddition(self.edge_addition.replace_pattern(pattern))
 
     def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        seminaive = not isinstance(self.source_pattern, NegatedPattern)
         sub_reports: List[OperationReport] = []
         edges_added: List = []
+        delta = None
         while True:
-            report = self.edge_addition.apply(instance, context)
+            if seminaive and delta is not None:
+                with instance.track_changes() as new_delta:
+                    report = _delta_round(self.edge_addition, instance, delta, context)
+            else:
+                with instance.track_changes() as new_delta:
+                    report = self.edge_addition.apply(instance, context)
+            _counters.charge(rounds=1)
             sub_reports.append(report)
+            delta = new_delta
             if not report.edges_added:
                 break
             edges_added.extend(report.edges_added)
@@ -227,12 +267,21 @@ class RecursiveNodeAddition(Operation):
         return RecursiveNodeAddition(self.node_addition.replace_pattern(pattern), self.max_rounds)
 
     def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+        seminaive = not isinstance(self.source_pattern, NegatedPattern)
         sub_reports: List[OperationReport] = []
         nodes_added: List[int] = []
         edges_added: List = []
+        delta = None
         for _ in range(self.max_rounds):
-            report = self.node_addition.apply(instance, context)
+            if seminaive and delta is not None:
+                with instance.track_changes() as new_delta:
+                    report = _delta_round(self.node_addition, instance, delta, context)
+            else:
+                with instance.track_changes() as new_delta:
+                    report = self.node_addition.apply(instance, context)
+            _counters.charge(rounds=1)
             sub_reports.append(report)
+            delta = new_delta
             if not report.nodes_added:
                 return OperationReport(
                     operation=f"NA*[{self.node_addition.describe()} x{len(sub_reports)}]",

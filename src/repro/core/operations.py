@@ -42,12 +42,13 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.core import counters as _counters
 from repro.core.errors import EdgeConflictError, OperationError
 from repro.core.instance import Instance
 from repro.core.matching import Matching, find_any
 from repro.core.pattern import NegatedPattern, Pattern
 from repro.core.scheme import Scheme
-from repro.graph.store import Edge
+from repro.graph.store import Delta, Edge
 from repro.core.labels import is_reserved
 from repro.txn import guards as _guards
 
@@ -72,6 +73,21 @@ class OperationReport:
             f"+{len(self.nodes_added)}/-{len(self.nodes_removed)} nodes, "
             f"+{len(self.edges_added)}/-{len(self.edges_removed)} edges"
         )
+
+    def to_delta(self) -> Delta:
+        """This report's additions as a :class:`~repro.graph.store.Delta`.
+
+        Makes any operation report usable as a semi-naive seed set —
+        e.g. to delta-match a follow-up pattern against only what one
+        operation just created.  Sub-reports are folded in recursively.
+        """
+        delta = Delta(
+            nodes=set(self.nodes_added),
+            edges={edge.as_tuple() for edge in self.edges_added},
+        )
+        for sub in self.sub_reports:
+            delta.merge(sub.to_delta())
+        return delta
 
 
 class Operation:
@@ -109,10 +125,12 @@ class Operation:
 
         Crossed source patterns get the Fig. 26 negation semantics.
         Charges the enumeration against any armed resource guard
-        (:mod:`repro.txn.guards`).
+        (:mod:`repro.txn.guards`) and tallies it as a full enumeration
+        on any armed match counters (:mod:`repro.core.counters`).
         """
         found = list(find_any(self.source_pattern, instance))
         _guards.charge_matchings(len(found))
+        _counters.charge(full_matchings=len(found))
         return found
 
     def materialize_constants(self, instance: Instance) -> None:
@@ -192,13 +210,27 @@ class NodeAddition(Operation):
                 target_label = self.source_pattern.label_of(target)
                 scheme.add_property(self.node_label, edge_label, target_label)
 
-    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+    def apply(
+        self,
+        instance: Instance,
+        context: Optional[object] = None,
+        *,
+        matchings: Optional[List[Matching]] = None,
+    ) -> OperationReport:
+        """Apply the addition; ``matchings`` overrides the enumeration.
+
+        The ``matchings`` hook is the semi-naive engine's entry point:
+        it passes the delta-constrained matchings so only new work is
+        performed.  Callers providing it are responsible for guard and
+        counter charging.
+        """
         self.extend_scheme(instance.scheme)
         self.materialize_constants(instance)
         nodes_added: List[int] = []
         edges_added: List[Edge] = []
         reused = 0
-        matchings = self.matchings(instance)
+        if matchings is None:
+            matchings = self.matchings(instance)
         for matching in matchings:
             targets = tuple(matching[m] for _, m in self.edges)
             if self._existing_node(instance, targets) is not None:
@@ -300,10 +332,19 @@ class EdgeAddition(Operation):
                     )
                 scheme.add_property(source_label, edge_label, target_label)
 
-    def apply(self, instance: Instance, context: Optional[object] = None) -> OperationReport:
+    def apply(
+        self,
+        instance: Instance,
+        context: Optional[object] = None,
+        *,
+        matchings: Optional[List[Matching]] = None,
+    ) -> OperationReport:
+        """Apply the addition; ``matchings`` overrides the enumeration
+        (the semi-naive engine's hook — see :class:`NodeAddition`)."""
         self.extend_scheme(instance.scheme)
         self.materialize_constants(instance)
-        matchings = self.matchings(instance)
+        if matchings is None:
+            matchings = self.matchings(instance)
         planned: List[Tuple[int, str, int]] = []
         seen: Set[Tuple[int, str, int]] = set()
         for matching in matchings:

@@ -39,6 +39,7 @@ KEYWORDS = {
     "addedge",
     "delnode",
     "deledge",
+    "recursive",
     "abstract",
     "method",
     "call",

@@ -4,7 +4,9 @@ Grammar (EBNF; ``IDENT`` may not contain ``-``, labels may — the
 parser reassembles dashed labels)::
 
     program    := (method | statement)+
-    statement  := addnode | addedge | delnode | deledge | abstract | call
+    statement  := addnode | addedge | delnode | deledge | abstract
+                | call | recursive
+    recursive  := 'recursive' (addnode | addedge)
     method     := 'method' label ['(' param (',' param)* ')'] 'on' label
                   ['keeps' triple (',' triple)*] '{' statement+ '}'
     param      := label ':' label
@@ -225,6 +227,15 @@ class _Parser:
 
     def parse_statement(self) -> Tuple[str, Any]:
         token = self.peek()
+        if token.kind == "recursive":
+            self.advance()
+            inner_kind, inner_payload = self.parse_statement()
+            if inner_kind not in ("addnode", "addedge"):
+                raise DslError(
+                    f"line {token.line}:{token.column}: 'recursive' applies to "
+                    f"addnode/addedge statements, not {inner_kind!r}"
+                )
+            return ("recursive", (inner_kind, inner_payload))
         if token.kind == "addnode":
             self.advance()
             node_label = self.parse_label()
@@ -400,6 +411,14 @@ def parse_pattern(text: str, scheme: Scheme) -> Tuple[Union[Pattern, NegatedPatt
 
 
 def _compile_statement(kind: str, payload: Any, scheme: Scheme) -> Tuple[Operation, Dict[str, int]]:
+    if kind == "recursive":
+        from repro.core.macros import RecursiveEdgeAddition, RecursiveNodeAddition
+
+        inner_kind, inner_payload = payload
+        operation, variables = _compile_statement(inner_kind, inner_payload, scheme)
+        if inner_kind == "addedge":
+            return RecursiveEdgeAddition(operation), variables
+        return RecursiveNodeAddition(operation), variables
     if kind == "addnode":
         node_label, bindings, block = payload
         pattern, variables = _build_pattern(block, scheme)

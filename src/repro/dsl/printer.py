@@ -132,8 +132,13 @@ def pattern_to_dsl(
 
 def operation_to_dsl(operation: Operation, scheme: Scheme, names=None) -> str:
     """Render an operation (or method call) as a statement."""
+    from repro.core.macros import RecursiveEdgeAddition, RecursiveNodeAddition
     from repro.core.methods import MethodCall
 
+    if isinstance(operation, RecursiveEdgeAddition):
+        return "recursive " + operation_to_dsl(operation.edge_addition, scheme, names)
+    if isinstance(operation, RecursiveNodeAddition):
+        return "recursive " + operation_to_dsl(operation.node_addition, scheme, names)
     block = pattern_to_dsl(operation.source_pattern, scheme, names)
     if isinstance(operation, MethodCall):
         receiver = _name_of(operation.receiver, names)

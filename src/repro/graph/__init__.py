@@ -14,9 +14,10 @@ GOOD operations).  It provides:
 
 from repro.graph.diff import GraphDiff, graph_diff
 from repro.graph.iso import find_isomorphism, isomorphic
-from repro.graph.store import NO_PRINT, Edge, GraphStore, GraphStoreError, NodeRecord
+from repro.graph.store import NO_PRINT, Delta, Edge, GraphStore, GraphStoreError, NodeRecord
 
 __all__ = [
+    "Delta",
     "Edge",
     "GraphDiff",
     "GraphStore",

@@ -22,12 +22,61 @@ makes every operation in the reproduction reproducible run-to-run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterator, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 
 class GraphStoreError(Exception):
     """Raised on graph-level integrity violations (unknown node, ...)."""
+
+
+@dataclass
+class Delta:
+    """A recorded batch of additions: the unit of semi-naive evaluation.
+
+    A delta holds the nodes and edges added to a store while it was
+    attached as a tracker (``GraphStore.start_tracking``), plus the
+    store generation at which recording began.  The generation counter
+    is monotone across *all* mutations, so two deltas from the same
+    store are ordered by ``start_generation``.
+
+    Removals are rare in the fixpoint paths that consume deltas (rules
+    only add), but for safety a tracked removal retracts the item from
+    the delta so a delta never advertises structure the store lost.
+    """
+
+    nodes: Set[int] = field(default_factory=set)
+    edges: Set[Tuple[int, str, int]] = field(default_factory=set)
+    start_generation: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether nothing was recorded."""
+        return not self.nodes and not self.edges
+
+    def __len__(self) -> int:
+        return len(self.nodes) + len(self.edges)
+
+    def merge(self, other: "Delta") -> "Delta":
+        """Fold ``other`` into this delta; returns ``self``."""
+        self.nodes |= other.nodes
+        self.edges |= other.edges
+        self.start_generation = min(self.start_generation, other.start_generation)
+        return self
+
+    def sorted_nodes(self) -> List[int]:
+        """The recorded nodes in deterministic (ascending) order."""
+        return sorted(self.nodes)
+
+    def sorted_edges(self) -> List[Tuple[int, str, int]]:
+        """The recorded edges in deterministic order."""
+        return sorted(self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Delta(nodes={len(self.nodes)}, edges={len(self.edges)}, "
+            f"from_generation={self.start_generation})"
+        )
 
 
 class _NoPrint:
@@ -85,7 +134,17 @@ class Edge:
 class GraphStore:
     """A mutable labeled directed multigraph with adjacency indexes."""
 
-    __slots__ = ("_nodes", "_out", "_in", "_by_label", "_by_print", "_next_id", "_edge_count")
+    __slots__ = (
+        "_nodes",
+        "_out",
+        "_in",
+        "_by_label",
+        "_by_print",
+        "_next_id",
+        "_edge_count",
+        "_generation",
+        "_trackers",
+    )
 
     def __init__(self) -> None:
         self._nodes: Dict[int, NodeRecord] = {}
@@ -96,6 +155,35 @@ class GraphStore:
         self._by_print: Dict[Tuple[str, Any], Set[int]] = {}
         self._next_id = 0
         self._edge_count = 0
+        self._generation = 0
+        self._trackers: List[Delta] = []
+
+    # ------------------------------------------------------------------
+    # change tracking
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter (bumps on every successful change)."""
+        return self._generation
+
+    def start_tracking(self) -> Delta:
+        """Attach and return a fresh :class:`Delta` recorder.
+
+        Until :meth:`stop_tracking`, every added node/edge is recorded
+        in the delta (and retracted again if removed while tracked).
+        Trackers nest; each records independently.
+        """
+        delta = Delta(start_generation=self._generation)
+        self._trackers.append(delta)
+        return delta
+
+    def stop_tracking(self, delta: Delta) -> Delta:
+        """Detach a recorder previously returned by :meth:`start_tracking`."""
+        try:
+            self._trackers.remove(delta)
+        except ValueError:
+            raise GraphStoreError("delta is not attached to this store") from None
+        return delta
 
     # ------------------------------------------------------------------
     # node operations
@@ -120,6 +208,9 @@ class GraphStore:
         self._by_label.setdefault(label, set()).add(node_id)
         if print_value is not NO_PRINT:
             self._by_print.setdefault((label, print_value), set()).add(node_id)
+        self._generation += 1
+        for tracker in self._trackers:
+            tracker.nodes.add(node_id)
         return node_id
 
     def remove_node(self, node_id: int) -> None:
@@ -138,6 +229,9 @@ class GraphStore:
         del self._nodes[node_id]
         del self._out[node_id]
         del self._in[node_id]
+        self._generation += 1
+        for tracker in self._trackers:
+            tracker.nodes.discard(node_id)
 
     def set_print(self, node_id: int, print_value: Any) -> None:
         """Attach or replace the print value of ``node_id``."""
@@ -150,6 +244,7 @@ class GraphStore:
         self._nodes[node_id] = NodeRecord(record.label, print_value)
         if print_value is not NO_PRINT:
             self._by_print.setdefault((record.label, print_value), set()).add(node_id)
+        self._generation += 1
 
     def has_node(self, node_id: int) -> bool:
         """Whether ``node_id`` exists in the store."""
@@ -206,6 +301,9 @@ class GraphStore:
         targets.add(target)
         self._in[target].setdefault(label, set()).add(source)
         self._edge_count += 1
+        self._generation += 1
+        for tracker in self._trackers:
+            tracker.edges.add((source, label, target))
         return True
 
     def remove_edge(self, source: int, label: str, target: int) -> bool:
@@ -221,6 +319,9 @@ class GraphStore:
         if not sources:
             del self._in[target][label]
         self._edge_count -= 1
+        self._generation += 1
+        for tracker in self._trackers:
+            tracker.edges.discard((source, label, target))
         return True
 
     def has_edge(self, source: int, label: str, target: int) -> bool:
@@ -294,6 +395,8 @@ class GraphStore:
         clone._by_print = {key: set(ns) for key, ns in self._by_print.items()}
         clone._next_id = self._next_id
         clone._edge_count = self._edge_count
+        clone._generation = self._generation
+        # trackers deliberately do not carry over: a copy records afresh
         return clone
 
     def degree(self, node_id: int) -> int:

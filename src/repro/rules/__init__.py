@@ -26,6 +26,22 @@ starred macros where those apply, and strictly more convenient for
 mutually recursive derivations.
 """
 
-from repro.rules.engine import Rule, RuleProgram, StratificationError, derive
+from repro.rules.engine import (
+    STRATEGIES,
+    FixpointStats,
+    RoundStats,
+    Rule,
+    RuleProgram,
+    StratificationError,
+    derive,
+)
 
-__all__ = ["Rule", "RuleProgram", "StratificationError", "derive"]
+__all__ = [
+    "STRATEGIES",
+    "FixpointStats",
+    "RoundStats",
+    "Rule",
+    "RuleProgram",
+    "StratificationError",
+    "derive",
+]

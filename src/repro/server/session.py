@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.core import counters as _counters
 from repro.server import protocol
 from repro.server.catalog import ServedDatabase
 from repro.server.protocol import ProtocolError, require_arg
@@ -194,7 +195,10 @@ class ServerSession:
     @_verb("RUN", "write")
     def _run(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
         source = require_arg(args, "program", str)
-        reports = database.run_program(source)
+        # the handler runs wholly inside one worker thread, so the
+        # thread-local collector sees exactly this request's work
+        with _counters.collect() as tally:
+            reports = database.run_program(source)
         nodes, edges = database.counts()
         return {
             "reports": [_report_json(report) for report in reports],
@@ -204,6 +208,10 @@ class ServerSession:
                 "runs": 1,
                 "operations_applied": len(reports),
                 "matchings_enumerated": sum(r.matching_count for r in reports),
+                "full_matchings": tally.full_matchings,
+                "delta_matchings": tally.delta_matchings,
+                "fixpoint_rounds": tally.rounds,
+                "fixpoint_runs": tally.fixpoint_runs,
             },
         }
 
@@ -218,7 +226,8 @@ class ServerSession:
     @_verb("QUERY", "read")
     def _query(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
         source = require_arg(args, "program", str)
-        reports, (nodes, edges) = database.query_program(source)
+        with _counters.collect() as tally:
+            reports, (nodes, edges) = database.query_program(source)
         return {
             "reports": [_report_json(report) for report in reports],
             "result_nodes": nodes,
@@ -226,6 +235,10 @@ class ServerSession:
             "_charges": {
                 "queries": 1,
                 "matchings_enumerated": sum(r.matching_count for r in reports),
+                "full_matchings": tally.full_matchings,
+                "delta_matchings": tally.delta_matchings,
+                "fixpoint_rounds": tally.rounds,
+                "fixpoint_runs": tally.fixpoint_runs,
             },
         }
 

@@ -67,6 +67,13 @@ class DatabaseStats:
         self.matchings_enumerated = 0
         self.operations_applied = 0
         self.rollbacks = 0
+        # matcher/fixpoint work split (repro.core.counters tallies):
+        # how much matching was full vs delta-constrained, and how many
+        # fixpoint rounds/evaluations ran on behalf of this database
+        self.full_matchings = 0
+        self.delta_matchings = 0
+        self.fixpoint_rounds = 0
+        self.fixpoint_runs = 0
         self.latency = LatencyRing(ring_capacity)
 
     def record_request(self, seconds: float, error: bool = False) -> None:
@@ -84,6 +91,10 @@ class DatabaseStats:
             "matchings_enumerated": self.matchings_enumerated,
             "operations_applied": self.operations_applied,
             "rollbacks": self.rollbacks,
+            "full_matchings": self.full_matchings,
+            "delta_matchings": self.delta_matchings,
+            "fixpoint_rounds": self.fixpoint_rounds,
+            "fixpoint_runs": self.fixpoint_runs,
             "latency": self.latency.snapshot(),
         }
 

@@ -54,16 +54,27 @@ class ResourceGuard:
     def __init__(self, resource_limits: ResourceLimits) -> None:
         self.limits = resource_limits
         self.matchings_used = 0
+        self.delta_matchings_used = 0
         self.max_depth_seen = 0
 
-    def charge_matchings(self, count: int) -> None:
-        """Charge one enumeration of ``count`` matchings."""
+    def charge_matchings(self, count: int, delta: bool = False) -> None:
+        """Charge one enumeration of ``count`` matchings.
+
+        ``delta`` marks delta-constrained enumerations (the semi-naive
+        engine); they charge the same budget — a budget bounds *total*
+        matcher output regardless of discipline — but are tallied
+        separately so overrun reports can show how much of the budget
+        went to incremental work.
+        """
         self.matchings_used += count
+        if delta:
+            self.delta_matchings_used += count
         budget = self.limits.max_matchings
         if budget is not None and self.matchings_used > budget:
             raise ResourceLimitError(
                 f"matching budget exceeded: {self.matchings_used} matchings "
-                f"enumerated, limit is {budget}"
+                f"enumerated ({self.delta_matchings_used} delta-constrained), "
+                f"limit is {budget}"
             )
 
     def check_call_depth(self, depth: int) -> None:
@@ -110,12 +121,12 @@ def active_guards() -> Tuple[ResourceGuard, ...]:
     return tuple(_stack())
 
 
-def charge_matchings(count: int) -> None:
+def charge_matchings(count: int, delta: bool = False) -> None:
     """Hook: a matcher enumerated ``count`` matchings."""
     stack = _stack()
     if stack:
         for guard in tuple(stack):
-            guard.charge_matchings(count)
+            guard.charge_matchings(count, delta=delta)
 
 
 def check_call_depth(depth: int) -> None:

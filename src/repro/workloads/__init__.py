@@ -9,21 +9,27 @@ seeded RNG for reproducibility.
 
 from repro.workloads.generators import (
     chain_instance,
+    grid_instance,
     random_basic_program,
     random_instance,
     random_pattern,
+    random_rule_program,
     random_scheme,
     scale_free_instance,
+    tree_instance,
 )
 from repro.workloads.relational import random_expression, random_relational_database
 
 __all__ = [
     "chain_instance",
+    "grid_instance",
     "random_basic_program",
     "random_expression",
     "random_instance",
     "random_pattern",
     "random_relational_database",
+    "random_rule_program",
     "random_scheme",
     "scale_free_instance",
+    "tree_instance",
 ]

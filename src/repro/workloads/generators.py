@@ -227,6 +227,96 @@ def chain_instance(scheme: Scheme, length: int) -> Tuple[Instance, List[int]]:
     return instance, nodes
 
 
+def grid_instance(scheme: Scheme, width: int, height: int) -> Tuple[Instance, List[int]]:
+    """A ``width`` × ``height`` links-to grid of Info nodes.
+
+    Each cell links to its right and down neighbours — the classic
+    many-shortest-paths workload for transitive-closure benchmarks.
+    """
+    instance = Instance(scheme)
+    grid = [[instance.add_object("Info") for _ in range(width)] for _ in range(height)]
+    for row in range(height):
+        for col in range(width):
+            if col + 1 < width:
+                instance.add_edge(grid[row][col], "links-to", grid[row][col + 1])
+            if row + 1 < height:
+                instance.add_edge(grid[row][col], "links-to", grid[row + 1][col])
+    return instance, [node for row in grid for node in row]
+
+
+def tree_instance(scheme: Scheme, depth: int, fanout: int = 2) -> Tuple[Instance, List[int]]:
+    """A complete links-to tree of Info nodes, ``depth`` levels deep."""
+    instance = Instance(scheme)
+    root = instance.add_object("Info")
+    nodes = [root]
+    frontier = [root]
+    for _ in range(depth):
+        next_frontier: List[int] = []
+        for parent in frontier:
+            for _ in range(fanout):
+                child = instance.add_object("Info")
+                instance.add_edge(parent, "links-to", child)
+                nodes.append(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return instance, nodes
+
+
+def random_rule_program(
+    rng: random.Random,
+    scheme: Scheme,
+    node_label: str = "Info",
+    base_labels: Tuple[str, ...] = ("links-to",),
+    n_levels: int = 2,
+    rules_per_level: int = 2,
+):
+    """A random rule program over ``node_label``, stratified by construction.
+
+    Derived labels are levelled ``d0 < d1 < ...``: a level-*i* rule's
+    condition uses base labels, lower-level derived labels and
+    (recursively) ``d_i`` positively, and may negate a strictly lower
+    level through a crossed extension.  Every generated program
+    therefore stratifies while still exercising recursion and negation
+    — the input the fixpoint-equivalence property tests need.
+    """
+    from repro.core.pattern import NegatedPattern
+    from repro.rules import Rule
+
+    private = scheme.copy()
+    derived = [f"d{level}" for level in range(n_levels)]
+    for label in derived:
+        private.declare(node_label, label, node_label, functional=False)
+    rules = []
+    counter = 0
+    for level in range(n_levels):
+        usable = list(base_labels) + derived[: level + 1]
+        lower = derived[:level]
+        for _ in range(rules_per_level):
+            pattern = Pattern(private)
+            nodes = [pattern.add_node(node_label) for _ in range(rng.randint(2, 3))]
+            for left, right in zip(nodes, nodes[1:]):
+                pattern.add_edge(left, rng.choice(usable), right)
+            source = pattern
+            if lower and rng.random() < 0.4:
+                extension = pattern.copy()
+                extra = extension.add_node(node_label)
+                extension.add_edge(rng.choice(nodes), rng.choice(lower), extra)
+                source = NegatedPattern(pattern)
+                source.forbid(extension)
+            counter += 1
+            rules.append(
+                Rule(
+                    f"r{counter}",
+                    EdgeAddition(
+                        source,
+                        [(nodes[0], derived[level], nodes[-1])],
+                        new_label_kinds={derived[level]: "multivalued"},
+                    ),
+                )
+            )
+    return rules
+
+
 def scale_free_instance(
     rng: random.Random, scheme: Scheme, n_nodes: int, attach: int = 2
 ) -> Tuple[Instance, List[int]]:
