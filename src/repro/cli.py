@@ -109,6 +109,35 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.dsl import parse_pattern
+    from repro.plan import explain_pattern
+
+    try:
+        instance = load_instance(args.instance)
+        if args.pattern.startswith("@"):
+            with open(args.pattern[1:]) as handle:
+                source = handle.read()
+        else:
+            source = args.pattern
+        pattern, _bindings = parse_pattern(source, instance.scheme)
+    except (GoodError, OSError, ValueError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    print(explain_pattern(pattern, instance))
+    if args.execute:
+        from repro.core import find_matchings
+        from repro.core.macros import match_negated
+        from repro.core.pattern import NegatedPattern
+
+        if isinstance(pattern, NegatedPattern):
+            total = len(list(match_negated(pattern, instance)))
+        else:
+            total = sum(1 for _ in find_matchings(pattern, instance))
+        print(f"matchings: {total}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.dsl import parse_program
     from repro.io import save_instance
@@ -357,8 +386,9 @@ def _cmd_connect(args: argparse.Namespace) -> int:
             return 1
     print(
         "Enter DSL statements (end with a blank line) to RUN them remotely.\n"
-        "Commands: :use NAME, :list, :match {PATTERN}, :browse NODE [HOPS],\n"
-        ":limit MATCHINGS [DEPTH], :undo, :save FILE, :stats, :quit"
+        "Commands: :use NAME, :list, :match {PATTERN}, :explain {PATTERN},\n"
+        ":browse NODE [HOPS], :limit MATCHINGS [DEPTH], :undo, :save FILE,\n"
+        ":stats, :quit"
     )
     code = _connect_repl(client)
     client.close()
@@ -392,6 +422,10 @@ def _connect_repl(client) -> int:
             print(f"{found['total']} matchings")
             for matching in found["matchings"][:20]:
                 print(f"  {matching}")
+        elif name == ":explain" and argument:
+            explained = client.explain(argument)
+            print(explained["text"])
+            print(f"(backend={explained['backend']}, cached={explained['cached']})")
         elif name == ":browse" and argument:
             parts = argument.split()
             found = client.browse(int(parts[0]), hops=int(parts[1]) if len(parts) > 1 else 1)
@@ -491,6 +525,20 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="census of a JSON instance")
     stats.add_argument("file")
     stats.set_defaults(handler=_cmd_stats)
+
+    explain = commands.add_parser(
+        "explain", help="show the match plan for a DSL pattern (no execution)"
+    )
+    explain.add_argument("instance", help="JSON instance file")
+    explain.add_argument(
+        "pattern", help="DSL pattern text, or @FILE to read the pattern from FILE"
+    )
+    explain.add_argument(
+        "--execute",
+        action="store_true",
+        help="also run the plan and print the matching count",
+    )
+    explain.set_defaults(handler=_cmd_explain)
 
     run = commands.add_parser(
         "run", help="run a DSL program (see repro.dsl) against a JSON instance"

@@ -37,6 +37,7 @@ from repro.core.matching import (
     Matching,
     count_matchings,
     find_matchings,
+    find_matchings_backtracking,
     find_matchings_naive,
     match_exists,
 )
@@ -80,6 +81,7 @@ __all__ = [
     "empty_pattern",
     "ExecutionContext",
     "find_matchings",
+    "find_matchings_backtracking",
     "find_matchings_naive",
     "GoodError",
     "HeadBindings",

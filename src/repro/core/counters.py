@@ -11,7 +11,11 @@ collector tallies, for everything executed while it is armed,
   matching (:func:`repro.core.matching.find_matchings_delta`);
 * ``rounds`` — fixpoint rounds executed (rule strata, starred macros,
   inheritance materialisation passes);
-* ``fixpoint_runs`` — completed fixpoint evaluations.
+* ``fixpoint_runs`` — completed fixpoint evaluations;
+* ``plan_cache_hits`` / ``plan_cache_misses`` — pattern-plan cache
+  outcomes (:mod:`repro.plan.cache`; a miss is a compilation);
+* ``index_probes`` — adjacency/edge-index reads the plan executor
+  performed (:mod:`repro.plan.executor`).
 
 Arming mirrors :mod:`repro.txn.guards`: a thread-local stack of
 collectors, so one server session's work never tallies into another's.
@@ -40,6 +44,9 @@ class MatchCounters:
     delta_matchings: int = 0
     rounds: int = 0
     fixpoint_runs: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    index_probes: int = 0
 
     @property
     def matchings(self) -> int:
@@ -53,6 +60,9 @@ class MatchCounters:
             "delta_matchings": self.delta_matchings,
             "rounds": self.rounds,
             "fixpoint_runs": self.fixpoint_runs,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "index_probes": self.index_probes,
         }
 
 
@@ -88,6 +98,9 @@ def charge(
     delta_matchings: int = 0,
     rounds: int = 0,
     fixpoint_runs: int = 0,
+    plan_cache_hits: int = 0,
+    plan_cache_misses: int = 0,
+    index_probes: int = 0,
 ) -> None:
     """Tally work against every collector armed in this thread."""
     stack = _stack()
@@ -98,3 +111,6 @@ def charge(
         tally.delta_matchings += delta_matchings
         tally.rounds += rounds
         tally.fixpoint_runs += fixpoint_runs
+        tally.plan_cache_hits += plan_cache_hits
+        tally.plan_cache_misses += plan_cache_misses
+        tally.index_probes += index_probes

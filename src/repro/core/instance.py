@@ -205,6 +205,10 @@ class Instance:
         """Sources of ``edge_label`` edges into ``node_id``."""
         return self._store.in_neighbours(node_id, edge_label)
 
+    def edges_with_label(self, edge_label: str) -> FrozenSet[Tuple[int, int]]:
+        """All ``(source, target)`` pairs carrying ``edge_label``."""
+        return self._store.edges_with_label(edge_label)
+
     def functional_target(self, node_id: int, edge_label: str) -> Optional[int]:
         """The unique α-successor for a functional label, or ``None``."""
         targets = self._store.out_neighbours(node_id, edge_label)

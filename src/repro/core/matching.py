@@ -11,15 +11,20 @@ Matchings are graph homomorphisms — they need *not* be injective (two
 pattern nodes may map to the same instance node), and the instance may
 contain arbitrarily more structure around the image.
 
-Three matchers are provided:
+Four matchers are provided:
 
-* :func:`find_matchings` — backtracking search with a
-  most-constrained-first variable order and adjacency-driven candidate
-  pruning (the production matcher);
+* :func:`find_matchings` — the production matcher: dispatches to the
+  cost-based planner (:mod:`repro.plan`), which compiles the pattern
+  into a cached, selectivity-ordered index-join plan and executes it;
+* :func:`find_matchings_backtracking` — the pre-planner backtracking
+  search with a most-constrained-first variable order and
+  adjacency-driven candidate pruning, retained as an oracle (the
+  planner is property-tested equivalent to it) and as the baseline the
+  planner benchmarks measure against;
 * :func:`find_matchings_delta` — delta-constrained matching: only the
   matchings that touch a recorded :class:`~repro.graph.store.Delta`
-  are enumerated, by seeding the backtracking search from each delta
-  item (the engine behind semi-naive fixpoint evaluation);
+  are enumerated, by seeding planned searches from each delta item
+  (the engine behind semi-naive fixpoint evaluation);
 * :func:`find_matchings_naive` — the textbook enumeration in a fixed
   node order with post-hoc edge checks, kept as a correctness oracle
   and as the baseline of benchmark P2.
@@ -35,6 +40,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 from repro.core.instance import Instance
 from repro.core.pattern import NegatedPattern, Pattern
 from repro.graph.store import NO_PRINT, Delta
+from repro.plan.executor import planned_matchings as _planned_matchings
 
 #: A matching: pattern node id -> instance node id.
 Matching = Dict[int, int]
@@ -130,6 +136,30 @@ def find_matchings(
     extensions of ``fixed`` are produced (this powers the negation
     macro's "can this positive matching be enlarged?" test).  The empty
     pattern yields exactly one (empty) matching.
+
+    This dispatches to the planner-backed executor (:mod:`repro.plan`):
+    the pattern is compiled into a selectivity-ordered index-join plan
+    (cached per pattern signature and statistics epoch) and executed
+    against the store's secondary indexes.  The pre-planner matcher is
+    retained as :func:`find_matchings_backtracking`; both enumerate the
+    same matching *set*, each in its own deterministic order.
+    """
+    return _planned_matchings(pattern, instance, fixed)
+
+
+def find_matchings_backtracking(
+    pattern: Pattern,
+    instance: Instance,
+    fixed: Optional[Matching] = None,
+) -> Iterator[Matching]:
+    """The pre-planner production matcher, kept as a reference oracle.
+
+    Backtracking search over per-node base-candidate sets with a
+    most-constrained-first variable order and adjacency-driven
+    pruning.  Unlike the planner path it recomputes every pattern
+    node's base candidates per call and takes no advantage of the
+    edge-label index — which is exactly what the planner benchmarks
+    (``benchmarks/test_bench_planner.py``) quantify.
     """
     fixed = dict(fixed or {})
     for pattern_node, instance_node in fixed.items():
@@ -231,11 +261,18 @@ def find_matchings_delta(
     The search is seeded: for every (pattern edge, delta edge) pair
     with equal labels the edge's endpoints are pre-bound, and for every
     (pattern node, delta node) pair with a compatible label the node is
-    pre-bound; each seed runs the ordinary backtracking search with the
-    binding ``fixed``.  A matching reachable from several seeds is
-    yielded once (first seed wins), and the seed order is deterministic
-    (pattern items in pattern order, delta items sorted), so the
-    overall enumeration order is deterministic.
+    pre-bound; each seed runs the ordinary (planner-backed) search with
+    the binding ``fixed``, so delta items seed compiled plans directly.
+    A matching reachable from several seeds is yielded once (first seed
+    wins), and the seed order is deterministic (pattern items in
+    pattern order, delta items sorted), so the overall enumeration
+    order is deterministic.
+
+    Delta edges are bucketed by label once and filtered against the
+    store's ``edges_with_label`` index, so each pattern edge only sees
+    same-label delta edges that still exist — instead of re-scanning
+    the whole delta per pattern edge and seeding searches doomed to
+    find nothing.
 
     Callers are responsible for guard/counter charging, exactly like
     :func:`find_matchings`.
@@ -247,9 +284,16 @@ def find_matchings_delta(
         # the empty pattern's single empty matching maps nothing into
         # the delta, so semi-naive correctly yields nothing
         return
-    delta_edges = delta.sorted_edges()
     delta_nodes = delta.sorted_nodes()
     seen: Set[Tuple[int, ...]] = set()
+
+    delta_edges_by_label: Dict[str, List[Tuple[int, int]]] = {}
+    for source, label, target in delta.edges:
+        delta_edges_by_label.setdefault(label, []).append((source, target))
+    store = instance.store
+    for label, pairs in delta_edges_by_label.items():
+        live = store.edges_with_label(label)
+        delta_edges_by_label[label] = sorted(pair for pair in pairs if pair in live)
 
     def emit(found: Iterator[Matching]) -> Iterator[Matching]:
         for matching in found:
@@ -259,9 +303,7 @@ def find_matchings_delta(
                 yield matching
 
     for p_source, p_label, p_target in _pattern_edges(pattern):
-        for source, label, target in delta_edges:
-            if label != p_label:
-                continue
+        for source, target in delta_edges_by_label.get(p_label, ()):
             if p_source == p_target:
                 if source != target:
                     continue

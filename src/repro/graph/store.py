@@ -7,7 +7,18 @@ operations need:
 
 * nodes by label;
 * nodes by (label, print value);
-* outgoing and incoming adjacency, keyed by edge label.
+* outgoing and incoming adjacency, keyed by edge label;
+* edges by edge label (``edges_with_label``);
+* per-(node label, edge label) degree totals — the cardinality
+  statistics behind the pattern-match planner (:mod:`repro.plan`).
+
+The hot read accessors (``out_neighbours``, ``in_neighbours``,
+``nodes_with_label``, ``edges_with_label``) hand out *cached* frozenset
+views: repeated calls return the identical object until a mutation
+touches the underlying index, so tight matcher loops never re-copy an
+adjacency set.  Statistics are versioned by :attr:`stats_epoch`, which
+advances on every structural change (node/edge add/remove) but not on
+print-value updates — compiled plans stay optimal across ``set_print``.
 
 The store enforces only graph-level integrity (no dangling edges, no
 duplicate edges).  GOOD-specific constraints (functional edges, scheme
@@ -140,10 +151,19 @@ class GraphStore:
         "_in",
         "_by_label",
         "_by_print",
+        "_by_edge_label",
+        "_out_stats",
+        "_in_stats",
         "_next_id",
         "_edge_count",
         "_generation",
+        "_stats_epoch",
         "_trackers",
+        "_label_views",
+        "_edge_label_views",
+        "_out_views",
+        "_in_views",
+        "_plan_cache",
     )
 
     def __init__(self) -> None:
@@ -153,10 +173,26 @@ class GraphStore:
         self._in: Dict[int, Dict[str, Set[int]]] = {}
         self._by_label: Dict[str, Set[int]] = {}
         self._by_print: Dict[Tuple[str, Any], Set[int]] = {}
+        # edge label -> set of (source, target) pairs
+        self._by_edge_label: Dict[str, Set[Tuple[int, int]]] = {}
+        # (source node label, edge label) -> number of such edges;
+        # divide by the label's node count for an average out-degree
+        self._out_stats: Dict[Tuple[str, str], int] = {}
+        # (target node label, edge label) -> number of such edges
+        self._in_stats: Dict[Tuple[str, str], int] = {}
         self._next_id = 0
         self._edge_count = 0
         self._generation = 0
+        self._stats_epoch = 0
         self._trackers: List[Delta] = []
+        # cached frozenset views handed to hot readers; invalidated
+        # per-key on mutation so unrelated reads keep their objects
+        self._label_views: Dict[str, FrozenSet[int]] = {}
+        self._edge_label_views: Dict[str, FrozenSet[Tuple[int, int]]] = {}
+        self._out_views: Dict[int, Dict[str, FrozenSet[int]]] = {}
+        self._in_views: Dict[int, Dict[str, FrozenSet[int]]] = {}
+        # compiled-plan slot managed by repro.plan (per-store, not copied)
+        self._plan_cache: Optional[Dict[Any, Any]] = None
 
     # ------------------------------------------------------------------
     # change tracking
@@ -165,6 +201,18 @@ class GraphStore:
     def generation(self) -> int:
         """Monotone mutation counter (bumps on every successful change)."""
         return self._generation
+
+    @property
+    def stats_epoch(self) -> int:
+        """Monotone *structural* change counter.
+
+        Advances whenever the cardinality statistics may have shifted
+        (node or edge added/removed) but not on ``set_print`` — a plan
+        compiled against one epoch stays cost-optimal until the epoch
+        moves.  Every ``stats_epoch`` bump is also a ``generation``
+        bump, never the other way around.
+        """
+        return self._stats_epoch
 
     def start_tracking(self) -> Delta:
         """Attach and return a fresh :class:`Delta` recorder.
@@ -208,7 +256,11 @@ class GraphStore:
         self._by_label.setdefault(label, set()).add(node_id)
         if print_value is not NO_PRINT:
             self._by_print.setdefault((label, print_value), set()).add(node_id)
+        self._label_views.pop(label, None)
+        self._out_views.pop(node_id, None)
+        self._in_views.pop(node_id, None)
         self._generation += 1
+        self._stats_epoch += 1
         for tracker in self._trackers:
             tracker.nodes.add(node_id)
         return node_id
@@ -229,7 +281,11 @@ class GraphStore:
         del self._nodes[node_id]
         del self._out[node_id]
         del self._in[node_id]
+        self._label_views.pop(record.label, None)
+        self._out_views.pop(node_id, None)
+        self._in_views.pop(node_id, None)
         self._generation += 1
+        self._stats_epoch += 1
         for tracker in self._trackers:
             tracker.nodes.discard(node_id)
 
@@ -267,8 +323,15 @@ class GraphStore:
         return iter(sorted(self._nodes))
 
     def nodes_with_label(self, label: str) -> FrozenSet[int]:
-        """All node ids carrying ``label``."""
-        return frozenset(self._by_label.get(label, frozenset()))
+        """All node ids carrying ``label`` (a cached frozenset view).
+
+        The returned object is identical across calls until a node
+        with this label is added or removed.
+        """
+        view = self._label_views.get(label)
+        if view is None:
+            view = self._label_views[label] = frozenset(self._by_label.get(label, ()))
+        return view
 
     def nodes_with_print(self, label: str, print_value: Any) -> FrozenSet[int]:
         """All node ids with the given label *and* print value."""
@@ -293,15 +356,24 @@ class GraphStore:
     # ------------------------------------------------------------------
     def add_edge(self, source: int, label: str, target: int) -> bool:
         """Insert the edge; return ``False`` if it was already present."""
-        self._require(source)
-        self._require(target)
+        source_record = self._require(source)
+        target_record = self._require(target)
         targets = self._out[source].setdefault(label, set())
         if target in targets:
             return False
         targets.add(target)
         self._in[target].setdefault(label, set()).add(source)
+        self._by_edge_label.setdefault(label, set()).add((source, target))
+        out_key = (source_record.label, label)
+        self._out_stats[out_key] = self._out_stats.get(out_key, 0) + 1
+        in_key = (target_record.label, label)
+        self._in_stats[in_key] = self._in_stats.get(in_key, 0) + 1
+        self._edge_label_views.pop(label, None)
+        self._out_views.pop(source, None)
+        self._in_views.pop(target, None)
         self._edge_count += 1
         self._generation += 1
+        self._stats_epoch += 1
         for tracker in self._trackers:
             tracker.edges.add((source, label, target))
         return True
@@ -318,8 +390,26 @@ class GraphStore:
         sources.discard(source)
         if not sources:
             del self._in[target][label]
+        pairs = self._by_edge_label[label]
+        pairs.discard((source, target))
+        if not pairs:
+            del self._by_edge_label[label]
+        out_key = (self._nodes[source].label, label)
+        if self._out_stats[out_key] == 1:
+            del self._out_stats[out_key]
+        else:
+            self._out_stats[out_key] -= 1
+        in_key = (self._nodes[target].label, label)
+        if self._in_stats[in_key] == 1:
+            del self._in_stats[in_key]
+        else:
+            self._in_stats[in_key] -= 1
+        self._edge_label_views.pop(label, None)
+        self._out_views.pop(source, None)
+        self._in_views.pop(target, None)
         self._edge_count -= 1
         self._generation += 1
+        self._stats_epoch += 1
         for tracker in self._trackers:
             tracker.edges.discard((source, label, target))
         return True
@@ -329,12 +419,31 @@ class GraphStore:
         return target in self._out.get(source, {}).get(label, ())
 
     def out_neighbours(self, node_id: int, label: str) -> FrozenSet[int]:
-        """Targets of ``label``-edges leaving ``node_id``."""
-        return frozenset(self._out.get(node_id, {}).get(label, frozenset()))
+        """Targets of ``label``-edges leaving ``node_id``.
+
+        A cached frozenset view: the identical object is returned until
+        an edge incident to ``node_id`` changes.
+        """
+        views = self._out_views.get(node_id)
+        if views is None:
+            views = self._out_views[node_id] = {}
+        view = views.get(label)
+        if view is None:
+            view = views[label] = frozenset(self._out.get(node_id, {}).get(label, ()))
+        return view
 
     def in_neighbours(self, node_id: int, label: str) -> FrozenSet[int]:
-        """Sources of ``label``-edges arriving at ``node_id``."""
-        return frozenset(self._in.get(node_id, {}).get(label, frozenset()))
+        """Sources of ``label``-edges arriving at ``node_id``.
+
+        A cached frozenset view, like :meth:`out_neighbours`.
+        """
+        views = self._in_views.get(node_id)
+        if views is None:
+            views = self._in_views[node_id] = {}
+        view = views.get(label)
+        if view is None:
+            view = views[label] = frozenset(self._in.get(node_id, {}).get(label, ()))
+        return view
 
     def out_labels(self, node_id: int) -> FrozenSet[str]:
         """Edge labels leaving ``node_id``."""
@@ -383,6 +492,46 @@ class GraphStore:
         return self._edge_count
 
     # ------------------------------------------------------------------
+    # secondary indexes and cardinality statistics (planner support)
+    # ------------------------------------------------------------------
+    def edges_with_label(self, label: str) -> FrozenSet[Tuple[int, int]]:
+        """All ``(source, target)`` pairs of ``label``-edges.
+
+        A cached frozenset view: the identical object is returned until
+        an edge with this label is added or removed.
+        """
+        view = self._edge_label_views.get(label)
+        if view is None:
+            view = self._edge_label_views[label] = frozenset(self._by_edge_label.get(label, ()))
+        return view
+
+    def edge_labels_in_use(self) -> FrozenSet[str]:
+        """The set of edge labels that occur in the store."""
+        return frozenset(self._by_edge_label)
+
+    def label_count(self, label: str) -> int:
+        """Number of nodes carrying ``label`` (O(1))."""
+        nodes = self._by_label.get(label)
+        return 0 if nodes is None else len(nodes)
+
+    def edge_label_count(self, label: str) -> int:
+        """Number of edges carrying ``label`` (O(1))."""
+        pairs = self._by_edge_label.get(label)
+        return 0 if pairs is None else len(pairs)
+
+    def out_degree_total(self, node_label: str, edge_label: str) -> int:
+        """How many ``edge_label`` edges leave ``node_label`` nodes (O(1)).
+
+        Divided by :meth:`label_count`, this is the average out-degree
+        the planner uses to cost an index-probe extension.
+        """
+        return self._out_stats.get((node_label, edge_label), 0)
+
+    def in_degree_total(self, node_label: str, edge_label: str) -> int:
+        """How many ``edge_label`` edges arrive at ``node_label`` nodes (O(1))."""
+        return self._in_stats.get((node_label, edge_label), 0)
+
+    # ------------------------------------------------------------------
     # whole-graph operations
     # ------------------------------------------------------------------
     def copy(self) -> "GraphStore":
@@ -393,10 +542,15 @@ class GraphStore:
         clone._in = {n: {lbl: set(ss) for lbl, ss in adj.items()} for n, adj in self._in.items()}
         clone._by_label = {lbl: set(ns) for lbl, ns in self._by_label.items()}
         clone._by_print = {key: set(ns) for key, ns in self._by_print.items()}
+        clone._by_edge_label = {lbl: set(ps) for lbl, ps in self._by_edge_label.items()}
+        clone._out_stats = dict(self._out_stats)
+        clone._in_stats = dict(self._in_stats)
         clone._next_id = self._next_id
         clone._edge_count = self._edge_count
         clone._generation = self._generation
-        # trackers deliberately do not carry over: a copy records afresh
+        clone._stats_epoch = self._stats_epoch
+        # trackers, cached views and the plan cache deliberately do not
+        # carry over: a copy records, caches and plans afresh
         return clone
 
     def degree(self, node_id: int) -> int:

@@ -1,0 +1,93 @@
+"""Per-store plan caching, keyed by (pattern signature, stats epoch).
+
+Each :class:`~repro.graph.store.GraphStore` carries its own bounded
+cache of compiled plans (stored in the ``_plan_cache`` slot the store
+reserves for this module; copies start empty).  A lookup hits only when
+the cached entry was compiled at the store's *current*
+:attr:`~repro.graph.store.GraphStore.stats_epoch` — any structural
+mutation advances the epoch (and the generation), invalidating every
+cached plan at once.  Stale entries are recompiled in place, so a
+mutate-then-requery workload pays exactly one recompilation per
+pattern shape.
+
+Signature collisions are harmless by construction: a plan only encodes
+pattern node ids, labels and edge order, and executes against live
+indexes — a colliding signature could at worst reuse a suboptimal step
+order, never produce wrong matchings.  Print values and predicates
+therefore enter the signature only to keep estimates honest (by
+identity for predicates, by value for prints); unhashable print values
+simply bypass the cache.
+
+Cache hits and misses are charged to the thread-local
+:mod:`repro.core.counters` collectors, surfacing in server ``STATS``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Sequence, Tuple
+
+from repro.core import counters as _counters
+from repro.core.instance import Instance
+from repro.core.pattern import Pattern
+from repro.graph.store import NO_PRINT
+from repro.plan.planner import compile_plan
+from repro.plan.steps import Plan
+
+#: Compiled plans kept per store (small patterns; eviction is FIFO).
+MAX_CACHED_PLANS = 128
+
+
+def pattern_signature(pattern: Pattern, fixed: Sequence[int] = ()) -> Hashable:
+    """A hashable key describing the pattern's shape and bound nodes."""
+    nodes = []
+    for node in sorted(pattern.nodes()):
+        record = pattern.node_record(node)
+        predicate = pattern.predicate_of(node)
+        nodes.append(
+            (
+                node,
+                record.label,
+                record.print_value if record.has_print else NO_PRINT,
+                None if predicate is None else id(predicate),
+            )
+        )
+    edges = tuple(sorted(edge.as_tuple() for edge in pattern.edges()))
+    return (tuple(nodes), edges, tuple(sorted(set(fixed))))
+
+
+def plan_for(
+    pattern: Pattern,
+    instance: Instance,
+    fixed: Sequence[int] = (),
+) -> Tuple[Plan, bool]:
+    """The cached-or-compiled plan for ``pattern``; ``(plan, cache_hit)``."""
+    store = instance.store
+    cache: Optional[OrderedDict] = store._plan_cache
+    if cache is None:
+        cache = store._plan_cache = OrderedDict()
+    epoch = store.stats_epoch
+    try:
+        signature = pattern_signature(pattern, fixed)
+        entry = cache.get(signature)
+    except TypeError:  # unhashable print value: plan without caching
+        _counters.charge(plan_cache_misses=1)
+        return compile_plan(pattern, instance, fixed), False
+    if entry is not None and entry[0] == epoch:
+        cache.move_to_end(signature)
+        _counters.charge(plan_cache_hits=1)
+        return entry[1], True
+    plan = compile_plan(pattern, instance, fixed)
+    cache[signature] = (epoch, plan)
+    cache.move_to_end(signature)
+    while len(cache) > MAX_CACHED_PLANS:
+        cache.popitem(last=False)
+    _counters.charge(plan_cache_misses=1)
+    return plan, False
+
+
+def cached_plan_count(instance_or_store: Any) -> int:
+    """How many plans the store currently caches (introspection)."""
+    store = getattr(instance_or_store, "store", instance_or_store)
+    cache = store._plan_cache
+    return 0 if cache is None else len(cache)

@@ -1,0 +1,179 @@
+"""Plan execution: the planner-backed matcher.
+
+:func:`planned_matchings` is what :func:`repro.core.matching.find_matchings`
+dispatches to — it looks the pattern's plan up in the per-store cache
+(compiling on miss) and streams matchings from :func:`execute_plan`.
+The executor enumerates deterministically (sorted candidates at every
+step) and yields exactly the set of label/print/edge-preserving total
+maps — equivalence with the backtracking and naive matchers is
+property-tested.
+
+Index probes (adjacency and edge-index reads) are tallied locally and
+charged to the thread-local :mod:`repro.core.counters` collectors when
+the generator finishes or is closed, so server ``STATS`` sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional
+
+from repro.core import counters as _counters
+from repro.core.instance import Instance
+from repro.core.pattern import Pattern
+from repro.graph.store import NO_PRINT
+from repro.plan.cache import plan_for
+from repro.plan.steps import Extend, Plan, ScanEdges, ScanNodes, Verify
+
+#: A matching: pattern node id -> instance node id.
+Matching = Dict[int, int]
+
+
+def _seed_candidates(pattern: Pattern, instance: Instance, node: int) -> FrozenSet[int]:
+    """Base candidates of a seed node (label/print/predicate indexes)."""
+    record = pattern.node_record(node)
+    if record.has_print:
+        found = instance.find_printable(record.label, record.print_value)
+        return frozenset() if found is None else frozenset((found,))
+    candidates = instance.nodes_with_label(record.label)
+    predicate = pattern.predicate_of(node)
+    if predicate is not None:
+        candidates = frozenset(
+            candidate
+            for candidate in candidates
+            if instance.print_of(candidate) is not NO_PRINT
+            and predicate(instance.print_of(candidate))
+        )
+    return candidates
+
+
+def _binding_ok(pattern: Pattern, instance: Instance, pattern_node: int, instance_node: int) -> bool:
+    """Whether a pre-bound (pattern node, instance node) pair is legal."""
+    if not instance.has_node(instance_node):
+        return False
+    p_record = pattern.node_record(pattern_node)
+    i_record = instance.node_record(instance_node)
+    if p_record.label != i_record.label:
+        return False
+    if p_record.has_print and (
+        not i_record.has_print or p_record.print_value != i_record.print_value
+    ):
+        return False
+    predicate = pattern.predicate_of(pattern_node)
+    if predicate is not None:
+        if not i_record.has_print or not predicate(i_record.print_value):
+            return False
+    return True
+
+
+def execute_plan(
+    plan: Plan,
+    pattern: Pattern,
+    instance: Instance,
+    fixed: Optional[Matching] = None,
+) -> Iterator[Matching]:
+    """Stream the matchings ``plan`` enumerates, deterministically."""
+    fixed = dict(fixed or {})
+    probes = [0]  # index reads, charged when the generator winds down
+    try:
+        for pattern_node, instance_node in fixed.items():
+            if not _binding_ok(pattern, instance, pattern_node, instance_node):
+                return
+        records = {node: pattern.node_record(node) for node in pattern.nodes()}
+        predicates = {node: pattern.predicate_of(node) for node in pattern.nodes()}
+        store = instance.store
+        assignment: Matching = dict(fixed)
+        steps = plan.steps
+
+        def node_ok(node: int, candidate: int) -> bool:
+            record = records[node]
+            c_record = instance.node_record(candidate)
+            if c_record.label != record.label:
+                return False
+            if record.has_print and (
+                not c_record.has_print or c_record.print_value != record.print_value
+            ):
+                return False
+            predicate = predicates[node]
+            if predicate is not None:
+                if not c_record.has_print or not predicate(c_record.print_value):
+                    return False
+            return True
+
+        def run(index: int) -> Iterator[Matching]:
+            if index == len(steps):
+                yield dict(assignment)
+                return
+            step = steps[index]
+            if type(step) is Extend:
+                adjacency: List[FrozenSet[int]] = []
+                for direction, label, anchor in step.probes:
+                    image = assignment[anchor]
+                    if direction == "out":
+                        adjacency.append(store.out_neighbours(image, label))
+                    else:
+                        adjacency.append(store.in_neighbours(image, label))
+                probes[0] += len(adjacency)
+                adjacency.sort(key=len)
+                narrowest = adjacency[0]
+                if not narrowest:
+                    return
+                result = set(narrowest)
+                for narrower in adjacency[1:]:
+                    result &= narrower
+                    if not result:
+                        return
+                node = step.node
+                for candidate in sorted(result):
+                    if node_ok(node, candidate):
+                        assignment[node] = candidate
+                        yield from run(index + 1)
+                        del assignment[node]
+            elif type(step) is Verify:
+                probes[0] += 1
+                if store.has_edge(
+                    assignment[step.source], step.label, assignment[step.target]
+                ):
+                    yield from run(index + 1)
+            elif type(step) is ScanNodes:
+                probes[0] += 1
+                node = step.node
+                for candidate in sorted(_seed_candidates(pattern, instance, node)):
+                    assignment[node] = candidate
+                    yield from run(index + 1)
+                    del assignment[node]
+            else:  # ScanEdges
+                probes[0] += 1
+                source, target = step.source, step.target
+                if source == target:
+                    for s, t in sorted(store.edges_with_label(step.label)):
+                        if s == t and node_ok(source, s):
+                            assignment[source] = s
+                            yield from run(index + 1)
+                            del assignment[source]
+                else:
+                    for s, t in sorted(store.edges_with_label(step.label)):
+                        if node_ok(source, s) and node_ok(target, t):
+                            assignment[source] = s
+                            assignment[target] = t
+                            yield from run(index + 1)
+                            del assignment[target]
+                            del assignment[source]
+
+        yield from run(0)
+    finally:
+        if probes[0]:
+            _counters.charge(index_probes=probes[0])
+
+
+def planned_matchings(
+    pattern: Pattern,
+    instance: Instance,
+    fixed: Optional[Matching] = None,
+) -> Iterator[Matching]:
+    """Plan (through the cache) and execute in one call.
+
+    This is the default matcher behind
+    :func:`repro.core.matching.find_matchings`.
+    """
+    plan, _ = plan_for(pattern, instance, tuple(fixed) if fixed else ())
+    yield from execute_plan(plan, pattern, instance, fixed)

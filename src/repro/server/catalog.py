@@ -155,6 +155,34 @@ class ServedDatabase:
         finally:
             restore(self.target, state)
 
+    def explain(self, pattern_source: str) -> Dict[str, Any]:
+        """The compiled match plan for a DSL pattern (no execution).
+
+        Works on every backend: the plan is computed against the native
+        view of the current state (engines export a copy), so the text
+        always describes how the planner would join the pattern.
+        """
+        from repro.core.pattern import NegatedPattern
+        from repro.plan import explain_pattern, plan_for
+
+        pattern, bindings = parse_pattern(pattern_source, self.scheme)
+        instance = self.to_instance()
+        # plan first so ``cached`` reflects the cache state on entry
+        # (explain_pattern re-plans and would always report a hit)
+        positive = pattern.positive if isinstance(pattern, NegatedPattern) else pattern
+        plan, cached = plan_for(positive, instance)
+        text = explain_pattern(pattern, instance)
+        return {
+            "backend": self.backend,
+            "text": text,
+            "plan": plan.to_json(),
+            "crossed_extensions": (
+                len(pattern.extensions) if isinstance(pattern, NegatedPattern) else 0
+            ),
+            "cached": cached,
+            "bindings": dict(bindings),
+        }
+
     def matchings(self, pattern_source: str, limit: Optional[int] = None) -> Dict[str, Any]:
         """All matchings of a DSL pattern, keyed by variable name."""
         pattern, bindings = parse_pattern(pattern_source, self.scheme)

@@ -158,6 +158,9 @@ class GoodClient:
             args["db"] = db
         return self.call("MATCH", **args)
 
+    def explain(self, pattern: str, db: Optional[str] = None) -> Dict[str, Any]:
+        return self.call("EXPLAIN", pattern=pattern, **({"db": db} if db else {}))
+
     def browse(self, node: int, hops: int = 1, db: Optional[str] = None) -> Dict[str, Any]:
         return self.call("BROWSE", node=node, hops=hops, **({"db": db} if db else {}))
 

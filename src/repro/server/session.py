@@ -212,6 +212,9 @@ class ServerSession:
                 "delta_matchings": tally.delta_matchings,
                 "fixpoint_rounds": tally.rounds,
                 "fixpoint_runs": tally.fixpoint_runs,
+                "plan_cache_hits": tally.plan_cache_hits,
+                "plan_cache_misses": tally.plan_cache_misses,
+                "index_probes": tally.index_probes,
             },
         }
 
@@ -239,6 +242,9 @@ class ServerSession:
                 "delta_matchings": tally.delta_matchings,
                 "fixpoint_rounds": tally.rounds,
                 "fixpoint_runs": tally.fixpoint_runs,
+                "plan_cache_hits": tally.plan_cache_hits,
+                "plan_cache_misses": tally.plan_cache_misses,
+                "index_probes": tally.index_probes,
             },
         }
 
@@ -248,9 +254,29 @@ class ServerSession:
         limit = args.get("limit")
         if limit is not None and (not isinstance(limit, int) or limit < 0):
             raise ProtocolError("limit must be a non-negative integer or null")
-        found = database.matchings(source, limit=limit)
-        found["_charges"] = {"queries": 1, "matchings_enumerated": found["total"]}
+        with _counters.collect() as tally:
+            found = database.matchings(source, limit=limit)
+        found["_charges"] = {
+            "queries": 1,
+            "matchings_enumerated": found["total"],
+            "plan_cache_hits": tally.plan_cache_hits,
+            "plan_cache_misses": tally.plan_cache_misses,
+            "index_probes": tally.index_probes,
+        }
         return found
+
+    @_verb("EXPLAIN", "read")
+    def _explain(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        source = require_arg(args, "pattern", str)
+        with _counters.collect() as tally:
+            payload = database.explain(source)
+        payload["_charges"] = {
+            "queries": 1,
+            "plan_cache_hits": tally.plan_cache_hits,
+            "plan_cache_misses": tally.plan_cache_misses,
+            "index_probes": tally.index_probes,
+        }
+        return payload
 
     @_verb("BROWSE", "read")
     def _browse(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:

@@ -74,6 +74,11 @@ class DatabaseStats:
         self.delta_matchings = 0
         self.fixpoint_rounds = 0
         self.fixpoint_runs = 0
+        # planner work (repro.plan tallies): cache effectiveness and
+        # how many index probes the executor issued for this database
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.index_probes = 0
         self.latency = LatencyRing(ring_capacity)
 
     def record_request(self, seconds: float, error: bool = False) -> None:
@@ -95,6 +100,9 @@ class DatabaseStats:
             "delta_matchings": self.delta_matchings,
             "fixpoint_rounds": self.fixpoint_rounds,
             "fixpoint_runs": self.fixpoint_runs,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "index_probes": self.index_probes,
             "latency": self.latency.snapshot(),
         }
 

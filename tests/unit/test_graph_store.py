@@ -155,3 +155,83 @@ def test_degree_counts_both_directions():
     store.add_edge(b, "f", a)
     assert store.degree(a) == 2
     assert store.degree(b) == 2
+
+
+def test_edges_with_label_index_tracks_mutations():
+    store = GraphStore()
+    a, b, c = (store.add_node("A") for _ in range(3))
+    store.add_edge(a, "e", b)
+    store.add_edge(b, "e", c)
+    store.add_edge(a, "f", c)
+    assert store.edges_with_label("e") == frozenset({(a, b), (b, c)})
+    assert store.edges_with_label("f") == frozenset({(a, c)})
+    assert store.edges_with_label("missing") == frozenset()
+    store.remove_edge(a, "e", b)
+    assert store.edges_with_label("e") == frozenset({(b, c)})
+    store.remove_node(c)  # cascades (b, c) and (a, c)
+    assert store.edges_with_label("e") == frozenset()
+    assert store.edges_with_label("f") == frozenset()
+    assert store.edge_labels_in_use() == frozenset()
+
+
+def test_cardinality_statistics_stay_exact():
+    store = GraphStore()
+    a, a2, b = store.add_node("A"), store.add_node("A"), store.add_node("B")
+    store.add_edge(a, "e", b)
+    store.add_edge(a2, "e", b)
+    assert store.label_count("A") == 2
+    assert store.edge_label_count("e") == 2
+    assert store.out_degree_total("A", "e") == 2
+    assert store.in_degree_total("B", "e") == 2
+    store.remove_edge(a, "e", b)
+    assert store.out_degree_total("A", "e") == 1
+    store.remove_node(a2)  # cascades its edge
+    assert store.label_count("A") == 1
+    assert store.out_degree_total("A", "e") == 0
+    assert store.in_degree_total("B", "e") == 0
+
+
+def test_stats_epoch_bumps_on_structure_not_prints():
+    store = GraphStore()
+    a = store.add_node("A", "x")
+    b = store.add_node("B")
+    epoch = store.stats_epoch
+    store.set_print(a, "y")  # print rewrites keep cardinalities intact
+    assert store.stats_epoch == epoch
+    store.add_edge(a, "e", b)
+    assert store.stats_epoch > epoch
+    epoch = store.stats_epoch
+    store.remove_edge(a, "e", b)
+    assert store.stats_epoch > epoch
+
+
+def test_neighbour_views_are_cached_until_mutation():
+    """Repeated reads return the identical frozenset object; any
+    mutation touching the key invalidates just that view."""
+    store = GraphStore()
+    a, b, c = (store.add_node("A") for _ in range(3))
+    store.add_edge(a, "e", b)
+    first = store.out_neighbours(a, "e")
+    assert store.out_neighbours(a, "e") is first
+    assert store.in_neighbours(b, "e") is store.in_neighbours(b, "e")
+    assert store.nodes_with_label("A") is store.nodes_with_label("A")
+    assert store.edges_with_label("e") is store.edges_with_label("e")
+    store.add_edge(a, "e", c)
+    second = store.out_neighbours(a, "e")
+    assert second is not first
+    assert second == frozenset({b, c})
+    assert store.nodes_with_label("A") is not None  # still served after bump
+
+
+def test_copy_carries_statistics_but_not_cached_views():
+    store = GraphStore()
+    a, b = store.add_node("A"), store.add_node("B")
+    store.add_edge(a, "e", b)
+    view = store.out_neighbours(a, "e")
+    clone = store.copy()
+    assert clone.edges_with_label("e") == frozenset({(a, b)})
+    assert clone.out_degree_total("A", "e") == 1
+    assert clone.stats_epoch == store.stats_epoch
+    assert clone.out_neighbours(a, "e") == view
+    clone.remove_edge(a, "e", b)
+    assert store.out_degree_total("A", "e") == 1  # original untouched

@@ -159,9 +159,11 @@ def test_fig4_matchings(hyper_scheme, hyper):
 
 
 def test_base_candidates_computed_once_per_node(tiny_scheme, tiny_instance, monkeypatch):
-    """The candidate table is shared between the search-order heuristic
-    and the backtracking search — one label/print scan per pattern node."""
+    """The backtracking oracle's candidate table is shared between the
+    search-order heuristic and the search — one label/print scan per
+    pattern node."""
     from repro.core import matching as matching_module
+    from repro.core.matching import find_matchings_backtracking
 
     pattern = Pattern(tiny_scheme)
     x = pattern.node("Person")
@@ -176,9 +178,32 @@ def test_base_candidates_computed_once_per_node(tiny_scheme, tiny_instance, monk
         return original(pattern_arg, instance_arg, node)
 
     monkeypatch.setattr(matching_module, "_base_candidates", counting)
-    found = list(find_matchings(pattern, tiny_instance))
+    found = list(find_matchings_backtracking(pattern, tiny_instance))
     assert len(found) == 3  # alice->bob, alice->carol, bob->carol
     assert sorted(calls) == sorted(pattern.nodes())  # exactly once per node
+
+
+def test_planner_scans_only_the_seed_node(tiny_scheme, tiny_instance, monkeypatch):
+    """The planner-backed default never builds base-candidate sets for
+    non-seed nodes — extension candidates come from index probes."""
+    from repro.plan import executor as executor_module
+
+    pattern = Pattern(tiny_scheme)
+    x = pattern.node("Person")
+    y = pattern.node("Person")
+    pattern.edge(x, "knows", y)
+
+    calls = []
+    original = executor_module._seed_candidates
+
+    def counting(pattern_arg, instance_arg, node):
+        calls.append(node)
+        return original(pattern_arg, instance_arg, node)
+
+    monkeypatch.setattr(executor_module, "_seed_candidates", counting)
+    found = list(find_matchings(pattern, tiny_instance))
+    assert len(found) == 3
+    assert len(calls) <= 1  # at most the seed (edge seeds scan no node at all)
 
 
 def test_shared_candidates_agree_with_naive(tiny_scheme, tiny_instance):
