@@ -139,8 +139,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import counters as _counters
     from repro.dsl import parse_program
-    from repro.io import save_instance
 
     try:
         instance = load_instance(args.instance)
@@ -150,8 +150,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (GoodError, OSError, ValueError) as error:
         print(f"ERROR: {error}", file=sys.stderr)
         return 1
-    if args.savepoint:
-        return _run_with_savepoints(program, instance, args)
+    with _counters.collect() as tally:
+        if args.savepoint:
+            code = _run_with_savepoints(program, instance, args)
+        else:
+            code = _run_atomic(program, instance, args)
+    if args.txn_stats:
+        print(
+            "txn: "
+            f"{tally.txn_journal_entries} journal entries, "
+            f"{tally.txn_snapshot_captures} snapshot captures, "
+            f"{tally.txn_rollbacks} rollbacks, "
+            f"~{tally.txn_bytes_avoided} snapshot bytes avoided",
+            file=sys.stderr,
+        )
+    return code
+
+
+def _run_atomic(program, instance, args: argparse.Namespace) -> int:
+    from repro.io import save_instance
+
     try:
         result = program.run(instance, in_place=True, atomic=args.atomic)
     except (GoodError, OSError, ValueError) as error:
@@ -559,6 +577,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="checkpoint every N operations; on failure roll back only "
         "to the last savepoint and keep the completed prefix",
+    )
+    run.add_argument(
+        "--txn-stats",
+        action="store_true",
+        help="print transaction-layer counters (journal entries, "
+        "snapshot captures, rollbacks, copy bytes avoided) to stderr",
     )
     run.set_defaults(handler=_cmd_run, atomic=True)
 

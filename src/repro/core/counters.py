@@ -15,7 +15,15 @@ collector tallies, for everything executed while it is armed,
 * ``plan_cache_hits`` / ``plan_cache_misses`` — pattern-plan cache
   outcomes (:mod:`repro.plan.cache`; a miss is a compilation);
 * ``index_probes`` — adjacency/edge-index reads the plan executor
-  performed (:mod:`repro.plan.executor`).
+  performed (:mod:`repro.plan.executor`);
+* ``txn_journal_entries`` — inverse operations recorded by undo
+  journals (:mod:`repro.txn.journal`) in completed transactions;
+* ``txn_snapshot_captures`` — full-state snapshots taken
+  (:func:`repro.txn.snapshot.capture`; zero on the journal fast path);
+* ``txn_rollbacks`` — transaction / savepoint rollbacks performed;
+* ``txn_bytes_avoided`` — estimated bytes of state a full-copy
+  snapshot protocol would have copied where the journal copied only
+  its entries (a rough census-based estimate, not a measurement).
 
 Arming mirrors :mod:`repro.txn.guards`: a thread-local stack of
 collectors, so one server session's work never tallies into another's.
@@ -47,6 +55,10 @@ class MatchCounters:
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     index_probes: int = 0
+    txn_journal_entries: int = 0
+    txn_snapshot_captures: int = 0
+    txn_rollbacks: int = 0
+    txn_bytes_avoided: int = 0
 
     @property
     def matchings(self) -> int:
@@ -63,6 +75,10 @@ class MatchCounters:
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "index_probes": self.index_probes,
+            "txn_journal_entries": self.txn_journal_entries,
+            "txn_snapshot_captures": self.txn_snapshot_captures,
+            "txn_rollbacks": self.txn_rollbacks,
+            "txn_bytes_avoided": self.txn_bytes_avoided,
         }
 
 
@@ -101,6 +117,10 @@ def charge(
     plan_cache_hits: int = 0,
     plan_cache_misses: int = 0,
     index_probes: int = 0,
+    txn_journal_entries: int = 0,
+    txn_snapshot_captures: int = 0,
+    txn_rollbacks: int = 0,
+    txn_bytes_avoided: int = 0,
 ) -> None:
     """Tally work against every collector armed in this thread."""
     stack = _stack()
@@ -114,3 +134,7 @@ def charge(
         tally.plan_cache_hits += plan_cache_hits
         tally.plan_cache_misses += plan_cache_misses
         tally.index_probes += index_probes
+        tally.txn_journal_entries += txn_journal_entries
+        tally.txn_snapshot_captures += txn_snapshot_captures
+        tally.txn_rollbacks += txn_rollbacks
+        tally.txn_bytes_avoided += txn_bytes_avoided

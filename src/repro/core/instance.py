@@ -35,6 +35,10 @@ class Instance:
     def __init__(self, scheme: Scheme, _store: Optional[GraphStore] = None) -> None:
         self._scheme = scheme
         self._store = _store if _store is not None else GraphStore()
+        # attached undo journals (repro.txn.journal), notified when the
+        # scheme *binding* changes (restrict_to); store-level mutations
+        # reach them through the store's own journal hooks
+        self._journals: list = []
 
     # ------------------------------------------------------------------
     # construction
@@ -270,21 +274,30 @@ class Instance:
     # ------------------------------------------------------------------
     # transactional target protocol (repro.txn.snapshot)
     # ------------------------------------------------------------------
-    def capture_state(self) -> Tuple[Scheme, Scheme, GraphStore]:
+    def capture_state(self) -> Tuple[Scheme, Scheme, "OneShotState"]:
         """Opaque full-state snapshot for the transaction layer.
 
         Keeps a reference to the *current scheme object* alongside its
         copy so :meth:`restore_state` can restore that object in place
         — patterns and sessions holding it then see the rollback.
         """
-        return (self._scheme, self._scheme.copy(), self._store.copy())
+        from repro.txn.snapshot import OneShotState
 
-    def restore_state(self, state: Tuple[Scheme, Scheme, GraphStore]) -> None:
-        """Reinstall a :meth:`capture_state` snapshot (reusably)."""
-        scheme_object, scheme_copy, store = state
+        return (self._scheme, self._scheme.copy(), OneShotState(self._store.copy()))
+
+    def restore_state(self, state: Tuple[Scheme, Scheme, "OneShotState"]) -> None:
+        """Reinstall a :meth:`capture_state` snapshot (consuming it).
+
+        The captured store is installed *directly* — no second copy —
+        so a single rollback pays one copy total (at capture).  The
+        snapshot is thereby consumed; restoring it again raises (the
+        transaction layer re-captures when a savepoint is reused).
+        """
+        scheme_object, scheme_copy, store_state = state
+        store = store_state.take()
         scheme_object.restore_from(scheme_copy)
         self._scheme = scheme_object
-        self._store = store.copy()
+        self._store = store
 
     def state_summary(self) -> Tuple[int, int]:
         """``(node_count, edge_count)`` — cheap census for reports."""
@@ -293,6 +306,22 @@ class Instance:
     def check_invariants(self) -> None:
         """Re-validate every Section 2 constraint (alias of validate)."""
         self.validate()
+
+    def begin_journal(self) -> "InstanceJournal":
+        """Attach an O(changes) undo journal (:mod:`repro.txn.journal`).
+
+        O(1): no store copy, no scheme copy.  The returned journal
+        records inverse operations for every subsequent mutation until
+        closed; :class:`~repro.txn.transaction.Transaction` prefers
+        this over :meth:`capture_state` whenever available.
+        """
+        from repro.txn.journal import InstanceJournal
+
+        return InstanceJournal(self)
+
+    def rollback_journal(self, journal: "InstanceJournal", mark) -> None:
+        """Reverse-replay ``journal`` back to ``mark`` (O(changes))."""
+        journal.rollback_to(mark)
 
     def restrict_to(self, scheme: Scheme) -> None:
         """Drop all nodes and edges not conformant with ``scheme``.
@@ -314,6 +343,9 @@ class Instance:
                 self._store.remove_edge(*edge.as_tuple())
             elif not scheme.allows_edge(*triple):
                 self._store.remove_edge(*edge.as_tuple())
+        if self._journals:
+            for journal in list(self._journals):
+                journal.note_rebind(self._scheme, scheme)
         self._scheme = scheme
 
     def validate(self) -> None:

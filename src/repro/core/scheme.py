@@ -57,6 +57,9 @@ class Scheme:
         self._domains: Dict[str, Domain] = {}
         self._isa_labels: Set[str] = set()
         self._allow_reserved = allow_reserved
+        # change listeners (repro.txn.journal scheme recorders); never
+        # copied with the scheme — each object records independently
+        self._listeners: list = []
 
         for label in object_labels:
             self.add_object_label(label)
@@ -70,17 +73,35 @@ class Scheme:
             self.add_property(source, edge, target)
 
     # ------------------------------------------------------------------
+    # change notification (undo-journal support)
+    # ------------------------------------------------------------------
+    def _changed(self) -> None:
+        """Tell listeners the scheme is *about* to mutate.
+
+        Fired before any content change so an attached undo-journal
+        recorder (:mod:`repro.txn.journal`) can snapshot the
+        pre-mutation state lazily.  A notification with no subsequent
+        mutation (e.g. a declaration that then fails validation) is
+        harmless — it only makes the recorder's snapshot redundant.
+        """
+        if self._listeners:
+            for listener in self._listeners:
+                listener.scheme_changed(self)
+
+    # ------------------------------------------------------------------
     # label declarations
     # ------------------------------------------------------------------
     def add_object_label(self, label: str) -> "Scheme":
         """Declare an object (rectangular) class label."""
         self._check_fresh(label, allow=self._object_labels)
+        self._changed()
         self._object_labels.add(label)
         return self
 
     def add_printable_label(self, label: str, domain: Optional[Domain] = None) -> "Scheme":
         """Declare a printable (oval) class label with its domain."""
         self._check_fresh(label, allow=self._printable_labels)
+        self._changed()
         self._printable_labels.add(label)
         self._domains[label] = domain_for(label, domain)
         return self
@@ -88,12 +109,14 @@ class Scheme:
     def add_functional_edge_label(self, label: str) -> "Scheme":
         """Declare a functional (single-arrow) edge label."""
         self._check_fresh(label, allow=self._functional)
+        self._changed()
         self._functional.add(label)
         return self
 
     def add_multivalued_edge_label(self, label: str) -> "Scheme":
         """Declare a multivalued (double-arrow) edge label."""
         self._check_fresh(label, allow=self._multivalued)
+        self._changed()
         self._multivalued.add(label)
         return self
 
@@ -105,6 +128,7 @@ class Scheme:
             raise SchemeError(f"property edge {edge!r} is not a declared edge label")
         if target not in self._object_labels and target not in self._printable_labels:
             raise SchemeError(f"property target {target!r} is not a declared node label")
+        self._changed()
         self._properties.add((source, edge, target))
         return self
 
@@ -155,6 +179,7 @@ class Scheme:
         """
         if edge_label not in self._functional:
             raise SchemeError(f"isa label {edge_label!r} must be a functional edge label")
+        self._changed()
         self._isa_labels.add(edge_label)
         cycle = self._find_isa_cycle()
         if cycle is not None:
@@ -285,8 +310,12 @@ class Scheme:
         Identity-preserving restore for the transaction layer
         (:mod:`repro.txn`): patterns, instances and sessions holding a
         reference to this scheme object see the rollback.  ``other`` is
-        left untouched (fresh containers are installed here).
+        left untouched (fresh containers are installed here).  Change
+        listeners stay attached (and are notified first, like any other
+        mutation) — a restore performed by an inner transaction is a
+        scheme change from an outer journal's point of view.
         """
+        self._changed()
         self._object_labels = set(other._object_labels)
         self._printable_labels = set(other._printable_labels)
         self._functional = set(other._functional)

@@ -159,6 +159,7 @@ class GraphStore:
         "_generation",
         "_stats_epoch",
         "_trackers",
+        "_journals",
         "_label_views",
         "_edge_label_views",
         "_out_views",
@@ -185,6 +186,10 @@ class GraphStore:
         self._generation = 0
         self._stats_epoch = 0
         self._trackers: List[Delta] = []
+        # attached undo journals (repro.txn.journal); each mutator
+        # appends an inverse-describing entry to every journal so a
+        # rollback can replay the changes in reverse
+        self._journals: List[Any] = []
         # cached frozenset views handed to hot readers; invalidated
         # per-key on mutation so unrelated reads keep their objects
         self._label_views: Dict[str, FrozenSet[int]] = {}
@@ -233,6 +238,22 @@ class GraphStore:
             raise GraphStoreError("delta is not attached to this store") from None
         return delta
 
+    def attach_journal(self, journal: Any) -> None:
+        """Attach an undo journal (an object with an ``entries`` list).
+
+        Every subsequent mutation appends one inverse-describing entry
+        to ``journal.entries``; see :mod:`repro.txn.journal` for the
+        entry vocabulary and the reverse-replay rollback.
+        """
+        self._journals.append(journal)
+
+    def detach_journal(self, journal: Any) -> None:
+        """Detach a journal previously passed to :meth:`attach_journal`."""
+        try:
+            self._journals.remove(journal)
+        except ValueError:
+            raise GraphStoreError("journal is not attached to this store") from None
+
     # ------------------------------------------------------------------
     # node operations
     # ------------------------------------------------------------------
@@ -263,6 +284,8 @@ class GraphStore:
         self._stats_epoch += 1
         for tracker in self._trackers:
             tracker.nodes.add(node_id)
+        for journal in self._journals:
+            journal.entries.append(("add_node", node_id))
         return node_id
 
     def remove_node(self, node_id: int) -> None:
@@ -288,6 +311,10 @@ class GraphStore:
         self._stats_epoch += 1
         for tracker in self._trackers:
             tracker.nodes.discard(node_id)
+        # incident edges journalled their own removals above, so a
+        # reverse replay re-creates the node before re-adding them
+        for journal in self._journals:
+            journal.entries.append(("remove_node", node_id, record.label, record.print_value))
 
     def set_print(self, node_id: int, print_value: Any) -> None:
         """Attach or replace the print value of ``node_id``."""
@@ -301,6 +328,8 @@ class GraphStore:
         if print_value is not NO_PRINT:
             self._by_print.setdefault((record.label, print_value), set()).add(node_id)
         self._generation += 1
+        for journal in self._journals:
+            journal.entries.append(("set_print", node_id, record.print_value))
 
     def has_node(self, node_id: int) -> bool:
         """Whether ``node_id`` exists in the store."""
@@ -376,6 +405,8 @@ class GraphStore:
         self._stats_epoch += 1
         for tracker in self._trackers:
             tracker.edges.add((source, label, target))
+        for journal in self._journals:
+            journal.entries.append(("add_edge", source, label, target))
         return True
 
     def remove_edge(self, source: int, label: str, target: int) -> bool:
@@ -412,6 +443,8 @@ class GraphStore:
         self._stats_epoch += 1
         for tracker in self._trackers:
             tracker.edges.discard((source, label, target))
+        for journal in self._journals:
+            journal.entries.append(("remove_edge", source, label, target))
         return True
 
     def has_edge(self, source: int, label: str, target: int) -> bool:
@@ -549,8 +582,9 @@ class GraphStore:
         clone._edge_count = self._edge_count
         clone._generation = self._generation
         clone._stats_epoch = self._stats_epoch
-        # trackers, cached views and the plan cache deliberately do not
-        # carry over: a copy records, caches and plans afresh
+        # trackers, journals, cached views and the plan cache
+        # deliberately do not carry over: a copy records, caches and
+        # plans afresh
         return clone
 
     def degree(self, node_id: int) -> int:

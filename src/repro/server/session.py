@@ -59,6 +59,24 @@ def _report_json(report: Any) -> Dict[str, Any]:
     }
 
 
+def _txn_charges(tally: Any) -> Dict[str, int]:
+    """The transaction-layer slice of a counters tally, for STATS."""
+    return {
+        "txn_journal_entries": tally.txn_journal_entries,
+        "txn_snapshot_captures": tally.txn_snapshot_captures,
+        "txn_rollbacks": tally.txn_rollbacks,
+        "txn_bytes_avoided": tally.txn_bytes_avoided,
+    }
+
+
+def _attach_charges(error: BaseException, charges: Dict[str, int]) -> None:
+    """Stash stats charges on a failing request's exception."""
+    try:
+        error._charges = charges
+    except AttributeError:  # pragma: no cover - exceptions with __slots__
+        pass
+
+
 class ServerSession:
     """One client's view of the server."""
 
@@ -105,8 +123,11 @@ class ServerSession:
                         lambda: handler(database, args), limits=self.limits
                     )
                 except Exception as error:
+                    error_charges = dict(getattr(error, "_charges", None) or {})
                     if getattr(error, "failure_report", None) is not None:
-                        server.stats.charge(name, rollbacks=1)
+                        error_charges["rollbacks"] = error_charges.get("rollbacks", 0) + 1
+                    if error_charges:
+                        server.stats.charge(name, **error_charges)
                     raise
         charges = result.pop("_charges", None)
         if charges:
@@ -198,7 +219,14 @@ class ServerSession:
         # the handler runs wholly inside one worker thread, so the
         # thread-local collector sees exactly this request's work
         with _counters.collect() as tally:
-            reports = database.run_program(source)
+            try:
+                reports = database.run_program(source)
+            except Exception as error:
+                # the request fails, but the transaction work (journal
+                # entries, the rollback itself) must still reach STATS;
+                # dispatch picks these up from the exception
+                _attach_charges(error, _txn_charges(tally))
+                raise
         nodes, edges = database.counts()
         return {
             "reports": [_report_json(report) for report in reports],
@@ -215,6 +243,7 @@ class ServerSession:
                 "plan_cache_hits": tally.plan_cache_hits,
                 "plan_cache_misses": tally.plan_cache_misses,
                 "index_probes": tally.index_probes,
+                **_txn_charges(tally),
             },
         }
 
@@ -245,6 +274,7 @@ class ServerSession:
                 "plan_cache_hits": tally.plan_cache_hits,
                 "plan_cache_misses": tally.plan_cache_misses,
                 "index_probes": tally.index_probes,
+                **_txn_charges(tally),
             },
         }
 

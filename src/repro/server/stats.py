@@ -79,6 +79,14 @@ class DatabaseStats:
         self.plan_cache_hits = 0
         self.plan_cache_misses = 0
         self.index_probes = 0
+        # transaction work (repro.txn tallies): undo-journal entries
+        # recorded, full snapshots captured (fallback protocol only),
+        # rollbacks replayed and the estimated snapshot bytes the
+        # journal protocol avoided copying
+        self.txn_journal_entries = 0
+        self.txn_snapshot_captures = 0
+        self.txn_rollbacks = 0
+        self.txn_bytes_avoided = 0
         self.latency = LatencyRing(ring_capacity)
 
     def record_request(self, seconds: float, error: bool = False) -> None:
@@ -103,6 +111,10 @@ class DatabaseStats:
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "index_probes": self.index_probes,
+            "txn_journal_entries": self.txn_journal_entries,
+            "txn_snapshot_captures": self.txn_snapshot_captures,
+            "txn_rollbacks": self.txn_rollbacks,
+            "txn_bytes_avoided": self.txn_bytes_avoided,
             "latency": self.latency.snapshot(),
         }
 

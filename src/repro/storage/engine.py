@@ -113,6 +113,9 @@ class RelationalEngine:
                     self.layout.label_of(row["src"]), mv_label, self.layout.label_of(row["dst"])
                 )
             )
+        if self.layout.db._journals:
+            for journal in list(self.layout.db._journals):
+                journal.note_rebind(self.scheme, scheme)
         self.scheme = scheme
         self.layout.scheme = scheme
 
@@ -121,20 +124,30 @@ class RelationalEngine:
     # ------------------------------------------------------------------
     def capture_state(self):
         """Opaque full-state snapshot (scheme + relational store)."""
-        return (self.scheme, self.scheme.copy(), self.layout.db.copy(), self.layout._next_oid)
+        from repro.txn.snapshot import OneShotState
+
+        return (
+            self.scheme,
+            self.scheme.copy(),
+            OneShotState(self.layout.db.copy()),
+            self.layout._next_oid,
+        )
 
     def restore_state(self, state) -> None:
-        """Reinstall a :meth:`capture_state` snapshot (reusably).
+        """Reinstall a :meth:`capture_state` snapshot (consuming it).
 
         The scheme object held by callers at capture time is restored
         in place and rebound, so patterns referencing it see the
-        rollback even across ``restrict_to`` rebinding.
+        rollback even across ``restrict_to`` rebinding.  The captured
+        database is installed directly — no second copy — consuming
+        the snapshot (re-capture before restoring it again).
         """
-        scheme_object, scheme_copy, db, next_oid = state
+        scheme_object, scheme_copy, db_state, next_oid = state
+        db = db_state.take()
         scheme_object.restore_from(scheme_copy)
         self.scheme = scheme_object
         self.layout.scheme = scheme_object
-        self.layout.db = db.copy()
+        self.layout.db = db
         self.layout._next_oid = next_oid
 
     def state_summary(self) -> Tuple[int, int]:
@@ -155,6 +168,21 @@ class RelationalEngine:
     def check_invariants(self) -> None:
         """Re-validate by exporting to a native (checking) instance."""
         self.to_instance().validate()
+
+    def begin_journal(self):
+        """Attach an O(changes) undo journal (:mod:`repro.txn.journal`).
+
+        O(1): no database copy, no scheme copy.  Table mutations take
+        copy-on-first-write pre-images (per watermark segment), so a
+        rollback costs O(dirty tables) instead of O(database).
+        """
+        from repro.txn.journal import RelationalJournal
+
+        return RelationalJournal(self)
+
+    def rollback_journal(self, journal, mark) -> None:
+        """Reverse-replay ``journal`` back to ``mark``."""
+        journal.rollback_to(mark)
 
     # ------------------------------------------------------------------
     # execution

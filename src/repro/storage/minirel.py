@@ -44,6 +44,22 @@ class Table:
         self._primary: Dict[Any, int] = {}
         # column -> value -> set of rowids
         self._indexes: Dict[str, Dict[Any, set]] = {}
+        # owning Database (set on create/copy/journal-reinstall); used
+        # to report imminent mutations to attached undo journals
+        self._db: Optional["Database"] = None
+
+    def _notify(self) -> None:
+        """Tell the owning database's journals this table will mutate.
+
+        Fired *before* the mutation so a journal can take a
+        copy-on-first-write pre-image (at most one per table per
+        watermark segment — see
+        :class:`repro.txn.journal.RelationalJournal`).
+        """
+        db = self._db
+        if db is not None and db._journals:
+            for journal in db._journals:
+                journal.table_dirty(self)
 
     # ------------------------------------------------------------------
     # DDL
@@ -52,6 +68,7 @@ class Table:
         """Add a column, backfilling existing rows with ``default``."""
         if column in self.columns:
             return
+        self._notify()
         self.columns.append(column)
         for row in self._rows.values():
             row[column] = default
@@ -60,6 +77,7 @@ class Table:
         """Create (or rebuild) a secondary hash index on ``column``."""
         if column not in self.columns:
             raise BackendError(f"table {self.name!r}: no column {column!r} to index")
+        self._notify()
         index: Dict[Any, set] = {}
         for rowid, row in self._rows.items():
             index.setdefault(row[column], set()).add(rowid)
@@ -80,6 +98,7 @@ class Table:
                 raise BackendError(
                     f"table {self.name!r}: duplicate primary key {key_value!r}"
                 )
+        self._notify()
         rowid = self._next_rowid
         self._next_rowid += 1
         self._rows[rowid] = full
@@ -102,6 +121,7 @@ class Table:
         rowid = self._primary.get(key_value)
         if rowid is None:
             return False
+        self._notify()
         row = self._rows[rowid]
         for column, value in changes.items():
             if column not in self.columns:
@@ -118,15 +138,19 @@ class Table:
         """Point delete by primary key."""
         if self.key is None:
             raise BackendError(f"table {self.name!r} has no primary key")
-        rowid = self._primary.pop(key_value, None)
+        rowid = self._primary.get(key_value)
         if rowid is None:
             return False
+        self._notify()
+        self._primary.pop(key_value, None)
         self._drop_rowid(rowid)
         return True
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
         """Delete every row satisfying ``predicate``; returns the count."""
         victims = [rowid for rowid, row in self._rows.items() if predicate(row)]
+        if victims:
+            self._notify()
         for rowid in victims:
             row = self._rows[rowid]
             if self.key is not None:
@@ -185,13 +209,29 @@ class Database:
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
+        # attached undo journals (repro.txn.journal.RelationalJournal)
+        self._journals: list = []
+
+    def attach_journal(self, journal: Any) -> None:
+        """Attach an undo journal: table mutations and DDL report to it."""
+        self._journals.append(journal)
+
+    def detach_journal(self, journal: Any) -> None:
+        """Detach a journal previously attached."""
+        try:
+            self._journals.remove(journal)
+        except ValueError:
+            raise BackendError("journal is not attached to this database") from None
 
     def create_table(self, name: str, columns: Sequence[str], key: Optional[str] = None) -> Table:
         """Create a table; error if the name is taken."""
         if name in self._tables:
             raise BackendError(f"table {name!r} already exists")
         table = Table(name, columns, key)
+        table._db = self
         self._tables[name] = table
+        for journal in self._journals:
+            journal.table_created(name)
         return table
 
     def ensure_table(self, name: str, columns: Sequence[str], key: Optional[str] = None) -> Table:
@@ -213,16 +253,22 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Remove a table if present."""
-        self._tables.pop(name, None)
+        table = self._tables.pop(name, None)
+        if table is not None:
+            table._db = None
+            for journal in self._journals:
+                journal.table_dropped(name, table)
 
     def table_names(self) -> Tuple[str, ...]:
         """All table names, sorted."""
         return tuple(sorted(self._tables))
 
     def copy(self) -> "Database":
-        """Deep copy of all tables."""
+        """Deep copy of all tables (journals do not carry over)."""
         clone = Database()
         clone._tables = {name: table.copy() for name, table in self._tables.items()}
+        for table in clone._tables.values():
+            table._db = clone
         return clone
 
 

@@ -55,6 +55,10 @@ class TarskiEngine:
         self.values: Dict[str, BinaryRelation] = {}  # label -> (oid, value)
         self.edges: Dict[str, BinaryRelation] = {}  # edge label -> (src, dst)
         self._next_oid = 0
+        # attached undo journals (repro.txn.journal.TarskiJournal);
+        # relations update functionally, so journalling a write is just
+        # keeping the old (immutable) reference — see _note_* below
+        self._journals: list = []
 
     # ------------------------------------------------------------------
     # conversions
@@ -105,6 +109,7 @@ class TarskiEngine:
         declared = scheme.functional_edge_labels | scheme.multivalued_edge_labels
         for edge_label in list(self.edges):
             if edge_label not in declared:
+                self._note_edges(edge_label)
                 del self.edges[edge_label]
                 continue
             relation = self.edges[edge_label]
@@ -114,7 +119,10 @@ class TarskiEngine:
                 if scheme.allows_edge(self.label_of(src), edge_label, self.label_of(dst))
             ]
             if len(kept) != len(relation):
+                self._note_edges(edge_label)
                 self.edges[edge_label] = BinaryRelation(kept)
+        for journal in list(self._journals):
+            journal.note_rebind(self.scheme, scheme)
         self.scheme = scheme
 
     # ------------------------------------------------------------------
@@ -152,6 +160,45 @@ class TarskiEngine:
     def check_invariants(self) -> None:
         """Re-validate by exporting to a native (checking) instance."""
         self.to_instance().validate()
+
+    def begin_journal(self):
+        """Attach an O(changes) undo journal (:mod:`repro.txn.journal`).
+
+        O(1), and so is every journalled write: relations update
+        functionally, so the journal records old immutable references.
+        """
+        from repro.txn.journal import TarskiJournal
+
+        return TarskiJournal(self)
+
+    def rollback_journal(self, journal, mark) -> None:
+        """Reverse-replay ``journal`` back to ``mark``."""
+        journal.rollback_to(mark)
+
+    # ------------------------------------------------------------------
+    # journal notes: record the *old* relation before a write
+    # ------------------------------------------------------------------
+    def _note_member(self) -> None:
+        for journal in self._journals:
+            journal.entries.append(("member", self.member))
+
+    def _note_value(self, label: str) -> None:
+        if not self._journals:
+            return
+        from repro.txn.journal import MISSING
+
+        old = self.values.get(label, MISSING)
+        for journal in self._journals:
+            journal.entries.append(("value", label, old))
+
+    def _note_edges(self, label: str) -> None:
+        if not self._journals:
+            return
+        from repro.txn.journal import MISSING
+
+        old = self.edges.get(label, MISSING)
+        for journal in self._journals:
+            journal.entries.append(("edges", label, old))
 
     # ------------------------------------------------------------------
     # node/edge primitives (functional updates)
@@ -193,6 +240,8 @@ class TarskiEngine:
     def create_object(self, label: str) -> int:
         """Insert an object node."""
         oid = self.new_oid()
+        if self._journals:
+            self._note_member()
         self.member = self.member.add(oid, label)
         return oid
 
@@ -202,6 +251,9 @@ class TarskiEngine:
         if found is not None:
             return found
         oid = self.new_oid()
+        if self._journals:
+            self._note_member()
+            self._note_value(label)
         self.member = self.member.add(oid, label)
         self.values[label] = self.values.get(label, BinaryRelation()).add(oid, value)
         return oid
@@ -215,6 +267,8 @@ class TarskiEngine:
         relation = self.edge_relation(label)
         if (src, dst) in relation:
             return False
+        if self._journals:
+            self._note_edges(label)
         self.edges[label] = relation.add(src, dst)
         return True
 
@@ -223,17 +277,28 @@ class TarskiEngine:
         relation = self.edge_relation(label)
         if (src, dst) not in relation:
             return False
+        if self._journals:
+            self._note_edges(label)
         self.edges[label] = relation.remove(src, dst)
         return True
 
     def delete_node(self, oid: int) -> None:
         """Delete a node and every pair touching it."""
         label = self.label_of(oid)
+        if self._journals:
+            self._note_member()
         self.member = self.member.remove(oid, label)
         if label in self.values:
+            if self._journals:
+                self._note_value(label)
             self.values[label] = self.values[label].remove_all_with(oid)
         for edge_label in list(self.edges):
-            self.edges[edge_label] = self.edges[edge_label].remove_all_with(oid)
+            relation = self.edges[edge_label]
+            if not relation.successors(oid) and not relation.predecessors(oid):
+                continue
+            if self._journals:
+                self._note_edges(edge_label)
+            self.edges[edge_label] = relation.remove_all_with(oid)
 
     # ------------------------------------------------------------------
     # pattern matching by arc consistency over the algebra

@@ -6,6 +6,9 @@ native instance and on both storage engines:
 
 * :mod:`repro.txn.snapshot` — the duck-typed capture/restore protocol
   transactional targets implement;
+* :mod:`repro.txn.journal` — O(changes) undo journals: O(1) begin and
+  savepoints, rollback by reverse replay (the default protocol for the
+  built-in targets; snapshots remain the fallback and the oracle);
 * :mod:`repro.txn.transaction` — :class:`Transaction` /
   :class:`Savepoint` with ``commit`` / ``rollback`` / ``rollback_to``,
   structured :class:`FailureReport`\\ s, and the shared
@@ -20,7 +23,15 @@ from repro.core.errors import ResourceLimitError, TransactionError
 from repro.txn import faults, guards
 from repro.txn.faults import FaultInjector, FaultPlan, inject
 from repro.txn.guards import ResourceGuard, ResourceLimits, limits
-from repro.txn.snapshot import capture, is_transactional, restore
+from repro.txn.journal import (
+    MISSING,
+    InstanceJournal,
+    RelationalJournal,
+    TarskiJournal,
+    UndoJournal,
+    supports_journal,
+)
+from repro.txn.snapshot import OneShotState, capture, is_transactional, restore
 from repro.txn.transaction import (
     FailureReport,
     Savepoint,
@@ -32,12 +43,18 @@ __all__ = [
     "FailureReport",
     "FaultInjector",
     "FaultPlan",
+    "InstanceJournal",
+    "MISSING",
+    "OneShotState",
+    "RelationalJournal",
     "ResourceGuard",
     "ResourceLimitError",
     "ResourceLimits",
     "Savepoint",
+    "TarskiJournal",
     "Transaction",
     "TransactionError",
+    "UndoJournal",
     "atomic_run",
     "capture",
     "faults",
@@ -46,4 +63,5 @@ __all__ = [
     "is_transactional",
     "limits",
     "restore",
+    "supports_journal",
 ]

@@ -17,6 +17,11 @@ triggers an automatic rollback (and re-raises, with the
     with Transaction(db):
         program.run(db, in_place=True, atomic=False)
 
+Targets that implement the undo-journal hooks (all three built-in
+targets do — see :mod:`repro.txn.journal`) get O(1) begin/savepoint and
+O(changes) rollback; ``Transaction(target, use_journal=False)`` forces
+the full-snapshot protocol, which doubles as the equivalence oracle.
+
 :func:`atomic_run` is the shared all-or-nothing driver the program and
 engine runners build on: it applies a sequence of operations inside a
 transaction, reports progress to the fault-injection hooks, and on any
@@ -28,8 +33,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.core.counters import charge as _charge
 from repro.core.errors import TransactionError
 from repro.txn import faults
+from repro.txn.journal import EST_BYTES_PER_ITEM, supports_journal
 from repro.txn.snapshot import capture, restore, summarize
 
 ACTIVE = "active"
@@ -70,12 +77,24 @@ class FailureReport:
 
 
 class Savepoint:
-    """A named intermediate snapshot inside an active transaction."""
+    """A named intermediate rollback anchor inside an active transaction.
 
-    def __init__(self, name: str, sequence: int, state: Any) -> None:
+    Under the journal protocol a savepoint is an O(1) watermark
+    (``_mark``); under the snapshot protocol it holds a full state copy
+    (``_state``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        sequence: int,
+        state: Any = None,
+        mark: Any = None,
+    ) -> None:
         self.name = name
         self.sequence = sequence
         self._state = state
+        self._mark = mark
         self.released = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -84,17 +103,40 @@ class Savepoint:
 
 
 class Transaction:
-    """All-or-nothing mutation of one transactional target."""
+    """All-or-nothing mutation of one transactional target.
 
-    def __init__(self, target: Any, name: Optional[str] = None) -> None:
+    When the target implements the undo-journal hooks (and
+    ``use_journal`` is left on), begin attaches an O(1) journal instead
+    of copying the full state, savepoints are O(1) watermarks, and
+    rollback reverse-replays only the journalled changes.  Otherwise
+    the full-snapshot protocol of :mod:`repro.txn.snapshot` is used.
+    """
+
+    def __init__(
+        self,
+        target: Any,
+        name: Optional[str] = None,
+        use_journal: bool = True,
+    ) -> None:
         self.target = target
         self.name = name if name is not None else f"txn@{id(target):x}"
         self.status = ACTIVE
         self.failure_report: Optional[FailureReport] = None
-        self._begin = capture(target)
-        self._begin_scheme = target.scheme.copy()
         self._savepoints: List[Savepoint] = []
         self._savepoint_counter = 0
+        if use_journal and supports_journal(target):
+            self._journal = target.begin_journal()
+            self._begin = None
+            self._begin_scheme = None
+        else:
+            self._journal = None
+            self._begin = capture(target)
+            self._begin_scheme = target.scheme.copy()
+
+    @property
+    def uses_journal(self) -> bool:
+        """Whether this transaction runs on the undo-journal protocol."""
+        return self._journal is not None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -111,6 +153,10 @@ class Transaction:
     def commit(self) -> None:
         """Keep all changes; the transaction (and its savepoints) end."""
         self._require_active("commit")
+        if self._journal is not None:
+            _charge(txn_journal_entries=self._journal.entries_recorded)
+            self._journal.close()
+            self._journal = None
         self.status = COMMITTED
         self._begin = None
         self._savepoints.clear()
@@ -131,9 +177,23 @@ class Transaction:
         """
         self._require_active("roll back")
         dirty_nodes, dirty_edges = summarize(self.target)
-        scheme_dirty = self.target.scheme != self._begin_scheme
-        restore(self.target, self._begin)
-        clean_nodes, clean_edges = summarize(self.target)
+        _charge(txn_rollbacks=1)
+        if self._journal is not None:
+            scheme_dirty = self._journal.scheme_dirty()
+            self.target.rollback_journal(self._journal, self._journal.begin_mark)
+            clean_nodes, clean_edges = summarize(self.target)
+            # what a snapshot-protocol rollback would have copied twice
+            # (capture at begin + restore) and this one never touched
+            _charge(
+                txn_journal_entries=self._journal.entries_recorded,
+                txn_bytes_avoided=EST_BYTES_PER_ITEM * (clean_nodes + clean_edges),
+            )
+            self._journal.close()
+            self._journal = None
+        else:
+            scheme_dirty = self.target.scheme != self._begin_scheme
+            restore(self.target, self._begin)
+            clean_nodes, clean_edges = summarize(self.target)
         invariants_ok = True
         try:
             self.target.check_invariants()
@@ -159,11 +219,15 @@ class Transaction:
     # savepoints
     # ------------------------------------------------------------------
     def savepoint(self, name: Optional[str] = None) -> Savepoint:
-        """Snapshot the current state as a rollback anchor."""
+        """Anchor the current state: an O(1) journal watermark, or a
+        full snapshot on the fallback protocol."""
         self._require_active("create a savepoint")
         self._savepoint_counter += 1
         label = name if name is not None else f"sp{self._savepoint_counter}"
-        point = Savepoint(label, self._savepoint_counter, capture(self.target))
+        if self._journal is not None:
+            point = Savepoint(label, self._savepoint_counter, mark=self._journal.mark())
+        else:
+            point = Savepoint(label, self._savepoint_counter, state=capture(self.target))
         self._savepoints.append(point)
         return point
 
@@ -184,7 +248,14 @@ class Transaction:
         """
         self._require_active("roll back to a savepoint")
         index = self._find(savepoint)
-        restore(self.target, savepoint._state)
+        _charge(txn_rollbacks=1)
+        if self._journal is not None:
+            self.target.rollback_journal(self._journal, savepoint._mark)
+        else:
+            restore(self.target, savepoint._state)
+            # restoring consumed the snapshot; re-capture so the
+            # savepoint can be rolled back to again
+            savepoint._state = capture(self.target)
         for stale in self._savepoints[index + 1 :]:
             stale.released = True
         del self._savepoints[index + 1 :]

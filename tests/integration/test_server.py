@@ -206,6 +206,31 @@ def test_stats_expose_fixpoint_counters(served):
         client.drop(name)
 
 
+def test_stats_expose_txn_counters_after_aborted_run(served):
+    """An aborted RUN still charges its transaction work to STATS:
+    the rollback itself and the undo-journal entries it replayed."""
+    with connect(served) as client:
+        client.use("people")
+        client.run('addnode Person(name -> n) { n: String = "keep" }')
+        before = client.stats()["databases"]["people"]
+        with pytest.raises(RemoteError) as info:
+            client.run(
+                'addnode Person(name -> n) { n: String = "gone" }\n'
+                'addedge { p: Person; a: String = "keep"; b: String = "gone";'
+                " p -name-> a } add p -name-> b\n"
+            )
+        assert info.value.details["failure_report"]["invariants_ok"] is True
+        bucket = client.stats()["databases"]["people"]
+        assert bucket["txn_rollbacks"] == before["txn_rollbacks"] + 1
+        assert bucket["rollbacks"] == before["rollbacks"] + 1
+        assert bucket["txn_journal_entries"] > before["txn_journal_entries"]
+        # journal transactions never captured a full snapshot
+        assert bucket["txn_snapshot_captures"] == before["txn_snapshot_captures"]
+        assert bucket["txn_bytes_avoided"] > before["txn_bytes_avoided"]
+        # the aborted statement left no trace
+        assert client.match("{ p: Person }")["total"] == 1
+
+
 def test_undo_rejected_on_engine_backends(served):
     with connect(served) as client:
         client.create("rel", backend="relational", scheme=scheme_to_json(people_scheme()))
