@@ -336,15 +336,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import Catalog, GoodServer
     from repro.txn.guards import ResourceLimits
 
-    catalog = Catalog()
+    report = None
+    if args.data_dir:
+        from repro.wal import recover_catalog
+
+        try:
+            catalog, report = recover_catalog(
+                args.data_dir,
+                fsync_policy=args.fsync,
+                checkpoint_bytes=args.checkpoint_bytes,
+            )
+        except (GoodError, OSError) as error:
+            print(f"ERROR: {error}", file=sys.stderr)
+            return 1
+        if report.databases:
+            print(report.summary())
+    else:
+        catalog = Catalog()
     try:
         for spec in args.db or ():
             name, _, path = spec.partition("=")
             if not name or not path:
                 print(f"ERROR: --db expects NAME=FILE, got {spec!r}", file=sys.stderr)
                 return 1
+            if name in catalog:
+                # already recovered from the data dir; the durable copy
+                # wins over the seed file
+                continue
             catalog.load_file(name, path, backend=args.backend)
     except (GoodError, OSError, ValueError) as error:
+        catalog.close_durability()
         print(f"ERROR: {error}", file=sys.stderr)
         return 1
     server = GoodServer(
@@ -358,11 +379,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_matchings=args.max_matchings, max_call_depth=args.max_call_depth
         ),
     )
+    if report is not None:
+        for entry in report.databases:
+            server.stats.charge(
+                entry["name"], recoveries=1, wal_torn=entry["torn_records"]
+            )
 
     async def _serve() -> None:
         host, port = await server.start()
         names = ", ".join(catalog.names()) or "none (clients can CREATE)"
-        print(f"serving GOOD on {host}:{port} — databases: {names}")
+        durable = f" — data dir: {args.data_dir} (fsync={args.fsync})" if args.data_dir else ""
+        print(f"serving GOOD on {host}:{port} — databases: {names}{durable}")
         print("stop with Ctrl-C")
         try:
             await server.serve_forever()
@@ -373,6 +400,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("\nserver stopped.")
+    finally:
+        catalog.close_durability()
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.wal import recover_catalog
+
+    try:
+        catalog, report = recover_catalog(
+            args.data_dir, fsync_policy="off", validate=args.validate
+        )
+    except (GoodError, OSError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    try:
+        if args.json:
+            print(_json.dumps(report.to_json(), indent=2, sort_keys=True))
+        else:
+            print(report.summary())
+    finally:
+        catalog.close_durability()
     return 0
 
 
@@ -629,7 +680,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-call-depth", type=int, default=None, help="default per-session recursion budget"
     )
+    serve.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="serve durably from DIR: recover its databases on boot, "
+        "write-ahead log every commit, checkpoint periodically",
+    )
+    serve.add_argument(
+        "--fsync",
+        default="always",
+        metavar="POLICY",
+        help="WAL fsync policy: always (default), group:<ms> (group "
+        "commit, coalescing fsyncs), or off (OS decides)",
+    )
+    serve.add_argument(
+        "--checkpoint-bytes",
+        type=int,
+        default=4 * 1024 * 1024,
+        help="auto-checkpoint a database once its WAL segment exceeds "
+        "this many bytes (0 disables; default 4MiB)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    recover = commands.add_parser(
+        "recover",
+        help="recover a serve --data-dir offline and report what was replayed",
+    )
+    recover.add_argument("data_dir", metavar="DIR")
+    recover.add_argument(
+        "--validate",
+        action="store_true",
+        help="re-check every Section 2 constraint on the recovered instances",
+    )
+    recover.add_argument("--json", action="store_true", help="machine-readable report")
+    recover.set_defaults(handler=_cmd_recover)
 
     connect = commands.add_parser(
         "connect", help="interactive client for a served GOOD catalog"

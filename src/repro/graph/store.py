@@ -285,7 +285,7 @@ class GraphStore:
         for tracker in self._trackers:
             tracker.nodes.add(node_id)
         for journal in self._journals:
-            journal.entries.append(("add_node", node_id))
+            journal.entries.append(("add_node", node_id, label, print_value))
         return node_id
 
     def remove_node(self, node_id: int) -> None:
@@ -329,7 +329,7 @@ class GraphStore:
             self._by_print.setdefault((record.label, print_value), set()).add(node_id)
         self._generation += 1
         for journal in self._journals:
-            journal.entries.append(("set_print", node_id, record.print_value))
+            journal.entries.append(("set_print", node_id, record.print_value, print_value))
 
     def has_node(self, node_id: int) -> bool:
         """Whether ``node_id`` exists in the store."""

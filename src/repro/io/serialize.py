@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, IO, Union
 
 from repro.core.errors import GoodError
 from repro.core.instance import Instance
@@ -193,9 +193,49 @@ def load_scheme(path: Union[str, Path]) -> Scheme:
     return scheme_from_json(_parse_file(path))
 
 
+def write_instance(instance: Instance, fp: IO[str]) -> None:
+    """Stream an instance as JSON to an open text file.
+
+    Produces byte-for-byte the document ``json.dumps(
+    instance_to_json(instance), indent=2, sort_keys=True)`` would, but
+    emits one node/edge entry at a time instead of materialising the
+    whole instance as a second in-memory object plus its dump string —
+    checkpointing a 10^5-node store must not double peak memory.
+    """
+    dump = json.dumps  # compact per-entry encoder
+    fp.write('{\n  "edges": [')
+    first = True
+    for edge in instance.edges():
+        fp.write("," if not first else "")
+        first = False
+        fp.write(
+            "\n    "
+            + dump(
+                {"label": edge.label, "source": edge.source, "target": edge.target},
+                indent=2,
+                sort_keys=True,
+            ).replace("\n", "\n    ")
+        )
+    fp.write("\n  ],\n" if not first else "],\n")
+    fp.write(f'  "format": {FORMAT_VERSION},\n  "nodes": [')
+    first = True
+    for node_id in instance.nodes():
+        record = instance.node_record(node_id)
+        entry: Dict[str, Any] = {"id": node_id, "label": record.label}
+        if record.has_print:
+            entry["print"] = record.print_value
+        fp.write("," if not first else "")
+        first = False
+        fp.write("\n    " + dump(entry, indent=2, sort_keys=True).replace("\n", "\n    "))
+    fp.write("\n  ],\n" if not first else "],\n")
+    scheme_doc = dump(scheme_to_json(instance.scheme), indent=2, sort_keys=True)
+    fp.write('  "scheme": ' + scheme_doc.replace("\n", "\n  ") + "\n}")
+
+
 def save_instance(instance: Instance, path: Union[str, Path]) -> None:
-    """Write an instance to a JSON file."""
-    Path(path).write_text(json.dumps(instance_to_json(instance), indent=2, sort_keys=True))
+    """Write an instance to a JSON file (streamed, see :func:`write_instance`)."""
+    with Path(path).open("w") as fp:
+        write_instance(instance, fp)
 
 
 def load_instance(path: Union[str, Path]) -> Instance:

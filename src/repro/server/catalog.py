@@ -42,6 +42,8 @@ from repro.io.serialize import (
 from repro.server.protocol import register_error_code
 from repro.txn import guards
 from repro.txn.snapshot import capture, restore, summarize
+from repro.txn.transaction import Transaction
+from repro.wal import DataDirLockedError, WalError
 
 BACKENDS = ("native", "relational", "tarski")
 
@@ -56,6 +58,8 @@ class UnknownDatabaseError(CatalogError):
 
 register_error_code(CatalogError, "CATALOG")
 register_error_code(UnknownDatabaseError, "NO_SUCH_DATABASE")
+register_error_code(WalError, "WAL")
+register_error_code(DataDirLockedError, "DATA_DIR_LOCKED")
 
 
 class ServedDatabase:
@@ -66,6 +70,9 @@ class ServedDatabase:
             raise CatalogError(f"unknown backend {backend!r} (expected one of {BACKENDS})")
         self.name = name
         self.backend = backend
+        # wired by DataDirectory when serving from a durable data dir
+        self.durability: Any = None
+        self._pending_ticket: Any = None
         self._engine: Any = None
         if backend == "native":
             self.session: Optional[Session] = Session(instance)
@@ -125,6 +132,11 @@ class ServedDatabase:
         exception carries a ``failure_report``.
         """
         program = self._compile(source)
+        if self.durability is None:
+            return self._run_parsed(program)
+        return self._run_durable(program)
+
+    def _run_parsed(self, program: Program) -> List[Any]:
         if self.session is not None:
             try:
                 return list(self.session.update(program).reports)
@@ -135,6 +147,56 @@ class ServedDatabase:
                     self.session.undo()
                 raise
         return list(self.target.run(program.operations, atomic=True))
+
+    def _run_durable(self, program: Program) -> List[Any]:
+        """Run with write-ahead logging: nothing is acknowledged until
+        the commit record is on disk (per the writer's fsync policy).
+
+        An outer journal observes the whole run; on success its entries
+        are read *forwards* (:mod:`repro.wal.redo`) into the commit
+        record.  If the WAL append fails, the outer journal rolls the
+        memory state back so it never diverges from disk, and the
+        writer stays poisoned — exactly as if the process had died.
+        """
+        txn = Transaction(self.target, name=f"wal:{self.name}")
+        try:
+            reports = self._run_parsed(program)
+        except BaseException:
+            # the inner atomic run already restored the state, so the
+            # outer journal's entries are net-zero: discard them
+            txn.commit()
+            raise
+        try:
+            ticket = self.durability.commit_journal(self, txn._journal)
+        except BaseException as error:
+            txn.rollback()
+            if self.session is not None and self.session.undo_depth:
+                self.session.undo()
+            self.durability.poison(error)
+            raise
+        txn.commit()
+        self._pending_ticket = ticket
+        self.durability.maybe_checkpoint(self)
+        return reports
+
+    def take_ticket(self) -> Any:
+        """Claim the durability ticket of the last run (or ``None``).
+
+        The session layer appends under the database write lock but
+        waits on the ticket *after* releasing it, which is what lets
+        concurrent commits share one group fsync.
+        """
+        ticket, self._pending_ticket = self._pending_ticket, None
+        return ticket
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot state to disk and truncate the replayed WAL."""
+        if self.durability is None:
+            raise CatalogError(
+                f"database {self.name!r} is not served from a data directory; "
+                "CHECKPOINT needs a server started with --data-dir"
+            )
+        return self.durability.checkpoint(self)
 
     def query_program(self, source: str) -> Tuple[List[Any], Tuple[int, int]]:
         """Query-mode run: the result is "only a temporary entity".
@@ -219,6 +281,14 @@ class ServedDatabase:
                 "UNDO is only available on the native backend"
             )
         self.session.undo()
+        if self.durability is not None:
+            # no incremental redo can describe an instance rebind, so
+            # UNDO logs the complete post-undo state as a reset record
+            try:
+                self._pending_ticket = self.durability.reset_record(self)
+            except BaseException as error:
+                self.durability.poison(error)
+                raise
         return self.counts()
 
     # ------------------------------------------------------------------
@@ -244,6 +314,10 @@ class Catalog:
 
     def __init__(self) -> None:
         self._databases: Dict[str, ServedDatabase] = {}
+        # a repro.wal.DataDirectory when serving durably, else None;
+        # attached by recover_catalog AFTER recovery has populated the
+        # catalog (so add() below does not re-create on-disk state)
+        self.durability: Any = None
 
     def __len__(self) -> int:
         return len(self._databases)
@@ -276,6 +350,8 @@ class Catalog:
         if name in self._databases:
             raise CatalogError(f"database {name!r} already exists")
         database = ServedDatabase(name, instance, backend)
+        if self.durability is not None:
+            self.durability.attach_new(database)
         self._databases[name] = database
         return database
 
@@ -299,9 +375,21 @@ class Catalog:
         return self.add(name, instance, backend)
 
     def drop(self, name: str) -> None:
-        """Forget a database (the state is discarded)."""
-        self.get(name)
+        """Forget a database (its on-disk state, if any, included)."""
+        database = self.get(name)
+        if self.durability is not None:
+            self.durability.drop_database(database)
         del self._databases[name]
+
+    def close_durability(self) -> None:
+        """Flush and close every WAL writer and release the data dir."""
+        for database in self._databases.values():
+            if database.durability is not None:
+                database.durability.close()
+                database.durability = None
+        if self.durability is not None:
+            self.durability.close()
+            self.durability = None
 
     def load_file(self, name: str, path: Union[str, Path], backend: str = "native") -> ServedDatabase:
         """Serve a JSON instance file under ``name``."""

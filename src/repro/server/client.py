@@ -173,6 +173,10 @@ class GoodClient:
     def undo(self, db: Optional[str] = None) -> Dict[str, Any]:
         return self.call("UNDO", **({"db": db} if db else {}))
 
+    def checkpoint(self, db: Optional[str] = None) -> Dict[str, Any]:
+        """Force a checkpoint: snapshot to disk, truncate the WAL."""
+        return self.call("CHECKPOINT", **({"db": db} if db else {}))
+
     def limit(
         self,
         max_matchings: Optional[int] = None,

@@ -32,6 +32,7 @@ from repro.server import protocol
 from repro.server.catalog import ServedDatabase
 from repro.server.protocol import ProtocolError, require_arg
 from repro.txn.guards import ResourceLimits
+from repro.wal.record import WalError
 
 _SESSION_IDS = itertools.count(1)
 
@@ -117,6 +118,7 @@ class ServerSession:
                 if mode == "read"
                 else lock.write_locked(server.lock_timeout)
             )
+            ticket = None
             async with locked:
                 try:
                     result = await server.run_blocking(
@@ -129,6 +131,24 @@ class ServerSession:
                     if error_charges:
                         server.stats.charge(name, **error_charges)
                     raise
+                ticket = result.pop("_durability", None)
+            # durability gate: acknowledge only once the commit record
+            # is fsynced.  Waiting AFTER the write lock is released is
+            # what lets concurrent commits coalesce into one group fsync
+            if ticket is not None:
+                try:
+                    if ticket.done:
+                        ticket.wait(0)
+                    else:
+                        await server.run_blocking(ticket.wait)
+                except Exception:
+                    raise
+                except BaseException as error:
+                    # simulated-crash failures derive from BaseException
+                    # so journals can't swallow them; surface them to
+                    # the client as a structured WAL error instead of
+                    # tearing down the event loop
+                    raise WalError(f"commit is not durable: {error}") from error
         charges = result.pop("_charges", None)
         if charges:
             server.stats.charge(name, **charges)
@@ -228,11 +248,16 @@ class ServerSession:
                 _attach_charges(error, _txn_charges(tally))
                 raise
         nodes, edges = database.counts()
+        wal_charges = (
+            database.durability.drain_charges() if database.durability is not None else {}
+        )
         return {
             "reports": [_report_json(report) for report in reports],
             "nodes": nodes,
             "edges": edges,
+            "_durability": database.take_ticket(),
             "_charges": {
+                **wal_charges,
                 "runs": 1,
                 "operations_applied": len(reports),
                 "matchings_enumerated": sum(r.matching_count for r in reports),
@@ -250,7 +275,17 @@ class ServerSession:
     @_verb("UNDO", "write")
     def _undo(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
         nodes, edges = database.undo()
-        return {"nodes": nodes, "edges": edges}
+        payload: Dict[str, Any] = {"nodes": nodes, "edges": edges}
+        if database.durability is not None:
+            payload["_durability"] = database.take_ticket()
+            payload["_charges"] = database.durability.drain_charges()
+        return payload
+
+    @_verb("CHECKPOINT", "write")
+    def _checkpoint(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
+        payload: Dict[str, Any] = dict(database.checkpoint())
+        payload["_charges"] = database.durability.drain_charges()
+        return payload
 
     # ------------------------------------------------------------------
     # read verbs (shared)

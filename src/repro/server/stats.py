@@ -87,6 +87,16 @@ class DatabaseStats:
         self.txn_snapshot_captures = 0
         self.txn_rollbacks = 0
         self.txn_bytes_avoided = 0
+        # durability work (repro.wal tallies): WAL records appended,
+        # fsyncs issued (group commit makes this < wal_appends), bytes
+        # logged, checkpoints taken, boot-time recoveries performed and
+        # torn tail records dropped by those recoveries
+        self.wal_appends = 0
+        self.wal_fsyncs = 0
+        self.wal_bytes = 0
+        self.checkpoints = 0
+        self.recoveries = 0
+        self.wal_torn = 0
         self.latency = LatencyRing(ring_capacity)
 
     def record_request(self, seconds: float, error: bool = False) -> None:
@@ -115,6 +125,12 @@ class DatabaseStats:
             "txn_snapshot_captures": self.txn_snapshot_captures,
             "txn_rollbacks": self.txn_rollbacks,
             "txn_bytes_avoided": self.txn_bytes_avoided,
+            "wal_appends": self.wal_appends,
+            "wal_fsyncs": self.wal_fsyncs,
+            "wal_bytes": self.wal_bytes,
+            "checkpoints": self.checkpoints,
+            "recoveries": self.recoveries,
+            "wal_torn": self.wal_torn,
             "latency": self.latency.snapshot(),
         }
 

@@ -27,6 +27,14 @@ deterministic failure.  Injected errors are ordinary library exceptions
 :class:`~repro.core.errors.MethodError`,
 :class:`~repro.core.errors.BackendError`, ...) and take the same
 rollback path a genuine failure would.
+
+A second, harsher family simulates *process death* for the durability
+layer (:mod:`repro.wal`): :func:`crash` / :func:`arm_crash` arm a named
+**crash point** (``wal.append.before``, ``wal.fsync.before``, ...), and
+:func:`crash_here` — called by the WAL code at each would-be-fatal
+moment — raises :class:`CrashError` there.  ``CrashError`` derives from
+``BaseException`` so no recovery-path ``except Exception`` can swallow
+it, mirroring a real ``SIGKILL``.
 """
 
 from __future__ import annotations
@@ -166,3 +174,109 @@ def on_engine_call(engine: Any, operation: Any) -> None:
     if _ACTIVE:
         for injector in tuple(_ACTIVE):
             injector.note_engine_call(engine, operation)
+
+
+# ----------------------------------------------------------------------
+# crash points (durability testing)
+# ----------------------------------------------------------------------
+
+
+class CrashError(BaseException):
+    """A simulated process death at a named crash point.
+
+    Deliberately *not* an :class:`Exception`: durability code must not
+    be able to catch it with a blanket ``except Exception`` — like a
+    real ``SIGKILL``, it propagates through whatever was in flight.
+    The WAL layer (:mod:`repro.wal.log`) additionally models the OS
+    page-cache consequence at each site (e.g. un-fsynced bytes vanish
+    at ``wal.fsync.before``).
+    """
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"simulated crash at {site}")
+        self.site = site
+
+
+class CrashPlan:
+    """One armed crash point: fire :class:`CrashError` at ``site``.
+
+    ``after`` skips that many hits of the site before firing, so a
+    sweep can crash the Nth commit rather than the first.  A plan
+    fires at most once.
+    """
+
+    def __init__(self, site: str, after: int = 0) -> None:
+        self.site = site
+        self.after = after
+        self.hits = 0
+        self.fired = False
+
+    def note(self, site: str) -> None:
+        if self.fired or site != self.site:
+            return
+        self.hits += 1
+        if self.hits > self.after:
+            self.fired = True
+            raise CrashError(site)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "fired" if self.fired else f"armed (hits={self.hits})"
+        return f"CrashPlan({self.site!r}, after={self.after}, {status})"
+
+
+#: Currently armed crash plans (innermost last).
+_CRASHES: List[CrashPlan] = []
+
+
+@contextmanager
+def crash(site: str, after: int = 0) -> Iterator[CrashPlan]:
+    """Arm a crash point for the duration of the ``with`` block::
+
+        with faults.crash("wal.fsync.before"):
+            client.run(db="g", program=[...])   # dies mid-commit
+
+    The yielded plan records whether it fired (``plan.fired``).
+    """
+    plan = CrashPlan(site, after=after)
+    _CRASHES.append(plan)
+    try:
+        yield plan
+    finally:
+        _CRASHES.remove(plan)
+
+
+def arm_crash(site: str, after: int = 0) -> CrashPlan:
+    """Arm a crash point without a ``with`` block (cross-thread use).
+
+    The server executes commits on worker threads, so a test that arms
+    from the main thread needs the plan to stay armed until
+    :func:`disarm_crash` — the context manager's scope would be wrong.
+    """
+    plan = CrashPlan(site, after=after)
+    _CRASHES.append(plan)
+    return plan
+
+
+def disarm_crash(plan: CrashPlan) -> None:
+    """Disarm a plan armed with :func:`arm_crash` (idempotent)."""
+    try:
+        _CRASHES.remove(plan)
+    except ValueError:
+        pass
+
+
+def crash_here(site: str) -> None:
+    """Crash-point hook: raise :class:`CrashError` if ``site`` is armed.
+
+    Called by the durability layer at every would-be-fatal moment
+    (before/after append, before/after fsync, around checkpoint
+    rename).  Near-free when nothing is armed.
+    """
+    if _CRASHES:
+        for plan in tuple(_CRASHES):
+            plan.note(site)
+
+
+def crash_armed(site: str) -> bool:
+    """Whether an un-fired plan targets ``site`` (for test introspection)."""
+    return any(plan.site == site and not plan.fired for plan in _CRASHES)

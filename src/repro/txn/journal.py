@@ -240,10 +240,13 @@ class InstanceJournal(UndoJournal):
     :class:`~repro.graph.store.GraphStore` mutators (the same hook
     point as PR 3's :class:`~repro.graph.store.Delta` tracking):
 
-    ``("add_node", id)`` / ``("remove_node", id, label, print)`` /
-    ``("set_print", id, old)`` / ``("add_edge", s, l, t)`` /
-    ``("remove_edge", s, l, t)``, plus the base ``("scheme", obj,
-    copy)`` and ``("bind", old_scheme)`` entries.
+    ``("add_node", id, label, print)`` / ``("remove_node", id, label,
+    print)`` / ``("set_print", id, old, new)`` / ``("add_edge", s, l,
+    t)`` / ``("remove_edge", s, l, t)``, plus the base ``("scheme",
+    obj, copy)`` and ``("bind", old_scheme)`` entries.  Each entry
+    carries enough to replay in *either* direction: the trailing
+    fields feed the redo extraction of :mod:`repro.wal.redo` while
+    ``_replay`` below only reads the undo prefix.
 
     Replay goes through the store's normal mutators, so adjacency
     indexes, cardinality statistics, cached views and any *outer*

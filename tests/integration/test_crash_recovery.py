@@ -1,0 +1,288 @@
+"""Crash-recovery integration tests: kill the server mid-commit, restart,
+verify the durability contract.
+
+The contract, per crash site:
+
+* a commit **acknowledged** to the client is present after recovery —
+  always, at every site, on every backend;
+* a commit that died **before its record was durable**
+  (``wal.append.before``, ``wal.append.torn``, ``wal.fsync.before``)
+  is absent after recovery — the client never got an ack, so absence
+  is the correct outcome;
+* a commit that died **after the fsync but before the ack**
+  (``wal.fsync.after``) is present after recovery: durable-but-unacked
+  is the classic window every WAL system has, and recovery must keep
+  it (the client is expected to re-check, not re-run blindly);
+* a crash anywhere inside the checkpoint protocol loses nothing.
+
+The "kill" is a :class:`repro.txn.faults.CrashError` raised at an
+armed crash point on the server's worker thread — it derives from
+``BaseException`` so no engine code can swallow it, the connection
+dies without a response (the client sees EOF, not an ack), and the
+poisoned writer refuses further work exactly like a dead process.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import Scheme
+from repro.io.serialize import scheme_to_json
+from repro.server import BackgroundServer, GoodClient, GoodServer
+from repro.server.protocol import ProtocolError
+from repro.txn import faults
+from repro.wal import DataDirLockedError, recover_catalog
+from repro.wal.checkpoint import segment_name
+
+pytestmark = pytest.mark.faults
+
+BACKENDS = ("native", "relational", "tarski")
+
+#: site -> is the in-flight commit present after recovery?
+CRASH_SITES = {
+    "wal.append.before": False,
+    "wal.append.torn": False,
+    "wal.fsync.before": False,
+    "wal.fsync.after": True,
+}
+
+CHECKPOINT_SITES = ("wal.checkpoint.written", "wal.checkpoint.renamed", "wal.checkpoint.after")
+
+
+def scheme_doc():
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Person", "name", "String")
+    scheme.declare("Person", "knows", "Person", functional=False)
+    return scheme_to_json(scheme)
+
+
+def add_person(client, name, db=None):
+    return client.run(
+        f'addnode Person(name -> n) {{ n: String = "{name}" }}',
+        **({"db": db} if db else {}),
+    )
+
+
+class Served:
+    """One durable serving episode over a data directory."""
+
+    def __init__(self, root, policy="always", checkpoint_bytes=0):
+        self.catalog, self.report = recover_catalog(
+            root, fsync_policy=policy, checkpoint_bytes=checkpoint_bytes
+        )
+        self.background = BackgroundServer(GoodServer(self.catalog, port=0))
+        self.host, self.port = self.background.start()
+
+    def client(self):
+        return GoodClient(self.host, self.port)
+
+    def stop(self):
+        self.background.stop()
+        self.catalog.close_durability()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.stop()
+
+
+def recovered_counts(root, name):
+    catalog, report = recover_catalog(root)
+    try:
+        return catalog.get(name).counts(), report
+    finally:
+        catalog.close_durability()
+
+
+class TestCrashSiteSweep:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("site", sorted(CRASH_SITES))
+    def test_acked_present_unacked_by_site(self, tmp_path, backend, site):
+        root = tmp_path / "data"
+        served = Served(root)
+        try:
+            with served.client() as client:
+                client.create("g", backend=backend, scheme=scheme_doc())
+                client.use("g")
+                acked = add_person(client, "acked")
+                acked_counts = (acked["nodes"], acked["edges"])
+            plan = faults.arm_crash(site)
+            try:
+                with served.client() as client:
+                    client.use("g")
+                    with pytest.raises((ProtocolError, Exception)) as failure:
+                        add_person(client, "doomed")
+                assert plan.fired, f"crash point {site} never fired"
+                assert failure.type is not None
+            finally:
+                faults.disarm_crash(plan)
+        finally:
+            served.stop()
+
+        counts, report = recovered_counts(root, "g")
+        entry = report.databases[0]
+        if CRASH_SITES[site]:
+            # durable-but-unacked: the record was fsynced before the
+            # crash, so recovery must keep it
+            assert counts > acked_counts, (site, backend, counts)
+        else:
+            assert counts == acked_counts, (site, backend, counts)
+            assert entry["torn_records"] == (1 if site == "wal.append.torn" else 0)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_aborted_run_is_never_resurrected(self, tmp_path, backend):
+        """A program that fails its own atomic run writes no WAL record
+        at all — recovery cannot resurrect it."""
+        root = tmp_path / "data"
+        with Served(root) as served:
+            with served.client() as client:
+                client.create("g", backend=backend, scheme=scheme_doc())
+                client.use("g")
+                acked = add_person(client, "kept")
+                acked_counts = (acked["nodes"], acked["edges"])
+                with pytest.raises(Exception):
+                    # undefined edge addition: fails mid-run, rolls back
+                    client.run(
+                        'addnode Person(name -> n) { n: String = "gone" }\n'
+                        "addedge knows(p, p) { p: Person, q: Nope }"
+                    )
+            segment = root / "g" / segment_name(0)
+            appended = segment.read_bytes().count(b"\n")
+            assert appended == 1  # only the acked commit
+
+        counts, _ = recovered_counts(root, "g")
+        assert counts == acked_counts
+
+
+class TestCheckpointCrashes:
+    @pytest.mark.parametrize("site", CHECKPOINT_SITES)
+    def test_crash_inside_checkpoint_loses_nothing(self, tmp_path, site):
+        root = tmp_path / "data"
+        served = Served(root)
+        try:
+            with served.client() as client:
+                client.create("g", backend="native", scheme=scheme_doc())
+                client.use("g")
+                add_person(client, "one")
+                result = add_person(client, "two")
+                state = (result["nodes"], result["edges"])
+            plan = faults.arm_crash(site)
+            try:
+                with served.client() as client:
+                    with pytest.raises((ProtocolError, Exception)):
+                        client.checkpoint(db="g")
+                assert plan.fired
+            finally:
+                faults.disarm_crash(plan)
+        finally:
+            served.stop()
+        counts, _ = recovered_counts(root, "g")
+        assert counts == state
+
+    def test_clean_checkpoint_roundtrip(self, tmp_path):
+        root = tmp_path / "data"
+        with Served(root) as served:
+            with served.client() as client:
+                client.create("g", backend="native", scheme=scheme_doc())
+                client.use("g")
+                add_person(client, "one")
+                info = client.checkpoint()
+                assert info["epoch"] == 1
+                result = add_person(client, "two")
+                state = (result["nodes"], result["edges"])
+                stats = client.stats()["databases"]["g"]
+                assert stats["checkpoints"] == 1
+                assert stats["wal_appends"] >= 2
+                assert stats["wal_fsyncs"] >= 2
+        counts, report = recovered_counts(root, "g")
+        assert counts == state
+        entry = report.databases[0]
+        assert entry["epoch"] == 1
+        # only the post-checkpoint commit needed replaying
+        assert entry["records_replayed"] == 1
+
+
+class TestGroupCommit:
+    def test_concurrent_acked_commits_all_recover(self, tmp_path):
+        root = tmp_path / "data"
+        workers = 6
+        with Served(root, policy="group:5") as served:
+            with served.client() as client:
+                client.create("g", backend="native", scheme=scheme_doc())
+            errors = []
+            barrier = threading.Barrier(workers)
+
+            def commit(i):
+                try:
+                    with served.client() as client:
+                        barrier.wait()
+                        add_person(client, f"p{i}", db="g")
+                except Exception as error:  # pragma: no cover - fails the test
+                    errors.append(error)
+
+            threads = [threading.Thread(target=commit, args=(i,)) for i in range(workers)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            with served.client() as client:
+                final = client.export(db="g")
+                nodes = len(final["instance"]["nodes"])
+                stats = client.stats()["databases"]["g"]
+            # every commit appended, but the group window coalesced at
+            # least some of the fsyncs
+            assert stats["wal_appends"] >= workers
+        counts, report = recovered_counts(root, "g")
+        assert counts[0] == nodes
+        assert report.databases[0]["records_replayed"] >= workers
+
+
+class TestUndoDurability:
+    def test_undo_survives_restart(self, tmp_path):
+        root = tmp_path / "data"
+        with Served(root) as served:
+            with served.client() as client:
+                client.create("g", backend="native", scheme=scheme_doc())
+                client.use("g")
+                add_person(client, "keep")
+                add_person(client, "drop")
+                undone = client.undo()
+                state = (undone["nodes"], undone["edges"])
+        counts, report = recovered_counts(root, "g")
+        assert counts == state
+        assert report.databases[0]["resets_replayed"] == 1
+
+
+class TestDataDirLock:
+    def test_live_data_dir_refuses_second_server(self, tmp_path):
+        root = tmp_path / "data"
+        with Served(root):
+            with pytest.raises(DataDirLockedError):
+                recover_catalog(root)
+        # released on stop: recovery proceeds
+        catalog, _ = recover_catalog(root)
+        catalog.close_durability()
+
+
+class TestRestartCycles:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_state_accumulates_across_restarts(self, tmp_path, backend):
+        root = tmp_path / "data"
+        expected = None
+        for round_ in range(3):
+            with Served(root) as served:
+                with served.client() as client:
+                    if round_ == 0:
+                        client.create("g", backend=backend, scheme=scheme_doc())
+                    client.use("g")
+                    if expected is not None:
+                        described = client.use("g")["using"]
+                        assert (described["nodes"], described["edges"]) == expected
+                    result = add_person(client, f"round{round_}")
+                    expected = (result["nodes"], result["edges"])
+        counts, _ = recovered_counts(root, "g")
+        assert counts == expected

@@ -1,0 +1,468 @@
+"""Unit tests for the durability layer (`repro.wal`).
+
+Covers the record framing (CRC, tuple-safe JSON), the segment writer's
+fsync policies and poisoning discipline, torn-tail detection at every
+byte offset, the streaming instance serializer, the checkpoint publish
+protocol, and the data directory's locking and atomic create/drop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core import Instance, Scheme
+from repro.hypermedia import build_instance, build_scheme
+from repro.io.serialize import instance_to_json, scheme_to_json, write_instance
+from repro.txn import faults
+from repro.wal import (
+    DataDirectory,
+    DataDirLockedError,
+    FsyncPolicy,
+    WalError,
+    WalReader,
+    WalWriter,
+    parse_fsync_policy,
+    recover_catalog,
+)
+from repro.wal.checkpoint import (
+    checkpoint_name,
+    load_checkpoint,
+    segment_name,
+    write_checkpoint,
+)
+from repro.wal.record import (
+    WalFormatError,
+    decode_line,
+    dejsonify,
+    encode_record,
+    jsonify,
+    scan_records,
+)
+
+
+def small_scheme():
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Person", "name", "String")
+    scheme.declare("Person", "knows", "Person", functional=False)
+    return scheme
+
+
+# ----------------------------------------------------------------------
+# record framing
+# ----------------------------------------------------------------------
+
+
+class TestRecordFraming:
+    def test_roundtrip(self):
+        doc = {"kind": "commit", "lsn": 7, "redo": [{"op": "add_node", "id": 3}]}
+        assert decode_line(encode_record(doc)) == doc
+
+    def test_crc_rejects_flipped_byte(self):
+        line = bytearray(encode_record({"kind": "commit", "lsn": 1}))
+        line[len(line) // 2] ^= 0x01
+        with pytest.raises(WalFormatError):
+            decode_line(bytes(line))
+
+    def test_rejects_non_hex_checksum(self):
+        with pytest.raises(WalFormatError):
+            decode_line(b'zzzzzzzz {"kind":"commit"}\n')
+
+    def test_rejects_short_line(self):
+        with pytest.raises(WalFormatError):
+            decode_line(b"ab\n")
+
+    def test_rejects_non_object_payload(self):
+        import zlib
+
+        payload = b"[1,2,3]"
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        with pytest.raises(WalFormatError):
+            decode_line(f"{crc:08x} ".encode() + payload + b"\n")
+
+    def test_scan_stops_at_torn_tail(self):
+        good = encode_record({"lsn": 1}) + encode_record({"lsn": 2})
+        torn = encode_record({"lsn": 3})[:-5]
+        records, valid, dropped = scan_records(good + torn)
+        assert [r["lsn"] for r in records] == [1, 2]
+        assert valid == len(good)
+        assert dropped == 1
+
+    def test_scan_clean_segment(self):
+        data = encode_record({"lsn": 1})
+        records, valid, dropped = scan_records(data)
+        assert len(records) == 1 and valid == len(data) and dropped == 0
+
+
+class TestTupleSafeJson:
+    def test_tuples_survive(self):
+        value = {"row": ("v", 42), "nested": [("a", ("b", 1))]}
+        assert dejsonify(json.loads(json.dumps(jsonify(value)))) == value
+
+    def test_real_dict_with_marker_key_is_escaped(self):
+        value = {"$t": "not a tuple", "x": 1}
+        encoded = jsonify(value)
+        assert set(encoded) == {"$d"}
+        assert dejsonify(json.loads(json.dumps(encoded))) == value
+
+    def test_scalars_untouched(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert jsonify(value) == value
+            assert dejsonify(value) == value
+
+
+# ----------------------------------------------------------------------
+# fsync policies
+# ----------------------------------------------------------------------
+
+
+class TestFsyncPolicy:
+    def test_parse_forms(self):
+        assert parse_fsync_policy("always").mode == FsyncPolicy.ALWAYS
+        assert parse_fsync_policy("off").mode == FsyncPolicy.OFF
+        group = parse_fsync_policy("group:5")
+        assert group.mode == FsyncPolicy.GROUP and group.group_delay_ms == 5.0
+        assert parse_fsync_policy("group").group_delay_ms == 0.0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(WalError):
+            parse_fsync_policy("sometimes")
+        with pytest.raises(WalError):
+            parse_fsync_policy("group:often")
+
+    def test_str_roundtrip(self):
+        for text in ("always", "off", "group:2.5"):
+            assert str(parse_fsync_policy(text)) == text
+
+
+class TestWalWriter:
+    def test_always_policy_syncs_inline(self, tmp_path):
+        writer = WalWriter(tmp_path / "w.ndjson", "always")
+        ticket = writer.append({"lsn": 1})
+        assert ticket.done
+        ticket.wait(0)
+        assert writer.fsyncs == 1 and writer.appends == 1
+        assert writer.synced_offset == writer.written_offset
+        writer.close()
+
+    def test_off_policy_never_syncs(self, tmp_path):
+        writer = WalWriter(tmp_path / "w.ndjson", "off")
+        for lsn in range(5):
+            writer.append({"lsn": lsn}).wait(0)
+        assert writer.fsyncs == 0 and writer.appends == 5
+        writer.close()
+        records, _, torn = WalReader.scan(tmp_path / "w.ndjson")
+        assert len(records) == 5 and torn == 0
+
+    def test_group_policy_coalesces_fsyncs(self, tmp_path):
+        writer = WalWriter(tmp_path / "w.ndjson", "group:10")
+        tickets = []
+        barrier = threading.Barrier(8)
+
+        def commit(i):
+            barrier.wait()
+            tickets.append(writer.append({"lsn": i}))
+
+        threads = [threading.Thread(target=commit, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for ticket in tickets:
+            ticket.wait(10.0)
+        assert writer.appends == 8
+        assert 1 <= writer.fsyncs < 8
+        writer.close()
+
+    def test_append_after_crash_is_poisoned(self, tmp_path):
+        writer = WalWriter(tmp_path / "w.ndjson", "always")
+        writer.append({"lsn": 1}).wait(0)
+        plan = faults.arm_crash("wal.append.before")
+        try:
+            with pytest.raises(faults.CrashError):
+                writer.append({"lsn": 2})
+        finally:
+            faults.disarm_crash(plan)
+        assert writer.poisoned is not None
+        with pytest.raises(WalError):
+            writer.append({"lsn": 3})
+        writer.close()
+        records, _, _ = WalReader.scan(tmp_path / "w.ndjson")
+        assert [r["lsn"] for r in records] == [1]
+
+    def test_fsync_before_crash_truncates_to_synced(self, tmp_path):
+        writer = WalWriter(tmp_path / "w.ndjson", "always")
+        writer.append({"lsn": 1}).wait(0)
+        durable = writer.synced_offset
+        plan = faults.arm_crash("wal.fsync.before")
+        try:
+            with pytest.raises(faults.CrashError):
+                writer.append({"lsn": 2})
+        finally:
+            faults.disarm_crash(plan)
+        writer.close(flush=False)
+        # the un-fsynced bytes died with the simulated power loss
+        assert (tmp_path / "w.ndjson").stat().st_size == durable
+        records, _, torn = WalReader.scan(tmp_path / "w.ndjson")
+        assert [r["lsn"] for r in records] == [1] and torn == 0
+
+    def test_torn_append_leaves_partial_record(self, tmp_path):
+        writer = WalWriter(tmp_path / "w.ndjson", "always")
+        writer.append({"lsn": 1}).wait(0)
+        plan = faults.arm_crash("wal.append.torn")
+        try:
+            with pytest.raises(faults.CrashError):
+                writer.append({"lsn": 2})
+        finally:
+            faults.disarm_crash(plan)
+        writer.close(flush=False)
+        records, torn = WalReader.scan_and_truncate(tmp_path / "w.ndjson")
+        assert [r["lsn"] for r in records] == [1] and torn == 1
+        # after truncation the segment re-scans cleanly
+        records2, _, torn2 = WalReader.scan(tmp_path / "w.ndjson")
+        assert len(records2) == 1 and torn2 == 0
+
+    def test_rotate_switches_segments(self, tmp_path):
+        writer = WalWriter(tmp_path / "a.ndjson", "always")
+        writer.append({"lsn": 1}).wait(0)
+        writer.rotate(tmp_path / "b.ndjson")
+        writer.append({"lsn": 2}).wait(0)
+        writer.close()
+        a, _, _ = WalReader.scan(tmp_path / "a.ndjson")
+        b, _, _ = WalReader.scan(tmp_path / "b.ndjson")
+        assert [r["lsn"] for r in a] == [1]
+        assert [r["lsn"] for r in b] == [2]
+
+
+class TestTornTailEveryOffset:
+    def test_truncation_at_every_byte_of_final_record(self, tmp_path):
+        """Recovery must survive a crash after ANY prefix of the final
+        record: scan yields exactly the preceding records and reports
+        (at most) one dropped tail."""
+        prefix = encode_record({"lsn": 1, "redo": []}) + encode_record({"lsn": 2, "redo": []})
+        final = encode_record({"lsn": 3, "redo": [{"op": "add_node", "id": 9}]})
+        for cut in range(len(final)):
+            path = tmp_path / "seg.ndjson"
+            path.write_bytes(prefix + final[:cut])
+            records, torn = WalReader.scan_and_truncate(path)
+            assert [r["lsn"] for r in records] == [1, 2], f"cut={cut}"
+            assert torn == (1 if cut else 0), f"cut={cut}"
+            assert path.stat().st_size == len(prefix), f"cut={cut}"
+        # the complete record, by contrast, scans fine
+        path = tmp_path / "seg.ndjson"
+        path.write_bytes(prefix + final)
+        records, torn = WalReader.scan_and_truncate(path)
+        assert [r["lsn"] for r in records] == [1, 2, 3] and torn == 0
+
+
+# ----------------------------------------------------------------------
+# streaming instance serialization
+# ----------------------------------------------------------------------
+
+
+class TestStreamingSerializer:
+    def test_byte_identical_to_dumps(self, tmp_path):
+        scheme = build_scheme()
+        instance, _ = build_instance(scheme)
+        expected = json.dumps(instance_to_json(instance), indent=2, sort_keys=True)
+        out = tmp_path / "i.json"
+        with open(out, "w") as fp:
+            write_instance(instance, fp)
+        assert out.read_text() == expected
+
+    def test_empty_instance(self, tmp_path):
+        instance = Instance(small_scheme())
+        expected = json.dumps(instance_to_json(instance), indent=2, sort_keys=True)
+        out = tmp_path / "i.json"
+        with open(out, "w") as fp:
+            write_instance(instance, fp)
+        assert out.read_text() == expected
+
+
+# ----------------------------------------------------------------------
+# checkpoints
+# ----------------------------------------------------------------------
+
+
+class TestCheckpoint:
+    def test_write_and_load(self, tmp_path):
+        instance = Instance(small_scheme())
+        oid = instance.add_object("Person")
+        path = write_checkpoint(
+            tmp_path, 3, instance, backend="native", last_lsn=17, next_id=oid + 1
+        )
+        assert path.name == checkpoint_name(3)
+        doc = load_checkpoint(path)
+        assert doc["epoch"] == 3 and doc["last_lsn"] == 17
+        from repro.io.serialize import instance_from_json
+
+        assert instance_from_json(doc["instance"]).node_count == 1
+
+    def test_crash_before_rename_leaves_old_intact(self, tmp_path):
+        instance = Instance(small_scheme())
+        write_checkpoint(tmp_path, 1, instance, backend="native", last_lsn=0, next_id=0)
+        instance.add_object("Person")
+        plan = faults.arm_crash("wal.checkpoint.written")
+        try:
+            with pytest.raises(faults.CrashError):
+                write_checkpoint(
+                    tmp_path, 2, instance, backend="native", last_lsn=5, next_id=1
+                )
+        finally:
+            faults.disarm_crash(plan)
+        # the old checkpoint is still the newest valid one
+        assert load_checkpoint(tmp_path / checkpoint_name(1))["last_lsn"] == 0
+        assert not (tmp_path / checkpoint_name(2)).exists()
+        assert (tmp_path / (checkpoint_name(2) + ".tmp")).exists()
+
+    def test_load_rejects_damage(self, tmp_path):
+        path = tmp_path / checkpoint_name(0)
+        path.write_text("{not json")
+        with pytest.raises(WalFormatError):
+            load_checkpoint(path)
+        path.write_text(json.dumps({"kind": "checkpoint", "format": 999}))
+        with pytest.raises(WalFormatError):
+            load_checkpoint(path)
+
+    def test_parse_epoch(self):
+        from repro.wal.checkpoint import parse_epoch
+
+        assert parse_epoch(checkpoint_name(12)) == 12
+        assert parse_epoch(segment_name(7)) == 7
+        assert parse_epoch("garbage.json") == -1
+
+
+# ----------------------------------------------------------------------
+# the data directory
+# ----------------------------------------------------------------------
+
+
+class TestDataDirectory:
+    def test_second_opener_is_refused(self, tmp_path):
+        first = DataDirectory(tmp_path / "data")
+        try:
+            with pytest.raises(DataDirLockedError):
+                DataDirectory(tmp_path / "data")
+        finally:
+            first.close()
+        # releasing the lock lets a new server take over
+        DataDirectory(tmp_path / "data").close()
+
+    def test_create_is_atomic_and_listed(self, tmp_path):
+        catalog, _ = recover_catalog(tmp_path / "data")
+        try:
+            catalog.create("g", backend="native", scheme_data=scheme_to_json(small_scheme()))
+            directory = catalog.durability
+            assert directory.list_databases() == ["g"]
+            root = directory.root / "g"
+            assert (root / "meta.json").exists()
+            assert (root / checkpoint_name(0)).exists()
+            assert (root / segment_name(0)).exists()
+            # no staging residue
+            assert not any((directory.root / ".tmp").glob("*"))
+        finally:
+            catalog.close_durability()
+
+    def test_drop_removes_directory(self, tmp_path):
+        catalog, _ = recover_catalog(tmp_path / "data")
+        try:
+            catalog.create("g", backend="native", scheme_data=scheme_to_json(small_scheme()))
+            catalog.drop("g")
+            assert catalog.durability.list_databases() == []
+            assert not (tmp_path / "data" / "g").exists()
+        finally:
+            catalog.close_durability()
+
+    def test_unsafe_names_are_refused(self, tmp_path):
+        catalog, _ = recover_catalog(tmp_path / "data")
+        try:
+            for name in ("../evil", ".hidden", "a/b", ""):
+                with pytest.raises((WalError, Exception)):
+                    catalog.create(name, backend="native", scheme_data=scheme_to_json(small_scheme()))
+            assert catalog.durability.list_databases() == []
+        finally:
+            catalog.close_durability()
+
+    def test_staging_residue_is_swept_on_recovery(self, tmp_path):
+        root = tmp_path / "data"
+        catalog, _ = recover_catalog(root)
+        catalog.close_durability()
+        (root / ".tmp" / "halfmade").mkdir(parents=True)
+        (root / ".trash" / "halfdead").mkdir(parents=True)
+        catalog, _ = recover_catalog(root)
+        try:
+            assert not (root / ".tmp").exists()
+            assert not (root / ".trash").exists()
+        finally:
+            catalog.close_durability()
+
+
+class TestRecovery:
+    def _commit(self, database, program):
+        database.run_program(program)
+        ticket = database.take_ticket()
+        if ticket is not None:
+            ticket.wait(5.0)
+
+    def test_undo_reset_record_recovers(self, tmp_path):
+        root = tmp_path / "data"
+        catalog, _ = recover_catalog(root)
+        catalog.create("g", backend="native", scheme_data=scheme_to_json(small_scheme()))
+        database = catalog.get("g")
+        self._commit(database, 'addnode Person() {}')
+        self._commit(database, 'addnode Person(name -> n) { n: String = "ann" }')
+        before = database.counts()
+        database.undo()
+        ticket = database.take_ticket()
+        ticket.wait(5.0)
+        after_undo = database.counts()
+        assert after_undo != before
+        catalog.close_durability()
+
+        recovered, report = recover_catalog(root)
+        try:
+            assert recovered.get("g").counts() == after_undo
+            assert report.databases[0]["resets_replayed"] == 1
+        finally:
+            recovered.close_durability()
+
+    def test_stale_epoch_files_are_removed(self, tmp_path):
+        root = tmp_path / "data"
+        catalog, _ = recover_catalog(root)
+        catalog.create("g", backend="native", scheme_data=scheme_to_json(small_scheme()))
+        database = catalog.get("g")
+        self._commit(database, 'addnode Person() {}')
+        database.checkpoint()
+        state = database.counts()
+        catalog.close_durability()
+        # plant a stale old-epoch pair plus an orphaned tmp
+        db_dir = root / "g"
+        (db_dir / segment_name(0)).write_bytes(encode_record({"kind": "junk"}))
+        (db_dir / (checkpoint_name(9) + ".tmp")).write_text("{}")
+        recovered, report = recover_catalog(root)
+        try:
+            entry = report.databases[0]
+            assert entry["epoch"] == 1
+            assert entry["stale_files_removed"] >= 2
+            assert recovered.get("g").counts() == state
+        finally:
+            recovered.close_durability()
+
+    def test_recovery_report_summary_mentions_torn_tails(self, tmp_path):
+        root = tmp_path / "data"
+        catalog, _ = recover_catalog(root)
+        catalog.create("g", backend="native", scheme_data=scheme_to_json(small_scheme()))
+        database = catalog.get("g")
+        self._commit(database, 'addnode Person() {}')
+        catalog.close_durability()
+        segment = root / "g" / segment_name(0)
+        segment.write_bytes(segment.read_bytes() + b"deadbeef {torn")
+        recovered, report = recover_catalog(root)
+        try:
+            assert report.torn_records == 1
+            assert "torn" in report.summary()
+            assert recovered.get("g").counts() == (1, 0)
+        finally:
+            recovered.close_durability()
