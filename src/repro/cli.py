@@ -375,6 +375,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_clients,
         max_queue=args.queue,
         lock_timeout=args.lock_timeout,
+        mvcc=not args.no_mvcc,
         default_limits=ResourceLimits(
             max_matchings=args.max_matchings, max_call_depth=args.max_call_depth
         ),
@@ -464,13 +465,75 @@ def _cmd_connect(args: argparse.Namespace) -> int:
     return code
 
 
+def _render_stats(stats) -> list:
+    """Human-readable lines for the ``STATS`` payload.
+
+    The payload is nested (per-database counters, snapshot gauges,
+    latency windows); a raw JSON dump buries the numbers people
+    actually look for, so render the interesting ones directly.
+    """
+
+    def window(label: str, ring) -> str:
+        if not ring or not ring.get("samples"):
+            return f"{label}: no samples"
+        return (
+            f"{label}: p50 {ring['p50_ms']}ms, p95 {ring['p95_ms']}ms, "
+            f"max {ring['max_ms']}ms ({ring['samples']} samples)"
+        )
+
+    mode = "mvcc" if stats.get("mvcc", False) else "locked (no-mvcc)"
+    conns = stats.get("connections", {})
+    lines = [
+        f"uptime {stats.get('uptime_s', 0)}s — isolation: {mode}",
+        f"connections: {conns.get('open', 0)} open / {conns.get('total', 0)} total"
+        f" — queue {stats.get('queue_depth', 0)}, running {stats.get('running', 0)}",
+    ]
+    total = stats.get("total", {})
+    if total:
+        lines.append(
+            f"totals: {total.get('requests', 0)} requests "
+            f"({total.get('errors', 0)} errors), {total.get('runs', 0)} runs, "
+            f"{total.get('queries', 0)} queries, "
+            f"{total.get('matchings_enumerated', 0)} matchings"
+        )
+        lines.append("  " + window("latency", total.get("latency")))
+        lines.append("  " + window("lock wait", total.get("lock_wait")))
+    for name, bucket in sorted(stats.get("databases", {}).items()):
+        lines.append(f"database {name}:")
+        lines.append(
+            f"  requests {bucket.get('requests', 0)} "
+            f"({bucket.get('errors', 0)} errors), runs {bucket.get('runs', 0)}, "
+            f"queries {bucket.get('queries', 0)}, "
+            f"rollbacks {bucket.get('rollbacks', 0)}"
+        )
+        lines.append(
+            f"  plans: {bucket.get('plan_cache_hits', 0)} cached / "
+            f"{bucket.get('plan_cache_misses', 0)} compiled, "
+            f"{bucket.get('index_probes', 0)} index probes"
+        )
+        if bucket.get("wal_appends") or bucket.get("checkpoints"):
+            lines.append(
+                f"  wal: {bucket.get('wal_appends', 0)} appends, "
+                f"{bucket.get('wal_fsyncs', 0)} fsyncs, "
+                f"{bucket.get('wal_bytes', 0)} bytes, "
+                f"{bucket.get('checkpoints', 0)} checkpoints"
+            )
+        snapshots = bucket.get("snapshots")
+        if snapshots:
+            lines.append(
+                f"  snapshots: {snapshots.get('snapshots_pinned', 0)} pinned, "
+                f"chain length {snapshots.get('version_chain_length', 0)}, "
+                f"{snapshots.get('versions_published', 0)} published, "
+                f"{snapshots.get('versions_gced', 0)} gc'd, "
+                f"~{snapshots.get('snapshot_bytes_shared', 0)} bytes shared"
+            )
+        lines.append("  " + window("latency", bucket.get("latency")))
+        lines.append("  " + window("lock wait", bucket.get("lock_wait")))
+    return lines
+
+
 def _connect_repl(client) -> int:
-    import json as _json
-
     from repro.core.errors import GoodError as _GoodError
-
-    def show(result) -> None:
-        print(_json.dumps(result, indent=2, sort_keys=True))
 
     def command(stripped: str) -> bool:
         """Handle one ``:command``; returns False on :quit."""
@@ -511,7 +574,8 @@ def _connect_repl(client) -> int:
         elif name == ":save" and argument:
             print(f"saved: {client.save(argument)['saved']}")
         elif name == ":stats":
-            show(client.stats())
+            for line in _render_stats(client.stats()):
+                print(line)
         else:
             print(f"unknown or incomplete command {stripped!r}")
         return True
@@ -673,6 +737,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--lock-timeout", type=float, default=30.0, help="seconds to wait for a database lock"
+    )
+    serve.add_argument(
+        "--no-mvcc",
+        action="store_true",
+        help="serve with the legacy reader-writer locks instead of MVCC "
+        "snapshots (queries then block behind writers)",
     )
     serve.add_argument(
         "--max-matchings", type=int, default=None, help="default per-session matching budget"

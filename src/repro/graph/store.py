@@ -33,6 +33,7 @@ makes every operation in the reproduction reproducible run-to-run.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
@@ -165,6 +166,15 @@ class GraphStore:
         "_out_views",
         "_in_views",
         "_plan_cache",
+        "_frozen",
+        "_shared_data",
+        "_shared_views",
+        "_cow_inner",
+        "_owned_out",
+        "_owned_in",
+        "_owned_label",
+        "_owned_print",
+        "_owned_edge_label",
     )
 
     def __init__(self) -> None:
@@ -198,6 +208,21 @@ class GraphStore:
         self._in_views: Dict[int, Dict[str, FrozenSet[int]]] = {}
         # compiled-plan slot managed by repro.plan (per-store, not copied)
         self._plan_cache: Optional[Dict[Any, Any]] = None
+        # --- copy-on-write state (see fork) ---
+        # a frozen store is an immutable published snapshot: mutators raise
+        self._frozen = False
+        # the top-level index/view dicts are shared with a fork and must
+        # be replaced (pointer-copied) before the first mutation
+        self._shared_data = False
+        self._shared_views = False
+        # inner sets/dicts may be shared with a fork: privatize per key,
+        # tracked by the _owned_* sets (reset at every fork)
+        self._cow_inner = False
+        self._owned_out: Set[int] = set()
+        self._owned_in: Set[int] = set()
+        self._owned_label: Set[str] = set()
+        self._owned_print: Set[Tuple[str, Any]] = set()
+        self._owned_edge_label: Set[str] = set()
 
     # ------------------------------------------------------------------
     # change tracking
@@ -255,6 +280,147 @@ class GraphStore:
             raise GraphStoreError("journal is not attached to this store") from None
 
     # ------------------------------------------------------------------
+    # copy-on-write forks (MVCC snapshot support)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether this store is an immutable snapshot (mutators raise)."""
+        return self._frozen
+
+    def fork(self, *, frozen: bool = True) -> "GraphStore":
+        """Return an O(1) copy-on-write clone of this store.
+
+        The clone shares *every* index and cached-view structure with
+        this store; nothing is copied at fork time.  The live side pays
+        for divergence lazily: its first mutation after the fork
+        pointer-copies the top-level dicts, and each touched inner
+        set/dict is privatized once (tracked by the ``_owned_*`` sets),
+        so the bytes copied are proportional to the changes made — not
+        to the store.  Neither side ever mutates a structure the other
+        can still see.
+
+        With ``frozen=True`` (the default) the clone is an immutable
+        published snapshot: concurrent readers may use it freely, and
+        forking it again never touches this store.  ``frozen=False``
+        yields a mutable clone (both sides then COW against each
+        other).  Trackers and journals never carry over; the compiled
+        plan cache is *shared* — entries are keyed by ``stats_epoch``,
+        so versions at different epochs coexist in one cache.
+        """
+        clone = GraphStore.__new__(GraphStore)
+        clone._nodes = self._nodes
+        clone._out = self._out
+        clone._in = self._in
+        clone._by_label = self._by_label
+        clone._by_print = self._by_print
+        clone._by_edge_label = self._by_edge_label
+        clone._out_stats = self._out_stats
+        clone._in_stats = self._in_stats
+        clone._next_id = self._next_id
+        clone._edge_count = self._edge_count
+        clone._generation = self._generation
+        clone._stats_epoch = self._stats_epoch
+        clone._trackers = []
+        clone._journals = []
+        clone._label_views = self._label_views
+        clone._edge_label_views = self._edge_label_views
+        clone._out_views = self._out_views
+        clone._in_views = self._in_views
+        if self._plan_cache is None and not self._frozen:
+            # pre-create so all versions share one epoch-keyed cache
+            self._plan_cache = OrderedDict()
+        clone._plan_cache = self._plan_cache
+        clone._frozen = frozen
+        clone._shared_data = True
+        clone._shared_views = True
+        clone._cow_inner = True
+        clone._owned_out = set()
+        clone._owned_in = set()
+        clone._owned_label = set()
+        clone._owned_print = set()
+        clone._owned_edge_label = set()
+        if not self._frozen:
+            # the live parent must now COW too; a frozen parent never
+            # mutates, so forking it is read-only (and thread-safe)
+            self._shared_data = True
+            self._shared_views = True
+            self._cow_inner = True
+            self._owned_out = set()
+            self._owned_in = set()
+            self._owned_label = set()
+            self._owned_print = set()
+            self._owned_edge_label = set()
+        return clone
+
+    def _before_write(self) -> None:
+        """Mutator prologue: reject frozen stores, privatize shared dicts."""
+        if self._frozen:
+            raise GraphStoreError(
+                "store is frozen (a published MVCC snapshot); "
+                "fork(frozen=False) yields a mutable clone"
+            )
+        if self._shared_views:
+            # snapshot the outer dicts first with GIL-atomic dict() so a
+            # concurrent reader lazily inserting views cannot resize the
+            # dict we iterate; the two-level copy keeps the other side's
+            # inner view dicts untouched
+            self._label_views = dict(self._label_views)
+            self._edge_label_views = dict(self._edge_label_views)
+            self._out_views = {n: dict(v) for n, v in dict(self._out_views).items()}
+            self._in_views = {n: dict(v) for n, v in dict(self._in_views).items()}
+            self._shared_views = False
+        if self._shared_data:
+            self._nodes = dict(self._nodes)
+            self._out = dict(self._out)
+            self._in = dict(self._in)
+            self._by_label = dict(self._by_label)
+            self._by_print = dict(self._by_print)
+            self._by_edge_label = dict(self._by_edge_label)
+            self._out_stats = dict(self._out_stats)
+            self._in_stats = dict(self._in_stats)
+            self._shared_data = False
+
+    def _own_adj_out(self, node_id: int) -> None:
+        if not self._cow_inner or node_id in self._owned_out:
+            return
+        adj = self._out.get(node_id)
+        if adj is not None:
+            self._out[node_id] = {lbl: set(ts) for lbl, ts in adj.items()}
+        self._owned_out.add(node_id)
+
+    def _own_adj_in(self, node_id: int) -> None:
+        if not self._cow_inner or node_id in self._owned_in:
+            return
+        adj = self._in.get(node_id)
+        if adj is not None:
+            self._in[node_id] = {lbl: set(ss) for lbl, ss in adj.items()}
+        self._owned_in.add(node_id)
+
+    def _own_label(self, label: str) -> None:
+        if not self._cow_inner or label in self._owned_label:
+            return
+        nodes = self._by_label.get(label)
+        if nodes is not None:
+            self._by_label[label] = set(nodes)
+        self._owned_label.add(label)
+
+    def _own_print(self, key: Tuple[str, Any]) -> None:
+        if not self._cow_inner or key in self._owned_print:
+            return
+        nodes = self._by_print.get(key)
+        if nodes is not None:
+            self._by_print[key] = set(nodes)
+        self._owned_print.add(key)
+
+    def _own_edge_label(self, label: str) -> None:
+        if not self._cow_inner or label in self._owned_edge_label:
+            return
+        pairs = self._by_edge_label.get(label)
+        if pairs is not None:
+            self._by_edge_label[label] = set(pairs)
+        self._owned_edge_label.add(label)
+
+    # ------------------------------------------------------------------
     # node operations
     # ------------------------------------------------------------------
     def add_node(self, label: str, print_value: Any = NO_PRINT, node_id: Optional[int] = None) -> int:
@@ -264,6 +430,7 @@ class GraphStore:
         when given (used to keep ids aligned between a pattern and its
         crossed extensions; the counter skips past explicit ids).
         """
+        self._before_write()
         if node_id is None:
             node_id = self._next_id
             self._next_id += 1
@@ -274,8 +441,14 @@ class GraphStore:
         self._nodes[node_id] = NodeRecord(label, print_value)
         self._out[node_id] = {}
         self._in[node_id] = {}
+        if self._cow_inner:
+            # the fresh adjacency dicts are private by construction
+            self._owned_out.add(node_id)
+            self._owned_in.add(node_id)
+        self._own_label(label)
         self._by_label.setdefault(label, set()).add(node_id)
         if print_value is not NO_PRINT:
+            self._own_print((label, print_value))
             self._by_print.setdefault((label, print_value), set()).add(node_id)
         self._label_views.pop(label, None)
         self._out_views.pop(node_id, None)
@@ -291,13 +464,16 @@ class GraphStore:
     def remove_node(self, node_id: int) -> None:
         """Delete a node together with all its incident edges."""
         record = self._require(node_id)
+        self._before_write()
         for edge in list(self.edges_of(node_id)):
             self.remove_edge(edge.source, edge.label, edge.target)
+        self._own_label(record.label)
         self._by_label[record.label].discard(node_id)
         if not self._by_label[record.label]:
             del self._by_label[record.label]
         if record.has_print:
             key = (record.label, record.print_value)
+            self._own_print(key)
             self._by_print[key].discard(node_id)
             if not self._by_print[key]:
                 del self._by_print[key]
@@ -319,13 +495,16 @@ class GraphStore:
     def set_print(self, node_id: int, print_value: Any) -> None:
         """Attach or replace the print value of ``node_id``."""
         record = self._require(node_id)
+        self._before_write()
         if record.has_print:
             key = (record.label, record.print_value)
+            self._own_print(key)
             self._by_print[key].discard(node_id)
             if not self._by_print[key]:
                 del self._by_print[key]
         self._nodes[node_id] = NodeRecord(record.label, print_value)
         if print_value is not NO_PRINT:
+            self._own_print((record.label, print_value))
             self._by_print.setdefault((record.label, print_value), set()).add(node_id)
         self._generation += 1
         for journal in self._journals:
@@ -387,10 +566,13 @@ class GraphStore:
         """Insert the edge; return ``False`` if it was already present."""
         source_record = self._require(source)
         target_record = self._require(target)
-        targets = self._out[source].setdefault(label, set())
-        if target in targets:
+        if target in self._out[source].get(label, ()):
             return False
-        targets.add(target)
+        self._before_write()
+        self._own_adj_out(source)
+        self._own_adj_in(target)
+        self._own_edge_label(label)
+        self._out[source].setdefault(label, set()).add(target)
         self._in[target].setdefault(label, set()).add(source)
         self._by_edge_label.setdefault(label, set()).add((source, target))
         out_key = (source_record.label, label)
@@ -411,9 +593,13 @@ class GraphStore:
 
     def remove_edge(self, source: int, label: str, target: int) -> bool:
         """Delete the edge; return ``False`` if it was not present."""
-        targets = self._out.get(source, {}).get(label)
-        if not targets or target not in targets:
+        if target not in self._out.get(source, {}).get(label, ()):
             return False
+        self._before_write()
+        self._own_adj_out(source)
+        self._own_adj_in(target)
+        self._own_edge_label(label)
+        targets = self._out[source][label]
         targets.discard(target)
         if not targets:
             del self._out[source][label]
@@ -568,7 +754,17 @@ class GraphStore:
     # whole-graph operations
     # ------------------------------------------------------------------
     def copy(self) -> "GraphStore":
-        """Deep-copy the store; node ids and the id counter carry over."""
+        """Deep-copy the store; node ids and the id counter carry over.
+
+        The cached frozenset views are *shared* with the copy until
+        either side first mutates (each side privatizes its view dicts
+        before writing), so a copied store keeps serving the identical
+        view objects instead of rebuilding them.  A frozen snapshot
+        never changes, so copying one degenerates to an O(1) mutable
+        fork.
+        """
+        if self._frozen:
+            return self.fork(frozen=False)
         clone = GraphStore()
         clone._nodes = dict(self._nodes)
         clone._out = {n: {lbl: set(ts) for lbl, ts in adj.items()} for n, adj in self._out.items()}
@@ -582,9 +778,14 @@ class GraphStore:
         clone._edge_count = self._edge_count
         clone._generation = self._generation
         clone._stats_epoch = self._stats_epoch
-        # trackers, journals, cached views and the plan cache
-        # deliberately do not carry over: a copy records, caches and
-        # plans afresh
+        # the view caches are shared until first divergence; trackers,
+        # journals and the plan cache deliberately do not carry over
+        clone._label_views = self._label_views
+        clone._edge_label_views = self._edge_label_views
+        clone._out_views = self._out_views
+        clone._in_views = self._in_views
+        clone._shared_views = True
+        self._shared_views = True
         return clone
 
     def degree(self, node_id: int) -> int:

@@ -1,0 +1,24 @@
+"""MVCC snapshot subsystem: immutable versions + refcounted registry.
+
+Readers never block writers: every commit publishes a cheap
+copy-on-write version of the database state
+(:func:`~repro.mvcc.versions.capture_version`), a refcounted
+:class:`~repro.mvcc.registry.SnapshotRegistry` pins versions for
+in-flight readers and garbage-collects unpinned ones, and
+:class:`~repro.mvcc.readers.SnapshotReader` serves every query verb
+from a pinned version with no read lock at all.
+
+The copy-on-write substrate lives with each backend:
+
+* native — :meth:`repro.graph.store.GraphStore.fork` (O(1) frozen
+  forks; the live store privatizes touched structures before writing);
+* relational — :meth:`repro.storage.minirel.Database.fork` (O(#tables)
+  forks with per-table copy-on-first-write segments);
+* tarski — the engine's relations are already immutable, so a version
+  is just the current family of :class:`BinaryRelation` roots.
+"""
+
+from repro.mvcc.registry import SnapshotRegistry
+from repro.mvcc.versions import Version, capture_version
+
+__all__ = ["SnapshotRegistry", "Version", "capture_version"]

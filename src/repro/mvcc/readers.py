@@ -1,0 +1,87 @@
+"""Read-only facades over pinned versions.
+
+A :class:`SnapshotReader` looks exactly like a
+:class:`~repro.server.catalog.ServedDatabase` to the session layer —
+same ``matchings`` / ``query_program`` / ``explain`` / ``browse`` /
+``to_json`` / ``save`` verbs — but every verb executes against one
+pinned immutable version, so no read lock is ever taken and a writer
+can commit mid-query without the reader noticing.
+
+``query_program`` deserves a note: the engines' live query path is
+capture/run/restore against the *shared* engine, which is only safe
+under an exclusive lock.  The snapshot path instead runs each QUERY on
+a fresh copy-on-write clone of the pinned version
+(:meth:`Version.query_target`), so any number of concurrent queries
+coexist — and none of them can perturb the snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.interactive import Session
+from repro.server.catalog import CatalogError, ServedDatabase
+from repro.txn.snapshot import summarize
+
+
+class SnapshotReader(ServedDatabase):
+    """One pinned version behind the ServedDatabase read API."""
+
+    def __init__(self, database: Any, version: Any) -> None:
+        # deliberately not calling ServedDatabase.__init__: this facade
+        # wraps an existing version instead of building a backend
+        self.name = database.name
+        self.backend = database.backend
+        self.durability = None
+        self._pending_ticket = None
+        self._owner = database
+        self._version = version
+        self._released = False
+        if version.backend == "native":
+            self.session = Session(version.reader_instance())
+            self._engine = None
+        else:
+            self.session = None
+            self._engine = version.reader_engine()
+
+    @property
+    def version(self) -> Any:
+        """The pinned version this reader serves."""
+        return self._version
+
+    def release(self) -> None:
+        """Unpin the version (idempotent); the registry may GC it."""
+        if not self._released:
+            self._released = True
+            self._owner.snapshots.release(self._version)
+
+    def __enter__(self) -> "SnapshotReader":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.release()
+
+    # -- reads that need snapshot-specific handling ---------------------
+    def query_program(self, source: str) -> Tuple[List[Any], Tuple[int, int]]:
+        program = self._compile(source)
+        if self.session is not None:
+            # Session.query copies the instance first; copying a frozen
+            # store is an O(1) mutable fork
+            result = self.session.query(program)
+            return list(result.reports), (result.instance.node_count, result.instance.edge_count)
+        engine = self._version.query_target()
+        reports = list(engine.run(program.operations, atomic=False))
+        return reports, summarize(engine)
+
+    # -- writes are a bug, not a verb -----------------------------------
+    def run_program(self, source: str) -> List[Any]:
+        raise CatalogError("snapshot readers are read-only; RUN must go to the live database")
+
+    def undo(self) -> Tuple[int, int]:
+        raise CatalogError("snapshot readers are read-only; UNDO must go to the live database")
+
+    def checkpoint(self) -> Any:
+        raise CatalogError("snapshot readers cannot checkpoint; use the live database")
+
+
+__all__ = ["SnapshotReader"]

@@ -2,13 +2,15 @@
 
 Each :class:`~repro.graph.store.GraphStore` carries its own bounded
 cache of compiled plans (stored in the ``_plan_cache`` slot the store
-reserves for this module; copies start empty).  A lookup hits only when
-the cached entry was compiled at the store's *current*
-:attr:`~repro.graph.store.GraphStore.stats_epoch` — any structural
-mutation advances the epoch (and the generation), invalidating every
-cached plan at once.  Stale entries are recompiled in place, so a
-mutate-then-requery workload pays exactly one recompilation per
-pattern shape.
+reserves for this module).  Entries key on ``(signature, stats_epoch)``:
+any structural mutation advances the epoch, so stale plans simply stop
+being found and age out of the LRU.  Keying on the epoch (rather than
+stamping it into the entry) lets an MVCC snapshot — a frozen fork
+pinned at an older epoch — *share* the cache dict with the live store:
+each side hits its own epoch's plans and neither thrashes the other.
+Because readers on other threads may touch the shared dict
+concurrently, the LRU bookkeeping tolerates entries vanishing between
+steps.
 
 Signature collisions are harmless by construction: a plan only encodes
 pattern node ids, labels and edge order, and executes against live
@@ -66,22 +68,27 @@ def plan_for(
     cache: Optional[OrderedDict] = store._plan_cache
     if cache is None:
         cache = store._plan_cache = OrderedDict()
-    epoch = store.stats_epoch
     try:
-        signature = pattern_signature(pattern, fixed)
-        entry = cache.get(signature)
+        key = (pattern_signature(pattern, fixed), store.stats_epoch)
+        plan = cache.get(key)
     except TypeError:  # unhashable print value: plan without caching
         _counters.charge(plan_cache_misses=1)
         return compile_plan(pattern, instance, fixed), False
-    if entry is not None and entry[0] == epoch:
-        cache.move_to_end(signature)
+    if plan is not None:
+        try:
+            cache.move_to_end(key)
+        except KeyError:  # evicted by a concurrent reader; plan still valid
+            pass
         _counters.charge(plan_cache_hits=1)
-        return entry[1], True
+        return plan, True
     plan = compile_plan(pattern, instance, fixed)
-    cache[signature] = (epoch, plan)
-    cache.move_to_end(signature)
-    while len(cache) > MAX_CACHED_PLANS:
-        cache.popitem(last=False)
+    cache[key] = plan
+    try:
+        cache.move_to_end(key)
+        while len(cache) > MAX_CACHED_PLANS:
+            cache.popitem(last=False)
+    except KeyError:  # concurrent eviction raced ours; cache stays bounded
+        pass
     _counters.charge(plan_cache_misses=1)
     return plan, False
 

@@ -39,6 +39,7 @@ from repro.io.serialize import (
     save_instance,
     scheme_from_json,
 )
+from repro.mvcc import SnapshotRegistry, capture_version
 from repro.server.protocol import register_error_code
 from repro.txn import guards
 from repro.txn.snapshot import capture, restore, summarize
@@ -86,6 +87,36 @@ class ServedDatabase:
 
             self.session = None
             self._engine = TarskiEngine.from_instance(instance)
+        # MVCC: every commit publishes an immutable version here; query
+        # verbs pin one and read without any lock (repro.mvcc)
+        self.snapshots = SnapshotRegistry()
+        # a deferred checkpoint job handed to the session layer so the
+        # state streams to disk *after* the write lock is released
+        self._pending_checkpoint: Any = None
+        self._defer_checkpoints = False
+        self.publish_version()
+
+    # ------------------------------------------------------------------
+    # MVCC snapshots
+    # ------------------------------------------------------------------
+    def publish_version(self) -> Any:
+        """Publish the current state as an immutable pinned-able version.
+
+        Called after every state change, under whatever exclusion the
+        caller already holds (the server's write mutex, or none before
+        serving starts).  O(changes) thanks to the backends' COW forks.
+        """
+        return self.snapshots.publish(capture_version(self))
+
+    def read_view(self) -> Any:
+        """Pin the current version; returns a read-only facade.
+
+        The caller must :meth:`~repro.mvcc.readers.SnapshotReader.release`
+        it (or use it as a context manager) so the registry can GC.
+        """
+        from repro.mvcc.readers import SnapshotReader
+
+        return SnapshotReader(self, self.snapshots.pin())
 
     @property
     def target(self) -> Any:
@@ -133,7 +164,9 @@ class ServedDatabase:
         """
         program = self._compile(source)
         if self.durability is None:
-            return self._run_parsed(program)
+            reports = self._run_parsed(program)
+            self.publish_version()
+            return reports
         return self._run_durable(program)
 
     def _run_parsed(self, program: Program) -> List[Any]:
@@ -176,7 +209,16 @@ class ServedDatabase:
             raise
         txn.commit()
         self._pending_ticket = ticket
-        self.durability.maybe_checkpoint(self)
+        # publish before a possible checkpoint so the checkpoint pins
+        # a version that includes this very commit
+        self.publish_version()
+        job = self.durability.maybe_checkpoint(self)
+        if job is not None:
+            if self._defer_checkpoints:
+                # the session layer streams it after the lock drops
+                self._pending_checkpoint = job
+            else:
+                job.stream()
         return reports
 
     def take_ticket(self) -> Any:
@@ -191,12 +233,27 @@ class ServedDatabase:
 
     def checkpoint(self) -> Dict[str, Any]:
         """Snapshot state to disk and truncate the replayed WAL."""
+        return self.checkpoint_begin().stream()
+
+    def checkpoint_begin(self) -> Any:
+        """Pin a snapshot and rotate the WAL (the fast, locked half).
+
+        Returns a :class:`~repro.wal.manager.CheckpointJob`; its
+        ``stream()`` writes the pinned state to disk and may run after
+        the write lock is released — writers keep committing into the
+        fresh segment while the checkpoint streams.
+        """
         if self.durability is None:
             raise CatalogError(
                 f"database {self.name!r} is not served from a data directory; "
                 "CHECKPOINT needs a server started with --data-dir"
             )
-        return self.durability.checkpoint(self)
+        return self.durability.begin_checkpoint(self)
+
+    def take_checkpoint_job(self) -> Any:
+        """Claim the checkpoint job deferred by the last run (or ``None``)."""
+        job, self._pending_checkpoint = self._pending_checkpoint, None
+        return job
 
     def query_program(self, source: str) -> Tuple[List[Any], Tuple[int, int]]:
         """Query-mode run: the result is "only a temporary entity".
@@ -281,6 +338,7 @@ class ServedDatabase:
                 "UNDO is only available on the native backend"
             )
         self.session.undo()
+        self.publish_version()
         if self.durability is not None:
             # no incremental redo can describe an instance rebind, so
             # UNDO logs the complete post-undo state as a reset record

@@ -1,16 +1,20 @@
-"""Concurrency core: per-database reader-writer locks and admission.
+"""Concurrency core: per-database locks and admission control.
 
-The server's isolation discipline is simple and strict:
+The server has two isolation disciplines:
 
-* *queries* (``MATCH``, ``QUERY``, ``BROWSE``, ``EXPORT``, ``SAVE``)
-  take a **read** lock — any number may run concurrently;
-* *program runs* and catalog mutations (``RUN``, ``UNDO``, ``CREATE``,
-  ``DROP``, ``LOAD``) take a **write** lock — exclusive against both
-  readers and other writers.
+* **MVCC** (the default) — *queries* (``MATCH``, ``QUERY``,
+  ``BROWSE``, ``EXPORT``, ``SAVE``) take **no lock at all**: they pin
+  an immutable snapshot version (:mod:`repro.mvcc`) and run against
+  it.  Only *program runs* and catalog mutations (``RUN``, ``UNDO``,
+  ``CREATE``, ``DROP``, ``LOAD``) serialize, on the
+  :class:`WriteMutex` — a plain writer-only mutex.
+* **legacy locked** (``mvcc=False``) — the original :class:`RWLock`
+  discipline: queries share a read lock, writers exclude everyone.
 
-Because an atomic run only ever commits or fully rolls back (the
-:mod:`repro.txn` guarantee) and readers are excluded for its whole
-duration, no client can observe a torn intermediate state.
+Either way no client can observe a torn intermediate state: an atomic
+run only ever commits or fully rolls back (the :mod:`repro.txn`
+guarantee), and a version is only published *after* a commit
+completes, under the writer's lock.
 
 :class:`RWLock` is writer-preferring: once a writer is waiting, new
 readers queue behind it, so a steady stream of cheap queries cannot
@@ -102,6 +106,33 @@ class RWLock:
         if self._readers:
             return f"{self._readers}r"
         return "idle"
+
+
+class WriteMutex:
+    """MVCC mode's per-database lock: writers exclusive, readers absent.
+
+    Exposes the same ``write_locked`` / ``state`` surface as
+    :class:`RWLock` so the catalog and write paths are mode-agnostic;
+    there is deliberately no ``read_locked`` — under MVCC a read that
+    asks for a lock is a bug, and it fails loudly here.
+    """
+
+    def __init__(self) -> None:
+        self._lock = asyncio.Lock()
+
+    @asynccontextmanager
+    async def write_locked(self, timeout: Optional[float] = None) -> AsyncIterator[None]:
+        """Hold the writer mutex for the block; ``timeout`` bounds the wait."""
+        await _acquire(self._lock.acquire(), timeout, "write")
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    @property
+    def state(self) -> str:
+        """Debugging/stats snapshot: ``idle`` or ``w``."""
+        return "w" if self._lock.locked() else "idle"
 
 
 async def _acquire(waiter, timeout: Optional[float], mode: str) -> None:

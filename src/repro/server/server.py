@@ -9,8 +9,11 @@ thread pool so concurrent readers make progress while the event loop
 keeps accepting connections.
 
 Isolation argument, in one paragraph: writers hold the database's
-exclusive lock for the whole atomic run, readers hold the shared lock
-for the whole enumeration, and the :mod:`repro.txn` layer guarantees a
+exclusive lock for the whole atomic run and publish an immutable
+snapshot version only after the commit completes; readers pin a
+published version and never touch a lock (MVCC, the default) or hold
+the shared side of an :class:`~repro.server.locks.RWLock`
+(``mvcc=False``).  Either way the :mod:`repro.txn` layer guarantees a
 failed run restores the exact pre-run state before the write lock is
 released — so every reader observes either the pre-run or the
 post-commit state, never a torn intermediate one.
@@ -29,7 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.server.catalog import Catalog
-from repro.server.locks import AdmissionController, RWLock
+from repro.server.locks import AdmissionController, RWLock, WriteMutex
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -61,10 +64,12 @@ class GoodServer:
         lock_timeout: float = 30.0,
         default_limits: Optional[ResourceLimits] = None,
         ring_capacity: int = 1024,
+        mvcc: bool = True,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.host = host
         self.port = port
+        self.mvcc = mvcc
         self.max_concurrent = max_concurrent
         self.max_queue = max_queue
         self.max_workers = max_workers if max_workers is not None else max_concurrent
@@ -76,7 +81,7 @@ class GoodServer:
         # serving loop (pre-3.10 primitives capture a loop at creation)
         self.admission: Optional[AdmissionController] = None
         self.catalog_lock: Optional[asyncio.Lock] = None
-        self._locks: Dict[str, RWLock] = {}
+        self._locks: Dict[str, Any] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -122,11 +127,12 @@ class GoodServer:
     # ------------------------------------------------------------------
     # session plumbing
     # ------------------------------------------------------------------
-    def lock_for(self, name: str) -> RWLock:
-        """The (lazily created) reader-writer lock for one database."""
+    def lock_for(self, name: str) -> Any:
+        """The (lazily created) per-database lock: a writer-only
+        :class:`WriteMutex` under MVCC, a full :class:`RWLock` otherwise."""
         lock = self._locks.get(name)
         if lock is None:
-            lock = self._locks[name] = RWLock()
+            lock = self._locks[name] = WriteMutex() if self.mvcc else RWLock()
         return lock
 
     async def run_blocking(
@@ -148,12 +154,25 @@ class GoodServer:
         return await loop.run_in_executor(self._executor, work)
 
     def stats_snapshot(self) -> Dict[str, Any]:
-        """The ``STATS`` payload, including live admission state."""
+        """The ``STATS`` payload, including live admission state and the
+        per-database snapshot-registry gauges."""
         admission = self.admission
-        return self.stats.snapshot(
+        payload = self.stats.snapshot(
             queue_depth=admission.queue_depth if admission else 0,
             running=admission.running if admission else 0,
         )
+        payload["mvcc"] = self.mvcc
+        for name in self.catalog.names():
+            try:
+                database = self.catalog.get(name)
+            except Exception:  # racing a DROP
+                continue
+            bucket = payload["databases"].get(name)
+            if bucket is None:
+                # a database nobody has queried yet still reports gauges
+                bucket = payload["databases"][name] = self.stats.database(name).snapshot()
+            bucket["snapshots"] = database.snapshots.gauges()
+        return payload
 
     # ------------------------------------------------------------------
     # the wire

@@ -5,15 +5,23 @@ client's current database (``USE``), its resource budgets (``LIMIT``,
 seeded from the server defaults) and routes each verb through the
 right concurrency discipline:
 
-========  =======  ==========================================
-mode      lock     runs where
-========  =======  ==========================================
-local     none     event loop (cheap, catalog metadata only)
-read      read     worker thread, budgets armed
-write     write    worker thread, budgets armed
-catalog   both     worker thread, under the catalog mutex and
-                   the target database's write lock
-========  =======  ==========================================
+========  ==================  ==================================
+mode      lock                runs where
+========  ==================  ==================================
+local     none                event loop (cheap, metadata only)
+read      none (MVCC) /       worker thread, budgets armed,
+          read (legacy)       against a pinned snapshot version
+write     write               worker thread, budgets armed
+catalog   catalog mutex +     worker thread
+          database write
+========  ==================  ==================================
+
+Under MVCC (the server default) a read verb never waits for any lock:
+it pins the database's current published version
+(:meth:`~repro.server.catalog.ServedDatabase.read_view`) and executes
+against that immutable snapshot, releasing the pin when done.  A RUN
+committing concurrently publishes a *new* version; the in-flight read
+keeps seeing its own.
 
 Budgets are armed *inside the worker thread* via
 :func:`repro.txn.guards.limits` — the guard stacks are thread-local, so
@@ -25,6 +33,7 @@ are atomic, the database state is untouched.
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core import counters as _counters
@@ -107,6 +116,27 @@ class ServerSession:
             async with server.catalog_lock:
                 async with server.lock_for(name).write_locked(server.lock_timeout):
                     result = await server.run_blocking(lambda: handler(args))
+        elif mode == "read" and server.mvcc:
+            name = args.get("db", self.database_name)
+            if not isinstance(name, str) or not name:
+                raise ProtocolError("no database selected (USE one first or pass 'db')")
+            database = self.catalog.get(name)
+            # MVCC fast path: pin the current version and run against
+            # it — no lock of any kind, so a long query never delays a
+            # writer (and vice versa)
+            reader = database.read_view()
+            server.stats.record_lock_wait(name, 0.0)
+            try:
+                result = await server.run_blocking(
+                    lambda: handler(reader, args), limits=self.limits
+                )
+            except Exception as error:
+                error_charges = dict(getattr(error, "_charges", None) or {})
+                if error_charges:
+                    server.stats.charge(name, **error_charges)
+                raise
+            finally:
+                reader.release()
         else:
             name = args.get("db", self.database_name)
             if not isinstance(name, str) or not name:
@@ -119,7 +149,10 @@ class ServerSession:
                 else lock.write_locked(server.lock_timeout)
             )
             ticket = None
+            checkpoint_job = None
+            wait_started = time.perf_counter()
             async with locked:
+                server.stats.record_lock_wait(name, time.perf_counter() - wait_started)
                 try:
                     result = await server.run_blocking(
                         lambda: handler(database, args), limits=self.limits
@@ -132,6 +165,7 @@ class ServerSession:
                         server.stats.charge(name, **error_charges)
                     raise
                 ticket = result.pop("_durability", None)
+                checkpoint_job = result.pop("_checkpoint_job", None)
             # durability gate: acknowledge only once the commit record
             # is fsynced.  Waiting AFTER the write lock is released is
             # what lets concurrent commits coalesce into one group fsync
@@ -149,6 +183,17 @@ class ServerSession:
                     # the client as a structured WAL error instead of
                     # tearing down the event loop
                     raise WalError(f"commit is not durable: {error}") from error
+            # checkpoint streaming happens here, *after* the write lock
+            # is released: the checkpoint reads from a version pinned at
+            # rotation time, so writers proceed while it serializes
+            if checkpoint_job is not None:
+                info = await server.run_blocking(checkpoint_job.stream)
+                if result.pop("_checkpoint_merge", False):
+                    result.update(info)
+                if database.durability is not None:
+                    extra = database.durability.drain_charges()
+                    if extra:
+                        server.stats.charge(name, **extra)
         charges = result.pop("_charges", None)
         if charges:
             server.stats.charge(name, **charges)
@@ -236,6 +281,10 @@ class ServerSession:
     @_verb("RUN", "write")
     def _run(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
         source = require_arg(args, "program", str)
+        # if this run trips the auto-checkpoint threshold, hand the
+        # streaming half of the checkpoint back to dispatch so it runs
+        # after the write lock is released
+        database._defer_checkpoints = True
         # the handler runs wholly inside one worker thread, so the
         # thread-local collector sees exactly this request's work
         with _counters.collect() as tally:
@@ -256,6 +305,7 @@ class ServerSession:
             "nodes": nodes,
             "edges": edges,
             "_durability": database.take_ticket(),
+            "_checkpoint_job": database.take_checkpoint_job(),
             "_charges": {
                 **wal_charges,
                 "runs": 1,
@@ -283,9 +333,15 @@ class ServerSession:
 
     @_verb("CHECKPOINT", "write")
     def _checkpoint(self, database: ServedDatabase, args: Dict[str, Any]) -> Dict[str, Any]:
-        payload: Dict[str, Any] = dict(database.checkpoint())
-        payload["_charges"] = database.durability.drain_charges()
-        return payload
+        # only the rotation happens under the write lock; dispatch
+        # streams the checkpoint image from the pinned snapshot after
+        # releasing it, and merges the stream report into the response
+        job = database.checkpoint_begin()
+        return {
+            "_checkpoint_job": job,
+            "_checkpoint_merge": True,
+            "_charges": database.durability.drain_charges(),
+        }
 
     # ------------------------------------------------------------------
     # read verbs (shared)

@@ -98,12 +98,19 @@ class DatabaseStats:
         self.recoveries = 0
         self.wal_torn = 0
         self.latency = LatencyRing(ring_capacity)
+        # how long requests waited to *enter* the database's lock; under
+        # MVCC reads record a literal 0.0 (they never take a lock), so
+        # this window directly shows what the writer-only mutex costs
+        self.lock_waits = LatencyRing(ring_capacity)
 
     def record_request(self, seconds: float, error: bool = False) -> None:
         self.requests += 1
         if error:
             self.errors += 1
         self.latency.record(seconds)
+
+    def record_lock_wait(self, seconds: float) -> None:
+        self.lock_waits.record(seconds)
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -132,6 +139,7 @@ class DatabaseStats:
             "recoveries": self.recoveries,
             "wal_torn": self.wal_torn,
             "latency": self.latency.snapshot(),
+            "lock_wait": self.lock_waits.snapshot(),
         }
 
 
@@ -163,6 +171,12 @@ class ServerStats:
         self.total.record_request(seconds, error=error)
         if database is not None:
             self.database(database).record_request(seconds, error=error)
+
+    def record_lock_wait(self, database: Optional[str], seconds: float) -> None:
+        """Record how long one request waited for its database lock."""
+        self.total.record_lock_wait(seconds)
+        if database is not None:
+            self.database(database).record_lock_wait(seconds)
 
     def charge(self, database: Optional[str], **charges: int) -> None:
         """Add verb-specific counters (runs, matchings_enumerated, ...)

@@ -41,7 +41,6 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.io.serialize import instance_from_json, instance_to_json
 from repro.wal.checkpoint import (
-    checkpoint_name,
     fsync_dir,
     load_checkpoint,
     parse_epoch,
@@ -93,6 +92,9 @@ class DatabaseDurability:
         self.checkpoints_taken = 0
         self.writer = WalWriter(self.directory / segment_name(epoch), self.policy)
         self._drained = {"appends": 0, "fsyncs": 0, "bytes": 0, "checkpoints": 0}
+        # one checkpoint may stream at a time; set at begin_checkpoint
+        # (under the write lock), cleared when the job finishes
+        self._checkpoint_active = False
 
     # ------------------------------------------------------------------
     # commit-time records
@@ -130,57 +132,60 @@ class DatabaseDurability:
     # ------------------------------------------------------------------
     # checkpoints
     # ------------------------------------------------------------------
-    def checkpoint(self, database: Any) -> Dict[str, Any]:
-        """Snapshot the state, open a fresh epoch, drop the replayed one.
+    def begin_checkpoint(self, database: Any) -> "CheckpointJob":
+        """The fast, locked half of a checkpoint: pin + rotate.
 
         Must run under the database's write lock (no concurrent
-        commits).  On any failure the writer is poisoned — a
-        half-finished checkpoint must not be built upon, exactly as a
-        dead process would not be.
+        commits).  It pins the current MVCC version, records the
+        commit horizon, and rotates the writer to a fresh segment —
+        all O(1) — then returns a :class:`CheckpointJob` whose
+        ``stream()`` writes the pinned state to disk and may run
+        *after* the lock is released: writers keep committing into the
+        new segment while the old state streams.  Recovery copes with
+        a crash mid-stream by replaying every segment from the newest
+        durable checkpoint's epoch upward.
         """
         from repro.wal.redo import get_next_id
 
-        try:
-            new_epoch = self.epoch + 1
-            path = write_checkpoint(
-                self.directory,
-                new_epoch,
-                database.to_instance(),
-                backend=self.backend,
-                last_lsn=self.lsn,
-                next_id=get_next_id(database),
+        if self._checkpoint_active:
+            raise WalError(
+                f"database {self.name!r}: a checkpoint is already streaming"
             )
-            self.writer.rotate(self.directory / segment_name(new_epoch))
-            for stale in (
-                self.directory / checkpoint_name(self.epoch),
-                self.directory / segment_name(self.epoch),
-            ):
-                try:
-                    stale.unlink()
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
-            fsync_dir(self.directory)
-            previous = self.epoch
-            self.epoch = new_epoch
-            self.checkpoints_taken += 1
-            return {
-                "epoch": new_epoch,
-                "previous_epoch": previous,
-                "last_lsn": self.lsn,
-                "bytes": path.stat().st_size,
-            }
+        try:
+            reader = database.read_view()
+            try:
+                previous = self.epoch
+                new_epoch = previous + 1
+                last_lsn = self.lsn
+                next_id = get_next_id(reader)
+                self.writer.rotate(self.directory / segment_name(new_epoch))
+                self.epoch = new_epoch
+            except BaseException:
+                reader.release()
+                raise
         except BaseException as error:
             self.writer.poison(error)
             raise
+        self._checkpoint_active = True
+        return CheckpointJob(self, reader, new_epoch, previous, last_lsn, next_id)
 
-    def maybe_checkpoint(self, database: Any) -> Optional[Dict[str, Any]]:
-        """Auto-checkpoint when the segment outgrew the threshold."""
+    def checkpoint(self, database: Any) -> Dict[str, Any]:
+        """Synchronous checkpoint: begin (pin + rotate) then stream inline."""
+        return self.begin_checkpoint(database).stream()
+
+    def maybe_checkpoint(self, database: Any) -> Optional["CheckpointJob"]:
+        """Begin an auto-checkpoint when the segment outgrew the threshold.
+
+        Returns the streaming job (or ``None``); the caller either
+        streams it inline or defers it past the write lock.
+        """
         if (
             self.checkpoint_bytes
+            and not self._checkpoint_active
             and self.writer.poisoned is None
             and self.writer.written_offset >= self.checkpoint_bytes
         ):
-            return self.checkpoint(database)
+            return self.begin_checkpoint(database)
         return None
 
     # ------------------------------------------------------------------
@@ -221,6 +226,78 @@ class DatabaseDurability:
             f"DatabaseDurability({self.name!r}, backend={self.backend}, "
             f"epoch={self.epoch}, lsn={self.lsn})"
         )
+
+
+class CheckpointJob:
+    """The streaming half of a two-phase checkpoint.
+
+    Created by :meth:`DatabaseDurability.begin_checkpoint` under the
+    database's write lock, holding a pinned snapshot reader and the
+    commit horizon captured at rotation.  ``stream()`` does the slow
+    work — serializing the pinned state and pruning pre-checkpoint
+    files — and is safe to run after the lock is released.
+    """
+
+    def __init__(
+        self,
+        durability: "DatabaseDurability",
+        reader: Any,
+        epoch: int,
+        previous_epoch: int,
+        last_lsn: int,
+        next_id: int,
+    ) -> None:
+        self.durability = durability
+        self.reader = reader
+        self.epoch = epoch
+        self.previous_epoch = previous_epoch
+        self.last_lsn = last_lsn
+        self.next_id = next_id
+        self._done = False
+
+    def stream(self) -> Dict[str, Any]:
+        """Write the pinned state to disk; returns the CHECKPOINT payload.
+
+        On any failure the writer is poisoned — a half-finished
+        checkpoint must not be built upon, exactly as a dead process
+        would not be.  The pinned version is always released.
+        """
+        if self._done:
+            raise WalError("checkpoint job was already streamed")
+        self._done = True
+        durability = self.durability
+        try:
+            try:
+                path = write_checkpoint(
+                    durability.directory,
+                    self.epoch,
+                    self.reader.to_instance(),
+                    backend=durability.backend,
+                    last_lsn=self.last_lsn,
+                    next_id=self.next_id,
+                )
+                for stale in list(durability.directory.glob("checkpoint-*.json")) + list(
+                    durability.directory.glob("wal-*.ndjson")
+                ):
+                    if 0 <= parse_epoch(stale.name) < self.epoch:
+                        try:
+                            stale.unlink()
+                        except OSError:  # pragma: no cover - best-effort cleanup
+                            pass
+                fsync_dir(durability.directory)
+                durability.checkpoints_taken += 1
+                return {
+                    "epoch": self.epoch,
+                    "previous_epoch": self.previous_epoch,
+                    "last_lsn": self.last_lsn,
+                    "bytes": path.stat().st_size,
+                }
+            except BaseException as error:
+                durability.writer.poison(error)
+                raise
+        finally:
+            durability._checkpoint_active = False
+            self.reader.release()
 
 
 class RecoveryReport:
@@ -465,36 +542,56 @@ class DataDirectory:
         database = catalog.add(name, instance, backend=meta["backend"])
         set_next_id(database, doc["next_id"])
         lsn = doc["last_lsn"]
-        segment = directory / segment_name(epoch)
-        if not segment.exists():
-            # crash between checkpoint publish and segment rotation:
-            # the checkpoint already holds everything
-            with open(segment, "ab") as fp:
-                os.fsync(fp.fileno())
-        records, torn = WalReader.scan_and_truncate(segment)
-        commits = resets = 0
-        for record in records:
-            kind = record.get("kind")
-            if kind == "commit":
-                apply_commit(database, record)
-                commits += 1
-            elif kind == "reset":
-                apply_reset(database, record)
-                resets += 1
-            else:
-                raise WalFormatError(
-                    f"{segment}: unknown WAL record kind {kind!r} at lsn {record.get('lsn')!r}"
-                )
-            lsn = max(lsn, record.get("lsn", lsn))
+        # a checkpoint rotates *before* it streams, so a crash
+        # mid-stream leaves durable commits in segments newer than the
+        # newest durable checkpoint: replay every epoch from the
+        # checkpoint's upward, in order, skipping records the
+        # checkpoint image already contains
+        present = {
+            parse_epoch(path.name)
+            for path in directory.glob("wal-*.ndjson")
+            if parse_epoch(path.name) >= epoch
+        }
+        segment_epochs = sorted(present | {epoch})
+        replayed = commits = resets = torn = 0
+        for segment_epoch in segment_epochs:
+            segment = directory / segment_name(segment_epoch)
+            if not segment.exists():
+                # crash between checkpoint publish and segment rotation:
+                # the checkpoint already holds everything
+                with open(segment, "ab") as fp:
+                    os.fsync(fp.fileno())
+            records, segment_torn = WalReader.scan_and_truncate(segment)
+            torn += segment_torn
+            for record in records:
+                if record.get("lsn", 0) <= doc["last_lsn"]:
+                    continue
+                kind = record.get("kind")
+                if kind == "commit":
+                    apply_commit(database, record)
+                    commits += 1
+                elif kind == "reset":
+                    apply_reset(database, record)
+                    resets += 1
+                else:
+                    raise WalFormatError(
+                        f"{segment}: unknown WAL record kind {kind!r} "
+                        f"at lsn {record.get('lsn')!r}"
+                    )
+                replayed += 1
+                lsn = max(lsn, record.get("lsn", lsn))
         stale_removed = self._remove_stale_epochs(directory, epoch)
         if validate:
             database.to_instance().validate()
+        # the replay mutated the live state past the version published
+        # at construction: re-publish so readers see the recovered state
+        database.publish_version()
         database.durability = DatabaseDurability(
             directory,
             name,
             meta["backend"],
             policy=self.policy,
-            epoch=epoch,
+            epoch=segment_epochs[-1],
             lsn=lsn,
             checkpoint_bytes=self.checkpoint_bytes,
         )
@@ -503,9 +600,10 @@ class DataDirectory:
             "backend": meta["backend"],
             "epoch": epoch,
             "last_lsn": lsn,
-            "records_replayed": len(records),
+            "records_replayed": replayed,
             "commits_replayed": commits,
             "resets_replayed": resets,
+            "segments_replayed": len(segment_epochs),
             "torn_records": torn,
             "invalid_checkpoints_skipped": skipped,
             "stale_files_removed": stale_removed,
@@ -545,11 +643,20 @@ class DataDirectory:
 
     @staticmethod
     def _remove_stale_epochs(directory: Path, epoch: int) -> int:
+        """Drop non-chosen checkpoints, pre-checkpoint segments, tmps.
+
+        Segments at or above the chosen checkpoint's epoch are kept —
+        they hold commits newer than the checkpoint image (a
+        checkpoint that crashed mid-stream leaves its fresh segment
+        behind without a matching checkpoint file).
+        """
         removed = 0
-        for path in list(directory.glob("checkpoint-*.json")) + list(
-            directory.glob("wal-*.ndjson")
-        ):
+        for path in directory.glob("checkpoint-*.json"):
             if parse_epoch(path.name) != epoch:
+                path.unlink()
+                removed += 1
+        for path in directory.glob("wal-*.ndjson"):
+            if parse_epoch(path.name) < epoch:
                 path.unlink()
                 removed += 1
         for path in directory.glob("*.tmp"):

@@ -1,0 +1,45 @@
+"""Shared fixtures for the integration suite.
+
+The per-test watchdog turns a deadlock (a reader waiting on a writer
+that waits on the reader, a hung event loop, a lost durability ticket)
+into a loud failure with a traceback instead of a silently wedged CI
+job.  SIGALRM only works on the main thread of POSIX systems; anywhere
+else the fixture is a no-op.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+#: Seconds one integration test may run before the watchdog fires.
+TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def _watchdog(request):
+    usable = (
+        TIMEOUT > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _abort(signum, frame):
+        pytest.fail(
+            f"{request.node.nodeid} exceeded the {TIMEOUT}s watchdog "
+            "(likely a deadlock; set REPRO_TEST_TIMEOUT to adjust)",
+        )
+
+    previous = signal.signal(signal.SIGALRM, _abort)
+    signal.alarm(TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

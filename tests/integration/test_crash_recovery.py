@@ -205,6 +205,87 @@ class TestCheckpointCrashes:
         assert entry["records_replayed"] == 1
 
 
+class TestCheckpointCommitRaces:
+    """Checkpoints stream from a pinned snapshot *after* rotating the
+    WAL, so commits race the streaming half.  A crash mid-stream must
+    lose neither the pre-rotation commits (in the old segment or the
+    previous checkpoint) nor anything committed after the rotation."""
+
+    # site -> (chosen checkpoint epoch, segments replayed, records replayed)
+    RACE_OUTCOMES = {
+        # died streaming checkpoint-2: recovery falls back to
+        # checkpoint-1 and replays wal-1 (the "two" commit) + empty wal-2
+        "wal.checkpoint.written": (1, 2, 1),
+        # checkpoint-2 became durable before the crash: nothing to replay
+        "wal.checkpoint.renamed": (2, 1, 0),
+        "wal.checkpoint.after": (2, 1, 0),
+    }
+
+    @pytest.mark.parametrize("site", sorted(RACE_OUTCOMES))
+    def test_commit_between_checkpoints_survives_stream_crash(self, tmp_path, site):
+        root = tmp_path / "data"
+        served = Served(root)
+        try:
+            with served.client() as client:
+                client.create("g", backend="native", scheme=scheme_doc())
+                client.use("g")
+                add_person(client, "one")
+                assert client.checkpoint()["epoch"] == 1
+                result = add_person(client, "two")  # lands in wal-1
+                state = (result["nodes"], result["edges"])
+            plan = faults.arm_crash(site)
+            try:
+                with served.client() as client:
+                    with pytest.raises((ProtocolError, Exception)):
+                        client.checkpoint(db="g")  # rotates to wal-2, dies
+                assert plan.fired
+            finally:
+                faults.disarm_crash(plan)
+        finally:
+            served.stop()
+        counts, report = recovered_counts(root, "g")
+        assert counts == state
+        entry = report.databases[0]
+        epoch, segments, records = self.RACE_OUTCOMES[site]
+        assert entry["epoch"] == epoch
+        assert entry["segments_replayed"] == segments
+        assert entry["records_replayed"] == records
+
+    def test_commits_racing_auto_checkpoints_all_recover(self, tmp_path):
+        """checkpoint_bytes=1 makes every commit trigger an off-lock
+        checkpoint stream; concurrent writers keep committing into the
+        fresh segments while streams are in flight."""
+        root = tmp_path / "data"
+        workers, per_worker = 4, 5
+        with Served(root, checkpoint_bytes=1) as served:
+            with served.client() as client:
+                client.create("g", backend="native", scheme=scheme_doc())
+            errors = []
+            barrier = threading.Barrier(workers)
+
+            def commit(i):
+                try:
+                    with served.client() as client:
+                        barrier.wait()
+                        for j in range(per_worker):
+                            add_person(client, f"p{i}-{j}", db="g")
+                except Exception as error:  # pragma: no cover - fails the test
+                    errors.append(error)
+
+            threads = [threading.Thread(target=commit, args=(i,)) for i in range(workers)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            with served.client() as client:
+                final_nodes = len(client.export(db="g")["instance"]["nodes"])
+                stats = client.stats()["databases"]["g"]
+            assert stats["checkpoints"] >= 1
+        counts, _ = recovered_counts(root, "g")
+        assert counts[0] == final_nodes
+
+
 class TestGroupCommit:
     def test_concurrent_acked_commits_all_recover(self, tmp_path):
         root = tmp_path / "data"

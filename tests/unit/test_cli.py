@@ -313,4 +313,9 @@ def test_connect_piped_session(tmp_path, capsys, monkeypatch):
     assert "connected to" in out
     assert "13 matchings" in out
     assert "database now:" in out
-    assert '"requests"' in out
+    # :stats renders the nested payload instead of dumping JSON
+    assert "isolation: mvcc" in out
+    assert "database hyper:" in out
+    assert "snapshots:" in out
+    assert "lock wait:" in out
+    assert '"requests"' not in out

@@ -235,3 +235,126 @@ def test_copy_carries_statistics_but_not_cached_views():
     assert clone.out_neighbours(a, "e") == view
     clone.remove_edge(a, "e", b)
     assert store.out_degree_total("A", "e") == 1  # original untouched
+
+
+# ----------------------------------------------------------------------
+# copy-on-write forks (MVCC snapshots)
+# ----------------------------------------------------------------------
+
+
+def _forked_sample():
+    store = GraphStore()
+    a = store.add_node("A", "left")
+    b = store.add_node("B", "right")
+    store.add_edge(a, "e", b)
+    return store, a, b
+
+
+def test_frozen_fork_rejects_every_mutator():
+    store, a, b = _forked_sample()
+    snap = store.fork(frozen=True)
+    assert snap.frozen and not store.frozen
+    with pytest.raises(GraphStoreError, match="frozen"):
+        snap.add_node("A")
+    with pytest.raises(GraphStoreError, match="frozen"):
+        snap.remove_node(b)
+    with pytest.raises(GraphStoreError, match="frozen"):
+        snap.add_edge(b, "e", a)
+    with pytest.raises(GraphStoreError, match="frozen"):
+        snap.remove_edge(a, "e", b)
+    with pytest.raises(GraphStoreError, match="frozen"):
+        snap.set_print(a, "other")
+
+
+def test_live_side_diverges_without_touching_the_fork():
+    store, a, b = _forked_sample()
+    snap = store.fork(frozen=True)
+    c = store.add_node("C")
+    store.add_edge(a, "e", c)
+    store.remove_edge(a, "e", b)
+    store.set_print(a, "renamed")
+    # the snapshot still answers with the pre-fork state
+    assert snap.node_count == 2
+    assert snap.has_edge(a, "e", b)
+    assert not snap.has_edge(a, "e", c)
+    assert snap.print_of(a) == "left"
+    assert snap.nodes_with_label("C") == frozenset()
+    # while the live store moved on
+    assert store.node_count == 3
+    assert not store.has_edge(a, "e", b)
+    assert store.print_of(a) == "renamed"
+
+
+def test_unchanged_fork_reuses_identical_view_objects():
+    """Forking shares the cached frozenset views by object identity:
+    until the live side diverges, both sides hand out the *same*
+    frozensets (zero copying for read-mostly snapshots)."""
+    store, a, b = _forked_sample()
+    label_view = store.nodes_with_label("A")
+    out_view = store.out_neighbours(a, "e")
+    in_view = store.in_neighbours(b, "e")
+    edge_view = store.edges_with_label("e")
+    snap = store.fork(frozen=True)
+    assert snap.nodes_with_label("A") is label_view
+    assert snap.out_neighbours(a, "e") is out_view
+    assert snap.in_neighbours(b, "e") is in_view
+    assert snap.edges_with_label("e") is edge_view
+    # a view first materialized on the frozen side is also shared back
+    fresh = snap.nodes_with_label("B")
+    assert store.nodes_with_label("B") is fresh
+
+
+def test_diverged_fork_stops_sharing_but_keeps_its_views():
+    store, a, b = _forked_sample()
+    out_view = store.out_neighbours(a, "e")
+    snap = store.fork(frozen=True)
+    c = store.add_node("C")
+    store.add_edge(a, "e", c)
+    # live store invalidated and rebuilt its view; the snapshot keeps
+    # serving the pre-fork object
+    assert snap.out_neighbours(a, "e") is out_view
+    assert store.out_neighbours(a, "e") == frozenset({b, c})
+
+
+def test_fork_chain_supports_many_epochs():
+    store = GraphStore()
+    a = store.add_node("A")
+    snaps = []
+    for i in range(10):
+        snaps.append(store.fork(frozen=True))
+        store.add_node("B")
+        store.add_edge(a, "e", store.next_id - 1)
+    for i, snap in enumerate(snaps):
+        assert snap.node_count == 1 + i
+        assert snap.edge_count == i
+
+
+def test_forking_a_frozen_parent_yields_mutable_clone():
+    store, a, b = _forked_sample()
+    snap = store.fork(frozen=True)
+    scratch = snap.fork(frozen=False)
+    assert not scratch.frozen
+    scratch.add_node("C")
+    scratch.remove_edge(a, "e", b)
+    # neither the frozen snapshot nor the live store noticed
+    assert snap.node_count == 2 and snap.has_edge(a, "e", b)
+    assert store.node_count == 2 and store.has_edge(a, "e", b)
+
+
+def test_copy_of_frozen_store_is_mutable():
+    store, a, b = _forked_sample()
+    snap = store.fork(frozen=True)
+    clone = snap.copy()
+    assert not clone.frozen
+    clone.add_node("C")
+    assert snap.node_count == 2
+
+
+def test_fork_preserves_statistics_and_epoch():
+    store, a, b = _forked_sample()
+    snap = store.fork(frozen=True)
+    assert snap.stats_epoch == store.stats_epoch
+    assert snap.out_degree_total("A", "e") == 1
+    store.add_edge(b, "e", a)
+    assert snap.out_degree_total("B", "e") == 0
+    assert store.stats_epoch > snap.stats_epoch
