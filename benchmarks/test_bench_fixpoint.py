@@ -78,11 +78,21 @@ def closure_size(instance) -> int:
     )
 
 
-def timed_run(program: RuleProgram, instance, strategy: str):
-    """(seconds, result instance, FixpointStats) for one evaluation."""
-    started = time.perf_counter()
-    result, _ = program.run(instance, strategy=strategy)
-    return time.perf_counter() - started, result, program.last_stats
+def timed_run(program: RuleProgram, instance, strategy: str, repeats: int = 3):
+    """(best seconds, result instance, FixpointStats) over ``repeats`` runs.
+
+    Best-of-N wall clock: the speedup assertions below compare two
+    strategies on workloads that finish in milliseconds, where a single
+    noisy run would dominate the ratio.
+    """
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result, _ = program.run(instance, strategy=strategy)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result, program.last_stats
 
 
 @pytest.fixture(scope="module", autouse=True)
@@ -126,6 +136,15 @@ def test_transitive_closure_strategies(name, build):
 
     # semi-naive never enumerates more matchings than full rematching
     assert semi_stats.matchings_enumerated <= naive_stats.matchings_enumerated
+
+    if name == "tree-d6":
+        # shallow, bushy closure: the workload whose per-seed overhead
+        # once made semi-naive *slower* than naive (0.63×).  Seeded
+        # compiled runners plus the delta-vs-full fallback heuristic
+        # must keep semi-naive at least break-even here.
+        assert speedup is not None and speedup >= 1.0, (
+            f"semi-naive regressed below naive on {name}: {speedup:.2f}×"
+        )
 
     if name == f"chain-{LARGEST_CHAIN}":
         # the acceptance numbers: ≥5× wall clock on the largest chain,

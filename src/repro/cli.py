@@ -557,7 +557,11 @@ def _connect_repl(client) -> int:
         elif name == ":explain" and argument:
             explained = client.explain(argument)
             print(explained["text"])
-            print(f"(backend={explained['backend']}, cached={explained['cached']})")
+            strategy = explained.get("strategy", "left-deep")
+            print(
+                f"(backend={explained['backend']}, strategy={strategy}, "
+                f"cached={explained['cached']})"
+            )
         elif name == ":browse" and argument:
             parts = argument.split()
             found = client.browse(int(parts[0]), hops=int(parts[1]) if len(parts) > 1 else 1)

@@ -40,7 +40,9 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 from repro.core.instance import Instance
 from repro.core.pattern import NegatedPattern, Pattern
 from repro.graph.store import NO_PRINT, Delta
+from repro.plan.cache import plan_for
 from repro.plan.executor import planned_matchings as _planned_matchings
+from repro.plan.executor import seeded_runner
 
 #: A matching: pattern node id -> instance node id.
 Matching = Dict[int, int]
@@ -261,18 +263,24 @@ def find_matchings_delta(
     The search is seeded: for every (pattern edge, delta edge) pair
     with equal labels the edge's endpoints are pre-bound, and for every
     (pattern node, delta node) pair with a compatible label the node is
-    pre-bound; each seed runs the ordinary (planner-backed) search with
-    the binding ``fixed``, so delta items seed compiled plans directly.
+    pre-bound; each seed runs the plan compiled for that pre-binding.
     A matching reachable from several seeds is yielded once (first seed
     wins), and the seed order is deterministic (pattern items in
     pattern order, delta items sorted), so the overall enumeration
     order is deterministic.
 
-    Delta edges are bucketed by label once and filtered against the
-    store's ``edges_with_label`` index, so each pattern edge only sees
-    same-label delta edges that still exist — instead of re-scanning
-    the whole delta per pattern edge and seeding searches doomed to
-    find nothing.
+    The per-seed path is deliberately lean — a fixpoint executes it
+    once per delta item per round, and its constant factor is what
+    decides whether semi-naive beats full rematching on shallow
+    workloads.  Delta items come from the delta's memoized sorted
+    views, bucketed by label once (edges liveness-checked with an O(1)
+    store probe); each pattern edge plans **once** through the plan
+    cache and gets a :func:`repro.plan.executor.seeded_runner` — a
+    compiled nested-loop generator instantiated once, invoked per seed
+    — instead of re-hashing the pattern signature and rebuilding an
+    interpreter frame stack for every delta edge.  Seed-binding
+    validation is memoized per (pattern node, instance node), since
+    delta edges share endpoints heavily.
 
     Callers are responsible for guard/counter charging, exactly like
     :func:`find_matchings`.
@@ -284,16 +292,30 @@ def find_matchings_delta(
         # the empty pattern's single empty matching maps nothing into
         # the delta, so semi-naive correctly yields nothing
         return
-    delta_nodes = delta.sorted_nodes()
+    store = instance.store
     seen: Set[Tuple[int, ...]] = set()
 
     delta_edges_by_label: Dict[str, List[Tuple[int, int]]] = {}
-    for source, label, target in delta.edges:
-        delta_edges_by_label.setdefault(label, []).append((source, target))
-    store = instance.store
-    for label, pairs in delta_edges_by_label.items():
-        live = store.edges_with_label(label)
-        delta_edges_by_label[label] = sorted(pair for pair in pairs if pair in live)
+    for source, label, target in delta.sorted_edges():
+        if store.has_edge(source, label, target):
+            delta_edges_by_label.setdefault(label, []).append((source, target))
+    delta_nodes_by_label: Dict[str, List[int]] = {}
+    for node in delta.sorted_nodes():
+        if instance.has_node(node):
+            delta_nodes_by_label.setdefault(instance.label_of(node), []).append(node)
+
+    ok_cache: Dict[Tuple[int, int], bool] = {}
+
+    def binding_ok(pattern_node: int, instance_node: int) -> bool:
+        key = (pattern_node, instance_node)
+        ok = ok_cache.get(key)
+        if ok is None:
+            ok = ok_cache[key] = _binding_ok(pattern, instance, pattern_node, instance_node)
+        return ok
+
+    def runner_for(fixed_keys: Tuple[int, ...]):
+        plan, _ = plan_for(pattern, instance, fixed_keys)
+        return seeded_runner(plan, pattern, instance)
 
     def emit(found: Iterator[Matching]) -> Iterator[Matching]:
         for matching in found:
@@ -303,20 +325,28 @@ def find_matchings_delta(
                 yield matching
 
     for p_source, p_label, p_target in _pattern_edges(pattern):
-        for source, target in delta_edges_by_label.get(p_label, ()):
-            if p_source == p_target:
-                if source != target:
-                    continue
-                seed = {p_source: source}
-            else:
-                seed = {p_source: source, p_target: target}
-            yield from emit(find_matchings(pattern, instance, fixed=seed))
+        pairs = delta_edges_by_label.get(p_label)
+        if not pairs:
+            continue
+        if p_source == p_target:
+            run = runner_for((p_source,))
+            for source, target in pairs:
+                if source == target and binding_ok(p_source, source):
+                    yield from emit(run({p_source: source}))
+        else:
+            run = runner_for((p_source, p_target))
+            for source, target in pairs:
+                if binding_ok(p_source, source) and binding_ok(p_target, target):
+                    yield from emit(run({p_source: source, p_target: target}))
     for p_node in pattern_nodes:
         record = pattern.node_record(p_node)
-        for node in delta_nodes:
-            if not instance.has_node(node) or instance.label_of(node) != record.label:
-                continue
-            yield from emit(find_matchings(pattern, instance, fixed={p_node: node}))
+        nodes = delta_nodes_by_label.get(record.label)
+        if not nodes:
+            continue
+        run = runner_for((p_node,))
+        for node in nodes:
+            if binding_ok(p_node, node):
+                yield from emit(run({p_node: node}))
 
 
 def find_matchings_naive(pattern: Pattern, instance: Instance) -> Iterator[Matching]:

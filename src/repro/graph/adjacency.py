@@ -1,0 +1,159 @@
+"""Sorted adjacency arrays: the compact per-edge-label index layer.
+
+An :class:`AdjacencyIndex` is a CSR-style snapshot of one edge label's
+adjacency, built from the store's ``(source, target)`` pair index:
+
+* ``targets`` — one ``array('q')`` holding every target id, grouped by
+  source and sorted ascending within each group;
+* ``sources`` — the mirror array for the reverse direction (every
+  source id, grouped by target, sorted within each group);
+* two position dicts mapping a node id to its ``(lo, hi)`` slice.
+
+Lookups hand out **memoryview slices** — zero-copy, index- and
+``len``-able, and usable with :mod:`bisect` — so a k-way sorted
+intersection (:mod:`repro.plan.leapfrog`) walks raw 64-bit ints
+without building a single Python set.
+
+Indexes are immutable once built and stamped with the store's
+``stats_epoch``; the :class:`~repro.graph.store.GraphStore` caches them
+keyed by ``(kind, label, epoch)`` exactly like compiled plans, so a
+structural mutation simply strands the old entry (and an MVCC snapshot
+pinned at an older epoch keeps hitting its own).  Building is O(E log E)
+in the label's edge count and is charged to the thread-local
+``index_builds`` counter.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterable, Tuple
+
+#: The empty slice every miss returns (shared, zero-length, immutable).
+EMPTY_VIEW = memoryview(array("q"))
+
+#: The empty set every span-set miss returns (shared, immutable).
+EMPTY_SET: frozenset = frozenset()
+
+
+class SpanSets(dict):
+    """Lazy ``node -> frozenset`` views over one direction of an index.
+
+    Subscripting builds the node's frozenset from its CSR span on first
+    access and memoizes it (``__missing__``), so warm lookups are one
+    C-level dict subscript — the fetch primitive of the compiled
+    multiway runner (:mod:`repro.plan.executor`).  Misses memoize the
+    shared empty frozenset.  Like the arrays they derive from, span
+    sets are immutable-by-convention and shared across MVCC forks.
+    """
+
+    __slots__ = ("_ids", "_spans")
+
+    def __init__(self, ids: array, spans: Dict[int, Tuple[int, int]]) -> None:
+        super().__init__()
+        self._ids = ids
+        self._spans = spans
+
+    def __missing__(self, node: int) -> frozenset:
+        span = self._spans.get(node)
+        value = EMPTY_SET if span is None else frozenset(self._ids[span[0] : span[1]])
+        self[node] = value
+        return value
+
+
+def _charge_build() -> None:
+    # imported lazily: repro.core pulls in the matcher stack, which in
+    # turn imports this package — at call time the cycle is long closed
+    from repro.core import counters as _counters
+
+    _counters.charge(index_builds=1)
+
+
+class AdjacencyIndex:
+    """An immutable CSR view of one edge label at one statistics epoch."""
+
+    __slots__ = (
+        "label",
+        "epoch",
+        "pair_count",
+        "_targets",
+        "_fwd",
+        "_sources",
+        "_rev",
+        "_fwd_sets",
+        "_rev_sets",
+    )
+
+    def __init__(self, label: str, pairs: Iterable[Tuple[int, int]], epoch: int) -> None:
+        self.label = label
+        self.epoch = epoch
+        forward = sorted(pairs)
+        self.pair_count = len(forward)
+        self._targets = array("q", (target for _, target in forward))
+        self._fwd: Dict[int, Tuple[int, int]] = _positions(source for source, _ in forward)
+        reverse = sorted(forward, key=lambda pair: (pair[1], pair[0]))
+        self._sources = array("q", (source for source, _ in reverse))
+        self._rev: Dict[int, Tuple[int, int]] = _positions(target for _, target in reverse)
+        self._fwd_sets: SpanSets = SpanSets(self._targets, self._fwd)
+        self._rev_sets: SpanSets = SpanSets(self._sources, self._rev)
+        _charge_build()
+
+    def targets_of(self, source: int) -> memoryview:
+        """Sorted targets of ``label``-edges leaving ``source`` (zero-copy)."""
+        span = self._fwd.get(source)
+        if span is None:
+            return EMPTY_VIEW
+        return memoryview(self._targets)[span[0] : span[1]]
+
+    def sources_of(self, target: int) -> memoryview:
+        """Sorted sources of ``label``-edges arriving at ``target`` (zero-copy)."""
+        span = self._rev.get(target)
+        if span is None:
+            return EMPTY_VIEW
+        return memoryview(self._sources)[span[0] : span[1]]
+
+    def targets_sets(self) -> SpanSets:
+        """Lazy ``source -> frozenset(targets)`` views (memoized)."""
+        return self._fwd_sets
+
+    def sources_sets(self) -> SpanSets:
+        """Lazy ``target -> frozenset(sources)`` views (memoized)."""
+        return self._rev_sets
+
+    def has_pair(self, source: int, target: int) -> bool:
+        """Whether the edge ``source --label--> target`` is in the index."""
+        span = self._fwd.get(source)
+        if span is None:
+            return False
+        lo, hi = span
+        position = bisect_left(self._targets, target, lo, hi)
+        return position < hi and self._targets[position] == target
+
+    def sources(self) -> Iterable[int]:
+        """The distinct source ids, in ascending order."""
+        return sorted(self._fwd)
+
+    def __len__(self) -> int:
+        return self.pair_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdjacencyIndex({self.label!r}, pairs={self.pair_count}, epoch={self.epoch})"
+        )
+
+
+def _positions(grouped: Iterable[int]) -> Dict[int, Tuple[int, int]]:
+    """``node -> (lo, hi)`` spans over an already-grouped id sequence."""
+    spans: Dict[int, Tuple[int, int]] = {}
+    start = 0
+    current = None
+    index = 0
+    for index, node in enumerate(grouped):
+        if node != current:
+            if current is not None:
+                spans[current] = (start, index)
+            current = node
+            start = index
+    if current is not None:
+        spans[current] = (start, index + 1)
+    return spans

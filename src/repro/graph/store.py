@@ -33,9 +33,16 @@ makes every operation in the reproduction reproducible run-to-run.
 
 from __future__ import annotations
 
+from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.adjacency import AdjacencyIndex
+
+#: Sorted-adjacency / sorted-label entries kept per store.  Entries are
+#: immutable and keyed by epoch, so eviction only ever costs a rebuild.
+MAX_CACHED_ADJACENCY = 64
 
 
 class GraphStoreError(Exception):
@@ -60,6 +67,16 @@ class Delta:
     nodes: Set[int] = field(default_factory=set)
     edges: Set[Tuple[int, str, int]] = field(default_factory=set)
     start_generation: int = 0
+    #: Bumped by every tracked mutation and by :meth:`merge`; the sorted
+    #: views below memoize against it (plus the set sizes, so a delta
+    #: whose sets are filled in directly still invalidates correctly).
+    _version: int = field(default=0, repr=False, compare=False)
+    _nodes_cache: Optional[Tuple[Tuple[int, int], List[int]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _edges_cache: Optional[Tuple[Tuple[int, int], List[Tuple[int, str, int]]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_empty(self) -> bool:
@@ -69,20 +86,53 @@ class Delta:
     def __len__(self) -> int:
         return len(self.nodes) + len(self.edges)
 
+    def record_node(self, node_id: int) -> None:
+        """Track a node addition (store mutator hook)."""
+        self.nodes.add(node_id)
+        self._version += 1
+
+    def retract_node(self, node_id: int) -> None:
+        """Untrack a node removed while recording (store mutator hook)."""
+        self.nodes.discard(node_id)
+        self._version += 1
+
+    def record_edge(self, edge: Tuple[int, str, int]) -> None:
+        """Track an edge addition (store mutator hook)."""
+        self.edges.add(edge)
+        self._version += 1
+
+    def retract_edge(self, edge: Tuple[int, str, int]) -> None:
+        """Untrack an edge removed while recording (store mutator hook)."""
+        self.edges.discard(edge)
+        self._version += 1
+
     def merge(self, other: "Delta") -> "Delta":
         """Fold ``other`` into this delta; returns ``self``."""
         self.nodes |= other.nodes
         self.edges |= other.edges
         self.start_generation = min(self.start_generation, other.start_generation)
+        self._version += 1
         return self
 
     def sorted_nodes(self) -> List[int]:
-        """The recorded nodes in deterministic (ascending) order."""
-        return sorted(self.nodes)
+        """The recorded nodes in deterministic (ascending) order.
+
+        Memoized per version: fixpoint rounds consult the sorted views
+        many times between mutations, so re-sorting on every call was
+        pure overhead.  Callers must not mutate the returned list.
+        """
+        key = (self._version, len(self.nodes))
+        if self._nodes_cache is None or self._nodes_cache[0] != key:
+            self._nodes_cache = (key, sorted(self.nodes))
+        return self._nodes_cache[1]
 
     def sorted_edges(self) -> List[Tuple[int, str, int]]:
-        """The recorded edges in deterministic order."""
-        return sorted(self.edges)
+        """The recorded edges in deterministic order (memoized, like
+        :meth:`sorted_nodes`; callers must not mutate the result)."""
+        key = (self._version, len(self.edges))
+        if self._edges_cache is None or self._edges_cache[0] != key:
+            self._edges_cache = (key, sorted(self.edges))
+        return self._edges_cache[1]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -165,6 +215,7 @@ class GraphStore:
         "_edge_label_views",
         "_out_views",
         "_in_views",
+        "_adjacency_cache",
         "_plan_cache",
         "_frozen",
         "_shared_data",
@@ -206,6 +257,10 @@ class GraphStore:
         self._edge_label_views: Dict[str, FrozenSet[Tuple[int, int]]] = {}
         self._out_views: Dict[int, Dict[str, FrozenSet[int]]] = {}
         self._in_views: Dict[int, Dict[str, FrozenSet[int]]] = {}
+        # sorted-adjacency / sorted-label arrays, keyed by
+        # (kind, label, stats_epoch) — entries are immutable, so the
+        # dict is shared with MVCC forks exactly like the plan cache
+        self._adjacency_cache: "OrderedDict[Tuple[str, str, int], Any]" = OrderedDict()
         # compiled-plan slot managed by repro.plan (per-store, not copied)
         self._plan_cache: Optional[Dict[Any, Any]] = None
         # --- copy-on-write state (see fork) ---
@@ -326,6 +381,15 @@ class GraphStore:
         clone._edge_label_views = self._edge_label_views
         clone._out_views = self._out_views
         clone._in_views = self._in_views
+        # sorted-adjacency entries are immutable and epoch-keyed, so a
+        # snapshot pinned at an older epoch keeps hitting its own
+        # entries while the live side populates new ones — but only
+        # when at most one side can mutate (two mutable stores could
+        # collide on an epoch with different structure)
+        if frozen or self._frozen:
+            clone._adjacency_cache = self._adjacency_cache
+        else:
+            clone._adjacency_cache = OrderedDict()
         if self._plan_cache is None and not self._frozen:
             # pre-create so all versions share one epoch-keyed cache
             self._plan_cache = OrderedDict()
@@ -456,7 +520,7 @@ class GraphStore:
         self._generation += 1
         self._stats_epoch += 1
         for tracker in self._trackers:
-            tracker.nodes.add(node_id)
+            tracker.record_node(node_id)
         for journal in self._journals:
             journal.entries.append(("add_node", node_id, label, print_value))
         return node_id
@@ -486,7 +550,7 @@ class GraphStore:
         self._generation += 1
         self._stats_epoch += 1
         for tracker in self._trackers:
-            tracker.nodes.discard(node_id)
+            tracker.retract_node(node_id)
         # incident edges journalled their own removals above, so a
         # reverse replay re-creates the node before re-adding them
         for journal in self._journals:
@@ -586,7 +650,7 @@ class GraphStore:
         self._generation += 1
         self._stats_epoch += 1
         for tracker in self._trackers:
-            tracker.edges.add((source, label, target))
+            tracker.record_edge((source, label, target))
         for journal in self._journals:
             journal.entries.append(("add_edge", source, label, target))
         return True
@@ -628,7 +692,7 @@ class GraphStore:
         self._generation += 1
         self._stats_epoch += 1
         for tracker in self._trackers:
-            tracker.edges.discard((source, label, target))
+            tracker.retract_edge((source, label, target))
         for journal in self._journals:
             journal.entries.append(("remove_edge", source, label, target))
         return True
@@ -727,6 +791,63 @@ class GraphStore:
     def edge_labels_in_use(self) -> FrozenSet[str]:
         """The set of edge labels that occur in the store."""
         return frozenset(self._by_edge_label)
+
+    # ------------------------------------------------------------------
+    # sorted-adjacency arrays (worst-case-optimal join support)
+    # ------------------------------------------------------------------
+    def sorted_adjacency(self, label: str) -> AdjacencyIndex:
+        """The CSR sorted-adjacency index for ``label`` at this epoch.
+
+        Built lazily from the edge-label pair index on first request and
+        cached keyed by ``(label, stats_epoch)`` — a structural mutation
+        strands the old entry rather than patching it, and a frozen MVCC
+        fork (which shares this cache by reference) keeps hitting the
+        entry for its own pinned epoch.  The returned index is immutable;
+        see :mod:`repro.graph.adjacency`.
+        """
+        key = ("adj", label, self._stats_epoch)
+        cache = self._adjacency_cache
+        index = cache.get(key)
+        if index is None:
+            index = AdjacencyIndex(
+                label, self._by_edge_label.get(label, ()), self._stats_epoch
+            )
+            cache[key] = index
+            self._trim_adjacency_cache()
+        return index
+
+    def cached_adjacency(self, label: str) -> Optional[AdjacencyIndex]:
+        """The current-epoch index for ``label`` if already built, else
+        ``None`` — lets hot paths use arrays opportunistically without
+        forcing a build for one-off lookups."""
+        return self._adjacency_cache.get(("adj", label, self._stats_epoch))
+
+    def sorted_nodes_with_label(self, label: str) -> array:
+        """All node ids carrying ``label`` as a sorted ``array('q')``.
+
+        Cached per ``(label, stats_epoch)`` alongside the adjacency
+        indexes; the multiway join intersects this array directly so
+        candidate node ids come out label-checked for free.  Callers
+        must not mutate the returned array.
+        """
+        key = ("lbl", label, self._stats_epoch)
+        cache = self._adjacency_cache
+        nodes = cache.get(key)
+        if nodes is None:
+            nodes = array("q", sorted(self._by_label.get(label, ())))
+            cache[key] = nodes
+            self._trim_adjacency_cache()
+        return nodes
+
+    def _trim_adjacency_cache(self) -> None:
+        """Bound the adjacency cache; tolerant of concurrent readers
+        (a frozen fork may be inserting entries for its own epoch)."""
+        cache = self._adjacency_cache
+        try:
+            while len(cache) > MAX_CACHED_ADJACENCY:
+                cache.popitem(last=False)
+        except KeyError:  # concurrent eviction raced ours; stays bounded
+            pass
 
     def label_count(self, label: str) -> int:
         """Number of nodes carrying ``label`` (O(1))."""

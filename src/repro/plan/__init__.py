@@ -25,8 +25,15 @@ from repro.core.instance import Instance
 from repro.core.pattern import NegatedPattern
 from repro.plan.cache import MAX_CACHED_PLANS, cached_plan_count, pattern_signature, plan_for
 from repro.plan.executor import execute_plan, planned_matchings
-from repro.plan.planner import compile_plan
-from repro.plan.steps import Extend, Plan, ScanEdges, ScanNodes, Verify
+from repro.plan.leapfrog import gallop, intersect_sorted
+from repro.plan.planner import (
+    MULTIWAY_MIN_FANOUT,
+    STRATEGIES,
+    choose_strategy,
+    compile_plan,
+    pattern_is_cyclic,
+)
+from repro.plan.steps import Extend, MultiwayIntersect, Plan, ScanEdges, ScanNodes, Verify
 
 
 def explain_pattern(pattern, instance: Instance, fixed: Sequence[int] = ()) -> str:
@@ -51,15 +58,22 @@ def explain_pattern(pattern, instance: Instance, fixed: Sequence[int] = ()) -> s
 
 __all__ = [
     "MAX_CACHED_PLANS",
+    "MULTIWAY_MIN_FANOUT",
+    "STRATEGIES",
     "Extend",
+    "MultiwayIntersect",
     "Plan",
     "ScanEdges",
     "ScanNodes",
     "Verify",
     "cached_plan_count",
+    "choose_strategy",
     "compile_plan",
     "execute_plan",
     "explain_pattern",
+    "gallop",
+    "intersect_sorted",
+    "pattern_is_cyclic",
     "pattern_signature",
     "plan_for",
     "planned_matchings",

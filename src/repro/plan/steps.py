@@ -10,8 +10,18 @@ checking) pattern nodes against the instance's indexes:
 * :class:`Extend` — bind one more pattern node by intersecting
   ``out_neighbours``/``in_neighbours`` probes from already-bound nodes
   (an index nested-loop join);
+* :class:`MultiwayIntersect` — bind one more pattern node by a
+  leapfrog/galloping k-way intersection of sorted adjacency arrays
+  (:mod:`repro.plan.leapfrog` over :mod:`repro.graph.adjacency`); the
+  worst-case-optimal operator the planner emits for cyclic patterns;
 * :class:`Verify` — check a pattern edge whose endpoints are both
   bound (residual edges: self-loops, parallel edges, cross edges).
+
+A plan carries the ``strategy`` the planner chose — ``"left-deep"``
+(greedy probe-intersection pipeline) or ``"multiway"`` (global variable
+order, every step a sorted-array intersection) — and renders it in
+``explain()``/``to_json()`` so EXPLAIN shows which join discipline a
+pattern gets at the current statistics epoch.
 
 Steps reference pattern nodes by id; all data access happens at
 execution time against live indexes, so a compiled plan stays *correct*
@@ -86,6 +96,31 @@ class Extend:
 
 
 @dataclass(frozen=True)
+class MultiwayIntersect:
+    """Bind one node via a k-way sorted-array intersection.
+
+    Probes read exactly like :class:`Extend` — ``(direction, edge
+    label, anchor node)`` — but execution intersects the anchors' CSR
+    adjacency slices *and* the node's sorted label array in one
+    leapfrog pass, so candidates come out label-checked without a
+    per-candidate record lookup and without materialising a set.
+    """
+
+    node: int
+    probes: Tuple[Tuple[str, str, int], ...]
+    est: float
+
+    def describe(self) -> str:
+        parts = []
+        for direction, label, anchor in self.probes:
+            if direction == "out":
+                parts.append(f"{_ref(anchor)} -{label}-> {_ref(self.node)}")
+            else:
+                parts.append(f"{_ref(self.node)} -{label}-> {_ref(anchor)}")
+        return f"MultiwayIntersect({_ref(self.node)} via " + " ∩ ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
 class Verify:
     """Check a pattern edge between two already-bound nodes."""
 
@@ -97,12 +132,18 @@ class Verify:
         return f"Verify({_ref(self.source)} -{self.label}-> {_ref(self.target)})"
 
 
-PlanStep = Any  # ScanNodes | ScanEdges | Extend | Verify
+PlanStep = Any  # ScanNodes | ScanEdges | Extend | MultiwayIntersect | Verify
 
 
 @dataclass(frozen=True)
 class Plan:
-    """A compiled, cacheable join pipeline for one pattern shape."""
+    """A compiled, cacheable join pipeline for one pattern shape.
+
+    ``strategy`` records the join discipline the planner chose for this
+    (signature, epoch) — caching the plan therefore caches the strategy
+    decision itself, and an epoch bump after densification can flip a
+    cyclic pattern from ``left-deep`` to ``multiway`` on recompilation.
+    """
 
     steps: Tuple[PlanStep, ...]
     fixed: Tuple[int, ...]
@@ -110,13 +151,15 @@ class Plan:
     edge_count: int
     estimated_rows: float
     epoch: int
+    strategy: str = "left-deep"
 
     def explain(self, indent: int = 0) -> str:
         """EXPLAIN text, indent-per-child like ``minirel`` plans."""
         pad = " " * indent
         head = (
             f"{pad}PlanPipeline({self.node_count} nodes, {self.edge_count} edges; "
-            f"est_rows={self.estimated_rows:g}, epoch={self.epoch})"
+            f"strategy={self.strategy}, est_rows={self.estimated_rows:g}, "
+            f"epoch={self.epoch})"
         )
         lines = [head]
         depth = indent + 2
@@ -151,6 +194,7 @@ class Plan:
             "fixed": list(self.fixed),
             "estimated_rows": round(self.estimated_rows, 3),
             "epoch": self.epoch,
+            "strategy": self.strategy,
             "steps": steps,
             "text": self.explain(),
         }

@@ -49,12 +49,44 @@ from repro.core.matching import (
 from repro.core.operations import EdgeAddition, NodeAddition, OperationReport
 from repro.core.pattern import NegatedPattern, Pattern
 from repro.graph.store import Delta
+from repro.plan import plan_for
 from repro.txn import guards as _guards
 
 RuleAction = Union[NodeAddition, EdgeAddition]
 
 #: Supported evaluation strategies (see module docstring).
 STRATEGIES = ("seminaive", "naive", "oracle")
+
+#: A delta-seeded execution costs a small constant per seed; a full
+#: rematch costs a small constant per enumerated matching.  Seeding is
+#: abandoned for a rule's round when its relevant seed count exceeds
+#: this multiple of the full plan's estimated rows.
+DELTA_SEED_FACTOR = 4.0
+
+
+def _delta_worthwhile(pattern: Pattern, working: Instance, delta: Delta) -> bool:
+    """Whether seeding ``pattern`` from ``delta`` beats one full rematch.
+
+    The per-round heuristic behind semi-naive evaluation: count the
+    delta items that can actually seed this pattern (same-label edges
+    and nodes) and compare against the cached full plan's estimated
+    output.  A delta comparable in size to the full result means the
+    seeded searches would collectively re-enumerate everything anyway —
+    plus one planned search of overhead per seed — so the round falls
+    back to a single full rematch for this rule.
+    """
+    edge_labels = {edge.label for edge in pattern.edges()}
+    node_labels = {pattern.label_of(node) for node in pattern.nodes()}
+    seeds = sum(1 for _, label, _ in delta.edges if label in edge_labels)
+    seeds += sum(
+        1
+        for node in delta.nodes
+        if working.has_node(node) and working.label_of(node) in node_labels
+    )
+    if seeds == 0:
+        return True  # nothing to seed: the delta pass is a cheap no-op
+    plan, _ = plan_for(pattern, working)
+    return seeds <= DELTA_SEED_FACTOR * max(plan.estimated_rows, 1.0)
 
 
 @dataclass
@@ -76,6 +108,8 @@ class FixpointStats:
 
     strategy: str = "seminaive"
     rounds: List[RoundStats] = field(default_factory=list)
+    #: Rule-rounds where the delta-vs-full heuristic chose a full rematch.
+    fallbacks: int = 0
 
     @property
     def total_rounds(self) -> int:
@@ -112,6 +146,7 @@ class FixpointStats:
             "rounds": self.total_rounds,
             "full_matchings": self.full_matchings,
             "delta_matchings": self.delta_matchings,
+            "fallbacks": self.fallbacks,
             "per_round": [
                 {
                     "stratum": r.stratum,
@@ -321,7 +356,10 @@ class RuleProgram:
         entirely inside older structure was already enumerated in the
         round whose delta it touched, so nothing is lost — the
         differential property tests pin this down.  Crossed conditions
-        fall back to full matching every round.
+        fall back to full matching every round, and a plain condition
+        falls back for one round when :func:`_delta_worthwhile` finds
+        the delta as large as the estimated full result (counted in
+        ``FixpointStats.fallbacks``).
         """
         rounds = 0
         delta: Optional[Delta] = None
@@ -345,12 +383,18 @@ class RuleProgram:
                     else:
                         action.extend_scheme(working.scheme)
                         action.materialize_constants(working)
-                        found = list(
-                            find_matchings_delta(action.source_pattern, working, delta)
-                        )
-                        _guards.charge_matchings(len(found), delta=True)
-                        _counters.charge(delta_matchings=len(found))
-                        report = action.apply(working, matchings=found)
+                        if not _delta_worthwhile(action.source_pattern, working, delta):
+                            # the delta rivals the full result: one full
+                            # rematch beats per-seed planned searches
+                            stats.fallbacks += 1
+                            report = action.apply(working)
+                        else:
+                            found = list(
+                                find_matchings_delta(action.source_pattern, working, delta)
+                            )
+                            _guards.charge_matchings(len(found), delta=True)
+                            _counters.charge(delta_matchings=len(found))
+                            report = action.apply(working, matchings=found)
                     reports.append(report)
                     if report.nodes_added or report.edges_added:
                         progress = True

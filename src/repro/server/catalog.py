@@ -294,6 +294,7 @@ class ServedDatabase:
         return {
             "backend": self.backend,
             "text": text,
+            "strategy": plan.strategy,
             "plan": plan.to_json(),
             "crossed_extensions": (
                 len(pattern.extensions) if isinstance(pattern, NegatedPattern) else 0

@@ -318,6 +318,9 @@ class ServerSession:
                 "plan_cache_hits": tally.plan_cache_hits,
                 "plan_cache_misses": tally.plan_cache_misses,
                 "index_probes": tally.index_probes,
+                "index_builds": tally.index_builds,
+                "leapfrog_seeks": tally.leapfrog_seeks,
+                "intersections": tally.intersections,
                 **_txn_charges(tally),
             },
         }
@@ -365,6 +368,9 @@ class ServerSession:
                 "plan_cache_hits": tally.plan_cache_hits,
                 "plan_cache_misses": tally.plan_cache_misses,
                 "index_probes": tally.index_probes,
+                "index_builds": tally.index_builds,
+                "leapfrog_seeks": tally.leapfrog_seeks,
+                "intersections": tally.intersections,
                 **_txn_charges(tally),
             },
         }
@@ -383,6 +389,9 @@ class ServerSession:
             "plan_cache_hits": tally.plan_cache_hits,
             "plan_cache_misses": tally.plan_cache_misses,
             "index_probes": tally.index_probes,
+            "index_builds": tally.index_builds,
+            "leapfrog_seeks": tally.leapfrog_seeks,
+            "intersections": tally.intersections,
         }
         return found
 
@@ -396,6 +405,9 @@ class ServerSession:
             "plan_cache_hits": tally.plan_cache_hits,
             "plan_cache_misses": tally.plan_cache_misses,
             "index_probes": tally.index_probes,
+            "index_builds": tally.index_builds,
+            "leapfrog_seeks": tally.leapfrog_seeks,
+            "intersections": tally.intersections,
         }
         return payload
 

@@ -115,5 +115,63 @@ def test_stats_snapshot_carries_planner_keys(served):
     _, host, port = served
     with GoodClient(host, port) as client:
         total = client.stats()["total"]
-        for key in ("plan_cache_hits", "plan_cache_misses", "index_probes"):
+        for key in (
+            "plan_cache_hits",
+            "plan_cache_misses",
+            "index_probes",
+            "index_builds",
+            "leapfrog_seeks",
+            "intersections",
+        ):
             assert key in total
+
+
+@pytest.mark.parametrize("backend", ["native", "relational", "tarski"])
+def test_explain_reports_the_join_strategy(served, backend):
+    """EXPLAIN surfaces the planner's strategy decision on every
+    backend; a sparse acyclic pattern is a left-deep pipeline."""
+    _, host, port = served
+    with GoodClient(host, port) as client:
+        explained = client.explain(PATTERN, db=backend)
+        assert explained["strategy"] == "left-deep"
+        assert explained["plan"]["strategy"] == "left-deep"
+        assert "strategy=left-deep" in explained["text"]
+
+
+TRIANGLE = (
+    "{ x: Person; y: Person; z: Person; "
+    "x -knows->> y; y -knows->> z; x -knows->> z }"
+)
+
+
+def dense_people_instance() -> Instance:
+    import random
+
+    db = Instance(people_scheme())
+    people = [db.add_object("Person") for _ in range(24)]
+    rng = random.Random(5)
+    for person in people:
+        for other in rng.sample(people, 6):
+            db.add_edge(person, "knows", other)
+    return db
+
+
+@pytest.mark.parametrize("backend", ["native", "relational", "tarski"])
+def test_dense_triangle_explains_as_multiway(backend):
+    """A cyclic pattern over a dense edge label routes to the multiway
+    discipline, and EXPLAIN says so on every backend."""
+    catalog = Catalog()
+    catalog.add(backend, dense_people_instance(), backend=backend)
+    server = GoodServer(catalog, max_concurrent=2, max_queue=16)
+    with BackgroundServer(server):
+        host, port = server.address
+        with GoodClient(host, port) as client:
+            explained = client.explain(TRIANGLE, db=backend)
+            assert explained["strategy"] == "multiway"
+            assert "MultiwayIntersect" in explained["text"]
+            if backend == "native":
+                found = client.match(TRIANGLE, db=backend)
+                assert found["total"] > 0
+                stats = client.stats()["databases"][backend]
+                assert stats["intersections"] > 0
+                assert stats["index_builds"] >= 1
