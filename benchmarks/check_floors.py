@@ -9,6 +9,9 @@ CI loudly.  Three sources of floors, in order:
 
 * an explicit ``floor`` key inside a workload entry (``BENCH_wcoj``
   writes these) is checked against that entry's ``speedup``;
+* a ``floors`` dict inside an entry maps *metric name* → minimum and
+  is checked against the entry's own metrics (``BENCH_server`` and
+  ``BENCH_cluster`` write these: throughput floors, scale-out floors);
 * a ``required_*`` key inside an entry (``BENCH_wal``, ``BENCH_mvcc``)
   is checked against the entry's other ``*speedup*`` metric;
 * :data:`KNOWN_FLOORS` pins the floors the older benchmark modules
@@ -44,6 +47,12 @@ def floor_checks(file_name: str, workload: str, entry: dict):
         yield "speedup", entry["speedup"], known
     if entry.get("floor") is not None and entry.get("speedup") is not None:
         yield "speedup", entry["speedup"], entry["floor"]
+    floors = entry.get("floors")
+    if isinstance(floors, dict):
+        for metric, floor in floors.items():
+            measured = entry.get(metric)
+            if isinstance(floor, (int, float)) and isinstance(measured, (int, float)):
+                yield metric, measured, floor
     for key, required in entry.items():
         if not key.startswith("required_") or not isinstance(required, (int, float)):
             continue

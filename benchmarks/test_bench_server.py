@@ -89,14 +89,20 @@ def record(name: str, seconds: float, requests: int, **extra) -> None:
 def test_ping_round_trip(benchmark, client):
     started = time.perf_counter()
     assert benchmark(client.ping) is True
-    record("ping", time.perf_counter() - started, 1)
+    record("ping", time.perf_counter() - started, 1, floors={"requests_per_s": 300.0})
 
 
 def test_match_round_trip(benchmark, client):
     pattern = "{ a: Person; b: Person; a -knows->> b }"
     started = time.perf_counter()
     found = benchmark(lambda: client.match(pattern))
-    record("match", time.perf_counter() - started, 1, matchings=found["total"])
+    record(
+        "match",
+        time.perf_counter() - started,
+        1,
+        matchings=found["total"],
+        floors={"requests_per_s": 30.0},
+    )
     assert found["total"] == 49
 
 
@@ -114,7 +120,7 @@ def test_run_round_trip(benchmark, served):
         client.use("people")
         started = time.perf_counter()
         report = benchmark(run_one)
-        record("run", time.perf_counter() - started, 1)
+        record("run", time.perf_counter() - started, 1, floors={"requests_per_s": 30.0})
     assert report["nodes"] >= 1
 
 
@@ -169,6 +175,7 @@ def test_concurrent_mixed_burst(served):
         total,
         readers=readers,
         writers=writers,
+        floors={"requests_per_s": 100.0},
         p50_ms=latency["p50_ms"],
         p95_ms=latency["p95_ms"],
         max_ms=latency["max_ms"],

@@ -1,0 +1,120 @@
+"""Cluster smoke — router + shard workers + a WAL-fed read replica,
+with a SIGKILL'd worker recovering mid-burst.
+
+A real out-of-process exercise of the scale-out contract:
+
+1. boot a cluster (2 shard workers, 1 read replica) — every worker and
+   replica is a separate OS process supervised from here;
+2. create databases over the one router address; the consistent-hash
+   ring spreads them over the shards;
+3. run a mixed read/write burst with read-your-writes asserted after
+   every commit;
+4. ``SIGKILL`` one worker mid-burst — the supervisor restarts it, WAL
+   recovery brings its shard back, and a retrying client rides the gap;
+5. confirm the replica caught up (applied LSN) and served reads.
+
+Also used by CI as the cluster smoke step: every step asserts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster import GoodCluster
+from repro.core import Scheme
+from repro.io.serialize import scheme_to_json
+from repro.server import GoodClient
+
+DATABASES = ["alpha", "beta", "gamma", "delta"]
+
+
+def people_scheme_json():
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Person", "name", "String")
+    scheme.declare("Person", "knows", "Person", functional=False)
+    return scheme_to_json(scheme)
+
+
+def wait_for(predicate, timeout: float, what: str):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def main() -> None:
+    with GoodCluster(workers=2, replicas=1, monitor_interval=0.1) as cluster:
+        host, port = cluster.address
+        print(f"cluster up at {host}:{port} — 2 workers, 1 replica")
+
+        with GoodClient(host, port, retries=8, backoff=0.1) as client:
+            # -- placement ------------------------------------------------
+            for name in DATABASES:
+                client.create(name, scheme=people_scheme_json())
+                print(f"  created {name!r} on {cluster.owner_of(name)}")
+            owners = {cluster.owner_of(name) for name in DATABASES}
+            assert len(owners) == 2, "4 databases should span both shards"
+
+            # -- read-your-writes ----------------------------------------
+            for round_index in range(3):
+                for name in DATABASES:
+                    client.run(
+                        f'addnode Person(name -> n) '
+                        f'{{ n: String = "r{round_index}" }}',
+                        db=name,
+                    )
+                    found = client.match("{ p: Person }", db=name)["total"]
+                    assert found == round_index + 1, (name, found)
+            print("read-your-writes held across 12 commits on 4 databases")
+
+            # -- kill a worker mid-burst ---------------------------------
+            victim = cluster.owner_of("alpha")
+            index = int(victim.split("-")[1])
+            member = cluster.supervisor.members[victim]
+            pid_before = member.pid
+            cluster.kill_worker(index)
+            print(f"SIGKILLed {victim} (pid {pid_before})")
+            wait_for(
+                lambda: member.alive() and member.pid != pid_before,
+                timeout=30.0,
+                what="supervisor restart",
+            )
+            print(f"{victim} restarted as pid {member.pid}")
+
+            # WAL recovery: alpha still has all three commits, and the
+            # retrying client rides out the reconnect window
+            assert client.match("{ p: Person }", db="alpha")["total"] == 3
+            lsn = client.run(
+                'addnode Person(name -> n) { n: String = "post-crash" }',
+                db="alpha",
+            )["lsn"]
+            assert client.match("{ p: Person }", db="alpha")["total"] == 4
+            print(f"alpha recovered from WAL and accepted commit lsn={lsn}")
+
+            # -- replica catch-up ----------------------------------------
+            replica = cluster.supervisor.members["replica-0"]
+            with GoodClient(replica.host, replica.port) as direct:
+                wait_for(
+                    lambda: direct.call("REPLICA")
+                    .get("applied", {})
+                    .get("alpha", -1)
+                    >= lsn,
+                    timeout=30.0,
+                    what="replica to apply alpha's commits",
+                )
+                assert direct.match("{ p: Person }", db="alpha")["total"] == 4
+            print("replica applied every commit and serves identical reads")
+
+            stats = client.stats()["cluster"]
+            print(
+                "router counters:",
+                {k: stats["router"][k] for k in ("writes", "reads_to_replicas", "reads_to_owner")},
+            )
+            assert stats["members"][victim]["restarts"] >= 1
+    print("cluster smoke OK")
+
+
+if __name__ == "__main__":
+    main()

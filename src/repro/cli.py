@@ -336,6 +336,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import Catalog, GoodServer
     from repro.txn.guards import ResourceLimits
 
+    if args.workers > 1 or args.replicas > 0:
+        return _serve_cluster(args)
     report = None
     if args.data_dir:
         from repro.wal import recover_catalog
@@ -406,6 +408,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """``repro serve --workers N [--replicas M]``: the scale-out path.
+
+    Boots N shard worker processes (each with its own WAL'd directory
+    under ``--data-dir``), M WAL-tailing read replicas, and a
+    consistent-hash router in this process speaking the ordinary
+    protocol — existing clients connect to the printed address
+    unchanged.  Without ``--data-dir`` the cluster serves from a
+    temporary directory (fsync off) that is deleted on exit.
+    """
+    import os
+    import time as _time
+
+    from repro.cluster import GoodCluster
+    from repro.server import GoodClient
+
+    cluster = GoodCluster(
+        workers=args.workers,
+        replicas=args.replicas,
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        fsync=args.fsync if args.data_dir else None,
+        checkpoint_bytes=args.checkpoint_bytes,
+        pool_size=args.max_clients,
+        max_waiting=args.queue,
+    )
+    try:
+        host, port = cluster.start()
+    except (GoodError, OSError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 1
+    try:
+        if args.db:
+            with GoodClient(host, port) as client:
+                for spec in args.db:
+                    name, _, path = spec.partition("=")
+                    if not name or not path:
+                        print(f"ERROR: --db expects NAME=FILE, got {spec!r}", file=sys.stderr)
+                        return 1
+                    if any(e["name"] == name for e in client.list()["databases"]):
+                        continue  # recovered from the data dir; it wins
+                    client.load(name, os.path.abspath(path), backend=args.backend)
+        durable = (
+            f" — data dir: {cluster.data_dir} (fsync={cluster.fsync})"
+            if args.data_dir
+            else " — ephemeral (no --data-dir)"
+        )
+        print(
+            f"serving GOOD cluster on {host}:{port} — "
+            f"{args.workers} worker(s), {args.replicas} replica(s){durable}"
+        )
+        print("stop with Ctrl-C")
+        while True:
+            _time.sleep(1)
+    except KeyboardInterrupt:
+        print("\ncluster stopped.")
+        return 0
+    finally:
+        cluster.stop()
+
+
 def _cmd_recover(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -446,6 +510,12 @@ def _cmd_connect(args: argparse.Namespace) -> int:
     hello = client.hello()
     names = ", ".join(entry["name"] for entry in hello["databases"]) or "none"
     print(f"connected to {host}:{port} (protocol {hello['protocol']}) — databases: {names}")
+    cluster = hello.get("cluster")
+    if cluster:
+        print(
+            f"cluster endpoint: {cluster.get('workers', 0)} worker(s), "
+            f"{cluster.get('replicas', 0)} read replica(s) behind this router"
+        )
     if args.use:
         try:
             client.use(args.use)
@@ -488,6 +558,23 @@ def _render_stats(stats) -> list:
         f"connections: {conns.get('open', 0)} open / {conns.get('total', 0)} total"
         f" — queue {stats.get('queue_depth', 0)}, running {stats.get('running', 0)}",
     ]
+    cluster = stats.get("cluster")
+    if cluster:
+        router = cluster.get("router", {})
+        lines.append(
+            f"cluster: {len(cluster.get('workers', {}))} worker(s), "
+            f"{len(cluster.get('replicas', {}))} replica(s) — "
+            f"reads to replicas {router.get('reads_to_replicas', 0)}, "
+            f"to owners {router.get('reads_to_owner', 0)}, "
+            f"writes {router.get('writes', 0)}"
+        )
+        for name, replica in sorted(cluster.get("replicas", {}).items()):
+            lag = replica.get("lag", {})
+            worst = max(lag.values()) if lag else 0
+            lines.append(
+                f"  replica {name}: {len(replica.get('applied', {}))} database(s) "
+                f"applied, worst lag {worst} LSN(s)"
+            )
     total = stats.get("total", {})
     if total:
         lines.append(
@@ -774,6 +861,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=4 * 1024 * 1024,
         help="auto-checkpoint a database once its WAL segment exceeds "
         "this many bytes (0 disables; default 4MiB)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="scale out: shard the catalog over N worker processes "
+        "behind a consistent-hash router (see repro.cluster)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="M",
+        help="with --workers: add M WAL-fed read replica processes; "
+        "MATCH/QUERY/BROWSE/EXPORT fan out to caught-up replicas",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -1,0 +1,217 @@
+"""Multi-process scale-out: sharded workers, a router, read replicas.
+
+One call boots a whole cluster in-process-plus-children::
+
+    from repro.cluster import start_cluster
+
+    with start_cluster(workers=4, replicas=1) as cluster:
+        client = GoodClient(*cluster.address).connect()
+        client.create("db0", scheme=...)   # routed to db0's shard owner
+        client.run("...")                  # WAL'd on the owner
+        client.match("{...}")              # served by a caught-up replica
+
+Pieces (each its own module, composable on its own):
+
+* :mod:`~repro.cluster.ring`       — consistent hashing, virtual nodes;
+* :mod:`~repro.cluster.pool`       — bounded per-worker connection pools;
+* :mod:`~repro.cluster.worker`     — the shard worker process;
+* :mod:`~repro.cluster.replica`    — WAL-tailing read replica process;
+* :mod:`~repro.cluster.supervisor` — spawn / watch / restart children;
+* :mod:`~repro.cluster.router`     — the protocol-v1 front end.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Tuple, Union
+
+from repro.cluster.pool import WorkerPool, WorkerUnavailableError
+from repro.cluster.replica import ReplicaServer, ReplicaSession, WalTailer
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, RingError, stable_hash, worker_name
+from repro.cluster.router import RouterError, RouterServer, RouterSession
+from repro.cluster.supervisor import Member, Supervisor, SupervisorError
+from repro.server.server import BackgroundServer
+
+
+class GoodCluster:
+    """A running cluster: router (in this process) + child workers/replicas.
+
+    ``data_dir=None`` serves from a temporary directory that is deleted
+    on stop — the benchmark configuration, which also defaults the WAL
+    fsync policy to ``off`` (durability is not what a throughput run
+    measures).  With a real ``data_dir`` the default policy is
+    ``always`` and the directory is preserved, so a stopped cluster
+    restarts with all its databases recovered.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        replicas: int = 0,
+        data_dir: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        fsync: Optional[str] = None,
+        checkpoint_bytes: Optional[int] = None,
+        vnodes: int = DEFAULT_VNODES,
+        pool_size: int = 8,
+        max_waiting: int = 64,
+        refresh_interval: float = 0.05,
+        poll_interval: float = 0.05,
+        monitor_interval: float = 0.2,
+        supervise: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise RingError(f"a cluster needs at least one worker, got {workers}")
+        self.worker_count = workers
+        self.replica_count = replicas
+        self._own_data_dir = data_dir is None
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.host = host
+        self.port = port
+        self.fsync = fsync if fsync is not None else ("off" if self._own_data_dir else "always")
+        self.checkpoint_bytes = checkpoint_bytes
+        self.vnodes = vnodes
+        self.pool_size = pool_size
+        self.max_waiting = max_waiting
+        self.refresh_interval = refresh_interval
+        self.poll_interval = poll_interval
+        self.monitor_interval = monitor_interval
+        self.supervise = supervise
+        self.supervisor: Optional[Supervisor] = None
+        self.router: Optional[RouterServer] = None
+        self._background: Optional[BackgroundServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def worker_dir(self, index: int) -> Path:
+        assert self.data_dir is not None
+        return self.data_dir / worker_name(index)
+
+    def start(self) -> Tuple[str, int]:
+        """Boot workers, replicas and the router; returns the address."""
+        if self._background is not None:
+            raise RuntimeError("cluster already started")
+        if self.data_dir is None:
+            self.data_dir = Path(tempfile.mkdtemp(prefix="good-cluster-"))
+        self.supervisor = Supervisor()
+        try:
+            worker_members = []
+            for index in range(self.worker_count):
+                directory = self.worker_dir(index)
+                directory.mkdir(parents=True, exist_ok=True)
+                worker_members.append(
+                    self.supervisor.start_worker(
+                        worker_name(index),
+                        directory,
+                        host=self.host,
+                        fsync=self.fsync,
+                        checkpoint_bytes=self.checkpoint_bytes,
+                    )
+                )
+            follow = [self.worker_dir(index) for index in range(self.worker_count)]
+            replica_members = [
+                self.supervisor.start_replica(
+                    f"replica-{index}",
+                    follow,
+                    host=self.host,
+                    poll_interval=self.poll_interval,
+                )
+                for index in range(self.replica_count)
+            ]
+            self.router = RouterServer(
+                {m.name: (m.host, m.port) for m in worker_members},
+                {m.name: (m.host, m.port) for m in replica_members},
+                host=self.host,
+                port=self.port,
+                vnodes=self.vnodes,
+                pool_size=self.pool_size,
+                max_waiting=self.max_waiting,
+                refresh_interval=self.refresh_interval,
+                supervisor=self.supervisor,
+            )
+            self.supervisor.on_restart = self.router.handle_restart
+            self._background = BackgroundServer(self.router)
+            self.address = self._background.start()
+            if self.supervise:
+                self.supervisor.start_monitor(self.monitor_interval)
+            return self.address
+        except BaseException:
+            self.supervisor.stop_all()
+            if self._own_data_dir and self.data_dir is not None:
+                shutil.rmtree(self.data_dir, ignore_errors=True)
+            raise
+
+    def stop(self) -> None:
+        """Stop the router and every child; delete a temp data dir."""
+        if self._background is not None:
+            self._background.stop()
+            self._background = None
+        if self.supervisor is not None:
+            self.supervisor.stop_all()
+            self.supervisor = None
+        if self._own_data_dir and self.data_dir is not None:
+            shutil.rmtree(self.data_dir, ignore_errors=True)
+            self.data_dir = None
+
+    def __enter__(self) -> "GoodCluster":
+        if self._background is None:
+            self.start()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # fault injection / inspection (tests, the smoke example)
+    # ------------------------------------------------------------------
+    def kill_worker(self, index: int, sig: Optional[int] = None) -> None:
+        """SIGKILL (by default) one worker; the monitor restarts it."""
+        import signal as _signal
+
+        assert self.supervisor is not None
+        self.supervisor.kill(worker_name(index), sig if sig is not None else _signal.SIGKILL)
+
+    def owner_of(self, database: str) -> str:
+        """Which worker the ring places ``database`` on."""
+        assert self.router is not None
+        return self.router.ring.owner(database)
+
+
+def start_cluster(
+    workers: int = 2,
+    replicas: int = 0,
+    data_dir: Optional[Union[str, Path]] = None,
+    **kwargs: Any,
+) -> GoodCluster:
+    """Boot a cluster and return the running :class:`GoodCluster`."""
+    cluster = GoodCluster(workers=workers, replicas=replicas, data_dir=data_dir, **kwargs)
+    cluster.start()
+    return cluster
+
+
+__all__ = [
+    "GoodCluster",
+    "start_cluster",
+    "HashRing",
+    "RingError",
+    "stable_hash",
+    "worker_name",
+    "DEFAULT_VNODES",
+    "WorkerPool",
+    "WorkerUnavailableError",
+    "RouterServer",
+    "RouterSession",
+    "RouterError",
+    "ReplicaServer",
+    "ReplicaSession",
+    "WalTailer",
+    "Supervisor",
+    "Member",
+    "SupervisorError",
+]

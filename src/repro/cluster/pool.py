@@ -1,0 +1,221 @@
+"""Per-worker asyncio connection pools with bounded backpressure.
+
+The router keeps one :class:`WorkerPool` per worker (and per replica).
+The NDJSON protocol is strictly one-request-one-response per
+connection, so the pool is a checkout model: ``call`` acquires a free
+connection, sends one frame, reads one line, and returns the
+connection to the free list.  At most ``size`` requests are in flight
+per worker; past that, up to ``max_waiting`` callers queue and anyone
+beyond is refused with :class:`AdmissionError` (wire code
+``OVERLOADED``) — the same refuse-don't-pile-up discipline the single
+server's admission controller applies.
+
+A connection that errors mid-call is closed and discarded, never
+reused: a half-read response would desynchronise every later request
+on that socket.  :exc:`WorkerUnavailableError` tells the router the
+*worker* (not the request) is in trouble, so it can flag the
+supervisor for a health check and the client can retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import GoodError
+from repro.server.locks import AdmissionError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    register_error_code,
+)
+
+
+class WorkerUnavailableError(GoodError):
+    """The worker could not be reached or died mid-request."""
+
+
+register_error_code(WorkerUnavailableError, "WORKER_UNAVAILABLE")
+
+
+class PooledConnection:
+    """One open NDJSON connection to a worker."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    async def call(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip on this connection."""
+        self.writer.write(encode_frame(frame))
+        await self.writer.drain()
+        line = await self.reader.readline()
+        if not line:
+            raise ConnectionResetError("worker closed the connection")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise ProtocolError(f"worker response is not valid JSON: {error}") from error
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ProtocolError("worker response frame carries no 'ok' field")
+        return response
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:  # pragma: no cover - teardown race
+            pass
+
+
+class WorkerPool:
+    """A bounded pool of connections to one worker address."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        size: int = 8,
+        max_waiting: int = 64,
+        connect_timeout: float = 5.0,
+        call_timeout: float = 120.0,
+    ) -> None:
+        self.name = name
+        self.host = host
+        self.port = port
+        self.size = size
+        self.max_waiting = max_waiting
+        self.connect_timeout = connect_timeout
+        self.call_timeout = call_timeout
+        self._free: List[PooledConnection] = []
+        self._semaphore = asyncio.Semaphore(size)
+        self._waiting = 0
+        self._ids = itertools.count(1)
+        self._closed = False
+        #: requests forwarded / refused / failed, for cluster STATS
+        self.forwarded = 0
+        self.refused = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    # address management (the supervisor may restart the worker on a
+    # new port if its old one was stolen while it was down)
+    # ------------------------------------------------------------------
+    def retarget(self, host: str, port: int) -> None:
+        """Point the pool at a restarted worker; drop stale connections."""
+        self.host = host
+        self.port = port
+        self.drop_connections()
+
+    def drop_connections(self) -> None:
+        """Close every idle connection (in-flight ones die on their own)."""
+        for connection in self._free:
+            connection.close()
+        self._free.clear()
+
+    async def _connect(self) -> PooledConnection:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port, limit=MAX_FRAME_BYTES + 2),
+                timeout=self.connect_timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as error:
+            raise WorkerUnavailableError(
+                f"worker {self.name!r} at {self.host}:{self.port} is unreachable: {error}"
+            ) from error
+        return PooledConnection(reader, writer)
+
+    # ------------------------------------------------------------------
+    # the one public operation
+    # ------------------------------------------------------------------
+    async def call(self, verb: str, args: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward one request; returns the worker's response frame.
+
+        The returned frame is the worker's verbatim ``ok``/``error``
+        response (with the pool's internal id); the router re-stamps the
+        client's id before relaying.
+        """
+        if self._closed:
+            raise WorkerUnavailableError(f"pool for worker {self.name!r} is closed")
+        if self._semaphore.locked() and self._waiting >= self.max_waiting:
+            self.refused += 1
+            raise AdmissionError(
+                f"worker {self.name!r} is saturated "
+                f"({self.size} in flight, {self._waiting} queued)"
+            )
+        self._waiting += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._waiting -= 1
+        try:
+            connection = self._free.pop() if self._free else await self._connect()
+            frame = {
+                "good": PROTOCOL_VERSION,
+                "id": next(self._ids),
+                "verb": verb,
+                "args": args,
+            }
+            try:
+                response = await asyncio.wait_for(
+                    connection.call(frame), timeout=self.call_timeout
+                )
+            except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError) as error:
+                connection.close()
+                self.failed += 1
+                raise WorkerUnavailableError(
+                    f"worker {self.name!r} failed mid-request: {error}"
+                ) from error
+            except BaseException:
+                connection.close()
+                raise
+            if self._closed:
+                connection.close()
+            else:
+                self._free.append(connection)
+            self.forwarded += 1
+            return response
+        finally:
+            self._semaphore.release()
+
+    async def probe(self) -> bool:
+        """One PING on a throwaway connection; True when healthy."""
+        try:
+            connection = await self._connect()
+        except WorkerUnavailableError:
+            return False
+        try:
+            response = await asyncio.wait_for(
+                connection.call(
+                    {"good": PROTOCOL_VERSION, "id": 0, "verb": "PING", "args": {}}
+                ),
+                timeout=self.connect_timeout,
+            )
+            return bool(response.get("ok"))
+        except Exception:
+            return False
+        finally:
+            connection.close()
+
+    def close(self) -> None:
+        self._closed = True
+        self.drop_connections()
+
+    def gauges(self) -> Dict[str, Any]:
+        """Pool health for cluster STATS."""
+        return {
+            "address": f"{self.host}:{self.port}",
+            "in_flight": self.size - self._semaphore._value,  # noqa: SLF001 - asyncio exposes no getter
+            "waiting": self._waiting,
+            "idle": len(self._free),
+            "forwarded": self.forwarded,
+            "refused": self.refused,
+            "failed": self.failed,
+        }
+
+
+__all__ = ["WorkerPool", "PooledConnection", "WorkerUnavailableError"]

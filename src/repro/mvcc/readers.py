@@ -33,6 +33,7 @@ class SnapshotReader(ServedDatabase):
         self.name = database.name
         self.backend = database.backend
         self.durability = None
+        self.last_commit_lsn = database.last_commit_lsn
         self._pending_ticket = None
         self._owner = database
         self._version = version

@@ -73,6 +73,10 @@ class ServedDatabase:
         self.backend = backend
         # wired by DataDirectory when serving from a durable data dir
         self.durability: Any = None
+        # the LSN of the most recent commit THIS database acknowledged;
+        # unlike ``durability.lsn`` it is captured inside the commit
+        # path, so a RUN response can carry exactly its own commit's LSN
+        self.last_commit_lsn = 0
         self._pending_ticket: Any = None
         self._engine: Any = None
         if backend == "native":
@@ -209,6 +213,7 @@ class ServedDatabase:
             raise
         txn.commit()
         self._pending_ticket = ticket
+        self.last_commit_lsn = self.durability.lsn
         # publish before a possible checkpoint so the checkpoint pins
         # a version that includes this very commit
         self.publish_version()
@@ -348,6 +353,7 @@ class ServedDatabase:
             except BaseException as error:
                 self.durability.poison(error)
                 raise
+            self.last_commit_lsn = self.durability.lsn
         return self.counts()
 
     # ------------------------------------------------------------------

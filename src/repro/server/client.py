@@ -18,7 +18,9 @@ can dispatch on stable codes rather than message text.
 from __future__ import annotations
 
 import itertools
+import random
 import socket
+import time
 from typing import Any, Dict, Optional
 
 from repro.core.errors import GoodError
@@ -28,6 +30,10 @@ from repro.server.protocol import (
     decode_response,
     encode_frame,
 )
+
+#: RemoteError codes worth retrying: the failure is in the transport or
+#: a crashed cluster member, not in the request itself.
+TRANSIENT_ERROR_CODES = frozenset({"WORKER_UNAVAILABLE"})
 
 
 class RemoteError(GoodError):
@@ -43,12 +49,37 @@ class RemoteError(GoodError):
 
 
 class GoodClient:
-    """One blocking connection to a :class:`~repro.server.GoodServer`."""
+    """One blocking connection to a :class:`~repro.server.GoodServer`.
 
-    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0) -> None:
+    ``retries`` (default 0 — off) enables bounded reconnect-and-resend
+    on *transient* failures: connection refused/reset/broken-pipe, an
+    EOF mid-response, or a structured ``WORKER_UNAVAILABLE`` error from
+    a cluster router whose shard worker died mid-request.  Each attempt
+    sleeps ``backoff * 2^attempt``, jittered ±50%, before reconnecting
+    — the jitter keeps a thundering herd of clients from re-arriving in
+    lockstep while a crashed worker restarts.
+
+    Caveat worth knowing: a retried ``RUN`` whose first attempt died
+    *after* the server committed re-applies the program.  The server's
+    runs are atomic either way; callers for whom duplicate application
+    matters should keep retries off for writes (the default).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = 60.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        #: transient failures survived (observable in tests)
+        self.retries_used = 0
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._ids = itertools.count(1)
@@ -91,13 +122,34 @@ class GoodClient:
         return {"good": PROTOCOL_VERSION, "id": next(self._ids), "verb": verb, "args": args}
 
     def call(self, verb: str, **args: Any) -> Dict[str, Any]:
-        """One request/response round trip; returns the ``result``."""
+        """One request/response round trip; returns the ``result``.
+
+        With ``retries > 0``, transient transport failures tear the
+        connection down, back off with jitter, reconnect and resend —
+        up to ``retries`` times before the error propagates.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(verb, args)
+            except Exception as error:
+                if attempt >= self.retries or not self._is_transient(error):
+                    raise
+                attempt += 1
+                self.retries_used += 1
+                self._teardown()
+                delay = self.backoff * (2 ** (attempt - 1))
+                time.sleep(delay * (0.5 + random.random()))
+
+    def _call_once(self, verb: str, args: Dict[str, Any]) -> Dict[str, Any]:
         self.connect()
         frame = self._frame(verb, args)
         self._sock.sendall(encode_frame(frame))
         line = self._file.readline()
         if not line:
-            raise ProtocolError("connection closed by the server")
+            # surface EOF as a reset so the retry machinery and callers
+            # treat a died-mid-response server like a refused connect
+            raise ConnectionResetError("connection closed by the server")
         response = decode_response(line)
         if response.get("id") != frame["id"]:
             raise ProtocolError(
@@ -106,6 +158,33 @@ class GoodClient:
         if not response["ok"]:
             raise RemoteError(response.get("error", {}))
         return response.get("result", {})
+
+    @staticmethod
+    def _is_transient(error: BaseException) -> bool:
+        if isinstance(
+            error,
+            (
+                ConnectionRefusedError,
+                ConnectionResetError,
+                ConnectionAbortedError,
+                BrokenPipeError,
+            ),
+        ):
+            return True
+        return isinstance(error, RemoteError) and error.code in TRANSIENT_ERROR_CODES
+
+    def _teardown(self) -> None:
+        """Drop the connection without the BYE courtesy (it is dead)."""
+        if self._sock is None:
+            return
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        finally:
+            self._sock = None
+            self._file = None
 
     # ------------------------------------------------------------------
     # convenience verbs

@@ -52,6 +52,10 @@ DEFAULT_PORT = 2590  # PODS 1990, backwards
 class GoodServer:
     """One catalog of GOOD databases, served over TCP."""
 
+    #: Per-connection session type; the cluster's replica server swaps
+    #: in a read-only subclass without touching the accept loop.
+    session_class = ServerSession
+
     def __init__(
         self,
         catalog: Optional[Catalog] = None,
@@ -153,13 +157,14 @@ class GoodServer:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._executor, work)
 
-    def stats_snapshot(self) -> Dict[str, Any]:
+    def stats_snapshot(self, raw: bool = False) -> Dict[str, Any]:
         """The ``STATS`` payload, including live admission state and the
         per-database snapshot-registry gauges."""
         admission = self.admission
         payload = self.stats.snapshot(
             queue_depth=admission.queue_depth if admission else 0,
             running=admission.running if admission else 0,
+            raw=raw,
         )
         payload["mvcc"] = self.mvcc
         for name in self.catalog.names():
@@ -170,15 +175,21 @@ class GoodServer:
             bucket = payload["databases"].get(name)
             if bucket is None:
                 # a database nobody has queried yet still reports gauges
-                bucket = payload["databases"][name] = self.stats.database(name).snapshot()
+                bucket = payload["databases"][name] = self.stats.database(name).snapshot(raw=raw)
             bucket["snapshots"] = database.snapshots.gauges()
+            if database.durability is not None:
+                bucket["lsn"] = database.durability.lsn
         return payload
+
+    def replication_info(self) -> Dict[str, Any]:
+        """The ``REPLICA`` payload; the replica server overrides this."""
+        return {"replica": False}
 
     # ------------------------------------------------------------------
     # the wire
     # ------------------------------------------------------------------
     async def _on_connect(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-        session = ServerSession(self)
+        session = self.session_class(self)
         self.stats.connections_open += 1
         self.stats.connections_total += 1
         try:

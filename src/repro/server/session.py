@@ -98,6 +98,27 @@ class ServerSession:
         self.limits: ResourceLimits = server.default_limits
         self.closed = False
 
+    def _request_limits(self, args: Dict[str, Any]) -> ResourceLimits:
+        """The budgets for one request.
+
+        A cluster router multiplexes many client sessions over a pooled
+        worker connection, so ``LIMIT``-style per-connection state cannot
+        carry the budgets; the router instead injects them per request as
+        an ``_limits`` object, which overrides this connection's budgets
+        for that request only.
+        """
+        override = args.pop("_limits", None)
+        if override is None:
+            return self.limits
+        if not isinstance(override, dict):
+            raise ProtocolError("_limits must be an object")
+        matchings = override.get("max_matchings")
+        depth = override.get("max_call_depth")
+        for label, value in (("max_matchings", matchings), ("max_call_depth", depth)):
+            if value is not None and (not isinstance(value, int) or value < 0):
+                raise ProtocolError(f"_limits.{label} must be a non-negative integer or null")
+        return ResourceLimits(max_matchings=matchings, max_call_depth=depth)
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
@@ -120,6 +141,7 @@ class ServerSession:
             name = args.get("db", self.database_name)
             if not isinstance(name, str) or not name:
                 raise ProtocolError("no database selected (USE one first or pass 'db')")
+            limits = self._request_limits(args)
             database = self.catalog.get(name)
             # MVCC fast path: pin the current version and run against
             # it — no lock of any kind, so a long query never delays a
@@ -128,7 +150,7 @@ class ServerSession:
             server.stats.record_lock_wait(name, 0.0)
             try:
                 result = await server.run_blocking(
-                    lambda: handler(reader, args), limits=self.limits
+                    lambda: handler(reader, args), limits=limits
                 )
             except Exception as error:
                 error_charges = dict(getattr(error, "_charges", None) or {})
@@ -141,6 +163,7 @@ class ServerSession:
             name = args.get("db", self.database_name)
             if not isinstance(name, str) or not name:
                 raise ProtocolError("no database selected (USE one first or pass 'db')")
+            limits = self._request_limits(args)
             database = self.catalog.get(name)
             lock = server.lock_for(name)
             locked = (
@@ -155,7 +178,7 @@ class ServerSession:
                 server.stats.record_lock_wait(name, time.perf_counter() - wait_started)
                 try:
                     result = await server.run_blocking(
-                        lambda: handler(database, args), limits=self.limits
+                        lambda: handler(database, args), limits=limits
                     )
                 except Exception as error:
                     error_charges = dict(getattr(error, "_charges", None) or {})
@@ -238,7 +261,11 @@ class ServerSession:
 
     @_verb("STATS", "local")
     def _stats(self, args: Dict[str, Any]) -> Dict[str, Any]:
-        return self.server.stats_snapshot()
+        return self.server.stats_snapshot(raw=bool(args.get("raw")))
+
+    @_verb("REPLICA", "local")
+    def _replica(self, args: Dict[str, Any]) -> Dict[str, Any]:
+        return self.server.replication_info()
 
     @_verb("BYE", "local")
     def _bye(self, args: Dict[str, Any]) -> Dict[str, Any]:
@@ -304,6 +331,10 @@ class ServerSession:
             "reports": [_report_json(report) for report in reports],
             "nodes": nodes,
             "edges": edges,
+            # the LSN of this very commit (None without a data dir): a
+            # cluster router records it per session so replica reads can
+            # guarantee read-your-writes
+            "lsn": database.last_commit_lsn if database.durability is not None else None,
             "_durability": database.take_ticket(),
             "_checkpoint_job": database.take_checkpoint_job(),
             "_charges": {
@@ -330,6 +361,7 @@ class ServerSession:
         nodes, edges = database.undo()
         payload: Dict[str, Any] = {"nodes": nodes, "edges": edges}
         if database.durability is not None:
+            payload["lsn"] = database.last_commit_lsn
             payload["_durability"] = database.take_ticket()
             payload["_charges"] = database.durability.drain_charges()
         return payload

@@ -55,6 +55,38 @@ class LatencyRing:
             "max_ms": None if not self._ring else round(max(self._ring) * 1000, 3),
         }
 
+    def raw_ms(self) -> List[float]:
+        """The window's samples in milliseconds, unordered.
+
+        The cluster router merges per-worker windows from these raw
+        samples and recomputes percentiles over the union — averaging
+        two p95s is statistically meaningless, merging the rings is not.
+        """
+        return [round(seconds * 1000, 3) for seconds in self._ring]
+
+
+def percentiles_from_samples(samples_ms: List[float]) -> Dict[str, Any]:
+    """Nearest-rank p50/p95/max over raw millisecond samples.
+
+    The merge half of :meth:`LatencyRing.raw_ms`: concatenate the rings
+    of several processes, then compute the percentiles once over the
+    union.
+    """
+    if not samples_ms:
+        return {"samples": 0, "p50_ms": None, "p95_ms": None, "max_ms": None}
+    ordered = sorted(samples_ms)
+    last = len(ordered) - 1
+
+    def rank(fraction: float) -> float:
+        return ordered[min(last, max(0, round(fraction * last)))]
+
+    return {
+        "samples": len(ordered),
+        "p50_ms": round(rank(0.50), 3),
+        "p95_ms": round(rank(0.95), 3),
+        "max_ms": round(ordered[-1], 3),
+    }
+
 
 class DatabaseStats:
     """Per-database counters plus a latency window."""
@@ -117,7 +149,14 @@ class DatabaseStats:
     def record_lock_wait(self, seconds: float) -> None:
         self.lock_waits.record(seconds)
 
-    def snapshot(self) -> Dict[str, Any]:
+    def snapshot(self, raw: bool = False) -> Dict[str, Any]:
+        payload = self._snapshot()
+        if raw:
+            payload["latency_raw_ms"] = self.latency.raw_ms()
+            payload["lock_wait_raw_ms"] = self.lock_waits.raw_ms()
+        return payload
+
+    def _snapshot(self) -> Dict[str, Any]:
         return {
             "requests": self.requests,
             "errors": self.errors,
@@ -196,8 +235,14 @@ class ServerStats:
             for key, value in charges.items():
                 setattr(bucket, key, getattr(bucket, key) + value)
 
-    def snapshot(self, queue_depth: int = 0, running: int = 0) -> Dict[str, Any]:
-        """The full ``STATS`` payload."""
+    def snapshot(self, queue_depth: int = 0, running: int = 0, raw: bool = False) -> Dict[str, Any]:
+        """The full ``STATS`` payload.
+
+        With ``raw=True`` every latency window also carries its raw
+        millisecond samples (``latency_raw_ms`` / ``lock_wait_raw_ms``)
+        so a cluster router can merge rings across workers instead of
+        averaging percentiles.
+        """
         return {
             "uptime_s": round(time.time() - self.started_at, 3),
             "connections": {
@@ -206,8 +251,9 @@ class ServerStats:
             },
             "queue_depth": queue_depth,
             "running": running,
-            "total": self.total.snapshot(),
+            "total": self.total.snapshot(raw=raw),
             "databases": {
-                name: bucket.snapshot() for name, bucket in sorted(self.per_database.items())
+                name: bucket.snapshot(raw=raw)
+                for name, bucket in sorted(self.per_database.items())
             },
         }

@@ -388,6 +388,29 @@ class WalReader:
         return scan_records(data)
 
     @staticmethod
+    def tail(path: Union[str, Path], offset: int) -> Tuple[List[Dict[str, Any]], int]:
+        """Read complete records appended past ``offset``; never truncates.
+
+        The read-replica primitive: the writer process is *alive*, so an
+        incomplete final line is almost certainly a record mid-``write``
+        — the tailer keeps its offset at the last intact record boundary
+        and simply retries on the next poll.  Returns ``(records,
+        new_offset)``.  A file shorter than ``offset`` (the writer
+        crashed, recovery truncated a torn tail) surfaces as
+        ``new_offset < offset`` with no records, which tells the tailer
+        to resynchronise from the newest checkpoint.
+        """
+        path = Path(path)
+        with open(path, "rb") as fp:
+            size = os.fstat(fp.fileno()).st_size
+            if size < offset:
+                return [], size
+            fp.seek(offset)
+            data = fp.read()
+        records, valid_length, _torn = scan_records(data)
+        return records, offset + valid_length
+
+    @staticmethod
     def scan_and_truncate(path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], int]:
         """Decode a segment, truncating any torn tail in place.
 

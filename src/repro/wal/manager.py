@@ -586,6 +586,7 @@ class DataDirectory:
         # the replay mutated the live state past the version published
         # at construction: re-publish so readers see the recovered state
         database.publish_version()
+        database.last_commit_lsn = lsn
         database.durability = DatabaseDurability(
             directory,
             name,

@@ -1,0 +1,243 @@
+"""Integration tests for the multi-process cluster: router, sharded
+workers, WAL-fed read replicas, supervision.
+
+These spawn real child processes (``python -m repro.cluster.worker`` /
+``...replica``) through :class:`~repro.cluster.GoodCluster` and talk to
+the router over the real wire, so they cover the full path the ISSUE
+cares about: consistent-hash placement, read-your-writes LSN gating,
+replica catch-up, STATS aggregation, and SIGKILL failover with WAL
+recovery.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import GoodCluster
+from repro.core import Scheme
+from repro.io.serialize import scheme_to_json
+from repro.server import GoodClient, RemoteError
+
+
+def people_scheme_json():
+    scheme = Scheme(printable_labels=["String"])
+    scheme.declare("Person", "name", "String")
+    scheme.declare("Person", "knows", "Person", functional=False)
+    return scheme_to_json(scheme)
+
+
+def add_person(name: str) -> str:
+    return f'addnode Person(name -> n) {{ n: String = "{name}" }}'
+
+
+def person_count(client, db: str) -> int:
+    return client.match("{ p: Person }", db=db)["total"]
+
+
+def has_person(client, db: str, name: str) -> bool:
+    pattern = f'{{ p: Person; n: String = "{name}"; p -name-> n }}'
+    return client.match(pattern, db=db)["total"] >= 1
+
+
+def wait_for(predicate, timeout: float = 15.0, interval: float = 0.05, what: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+# ----------------------------------------------------------------------
+# one shared cluster for the read-mostly tests
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with GoodCluster(workers=2, replicas=1) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(cluster):
+    with GoodClient(*cluster.address, retries=3, backoff=0.05) as connected:
+        yield connected
+
+
+def test_hello_advertises_the_cluster(cluster, client):
+    hello = client.hello()
+    assert hello["cluster"] == {"workers": 2, "replicas": 1}
+
+
+def test_create_routes_by_ring_and_list_merges(cluster, client):
+    names = [f"shard-db-{i}" for i in range(6)]
+    for name in names:
+        client.create(name, scheme=people_scheme_json())
+    owners = {name: cluster.owner_of(name) for name in names}
+    # 6 names over 2 workers with 64 vnodes: both shards get databases
+    assert set(owners.values()) == {"worker-0", "worker-1"}
+    listed = {db["name"] for db in client.list()["databases"]}
+    assert set(names) <= listed
+
+
+def test_read_your_writes_is_immediate(cluster, client):
+    client.create("ryw", scheme=people_scheme_json())
+    for i in range(10):
+        name = f"p{i}"
+        result = client.run(add_person(name), db="ryw")
+        assert result["lsn"] == i + 1  # commits are LSN-ordered
+        # the very next read must observe the commit, whether it lands
+        # on a caught-up replica or falls back to the shard owner
+        assert person_count(client, "ryw") == i + 1
+        assert has_person(client, "ryw", name)
+
+
+def test_replica_catches_up_and_serves_reads(cluster, client):
+    client.create("replicated", scheme=people_scheme_json())
+    lsn = client.run(add_person("ada"), db="replicated")["lsn"]
+
+    member = cluster.supervisor.members["replica-0"]
+    with GoodClient(member.host, member.port) as direct:
+        wait_for(
+            lambda: direct.call("REPLICA").get("applied", {}).get("replicated", -1) >= lsn,
+            what="replica to apply the commit",
+        )
+        # the replica serves the same data read-only
+        assert person_count(direct, "replicated") == 1
+        assert has_person(direct, "replicated", "ada")
+
+    # give the router's refresh task a beat to observe the applied LSN,
+    # then a fresh session (no writes, no LSN requirement) reads through
+    # the replica
+    def replica_served_a_read():
+        with GoodClient(*cluster.address) as fresh:
+            before = fresh.stats()["cluster"]["router"]["reads_to_replicas"]
+            assert has_person(fresh, "replicated", "ada")
+            after = fresh.stats()["cluster"]["router"]["reads_to_replicas"]
+        return after > before
+
+    wait_for(replica_served_a_read, what="a read to route to the replica")
+
+
+def test_replica_refuses_writes(cluster, client):
+    client.create("readonly", scheme=people_scheme_json())
+    lsn = client.run(add_person("grace"), db="readonly")["lsn"]
+    member = cluster.supervisor.members["replica-0"]
+    with GoodClient(member.host, member.port) as direct:
+        wait_for(
+            lambda: direct.call("REPLICA").get("applied", {}).get("readonly", -1) >= lsn,
+            what="replica to discover the database",
+        )
+        with pytest.raises(RemoteError) as excinfo:
+            direct.run(add_person("hopper"), db="readonly")
+        assert excinfo.value.code == "REPLICA_READ_ONLY"
+        with pytest.raises(RemoteError) as excinfo:
+            direct.call("CREATE", name="sneaky", scheme=people_scheme_json())
+        assert excinfo.value.code == "REPLICA_READ_ONLY"
+
+
+def test_stats_aggregates_across_members(cluster, client):
+    client.create("statsdb", scheme=people_scheme_json())
+    client.run(add_person("s1"), db="statsdb")
+    client.match("{ p: Person }", db="statsdb")
+    stats = client.stats()
+
+    assert set(stats["cluster"]["workers"]) == {"worker-0", "worker-1"}
+    for gauges in stats["cluster"]["workers"].values():
+        assert gauges["reachable"] is True
+        assert "in_flight" in gauges and "forwarded" in gauges
+
+    replica = stats["cluster"]["replicas"]["replica-0"]
+    assert "applied" in replica and "lag" in replica
+    assert all(lag >= 0 for lag in replica["lag"].values())
+
+    router = stats["cluster"]["router"]
+    assert router["requests"] > 0
+    assert router["writes"] > 0
+
+    members = stats["cluster"]["members"]
+    assert members["worker-0"]["alive"] and members["replica-0"]["alive"]
+
+    # merged totals: counters are sums, percentiles recomputed from the
+    # union of raw samples (never averaged)
+    total = stats["total"]
+    assert total["requests"] > 0
+    assert "p95_ms" in total["latency"]
+    assert total["latency"]["samples"] > 0
+
+    per_db = stats["databases"]["statsdb"]
+    assert per_db["worker"] == cluster.owner_of("statsdb")
+    assert per_db["runs"] >= 1
+
+
+def test_undo_routes_to_owner_and_bumps_lsn(cluster, client):
+    client.create("undoable", scheme=people_scheme_json())
+    first = client.run(add_person("one"), db="undoable")["lsn"]
+    undone = client.undo(db="undoable")
+    assert undone["lsn"] > first
+    assert person_count(client, "undoable") == 0
+
+
+# ----------------------------------------------------------------------
+# a deliberately lagged replica: reads must fall back to the owner
+# ----------------------------------------------------------------------
+
+
+def test_lagged_replica_never_serves_stale_reads():
+    # the replica polls every 30s, i.e. effectively never during the
+    # test — every read-your-writes read MUST come from the shard owner
+    with GoodCluster(workers=2, replicas=1, poll_interval=30.0) as cluster:
+        with GoodClient(*cluster.address, retries=3) as client:
+            client.create("laggy", scheme=people_scheme_json())
+            for i in range(5):
+                client.run(add_person(f"w{i}"), db="laggy")
+                assert person_count(client, "laggy") == i + 1
+                assert has_person(client, "laggy", f"w{i}")
+            stats = client.stats()["cluster"]["router"]
+            assert stats["reads_to_owner"] >= 5
+
+
+# ----------------------------------------------------------------------
+# failover: SIGKILL a worker mid-flight, supervisor restarts it, WAL
+# recovery brings the shard back with its data
+# ----------------------------------------------------------------------
+
+
+def test_worker_sigkill_restart_recovers_from_wal():
+    with GoodCluster(workers=2, replicas=0, monitor_interval=0.1) as cluster:
+        with GoodClient(*cluster.address, retries=8, backoff=0.1) as client:
+            client.create("survivor", scheme=people_scheme_json())
+            client.run(add_person("before-crash"), db="survivor")
+            client.run(add_person("also-before"), db="survivor")
+
+            owner = cluster.owner_of("survivor")
+            index = int(owner.split("-")[1])
+            member = cluster.supervisor.members[owner]
+            pid_before = member.pid
+
+            cluster.kill_worker(index)
+            wait_for(
+                lambda: member.alive() and member.pid != pid_before,
+                what="the supervisor to restart the killed worker",
+            )
+            assert member.restarts >= 1
+
+            # the restarted worker recovered the shard from its WAL;
+            # the client's bounded retries ride out the reconnect window
+            assert person_count(client, "survivor") == 2
+            assert has_person(client, "survivor", "before-crash")
+            assert has_person(client, "survivor", "also-before")
+
+            # catalog convergence: LIST still shows the shard's database
+            listed = {db["name"] for db in client.list()["databases"]}
+            assert "survivor" in listed
+
+            # and the shard keeps accepting writes after recovery
+            lsn = client.run(add_person("after-crash"), db="survivor")["lsn"]
+            assert lsn >= 3
+            stats = client.stats()
+            assert stats["cluster"]["members"][owner]["restarts"] >= 1

