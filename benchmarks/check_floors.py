@@ -12,6 +12,9 @@ CI loudly.  Three sources of floors, in order:
 * a ``floors`` dict inside an entry maps *metric name* → minimum and
   is checked against the entry's own metrics (``BENCH_server`` and
   ``BENCH_cluster`` write these: throughput floors, scale-out floors);
+* a ``byte_floors`` dict inside an entry maps *metric name* → maximum
+  and is checked in the ≤ direction (``BENCH_columnar`` writes these:
+  the store's resident bytes must stay *under* the cap);
 * a ``required_*`` key inside an entry (``BENCH_wal``, ``BENCH_mvcc``)
   is checked against the entry's other ``*speedup*`` metric;
 * :data:`KNOWN_FLOORS` pins the floors the older benchmark modules
@@ -39,20 +42,30 @@ KNOWN_FLOORS = {
 
 
 def floor_checks(file_name: str, workload: str, entry: dict):
-    """Yield (metric name, measured, floor) triples for one entry."""
+    """Yield (metric name, measured, bound, direction) for one entry.
+
+    ``direction`` is ``">="`` for speedup/throughput floors and
+    ``"<="`` for byte ceilings.
+    """
     if not isinstance(entry, dict):
         return
     known = KNOWN_FLOORS.get((file_name, workload))
     if known is not None and entry.get("speedup") is not None:
-        yield "speedup", entry["speedup"], known
+        yield "speedup", entry["speedup"], known, ">="
     if entry.get("floor") is not None and entry.get("speedup") is not None:
-        yield "speedup", entry["speedup"], entry["floor"]
+        yield "speedup", entry["speedup"], entry["floor"], ">="
     floors = entry.get("floors")
     if isinstance(floors, dict):
         for metric, floor in floors.items():
             measured = entry.get(metric)
             if isinstance(floor, (int, float)) and isinstance(measured, (int, float)):
-                yield metric, measured, floor
+                yield metric, measured, floor, ">="
+    byte_floors = entry.get("byte_floors")
+    if isinstance(byte_floors, dict):
+        for metric, ceiling in byte_floors.items():
+            measured = entry.get(metric)
+            if isinstance(ceiling, (int, float)) and isinstance(measured, (int, float)):
+                yield metric, measured, ceiling, "<="
     for key, required in entry.items():
         if not key.startswith("required_") or not isinstance(required, (int, float)):
             continue
@@ -64,7 +77,7 @@ def floor_checks(file_name: str, workload: str, entry: dict):
             and isinstance(value, (int, float))
         ]
         for name, value in measured:
-            yield name, value, required
+            yield name, value, required, ">="
 
 
 def main(argv) -> int:
@@ -77,15 +90,19 @@ def main(argv) -> int:
     for path in bench_files:
         payload = json.loads(path.read_text())
         for workload, entry in sorted(payload.get("benchmarks", {}).items()):
-            for metric, measured, floor in floor_checks(path.name, workload, entry):
+            for metric, measured, bound, direction in floor_checks(
+                path.name, workload, entry
+            ):
                 checked += 1
-                status = "ok" if measured >= floor else "FAIL"
+                holds = measured >= bound if direction == ">=" else measured <= bound
+                status = "ok" if holds else "FAIL"
+                kind = "floor" if direction == ">=" else "ceiling"
                 print(
                     f"{status:4} {path.name} {workload}: "
-                    f"{metric}={measured} (floor {floor})"
+                    f"{metric}={measured} ({kind} {bound})"
                 )
-                if measured < floor:
-                    failures.append((path.name, workload, metric, measured, floor))
+                if not holds:
+                    failures.append((path.name, workload, metric, measured, bound))
     if failures:
         print(f"\ncheck_floors: {len(failures)} floor(s) violated", file=sys.stderr)
         return 1

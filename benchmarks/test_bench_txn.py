@@ -14,6 +14,16 @@ two workloads where snapshot costs dominate:
 The headline number is asserted mechanically: the journal protocol
 must be at least 10× faster on both workloads.
 
+Both workloads pin their instances to the dict-backed
+:class:`~repro.graph.ReferenceGraphStore`.  The default columnar
+store's ``copy()`` is a copy-on-write fork — capturing a snapshot
+there costs O(1) plus privatization of whatever the transaction later
+touches, which collapses the full-copy baseline this module exists to
+measure (see ``BENCH_columnar.json`` for the columnar story).  The
+reference layout is where an eager full copy has its classic
+O(nodes+edges) cost, so the journal-vs-snapshot comparison keeps
+measuring the *protocol* discipline, not the store layout.
+
 On top of the per-test numbers, the module writes a machine-readable
 ``BENCH_txn.json`` next to the repo root (path overridable via
 ``REPRO_BENCH_TXN_OUT``) so CI can archive the comparison without
@@ -33,6 +43,7 @@ import pytest
 
 from repro.core import Instance, Scheme
 from repro.core import counters as _counters
+from repro.graph import ReferenceGraphStore
 from repro.txn import Transaction
 
 RESULTS: dict = {"benchmarks": {}}
@@ -49,11 +60,12 @@ REQUIRED_SPEEDUP = 10.0
 
 
 def build_people(count: int):
-    """A ``count``-person instance with a sparse ``knows`` backbone."""
+    """A ``count``-person instance with a sparse ``knows`` backbone,
+    on the reference layout (see module docstring)."""
     scheme = Scheme(printable_labels=["String"])
     scheme.declare("Person", "name", "String")
     scheme.declare("Person", "knows", "Person", functional=False)
-    instance = Instance(scheme)
+    instance = Instance(scheme, _store=ReferenceGraphStore())
     ids = [instance.add_object("Person") for _ in range(count)]
     for i in range(0, count - 1, 10):
         instance.add_edge(ids[i], "knows", ids[i + 1])

@@ -347,6 +347,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args.data_dir,
                 fsync_policy=args.fsync,
                 checkpoint_bytes=args.checkpoint_bytes,
+                wal_format=args.wal_format,
             )
         except (GoodError, OSError) as error:
             print(f"ERROR: {error}", file=sys.stderr)
@@ -551,6 +552,14 @@ def _render_stats(stats) -> list:
             f"max {ring['max_ms']}ms ({ring['samples']} samples)"
         )
 
+    def human_bytes(count: int) -> str:
+        size = float(count)
+        for unit in ("B", "KiB", "MiB", "GiB"):
+            if size < 1024.0 or unit == "GiB":
+                return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+            size /= 1024.0
+        return f"{int(count)} B"
+
     mode = "mvcc" if stats.get("mvcc", False) else "locked (no-mvcc)"
     conns = stats.get("connections", {})
     lines = [
@@ -558,6 +567,11 @@ def _render_stats(stats) -> list:
         f"connections: {conns.get('open', 0)} open / {conns.get('total', 0)} total"
         f" — queue {stats.get('queue_depth', 0)}, running {stats.get('running', 0)}",
     ]
+    if "intern_table_size" in stats:
+        lines.append(
+            f"label interner: {stats.get('intern_table_size', 0)} labels, "
+            f"{human_bytes(stats.get('intern_table_bytes', 0))}"
+        )
     cluster = stats.get("cluster")
     if cluster:
         router = cluster.get("router", {})
@@ -605,6 +619,8 @@ def _render_stats(stats) -> list:
                 f"{bucket.get('wal_bytes', 0)} bytes, "
                 f"{bucket.get('checkpoints', 0)} checkpoints"
             )
+        if "store_bytes" in bucket:
+            lines.append(f"  memory: store {human_bytes(bucket['store_bytes'])} resident")
         snapshots = bucket.get("snapshots")
         if snapshots:
             lines.append(
@@ -861,6 +877,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=4 * 1024 * 1024,
         help="auto-checkpoint a database once its WAL segment exceeds "
         "this many bytes (0 disables; default 4MiB)",
+    )
+    serve.add_argument(
+        "--wal-format",
+        default="text",
+        choices=("text", "binary"),
+        help="WAL segment format for fresh segments: text (NDJSON, "
+        "default, human-readable) or binary (length-prefixed + CRC32, "
+        "compact); recovery reads both transparently",
     )
     serve.add_argument(
         "--workers",

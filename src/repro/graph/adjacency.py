@@ -1,33 +1,38 @@
 """Sorted adjacency arrays: the compact per-edge-label index layer.
 
 An :class:`AdjacencyIndex` is a CSR-style snapshot of one edge label's
-adjacency, built from the store's ``(source, target)`` pair index:
+adjacency:
 
 * ``targets`` — one ``array('q')`` holding every target id, grouped by
   source and sorted ascending within each group;
 * ``sources`` — the mirror array for the reverse direction (every
   source id, grouped by target, sorted within each group);
-* two position dicts mapping a node id to its ``(lo, hi)`` slice.
+* two ``(keys, offs)`` array pairs mapping a node id to its
+  ``(lo, hi)`` slice by binary search — 16 bytes per distinct
+  endpoint instead of a boxed dict entry.
 
 Lookups hand out **memoryview slices** — zero-copy, index- and
 ``len``-able, and usable with :mod:`bisect` — so a k-way sorted
 intersection (:mod:`repro.plan.leapfrog`) walks raw 64-bit ints
 without building a single Python set.
 
-Indexes are immutable once built and stamped with the store's
-``stats_epoch``; the :class:`~repro.graph.store.GraphStore` caches them
-keyed by ``(kind, label, epoch)`` exactly like compiled plans, so a
-structural mutation simply strands the old entry (and an MVCC snapshot
-pinned at an older epoch keeps hitting its own).  Building is O(E log E)
-in the label's edge count and is charged to the thread-local
-``index_builds`` counter.
+Since the columnar store rewrite the adjacency arrays are the *primary*
+edge representation (:class:`repro.graph.columns.EdgeColumn` maintains
+them incrementally), and an index is usually a zero-copy wrap of the
+column's base arrays (:meth:`AdjacencyIndex.from_arrays`) rather than
+an O(E log E) build.  The pair-iterable constructor remains for the
+reference store and direct construction in tests.  Indexes are
+immutable once built and stamped with the store's ``stats_epoch``;
+builds are charged to the thread-local ``index_builds`` counter.
 """
 
 from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, Iterable, Tuple
+from typing import Iterable, Tuple
+
+from repro.graph.columns import build_csr
 
 #: The empty slice every miss returns (shared, zero-length, immutable).
 EMPTY_VIEW = memoryview(array("q"))
@@ -47,16 +52,22 @@ class SpanSets(dict):
     sets are immutable-by-convention and shared across MVCC forks.
     """
 
-    __slots__ = ("_ids", "_spans")
+    __slots__ = ("_keys", "_offs", "_vals")
 
-    def __init__(self, ids: array, spans: Dict[int, Tuple[int, int]]) -> None:
+    def __init__(self, keys: array, offs: array, vals: array) -> None:
         super().__init__()
-        self._ids = ids
-        self._spans = spans
+        self._keys = keys
+        self._offs = offs
+        self._vals = vals
 
     def __missing__(self, node: int) -> frozenset:
-        span = self._spans.get(node)
-        value = EMPTY_SET if span is None else frozenset(self._ids[span[0] : span[1]])
+        keys = self._keys
+        position = bisect_left(keys, node)
+        if position < len(keys) and keys[position] == node:
+            offs = self._offs
+            value = frozenset(self._vals[offs[position] : offs[position + 1]])
+        else:
+            value = EMPTY_SET
         self[node] = value
         return value
 
@@ -77,40 +88,82 @@ class AdjacencyIndex:
         "epoch",
         "pair_count",
         "_targets",
-        "_fwd",
+        "_tview",
+        "_fwd_keys",
+        "_fwd_offs",
         "_sources",
-        "_rev",
+        "_sview",
+        "_rev_keys",
+        "_rev_offs",
         "_fwd_sets",
         "_rev_sets",
     )
 
     def __init__(self, label: str, pairs: Iterable[Tuple[int, int]], epoch: int) -> None:
+        forward = sorted(pairs)
+        fwd_keys, fwd_offs, fwd_vals = build_csr(forward)
+        reverse = sorted((target, source) for source, target in forward)
+        rev_keys, rev_offs, rev_vals = build_csr(reverse)
+        self._init_arrays(
+            label, epoch, fwd_keys, fwd_offs, fwd_vals, rev_keys, rev_offs, rev_vals
+        )
+        _charge_build()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        label: str,
+        epoch: int,
+        fwd_keys: array,
+        fwd_offs: array,
+        fwd_vals: array,
+        rev_keys: array,
+        rev_offs: array,
+        rev_vals: array,
+    ) -> "AdjacencyIndex":
+        """Zero-copy wrap of pre-built CSR arrays (the columnar store's
+        fast path; the arrays must never be mutated afterwards)."""
+        index = cls.__new__(cls)
+        index._init_arrays(
+            label, epoch, fwd_keys, fwd_offs, fwd_vals, rev_keys, rev_offs, rev_vals
+        )
+        _charge_build()
+        return index
+
+    def _init_arrays(
+        self, label, epoch, fwd_keys, fwd_offs, fwd_vals, rev_keys, rev_offs, rev_vals
+    ) -> None:
         self.label = label
         self.epoch = epoch
-        forward = sorted(pairs)
-        self.pair_count = len(forward)
-        self._targets = array("q", (target for _, target in forward))
-        self._fwd: Dict[int, Tuple[int, int]] = _positions(source for source, _ in forward)
-        reverse = sorted(forward, key=lambda pair: (pair[1], pair[0]))
-        self._sources = array("q", (source for source, _ in reverse))
-        self._rev: Dict[int, Tuple[int, int]] = _positions(target for _, target in reverse)
-        self._fwd_sets: SpanSets = SpanSets(self._targets, self._fwd)
-        self._rev_sets: SpanSets = SpanSets(self._sources, self._rev)
-        _charge_build()
+        self.pair_count = len(fwd_vals)
+        self._targets = fwd_vals
+        self._tview = memoryview(fwd_vals)
+        self._fwd_keys = fwd_keys
+        self._fwd_offs = fwd_offs
+        self._sources = rev_vals
+        self._sview = memoryview(rev_vals)
+        self._rev_keys = rev_keys
+        self._rev_offs = rev_offs
+        self._fwd_sets: SpanSets = SpanSets(fwd_keys, fwd_offs, fwd_vals)
+        self._rev_sets: SpanSets = SpanSets(rev_keys, rev_offs, rev_vals)
 
     def targets_of(self, source: int) -> memoryview:
         """Sorted targets of ``label``-edges leaving ``source`` (zero-copy)."""
-        span = self._fwd.get(source)
-        if span is None:
-            return EMPTY_VIEW
-        return memoryview(self._targets)[span[0] : span[1]]
+        keys = self._fwd_keys
+        position = bisect_left(keys, source)
+        if position < len(keys) and keys[position] == source:
+            offs = self._fwd_offs
+            return self._tview[offs[position] : offs[position + 1]]
+        return EMPTY_VIEW
 
     def sources_of(self, target: int) -> memoryview:
         """Sorted sources of ``label``-edges arriving at ``target`` (zero-copy)."""
-        span = self._rev.get(target)
-        if span is None:
-            return EMPTY_VIEW
-        return memoryview(self._sources)[span[0] : span[1]]
+        keys = self._rev_keys
+        position = bisect_left(keys, target)
+        if position < len(keys) and keys[position] == target:
+            offs = self._rev_offs
+            return self._sview[offs[position] : offs[position + 1]]
+        return EMPTY_VIEW
 
     def targets_sets(self) -> SpanSets:
         """Lazy ``source -> frozenset(targets)`` views (memoized)."""
@@ -122,16 +175,19 @@ class AdjacencyIndex:
 
     def has_pair(self, source: int, target: int) -> bool:
         """Whether the edge ``source --label--> target`` is in the index."""
-        span = self._fwd.get(source)
-        if span is None:
+        keys = self._fwd_keys
+        position = bisect_left(keys, source)
+        if position == len(keys) or keys[position] != source:
             return False
-        lo, hi = span
-        position = bisect_left(self._targets, target, lo, hi)
-        return position < hi and self._targets[position] == target
+        offs = self._fwd_offs
+        lo, hi = offs[position], offs[position + 1]
+        targets = self._targets
+        spot = bisect_left(targets, target, lo, hi)
+        return spot < hi and targets[spot] == target
 
     def sources(self) -> Iterable[int]:
         """The distinct source ids, in ascending order."""
-        return sorted(self._fwd)
+        return self._fwd_keys
 
     def __len__(self) -> int:
         return self.pair_count
@@ -140,20 +196,3 @@ class AdjacencyIndex:
         return (
             f"AdjacencyIndex({self.label!r}, pairs={self.pair_count}, epoch={self.epoch})"
         )
-
-
-def _positions(grouped: Iterable[int]) -> Dict[int, Tuple[int, int]]:
-    """``node -> (lo, hi)`` spans over an already-grouped id sequence."""
-    spans: Dict[int, Tuple[int, int]] = {}
-    start = 0
-    current = None
-    index = 0
-    for index, node in enumerate(grouped):
-        if node != current:
-            if current is not None:
-                spans[current] = (start, index)
-            current = node
-            start = index
-    if current is not None:
-        spans[current] = (start, index + 1)
-    return spans

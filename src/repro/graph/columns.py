@@ -1,0 +1,618 @@
+"""Columnar storage primitives behind :class:`repro.graph.store.GraphStore`.
+
+Three building blocks, all designed around ``array('q')`` so a million
+nodes cost megabytes instead of hundreds of megabytes of boxed objects:
+
+* :class:`LabelInterner` — a process-global, append-only string table.
+  Labels become small ints (*label ids*); every column, journal entry
+  and redo record carries the id, and the canonical string object is
+  shared so equality checks on decoded labels hit the pointer fast
+  path.
+* :class:`IntColumn` — a sorted set of 64-bit ints as a flat array
+  plus a bounded pending overlay (recent adds/removes), merged back
+  into the base array when the overlay outgrows a proportional
+  threshold (the logarithmic method: total merge work stays O(1)
+  amortised per mutation).
+* :class:`EdgeColumn` — one edge label's adjacency as CSR arrays in
+  *both* directions (targets grouped by source, sources grouped by
+  target) with the same pending-overlay discipline, so
+  ``sorted_adjacency`` is an O(1) wrap of the base arrays when the
+  overlay is empty instead of an O(E log E) rebuild per epoch.
+
+Mutating methods must only ever be called by a store that owns the
+column privately (the store's COW machinery clones a shared column
+before its first write).  Read methods never modify the base or the
+overlay; they may memoize a merged result in a single attribute
+assignment, which is GIL-atomic and idempotent, so frozen snapshots
+shared across reader threads stay safe.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from array import array
+from bisect import bisect_left
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+#: Overlay merges trigger once the pending set outgrows
+#: ``max(_FLUSH_MIN, base_size >> _FLUSH_SHIFT)`` — proportional
+#: thresholds keep bulk loads O(1) amortised per insert while bounding
+#: the overlay a reader has to merge over.
+_FLUSH_MIN = 64
+_FLUSH_SHIFT = 3
+
+#: Shared empty sorted array (immutable-by-convention).
+EMPTY_ARRAY = array("q")
+
+
+class LabelInterner:
+    """Append-only ``str ↔ small int`` table shared by every store.
+
+    Interning is idempotent and ids are dense (0, 1, 2, ...), so columns
+    can use them as array values and dict keys interchangeably.  The
+    table only ever grows; lookups are lock-free dict reads and inserts
+    take a lock only on the miss path.
+    """
+
+    __slots__ = ("_ids", "_names", "_lock")
+
+    def __init__(self) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+        self._lock = threading.Lock()
+
+    def intern(self, name: str) -> int:
+        """Return the id for ``name``, assigning the next id on a miss."""
+        lid = self._ids.get(name)
+        if lid is not None:
+            return lid
+        with self._lock:
+            lid = self._ids.get(name)
+            if lid is None:
+                lid = len(self._names)
+                self._names.append(sys.intern(name))
+                self._ids[name] = lid
+            return lid
+
+    def lookup(self, name: str) -> int:
+        """The id for ``name`` if already interned, else ``-1``.
+
+        Read paths use this so querying a label the process has never
+        seen does not grow the table.
+        """
+        lid = self._ids.get(name)
+        return -1 if lid is None else lid
+
+    def name(self, lid: int) -> str:
+        """The canonical string for ``lid`` (same object every call)."""
+        return self._names[lid]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def table_bytes(self) -> int:
+        """Approximate resident bytes of the intern table."""
+        names = self._names
+        return (
+            sys.getsizeof(self._ids)
+            + sys.getsizeof(names)
+            + sum(sys.getsizeof(name) for name in names)
+        )
+
+    def snapshot(self) -> List[str]:
+        """The id-ordered label list (for checkpoint headers)."""
+        return list(self._names)
+
+
+#: The process-wide interner.  Journals and redo records carry its ids;
+#: anything that crosses a process boundary (WAL, checkpoints) must be
+#: decoded to strings first and re-interned on the far side.
+LABELS = LabelInterner()
+intern_label = LABELS.intern
+label_name = LABELS.name
+lookup_label = LABELS.lookup
+
+
+def merge_sorted(base: array, dels: Set[int], adds: List[int]) -> array:
+    """Merge a sorted base array with sorted adds, dropping ``dels``."""
+    out = array("q")
+    if not dels and not adds:
+        out.frombytes(base.tobytes())
+        return out
+    append = out.append
+    i = j = 0
+    n, m = len(base), len(adds)
+    while i < n and j < m:
+        left, right = base[i], adds[j]
+        if left < right:
+            if left not in dels:
+                append(left)
+            i += 1
+        else:
+            append(right)
+            j += 1
+    while i < n:
+        if base[i] not in dels:
+            append(base[i])
+        i += 1
+    while j < m:
+        append(adds[j])
+        j += 1
+    return out
+
+
+class IdSlotMap:
+    """``external node id -> slot`` with a dense-array fast path.
+
+    Ids handed out by the store counter are dense, so the common case
+    is a direct ``array('q')`` indexed by id (-1 = absent).  Explicit
+    sparse or negative ids (``add_node(node_id=...)``) fall back to an
+    overflow dict rather than ballooning the array.
+    """
+
+    __slots__ = ("_direct", "_overflow")
+
+    def __init__(self) -> None:
+        self._direct = array("q")
+        self._overflow: Dict[int, int] = {}
+
+    def get(self, node_id: int) -> int:
+        """The slot for ``node_id``, or ``-1`` when absent."""
+        if 0 <= node_id < len(self._direct):
+            return self._direct[node_id]
+        return self._overflow.get(node_id, -1)
+
+    def set(self, node_id: int, slot: int) -> None:
+        direct = self._direct
+        if 0 <= node_id < len(direct):
+            direct[node_id] = slot
+            return
+        if 0 <= node_id <= len(direct) + max(1024, len(direct)):
+            direct.extend([-1] * (node_id + 1 - len(direct)))
+            direct[node_id] = slot
+            return
+        self._overflow[node_id] = slot
+
+    def pop(self, node_id: int) -> None:
+        if 0 <= node_id < len(self._direct):
+            self._direct[node_id] = -1
+        else:
+            self._overflow.pop(node_id, None)
+
+    def clone(self) -> "IdSlotMap":
+        twin = IdSlotMap.__new__(IdSlotMap)
+        fresh = array("q")
+        fresh.frombytes(self._direct.tobytes())
+        twin._direct = fresh
+        twin._overflow = dict(self._overflow)
+        return twin
+
+    def nbytes(self) -> int:
+        return self._direct.itemsize * len(self._direct) + sys.getsizeof(self._overflow)
+
+
+class IntColumn:
+    """A sorted set of ints: flat base array + bounded pending overlay.
+
+    Invariants: ``adds`` is disjoint from the base and from ``dels``;
+    ``dels`` is a subset of the base.  ``count`` is maintained so
+    cardinality stays O(1).
+    """
+
+    __slots__ = ("base", "adds", "dels", "count", "_merged")
+
+    def __init__(self, values: Optional[array] = None) -> None:
+        self.base: array = values if values is not None else array("q")
+        self.adds: Set[int] = set()
+        self.dels: Set[int] = set()
+        self.count: int = len(self.base)
+        self._merged: Optional[array] = None
+
+    def __contains__(self, value: int) -> bool:
+        if value in self.adds:
+            return True
+        if value in self.dels:
+            return False
+        base = self.base
+        position = bisect_left(base, value)
+        return position < len(base) and base[position] == value
+
+    def add(self, value: int) -> bool:
+        """Insert ``value``; returns whether the set changed."""
+        if value in self.dels:
+            self.dels.remove(value)
+        elif value in self.adds or self._in_base(value):
+            return False
+        else:
+            self.adds.add(value)
+        self.count += 1
+        self._merged = None
+        self._maybe_flush()
+        return True
+
+    def discard(self, value: int) -> bool:
+        """Remove ``value``; returns whether the set changed."""
+        if value in self.adds:
+            self.adds.remove(value)
+        elif value not in self.dels and self._in_base(value):
+            self.dels.add(value)
+        else:
+            return False
+        self.count -= 1
+        self._merged = None
+        self._maybe_flush()
+        return True
+
+    def _in_base(self, value: int) -> bool:
+        base = self.base
+        position = bisect_left(base, value)
+        return position < len(base) and base[position] == value
+
+    def _maybe_flush(self) -> None:
+        if len(self.adds) + len(self.dels) > max(_FLUSH_MIN, len(self.base) >> _FLUSH_SHIFT):
+            self.flush()
+
+    def flush(self) -> None:
+        """Fold the overlay into a fresh base array (writer-only)."""
+        if self.adds or self.dels:
+            self.base = merge_sorted(self.base, self.dels, sorted(self.adds))
+            self.adds = set()
+            self.dels = set()
+        self._merged = None
+
+    def merged(self) -> array:
+        """The full sorted contents; read-only, memoized, never mutates
+        the overlay (safe on shared/frozen columns)."""
+        if not self.adds and not self.dels:
+            return self.base
+        merged = self._merged
+        if merged is None:
+            merged = merge_sorted(self.base, self.dels, sorted(self.adds))
+            self._merged = merged
+        return merged
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.merged())
+
+    def __len__(self) -> int:
+        return self.count
+
+    def clone(self) -> "IntColumn":
+        """A private twin sharing the (immutable-by-convention) base."""
+        twin = IntColumn.__new__(IntColumn)
+        twin.base = self.base
+        twin.adds = set(self.adds)
+        twin.dels = set(self.dels)
+        twin.count = self.count
+        twin._merged = self._merged
+        return twin
+
+    def nbytes(self) -> int:
+        return (
+            self.base.itemsize * len(self.base)
+            + sys.getsizeof(self.adds)
+            + sys.getsizeof(self.dels)
+        )
+
+
+def build_csr(pairs: List[Tuple[int, int]]) -> Tuple[array, array, array]:
+    """``(keys, offs, values)`` CSR arrays from ``(key, value)`` pairs
+    already sorted by key then value."""
+    keys = array("q")
+    offs = array("q", (0,))
+    values = array("q")
+    current = None
+    for key, value in pairs:
+        if key != current:
+            if current is not None:
+                offs.append(len(values))
+            keys.append(key)
+            current = key
+        values.append(value)
+    if current is not None:
+        offs.append(len(values))
+    return keys, offs, values
+
+
+def _merge_csr(
+    keys: array,
+    offs: array,
+    values: array,
+    dels: Set[Tuple[int, int]],
+    adds: List[Tuple[int, int]],
+) -> Tuple[array, array, array]:
+    """Merge CSR base arrays with sorted add pairs minus ``dels``.
+
+    ``dels`` pairs are in the same ``(key, value)`` orientation as the
+    arrays.  Linear in the output plus the overlay sort done by the
+    caller, so periodic merges keep the amortised cost per edge O(1).
+    """
+    out_keys = array("q")
+    out_offs = array("q", (0,))
+    out_vals = array("q")
+    j = 0
+    m = len(adds)
+    current = None
+
+    def emit(key: int, value: int) -> None:
+        nonlocal current
+        if key != current:
+            if current is not None:
+                out_offs.append(len(out_vals))
+            out_keys.append(key)
+            current = key
+        out_vals.append(value)
+
+    for index, key in enumerate(keys):
+        lo, hi = offs[index], offs[index + 1]
+        for position in range(lo, hi):
+            value = values[position]
+            while j < m and adds[j] < (key, value):
+                emit(adds[j][0], adds[j][1])
+                j += 1
+            if dels and (key, value) in dels:
+                continue
+            emit(key, value)
+    while j < m:
+        emit(adds[j][0], adds[j][1])
+        j += 1
+    if current is not None:
+        out_offs.append(len(out_vals))
+    return out_keys, out_offs, out_vals
+
+
+def csr_span(keys: array, offs: array, key: int) -> Tuple[int, int]:
+    """The ``(lo, hi)`` span of ``key`` in a CSR (keys, offs) pair."""
+    position = bisect_left(keys, key)
+    if position < len(keys) and keys[position] == key:
+        return offs[position], offs[position + 1]
+    return 0, 0
+
+
+class EdgeColumn:
+    """One edge label's adjacency: bidirectional CSR + pending overlay.
+
+    The forward arrays group targets by source; the reverse arrays
+    group sources by target.  Both are maintained by linear merges, so
+    ``sorted_adjacency`` never re-sorts the whole label.  ``adjacency``
+    (the :class:`~repro.graph.adjacency.AdjacencyIndex` accessor) lives
+    on the store, which also handles COW cloning; see
+    :meth:`GraphStore.sorted_adjacency`.
+    """
+
+    __slots__ = (
+        "fwd_keys",
+        "fwd_offs",
+        "fwd_vals",
+        "rev_keys",
+        "rev_offs",
+        "rev_vals",
+        "add_set",
+        "del_set",
+        "add_out",
+        "add_in",
+        "count",
+        "index",
+    )
+
+    def __init__(self) -> None:
+        self.fwd_keys = array("q")
+        self.fwd_offs = array("q", (0,))
+        self.fwd_vals = array("q")
+        self.rev_keys = array("q")
+        self.rev_offs = array("q", (0,))
+        self.rev_vals = array("q")
+        self.add_set: Set[Tuple[int, int]] = set()
+        self.del_set: Set[Tuple[int, int]] = set()
+        self.add_out: Dict[int, List[int]] = {}
+        self.add_in: Dict[int, List[int]] = {}
+        self.count = 0
+        #: memoized AdjacencyIndex for the current contents (managed by
+        #: the store; invalidated on every mutation/flush)
+        self.index: Any = None
+
+    # -- mutation (writer-owned columns only) ---------------------------
+    def add(self, source: int, target: int) -> bool:
+        pair = (source, target)
+        if pair in self.del_set:
+            self.del_set.remove(pair)
+        elif pair in self.add_set or self._in_base(source, target):
+            return False
+        else:
+            self.add_set.add(pair)
+            self.add_out.setdefault(source, []).append(target)
+            self.add_in.setdefault(target, []).append(source)
+        self.count += 1
+        self.index = None
+        self._maybe_flush()
+        return True
+
+    def remove(self, source: int, target: int) -> bool:
+        pair = (source, target)
+        if pair in self.add_set:
+            self.add_set.remove(pair)
+            self._drop_pending(self.add_out, source, target)
+            self._drop_pending(self.add_in, target, source)
+        elif pair not in self.del_set and self._in_base(source, target):
+            self.del_set.add(pair)
+        else:
+            return False
+        self.count -= 1
+        self.index = None
+        self._maybe_flush()
+        return True
+
+    @staticmethod
+    def _drop_pending(bucket: Dict[int, List[int]], key: int, value: int) -> None:
+        values = bucket[key]
+        values.remove(value)
+        if not values:
+            del bucket[key]
+
+    def _maybe_flush(self) -> None:
+        pending = len(self.add_set) + len(self.del_set)
+        if pending > max(_FLUSH_MIN, len(self.fwd_vals) >> _FLUSH_SHIFT):
+            self.flush()
+
+    def flush(self) -> None:
+        """Fold the overlay into fresh CSR base arrays (writer-only)."""
+        if not self.add_set and not self.del_set:
+            return
+        adds_fwd = sorted(self.add_set)
+        self.fwd_keys, self.fwd_offs, self.fwd_vals = _merge_csr(
+            self.fwd_keys, self.fwd_offs, self.fwd_vals, self.del_set, adds_fwd
+        )
+        dels_rev = {(target, source) for source, target in self.del_set}
+        adds_rev = sorted((target, source) for source, target in self.add_set)
+        self.rev_keys, self.rev_offs, self.rev_vals = _merge_csr(
+            self.rev_keys, self.rev_offs, self.rev_vals, dels_rev, adds_rev
+        )
+        self.add_set = set()
+        self.del_set = set()
+        self.add_out = {}
+        self.add_in = {}
+        self.index = None
+
+    # -- reads (never mutate base or overlay) ---------------------------
+    @property
+    def dirty(self) -> bool:
+        """Whether a pending overlay is outstanding."""
+        return bool(self.add_set or self.del_set)
+
+    def _in_base(self, source: int, target: int) -> bool:
+        lo, hi = csr_span(self.fwd_keys, self.fwd_offs, source)
+        if lo == hi:
+            return False
+        vals = self.fwd_vals
+        position = bisect_left(vals, target, lo, hi)
+        return position < hi and vals[position] == target
+
+    def has(self, source: int, target: int) -> bool:
+        pair = (source, target)
+        if pair in self.add_set:
+            return True
+        if pair in self.del_set:
+            return False
+        return self._in_base(source, target)
+
+    def _side(
+        self, node: int, keys: array, offs: array, vals: array,
+        pend: Dict[int, List[int]], flip: bool,
+    ) -> List[int]:
+        lo, hi = csr_span(keys, offs, node)
+        base = vals[lo:hi].tolist() if hi > lo else []
+        if self.del_set and base:
+            if flip:
+                base = [v for v in base if (v, node) not in self.del_set]
+            else:
+                base = [v for v in base if (node, v) not in self.del_set]
+        extra = pend.get(node)
+        if extra:
+            base.extend(extra)
+            base.sort()
+        return base
+
+    def out_list(self, source: int) -> List[int]:
+        """Sorted targets of edges leaving ``source``."""
+        return self._side(source, self.fwd_keys, self.fwd_offs, self.fwd_vals, self.add_out, False)
+
+    def in_list(self, target: int) -> List[int]:
+        """Sorted sources of edges arriving at ``target``."""
+        return self._side(target, self.rev_keys, self.rev_offs, self.rev_vals, self.add_in, True)
+
+    def has_source(self, source: int) -> bool:
+        if source in self.add_out:
+            return True
+        lo, hi = csr_span(self.fwd_keys, self.fwd_offs, source)
+        if lo == hi:
+            return False
+        if not self.del_set:
+            return True
+        vals = self.fwd_vals
+        return any((source, vals[i]) not in self.del_set for i in range(lo, hi))
+
+    def has_target(self, target: int) -> bool:
+        if target in self.add_in:
+            return True
+        lo, hi = csr_span(self.rev_keys, self.rev_offs, target)
+        if lo == hi:
+            return False
+        if not self.del_set:
+            return True
+        vals = self.rev_vals
+        return any((vals[i], target) not in self.del_set for i in range(lo, hi))
+
+    def out_degree(self, source: int) -> int:
+        lo, hi = csr_span(self.fwd_keys, self.fwd_offs, source)
+        degree = (hi - lo) + len(self.add_out.get(source, ()))
+        if self.del_set and hi > lo:
+            vals = self.fwd_vals
+            degree -= sum((source, vals[i]) in self.del_set for i in range(lo, hi))
+        return degree
+
+    def in_degree(self, target: int) -> int:
+        lo, hi = csr_span(self.rev_keys, self.rev_offs, target)
+        degree = (hi - lo) + len(self.add_in.get(target, ()))
+        if self.del_set and hi > lo:
+            vals = self.rev_vals
+            degree -= sum((vals[i], target) in self.del_set for i in range(lo, hi))
+        return degree
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """All ``(source, target)`` pairs, sorted (merged view)."""
+        if not self.dirty:
+            keys, offs, vals = self.fwd_keys, self.fwd_offs, self.fwd_vals
+        else:
+            keys, offs, vals = _merge_csr(
+                self.fwd_keys, self.fwd_offs, self.fwd_vals,
+                self.del_set, sorted(self.add_set),
+            )
+        for index, key in enumerate(keys):
+            for position in range(offs[index], offs[index + 1]):
+                yield key, vals[position]
+
+    def merged_arrays(self) -> Tuple[array, array, array, array, array, array]:
+        """The six CSR arrays with the overlay folded in (read-only)."""
+        if not self.dirty:
+            return (
+                self.fwd_keys, self.fwd_offs, self.fwd_vals,
+                self.rev_keys, self.rev_offs, self.rev_vals,
+            )
+        fwd = _merge_csr(
+            self.fwd_keys, self.fwd_offs, self.fwd_vals,
+            self.del_set, sorted(self.add_set),
+        )
+        rev = _merge_csr(
+            self.rev_keys, self.rev_offs, self.rev_vals,
+            {(t, s) for s, t in self.del_set},
+            sorted((t, s) for s, t in self.add_set),
+        )
+        return fwd + rev
+
+    def clone(self) -> "EdgeColumn":
+        """A private twin sharing the base arrays by reference."""
+        twin = EdgeColumn.__new__(EdgeColumn)
+        twin.fwd_keys = self.fwd_keys
+        twin.fwd_offs = self.fwd_offs
+        twin.fwd_vals = self.fwd_vals
+        twin.rev_keys = self.rev_keys
+        twin.rev_offs = self.rev_offs
+        twin.rev_vals = self.rev_vals
+        twin.add_set = set(self.add_set)
+        twin.del_set = set(self.del_set)
+        twin.add_out = {k: list(v) for k, v in self.add_out.items()}
+        twin.add_in = {k: list(v) for k, v in self.add_in.items()}
+        twin.count = self.count
+        twin.index = self.index
+        return twin
+
+    def nbytes(self) -> int:
+        arrays = (
+            self.fwd_keys, self.fwd_offs, self.fwd_vals,
+            self.rev_keys, self.rev_offs, self.rev_vals,
+        )
+        total = sum(a.itemsize * len(a) for a in arrays)
+        total += sys.getsizeof(self.add_set) + sys.getsizeof(self.del_set)
+        total += sys.getsizeof(self.add_out) + sys.getsizeof(self.add_in)
+        return total

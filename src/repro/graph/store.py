@@ -1,48 +1,70 @@
-"""The labeled directed multigraph store.
+"""The labeled directed multigraph store, columnar edition.
 
 A :class:`GraphStore` holds labeled nodes — each optionally carrying a
 *print value* (the paper's ``print`` label for printable objects) — and
-labeled directed edges.  It maintains the indexes the GOOD matcher and
-operations need:
+labeled directed edges.  Since the columnar rewrite the physical layout
+is index-free adjacency over flat arrays rather than dicts of boxed
+records:
 
-* nodes by label;
-* nodes by (label, print value);
-* outgoing and incoming adjacency, keyed by edge label;
-* edges by edge label (``edges_with_label``);
-* per-(node label, edge label) degree totals — the cardinality
-  statistics behind the pattern-match planner (:mod:`repro.plan`).
+* node labels live in a process-global string-intern table
+  (:data:`repro.graph.columns.LABELS`); label ids are small ints;
+* nodes occupy dense *slots*: parallel columns ``slot -> label id``
+  (``array('q')``), ``slot -> print value`` (a list) and ``slot ->
+  external id``, with a free-list recycling slots after removals and
+  an id→slot map keeping the external integer node-id API unchanged;
+* each edge label is one :class:`~repro.graph.columns.EdgeColumn` —
+  CSR adjacency arrays in both directions, maintained incrementally by
+  bounded pending overlays and periodic linear merges, so
+  ``sorted_adjacency`` is O(1) warm instead of an epoch-keyed
+  O(E log E) rebuild;
+* per-label node membership is a sorted
+  :class:`~repro.graph.columns.IntColumn`, which also backs ``nodes()``
+  iteration without re-sorting the whole id set per call.
 
 The hot read accessors (``out_neighbours``, ``in_neighbours``,
-``nodes_with_label``, ``edges_with_label``) hand out *cached* frozenset
-views: repeated calls return the identical object until a mutation
-touches the underlying index, so tight matcher loops never re-copy an
-adjacency set.  Statistics are versioned by :attr:`stats_epoch`, which
-advances on every structural change (node/edge add/remove) but not on
-print-value updates — compiled plans stay optimal across ``set_print``.
+``nodes_with_label``, ``edges_with_label``) still hand out *cached*
+frozenset views with the same identity semantics as before: repeated
+calls return the identical object until a mutation touches the
+underlying index.  Statistics are versioned by :attr:`stats_epoch`,
+which advances on every structural change (node/edge add/remove) but
+not on print-value updates.
+
+``fork(frozen=True)`` shares every column by reference and privatizes
+per column on the live side's first write, so MVCC captures cost O(1)
+and divergence costs O(changes).  Undo journals and WAL redo records
+carry interned label ids instead of strings.
 
 The store enforces only graph-level integrity (no dangling edges, no
-duplicate edges).  GOOD-specific constraints (functional edges, scheme
-conformance, printable-value uniqueness) live in
-:mod:`repro.core.instance`, which builds on this store.
-
-Node identifiers are integers handed out by a per-store counter, so a
-freshly copied store continues numbering where the original stopped;
-iteration orders are deterministic (ascending ids, sorted labels) which
-makes every operation in the reproduction reproducible run-to-run.
+duplicate edges).  GOOD-specific constraints live in
+:mod:`repro.core.instance`.  Node identifiers are integers handed out
+by a per-store counter; iteration orders are deterministic (ascending
+ids, lexicographically sorted labels), which makes every operation in
+the reproduction reproducible run-to-run.  The historical dict-backed
+implementation survives as
+:class:`repro.graph.refstore.ReferenceGraphStore`, the oracle of the
+columnar equivalence suite.
 """
 
 from __future__ import annotations
 
+import sys
 from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.adjacency import AdjacencyIndex
-
-#: Sorted-adjacency / sorted-label entries kept per store.  Entries are
-#: immutable and keyed by epoch, so eviction only ever costs a rebuild.
-MAX_CACHED_ADJACENCY = 64
+from repro.graph.columns import (
+    EMPTY_ARRAY,
+    LABELS,
+    EdgeColumn,
+    IdSlotMap,
+    IntColumn,
+    build_csr,
+    intern_label,
+    label_name,
+    lookup_label,
+)
 
 
 class GraphStoreError(Exception):
@@ -194,54 +216,69 @@ class Edge:
 
 
 class GraphStore:
-    """A mutable labeled directed multigraph with adjacency indexes."""
+    """A mutable labeled directed multigraph over columnar storage."""
 
     __slots__ = (
-        "_nodes",
-        "_out",
-        "_in",
-        "_by_label",
-        "_by_print",
-        "_by_edge_label",
+        # node columns (slot-indexed)
+        "_slot_label",
+        "_slot_print",
+        "_slot_id",
+        "_id_map",
+        "_free",
+        "_ids",
+        # per-label structures
+        "_members",
+        "_prints",
+        "_ecols",
         "_out_stats",
         "_in_stats",
+        # counters
         "_next_id",
         "_edge_count",
         "_generation",
         "_stats_epoch",
+        # observers
         "_trackers",
         "_journals",
+        # cached views
         "_label_views",
         "_edge_label_views",
         "_out_views",
         "_in_views",
-        "_adjacency_cache",
+        "_empty_adjacency",
         "_plan_cache",
+        # copy-on-write state
         "_frozen",
         "_shared_data",
         "_shared_views",
         "_cow_inner",
-        "_owned_out",
-        "_owned_in",
-        "_owned_label",
-        "_owned_print",
-        "_owned_edge_label",
+        "_owned_node_cols",
+        "_owned_print_col",
+        "_owned_members",
+        "_owned_prints",
+        "_owned_ecols",
     )
 
     def __init__(self) -> None:
-        self._nodes: Dict[int, NodeRecord] = {}
-        # node -> edge label -> set of neighbour node ids
-        self._out: Dict[int, Dict[str, Set[int]]] = {}
-        self._in: Dict[int, Dict[str, Set[int]]] = {}
-        self._by_label: Dict[str, Set[int]] = {}
-        self._by_print: Dict[Tuple[str, Any], Set[int]] = {}
-        # edge label -> set of (source, target) pairs
-        self._by_edge_label: Dict[str, Set[Tuple[int, int]]] = {}
-        # (source node label, edge label) -> number of such edges;
-        # divide by the label's node count for an average out-degree
-        self._out_stats: Dict[Tuple[str, str], int] = {}
-        # (target node label, edge label) -> number of such edges
-        self._in_stats: Dict[Tuple[str, str], int] = {}
+        # slot -> interned label id (-1 marks a free slot)
+        self._slot_label = array("q")
+        # slot -> print value (NO_PRINT when absent)
+        self._slot_print: List[Any] = []
+        # slot -> external node id (-1 when free)
+        self._slot_id = array("q")
+        self._id_map = IdSlotMap()
+        self._free: List[int] = []
+        # maintained sorted column of live external ids (nodes())
+        self._ids = IntColumn()
+        # label id -> sorted membership column
+        self._members: Dict[int, IntColumn] = {}
+        # (label id, print value) -> set of node ids
+        self._prints: Dict[Tuple[int, Any], Set[int]] = {}
+        # edge label id -> bidirectional CSR adjacency column
+        self._ecols: Dict[int, EdgeColumn] = {}
+        # (node label id, edge label id) -> edge totals for the planner
+        self._out_stats: Dict[Tuple[int, int], int] = {}
+        self._in_stats: Dict[Tuple[int, int], int] = {}
         self._next_id = 0
         self._edge_count = 0
         self._generation = 0
@@ -257,27 +294,22 @@ class GraphStore:
         self._edge_label_views: Dict[str, FrozenSet[Tuple[int, int]]] = {}
         self._out_views: Dict[int, Dict[str, FrozenSet[int]]] = {}
         self._in_views: Dict[int, Dict[str, FrozenSet[int]]] = {}
-        # sorted-adjacency / sorted-label arrays, keyed by
-        # (kind, label, stats_epoch) — entries are immutable, so the
-        # dict is shared with MVCC forks exactly like the plan cache
-        self._adjacency_cache: "OrderedDict[Tuple[str, str, int], Any]" = OrderedDict()
+        # label -> empty AdjacencyIndex for labels with no edge column;
+        # entries stay correct forever (a label that gains edges routes
+        # through its column instead), so the dict is freely shared
+        self._empty_adjacency: Dict[str, AdjacencyIndex] = {}
         # compiled-plan slot managed by repro.plan (per-store, not copied)
         self._plan_cache: Optional[Dict[Any, Any]] = None
         # --- copy-on-write state (see fork) ---
-        # a frozen store is an immutable published snapshot: mutators raise
         self._frozen = False
-        # the top-level index/view dicts are shared with a fork and must
-        # be replaced (pointer-copied) before the first mutation
         self._shared_data = False
         self._shared_views = False
-        # inner sets/dicts may be shared with a fork: privatize per key,
-        # tracked by the _owned_* sets (reset at every fork)
         self._cow_inner = False
-        self._owned_out: Set[int] = set()
-        self._owned_in: Set[int] = set()
-        self._owned_label: Set[str] = set()
-        self._owned_print: Set[Tuple[str, Any]] = set()
-        self._owned_edge_label: Set[str] = set()
+        self._owned_node_cols = False
+        self._owned_print_col = False
+        self._owned_members: Set[int] = set()
+        self._owned_prints: Set[Tuple[int, Any]] = set()
+        self._owned_ecols: Set[int] = set()
 
     # ------------------------------------------------------------------
     # change tracking
@@ -323,7 +355,8 @@ class GraphStore:
 
         Every subsequent mutation appends one inverse-describing entry
         to ``journal.entries``; see :mod:`repro.txn.journal` for the
-        entry vocabulary and the reverse-replay rollback.
+        entry vocabulary and the reverse-replay rollback.  Entries
+        carry interned label ids (ints), not strings.
         """
         self._journals.append(journal)
 
@@ -345,14 +378,18 @@ class GraphStore:
     def fork(self, *, frozen: bool = True) -> "GraphStore":
         """Return an O(1) copy-on-write clone of this store.
 
-        The clone shares *every* index and cached-view structure with
-        this store; nothing is copied at fork time.  The live side pays
-        for divergence lazily: its first mutation after the fork
-        pointer-copies the top-level dicts, and each touched inner
-        set/dict is privatized once (tracked by the ``_owned_*`` sets),
-        so the bytes copied are proportional to the changes made — not
-        to the store.  Neither side ever mutates a structure the other
-        can still see.
+        The clone shares *every* column, index and cached-view
+        structure with this store; nothing is copied at fork time.  The
+        live side pays for divergence lazily: its first mutation after
+        the fork pointer-copies the top-level dicts, node columns are
+        copied on the first write that touches them, and each touched
+        per-label column is privatized once (tracked by the
+        ``_owned_*`` state), so the bytes copied are proportional to
+        the changes made — not to the store.  Neither side ever mutates
+        a structure the other can still see; sorted-adjacency indexes
+        are memoized *on the shared columns*, so a frozen snapshot and
+        its parent keep returning the identical index object until the
+        live side diverges.
 
         With ``frozen=True`` (the default) the clone is an immutable
         published snapshot: concurrent readers may use it freely, and
@@ -363,12 +400,15 @@ class GraphStore:
         so versions at different epochs coexist in one cache.
         """
         clone = GraphStore.__new__(GraphStore)
-        clone._nodes = self._nodes
-        clone._out = self._out
-        clone._in = self._in
-        clone._by_label = self._by_label
-        clone._by_print = self._by_print
-        clone._by_edge_label = self._by_edge_label
+        clone._slot_label = self._slot_label
+        clone._slot_print = self._slot_print
+        clone._slot_id = self._slot_id
+        clone._id_map = self._id_map
+        clone._free = self._free
+        clone._ids = self._ids
+        clone._members = self._members
+        clone._prints = self._prints
+        clone._ecols = self._ecols
         clone._out_stats = self._out_stats
         clone._in_stats = self._in_stats
         clone._next_id = self._next_id
@@ -381,15 +421,7 @@ class GraphStore:
         clone._edge_label_views = self._edge_label_views
         clone._out_views = self._out_views
         clone._in_views = self._in_views
-        # sorted-adjacency entries are immutable and epoch-keyed, so a
-        # snapshot pinned at an older epoch keeps hitting its own
-        # entries while the live side populates new ones — but only
-        # when at most one side can mutate (two mutable stores could
-        # collide on an epoch with different structure)
-        if frozen or self._frozen:
-            clone._adjacency_cache = self._adjacency_cache
-        else:
-            clone._adjacency_cache = OrderedDict()
+        clone._empty_adjacency = self._empty_adjacency
         if self._plan_cache is None and not self._frozen:
             # pre-create so all versions share one epoch-keyed cache
             self._plan_cache = OrderedDict()
@@ -398,22 +430,22 @@ class GraphStore:
         clone._shared_data = True
         clone._shared_views = True
         clone._cow_inner = True
-        clone._owned_out = set()
-        clone._owned_in = set()
-        clone._owned_label = set()
-        clone._owned_print = set()
-        clone._owned_edge_label = set()
+        clone._owned_node_cols = False
+        clone._owned_print_col = False
+        clone._owned_members = set()
+        clone._owned_prints = set()
+        clone._owned_ecols = set()
         if not self._frozen:
             # the live parent must now COW too; a frozen parent never
             # mutates, so forking it is read-only (and thread-safe)
             self._shared_data = True
             self._shared_views = True
             self._cow_inner = True
-            self._owned_out = set()
-            self._owned_in = set()
-            self._owned_label = set()
-            self._owned_print = set()
-            self._owned_edge_label = set()
+            self._owned_node_cols = False
+            self._owned_print_col = False
+            self._owned_members = set()
+            self._owned_prints = set()
+            self._owned_ecols = set()
         return clone
 
     def _before_write(self) -> None:
@@ -434,55 +466,66 @@ class GraphStore:
             self._in_views = {n: dict(v) for n, v in dict(self._in_views).items()}
             self._shared_views = False
         if self._shared_data:
-            self._nodes = dict(self._nodes)
-            self._out = dict(self._out)
-            self._in = dict(self._in)
-            self._by_label = dict(self._by_label)
-            self._by_print = dict(self._by_print)
-            self._by_edge_label = dict(self._by_edge_label)
+            self._members = dict(self._members)
+            self._prints = dict(self._prints)
+            self._ecols = dict(self._ecols)
             self._out_stats = dict(self._out_stats)
             self._in_stats = dict(self._in_stats)
             self._shared_data = False
 
-    def _own_adj_out(self, node_id: int) -> None:
-        if not self._cow_inner or node_id in self._owned_out:
+    def _own_node_cols(self) -> None:
+        """Privatize the slot/id columns before the first node write."""
+        if not self._cow_inner or self._owned_node_cols:
             return
-        adj = self._out.get(node_id)
-        if adj is not None:
-            self._out[node_id] = {lbl: set(ts) for lbl, ts in adj.items()}
-        self._owned_out.add(node_id)
+        labels = array("q")
+        labels.frombytes(self._slot_label.tobytes())
+        self._slot_label = labels
+        ids = array("q")
+        ids.frombytes(self._slot_id.tobytes())
+        self._slot_id = ids
+        self._id_map = self._id_map.clone()
+        self._free = list(self._free)
+        self._ids = self._ids.clone()
+        self._owned_node_cols = True
 
-    def _own_adj_in(self, node_id: int) -> None:
-        if not self._cow_inner or node_id in self._owned_in:
+    def _own_print_col(self) -> None:
+        """Privatize the print column before the first print write."""
+        if not self._cow_inner or self._owned_print_col:
             return
-        adj = self._in.get(node_id)
-        if adj is not None:
-            self._in[node_id] = {lbl: set(ss) for lbl, ss in adj.items()}
-        self._owned_in.add(node_id)
+        self._slot_print = list(self._slot_print)
+        self._owned_print_col = True
 
-    def _own_label(self, label: str) -> None:
-        if not self._cow_inner or label in self._owned_label:
+    def _own_member(self, lid: int) -> IntColumn:
+        col = self._members.get(lid)
+        if col is None:
+            col = self._members[lid] = IntColumn()
+            if self._cow_inner:
+                self._owned_members.add(lid)
+            return col
+        if self._cow_inner and lid not in self._owned_members:
+            col = self._members[lid] = col.clone()
+            self._owned_members.add(lid)
+        return col
+
+    def _own_print_set(self, key: Tuple[int, Any]) -> None:
+        if not self._cow_inner or key in self._owned_prints:
             return
-        nodes = self._by_label.get(label)
+        nodes = self._prints.get(key)
         if nodes is not None:
-            self._by_label[label] = set(nodes)
-        self._owned_label.add(label)
+            self._prints[key] = set(nodes)
+        self._owned_prints.add(key)
 
-    def _own_print(self, key: Tuple[str, Any]) -> None:
-        if not self._cow_inner or key in self._owned_print:
-            return
-        nodes = self._by_print.get(key)
-        if nodes is not None:
-            self._by_print[key] = set(nodes)
-        self._owned_print.add(key)
-
-    def _own_edge_label(self, label: str) -> None:
-        if not self._cow_inner or label in self._owned_edge_label:
-            return
-        pairs = self._by_edge_label.get(label)
-        if pairs is not None:
-            self._by_edge_label[label] = set(pairs)
-        self._owned_edge_label.add(label)
+    def _own_ecol(self, elid: int) -> EdgeColumn:
+        col = self._ecols.get(elid)
+        if col is None:
+            col = self._ecols[elid] = EdgeColumn()
+            if self._cow_inner:
+                self._owned_ecols.add(elid)
+            return col
+        if self._cow_inner and elid not in self._owned_ecols:
+            col = self._ecols[elid] = col.clone()
+            self._owned_ecols.add(elid)
+        return col
 
     # ------------------------------------------------------------------
     # node operations
@@ -499,21 +542,29 @@ class GraphStore:
             node_id = self._next_id
             self._next_id += 1
         else:
-            if node_id in self._nodes:
+            if self._id_map.get(node_id) >= 0:
                 raise GraphStoreError(f"node id {node_id} already exists")
             self._next_id = max(self._next_id, node_id + 1)
-        self._nodes[node_id] = NodeRecord(label, print_value)
-        self._out[node_id] = {}
-        self._in[node_id] = {}
-        if self._cow_inner:
-            # the fresh adjacency dicts are private by construction
-            self._owned_out.add(node_id)
-            self._owned_in.add(node_id)
-        self._own_label(label)
-        self._by_label.setdefault(label, set()).add(node_id)
+        lid = intern_label(label)
+        self._own_node_cols()
+        self._own_print_col()
+        if self._free:
+            slot = self._free.pop()
+            self._slot_label[slot] = lid
+            self._slot_id[slot] = node_id
+            self._slot_print[slot] = print_value
+        else:
+            slot = len(self._slot_label)
+            self._slot_label.append(lid)
+            self._slot_id.append(node_id)
+            self._slot_print.append(print_value)
+        self._id_map.set(node_id, slot)
+        self._ids.add(node_id)
+        self._own_member(lid).add(node_id)
         if print_value is not NO_PRINT:
-            self._own_print((label, print_value))
-            self._by_print.setdefault((label, print_value), set()).add(node_id)
+            key = (lid, print_value)
+            self._own_print_set(key)
+            self._prints.setdefault(key, set()).add(node_id)
         self._label_views.pop(label, None)
         self._out_views.pop(node_id, None)
         self._in_views.pop(node_id, None)
@@ -522,29 +573,35 @@ class GraphStore:
         for tracker in self._trackers:
             tracker.record_node(node_id)
         for journal in self._journals:
-            journal.entries.append(("add_node", node_id, label, print_value))
+            journal.entries.append(("add_node", node_id, lid, print_value))
         return node_id
 
     def remove_node(self, node_id: int) -> None:
         """Delete a node together with all its incident edges."""
-        record = self._require(node_id)
+        slot = self._require_slot(node_id)
         self._before_write()
         for edge in list(self.edges_of(node_id)):
             self.remove_edge(edge.source, edge.label, edge.target)
-        self._own_label(record.label)
-        self._by_label[record.label].discard(node_id)
-        if not self._by_label[record.label]:
-            del self._by_label[record.label]
-        if record.has_print:
-            key = (record.label, record.print_value)
-            self._own_print(key)
-            self._by_print[key].discard(node_id)
-            if not self._by_print[key]:
-                del self._by_print[key]
-        del self._nodes[node_id]
-        del self._out[node_id]
-        del self._in[node_id]
-        self._label_views.pop(record.label, None)
+        lid = self._slot_label[slot]
+        print_value = self._slot_print[slot]
+        label = label_name(lid)
+        self._own_node_cols()
+        self._own_print_col()
+        self._own_member(lid).discard(node_id)
+        if print_value is not NO_PRINT:
+            key = (lid, print_value)
+            self._own_print_set(key)
+            nodes = self._prints[key]
+            nodes.discard(node_id)
+            if not nodes:
+                del self._prints[key]
+        self._slot_label[slot] = -1
+        self._slot_id[slot] = -1
+        self._slot_print[slot] = NO_PRINT
+        self._id_map.pop(node_id)
+        self._free.append(slot)
+        self._ids.discard(node_id)
+        self._label_views.pop(label, None)
         self._out_views.pop(node_id, None)
         self._in_views.pop(node_id, None)
         self._generation += 1
@@ -554,45 +611,62 @@ class GraphStore:
         # incident edges journalled their own removals above, so a
         # reverse replay re-creates the node before re-adding them
         for journal in self._journals:
-            journal.entries.append(("remove_node", node_id, record.label, record.print_value))
+            journal.entries.append(("remove_node", node_id, lid, print_value))
 
     def set_print(self, node_id: int, print_value: Any) -> None:
         """Attach or replace the print value of ``node_id``."""
-        record = self._require(node_id)
+        slot = self._require_slot(node_id)
         self._before_write()
-        if record.has_print:
-            key = (record.label, record.print_value)
-            self._own_print(key)
-            self._by_print[key].discard(node_id)
-            if not self._by_print[key]:
-                del self._by_print[key]
-        self._nodes[node_id] = NodeRecord(record.label, print_value)
+        lid = self._slot_label[slot]
+        old_value = self._slot_print[slot]
+        if old_value is not NO_PRINT:
+            key = (lid, old_value)
+            self._own_print_set(key)
+            nodes = self._prints[key]
+            nodes.discard(node_id)
+            if not nodes:
+                del self._prints[key]
+        self._own_print_col()
+        self._slot_print[slot] = print_value
         if print_value is not NO_PRINT:
-            self._own_print((record.label, print_value))
-            self._by_print.setdefault((record.label, print_value), set()).add(node_id)
+            key = (lid, print_value)
+            self._own_print_set(key)
+            self._prints.setdefault(key, set()).add(node_id)
         self._generation += 1
         for journal in self._journals:
-            journal.entries.append(("set_print", node_id, record.print_value, print_value))
+            journal.entries.append(("set_print", node_id, old_value, print_value))
 
     def has_node(self, node_id: int) -> bool:
         """Whether ``node_id`` exists in the store."""
-        return node_id in self._nodes
+        try:
+            return self._id_map.get(node_id) >= 0
+        except TypeError:
+            return False
 
     def node(self, node_id: int) -> NodeRecord:
-        """Return the :class:`NodeRecord` for ``node_id``."""
-        return self._require(node_id)
+        """Return a :class:`NodeRecord` snapshot for ``node_id``."""
+        slot = self._require_slot(node_id)
+        return NodeRecord(label_name(self._slot_label[slot]), self._slot_print[slot])
 
     def label_of(self, node_id: int) -> str:
-        """Return the label of ``node_id``."""
-        return self._require(node_id).label
+        """Return the label of ``node_id`` (the canonical interned str)."""
+        return label_name(self._slot_label[self._require_slot(node_id)])
+
+    def label_id_of(self, node_id: int) -> int:
+        """Return the interned label id of ``node_id`` (no allocation)."""
+        return self._slot_label[self._require_slot(node_id)]
 
     def print_of(self, node_id: int) -> Any:
         """Return the print value of ``node_id`` (or :data:`NO_PRINT`)."""
-        return self._require(node_id).print_value
+        return self._slot_print[self._require_slot(node_id)]
 
     def nodes(self) -> Iterator[int]:
-        """Iterate over node ids in ascending (creation) order."""
-        return iter(sorted(self._nodes))
+        """Iterate over node ids in ascending (creation) order.
+
+        Backed by the maintained sorted id column — O(1) warm rather
+        than sorting the full id set on every call.
+        """
+        return iter(self._ids.merged())
 
     def nodes_with_label(self, label: str) -> FrozenSet[int]:
         """All node ids carrying ``label`` (a cached frozenset view).
@@ -602,21 +676,29 @@ class GraphStore:
         """
         view = self._label_views.get(label)
         if view is None:
-            view = self._label_views[label] = frozenset(self._by_label.get(label, ()))
+            lid = lookup_label(label)
+            col = self._members.get(lid) if lid >= 0 else None
+            view = frozenset(col.merged()) if col is not None else frozenset()
+            self._label_views[label] = view
         return view
 
     def nodes_with_print(self, label: str, print_value: Any) -> FrozenSet[int]:
         """All node ids with the given label *and* print value."""
-        return frozenset(self._by_print.get((label, print_value), frozenset()))
+        lid = lookup_label(label)
+        if lid < 0:
+            return frozenset()
+        return frozenset(self._prints.get((lid, print_value), frozenset()))
 
     def labels_in_use(self) -> FrozenSet[str]:
         """The set of node labels that occur in the store."""
-        return frozenset(self._by_label)
+        return frozenset(
+            label_name(lid) for lid, col in self._members.items() if col.count
+        )
 
     @property
     def node_count(self) -> int:
         """Number of nodes in the store."""
-        return len(self._nodes)
+        return self._ids.count
 
     @property
     def next_id(self) -> int:
@@ -628,20 +710,19 @@ class GraphStore:
     # ------------------------------------------------------------------
     def add_edge(self, source: int, label: str, target: int) -> bool:
         """Insert the edge; return ``False`` if it was already present."""
-        source_record = self._require(source)
-        target_record = self._require(target)
-        if target in self._out[source].get(label, ()):
+        s_slot = self._require_slot(source)
+        t_slot = self._require_slot(target)
+        elid = lookup_label(label)
+        existing = self._ecols.get(elid) if elid >= 0 else None
+        if existing is not None and existing.has(source, target):
             return False
         self._before_write()
-        self._own_adj_out(source)
-        self._own_adj_in(target)
-        self._own_edge_label(label)
-        self._out[source].setdefault(label, set()).add(target)
-        self._in[target].setdefault(label, set()).add(source)
-        self._by_edge_label.setdefault(label, set()).add((source, target))
-        out_key = (source_record.label, label)
+        if elid < 0:
+            elid = intern_label(label)
+        self._own_ecol(elid).add(source, target)
+        out_key = (self._slot_label[s_slot], elid)
         self._out_stats[out_key] = self._out_stats.get(out_key, 0) + 1
-        in_key = (target_record.label, label)
+        in_key = (self._slot_label[t_slot], elid)
         self._in_stats[in_key] = self._in_stats.get(in_key, 0) + 1
         self._edge_label_views.pop(label, None)
         self._out_views.pop(source, None)
@@ -652,35 +733,23 @@ class GraphStore:
         for tracker in self._trackers:
             tracker.record_edge((source, label, target))
         for journal in self._journals:
-            journal.entries.append(("add_edge", source, label, target))
+            journal.entries.append(("add_edge", source, elid, target))
         return True
 
     def remove_edge(self, source: int, label: str, target: int) -> bool:
         """Delete the edge; return ``False`` if it was not present."""
-        if target not in self._out.get(source, {}).get(label, ()):
+        elid = lookup_label(label)
+        existing = self._ecols.get(elid) if elid >= 0 else None
+        if existing is None or not existing.has(source, target):
             return False
         self._before_write()
-        self._own_adj_out(source)
-        self._own_adj_in(target)
-        self._own_edge_label(label)
-        targets = self._out[source][label]
-        targets.discard(target)
-        if not targets:
-            del self._out[source][label]
-        sources = self._in[target][label]
-        sources.discard(source)
-        if not sources:
-            del self._in[target][label]
-        pairs = self._by_edge_label[label]
-        pairs.discard((source, target))
-        if not pairs:
-            del self._by_edge_label[label]
-        out_key = (self._nodes[source].label, label)
+        self._own_ecol(elid).remove(source, target)
+        out_key = (self._slot_label[self._id_map.get(source)], elid)
         if self._out_stats[out_key] == 1:
             del self._out_stats[out_key]
         else:
             self._out_stats[out_key] -= 1
-        in_key = (self._nodes[target].label, label)
+        in_key = (self._slot_label[self._id_map.get(target)], elid)
         if self._in_stats[in_key] == 1:
             del self._in_stats[in_key]
         else:
@@ -694,12 +763,16 @@ class GraphStore:
         for tracker in self._trackers:
             tracker.retract_edge((source, label, target))
         for journal in self._journals:
-            journal.entries.append(("remove_edge", source, label, target))
+            journal.entries.append(("remove_edge", source, elid, target))
         return True
 
     def has_edge(self, source: int, label: str, target: int) -> bool:
         """Whether the edge ``source --label--> target`` exists."""
-        return target in self._out.get(source, {}).get(label, ())
+        elid = lookup_label(label)
+        if elid < 0:
+            return False
+        col = self._ecols.get(elid)
+        return col is not None and col.has(source, target)
 
     def out_neighbours(self, node_id: int, label: str) -> FrozenSet[int]:
         """Targets of ``label``-edges leaving ``node_id``.
@@ -712,7 +785,9 @@ class GraphStore:
             views = self._out_views[node_id] = {}
         view = views.get(label)
         if view is None:
-            view = views[label] = frozenset(self._out.get(node_id, {}).get(label, ()))
+            col = self._ecol_for(label)
+            view = frozenset(col.out_list(node_id)) if col is not None else frozenset()
+            views[label] = view
         return view
 
     def in_neighbours(self, node_id: int, label: str) -> FrozenSet[int]:
@@ -725,31 +800,41 @@ class GraphStore:
             views = self._in_views[node_id] = {}
         view = views.get(label)
         if view is None:
-            view = views[label] = frozenset(self._in.get(node_id, {}).get(label, ()))
+            col = self._ecol_for(label)
+            view = frozenset(col.in_list(node_id)) if col is not None else frozenset()
+            views[label] = view
         return view
 
     def out_labels(self, node_id: int) -> FrozenSet[str]:
         """Edge labels leaving ``node_id``."""
-        self._require(node_id)
-        return frozenset(self._out[node_id])
+        self._require_slot(node_id)
+        return frozenset(
+            label_name(elid)
+            for elid, col in self._ecols.items()
+            if col.has_source(node_id)
+        )
 
     def in_labels(self, node_id: int) -> FrozenSet[str]:
         """Edge labels arriving at ``node_id``."""
-        self._require(node_id)
-        return frozenset(self._in[node_id])
+        self._require_slot(node_id)
+        return frozenset(
+            label_name(elid)
+            for elid, col in self._ecols.items()
+            if col.has_target(node_id)
+        )
 
     def out_edges(self, node_id: int) -> Iterator[Edge]:
         """Iterate over edges leaving ``node_id`` deterministically."""
-        self._require(node_id)
-        for label in sorted(self._out[node_id]):
-            for target in sorted(self._out[node_id][label]):
+        self._require_slot(node_id)
+        for label, col in self._sorted_ecols():
+            for target in col.out_list(node_id):
                 yield Edge(node_id, label, target)
 
     def in_edges(self, node_id: int) -> Iterator[Edge]:
         """Iterate over edges arriving at ``node_id`` deterministically."""
-        self._require(node_id)
-        for label in sorted(self._in[node_id]):
-            for source in sorted(self._in[node_id][label]):
+        self._require_slot(node_id)
+        for label, col in self._sorted_ecols():
+            for source in col.in_list(node_id):
                 yield Edge(source, label, node_id)
 
     def edges_of(self, node_id: int) -> Iterator[Edge]:
@@ -763,11 +848,27 @@ class GraphStore:
                 yield edge
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over all edges, deterministically ordered."""
-        for node_id in sorted(self._out):
-            for label in sorted(self._out[node_id]):
-                for target in sorted(self._out[node_id][label]):
+        """Iterate over all edges, deterministically ordered
+        (ascending source id, then label, then target)."""
+        cols = self._sorted_ecols()
+        if not cols:
+            return
+        for node_id in self.nodes():
+            for label, col in cols:
+                for target in col.out_list(node_id):
                     yield Edge(node_id, label, target)
+
+    def _sorted_ecols(self) -> List[Tuple[str, EdgeColumn]]:
+        return sorted(
+            ((label_name(elid), col) for elid, col in self._ecols.items() if col.count),
+            key=lambda pair: pair[0],
+        )
+
+    def _ecol_for(self, label: str) -> Optional[EdgeColumn]:
+        elid = lookup_label(label)
+        if elid < 0:
+            return None
+        return self._ecols.get(elid)
 
     @property
     def edge_count(self) -> int:
@@ -785,79 +886,78 @@ class GraphStore:
         """
         view = self._edge_label_views.get(label)
         if view is None:
-            view = self._edge_label_views[label] = frozenset(self._by_edge_label.get(label, ()))
+            col = self._ecol_for(label)
+            view = frozenset(col.pairs()) if col is not None else frozenset()
+            self._edge_label_views[label] = view
         return view
 
     def edge_labels_in_use(self) -> FrozenSet[str]:
         """The set of edge labels that occur in the store."""
-        return frozenset(self._by_edge_label)
+        return frozenset(
+            label_name(elid) for elid, col in self._ecols.items() if col.count
+        )
 
     # ------------------------------------------------------------------
     # sorted-adjacency arrays (worst-case-optimal join support)
     # ------------------------------------------------------------------
     def sorted_adjacency(self, label: str) -> AdjacencyIndex:
-        """The CSR sorted-adjacency index for ``label`` at this epoch.
+        """The CSR sorted-adjacency index for ``label``.
 
-        Built lazily from the edge-label pair index on first request and
-        cached keyed by ``(label, stats_epoch)`` — a structural mutation
-        strands the old entry rather than patching it, and a frozen MVCC
-        fork (which shares this cache by reference) keeps hitting the
-        entry for its own pinned epoch.  The returned index is immutable;
+        The adjacency arrays *are* the primary edge representation, so
+        a warm call is an O(1) memoized wrap of the column's base
+        arrays; only an outstanding pending overlay costs a linear
+        merge (memoized until the next mutation of that label).  The
+        returned index is immutable and shared freely with MVCC forks;
         see :mod:`repro.graph.adjacency`.
         """
-        key = ("adj", label, self._stats_epoch)
-        cache = self._adjacency_cache
-        index = cache.get(key)
+        col = self._ecol_for(label)
+        if col is None:
+            index = self._empty_adjacency.get(label)
+            if index is None:
+                index = AdjacencyIndex(label, (), self._stats_epoch)
+                self._empty_adjacency[label] = index
+            return index
+        index = col.index
         if index is None:
-            index = AdjacencyIndex(
-                label, self._by_edge_label.get(label, ()), self._stats_epoch
+            index = AdjacencyIndex.from_arrays(
+                label, self._stats_epoch, *col.merged_arrays()
             )
-            cache[key] = index
-            self._trim_adjacency_cache()
+            col.index = index
         return index
 
     def cached_adjacency(self, label: str) -> Optional[AdjacencyIndex]:
-        """The current-epoch index for ``label`` if already built, else
+        """The current index for ``label`` if already built, else
         ``None`` — lets hot paths use arrays opportunistically without
         forcing a build for one-off lookups."""
-        return self._adjacency_cache.get(("adj", label, self._stats_epoch))
+        col = self._ecol_for(label)
+        if col is None:
+            return self._empty_adjacency.get(label)
+        return col.index
 
     def sorted_nodes_with_label(self, label: str) -> array:
         """All node ids carrying ``label`` as a sorted ``array('q')``.
 
-        Cached per ``(label, stats_epoch)`` alongside the adjacency
-        indexes; the multiway join intersects this array directly so
+        The maintained membership column itself (merged view) — O(1)
+        warm; the multiway join intersects this array directly so
         candidate node ids come out label-checked for free.  Callers
         must not mutate the returned array.
         """
-        key = ("lbl", label, self._stats_epoch)
-        cache = self._adjacency_cache
-        nodes = cache.get(key)
-        if nodes is None:
-            nodes = array("q", sorted(self._by_label.get(label, ())))
-            cache[key] = nodes
-            self._trim_adjacency_cache()
-        return nodes
-
-    def _trim_adjacency_cache(self) -> None:
-        """Bound the adjacency cache; tolerant of concurrent readers
-        (a frozen fork may be inserting entries for its own epoch)."""
-        cache = self._adjacency_cache
-        try:
-            while len(cache) > MAX_CACHED_ADJACENCY:
-                cache.popitem(last=False)
-        except KeyError:  # concurrent eviction raced ours; stays bounded
-            pass
+        lid = lookup_label(label)
+        col = self._members.get(lid) if lid >= 0 else None
+        if col is None:
+            return EMPTY_ARRAY
+        return col.merged()
 
     def label_count(self, label: str) -> int:
         """Number of nodes carrying ``label`` (O(1))."""
-        nodes = self._by_label.get(label)
-        return 0 if nodes is None else len(nodes)
+        lid = lookup_label(label)
+        col = self._members.get(lid) if lid >= 0 else None
+        return 0 if col is None else col.count
 
     def edge_label_count(self, label: str) -> int:
         """Number of edges carrying ``label`` (O(1))."""
-        pairs = self._by_edge_label.get(label)
-        return 0 if pairs is None else len(pairs)
+        col = self._ecol_for(label)
+        return 0 if col is None else col.count
 
     def out_degree_total(self, node_label: str, edge_label: str) -> int:
         """How many ``edge_label`` edges leave ``node_label`` nodes (O(1)).
@@ -865,71 +965,211 @@ class GraphStore:
         Divided by :meth:`label_count`, this is the average out-degree
         the planner uses to cost an index-probe extension.
         """
-        return self._out_stats.get((node_label, edge_label), 0)
+        lid = lookup_label(node_label)
+        elid = lookup_label(edge_label)
+        if lid < 0 or elid < 0:
+            return 0
+        return self._out_stats.get((lid, elid), 0)
 
     def in_degree_total(self, node_label: str, edge_label: str) -> int:
         """How many ``edge_label`` edges arrive at ``node_label`` nodes (O(1))."""
-        return self._in_stats.get((node_label, edge_label), 0)
+        lid = lookup_label(node_label)
+        elid = lookup_label(edge_label)
+        if lid < 0 or elid < 0:
+            return 0
+        return self._in_stats.get((lid, elid), 0)
+
+    # ------------------------------------------------------------------
+    # resident-size accounting (STATS gauges, benchmarks)
+    # ------------------------------------------------------------------
+    def store_bytes(self) -> int:
+        """Approximate resident bytes of the store's core columns.
+
+        Counts the slot columns, id map, membership and adjacency
+        columns and the index/statistics dicts; print *values* are
+        shared Python objects and are not traversed.  Cached frozenset
+        views are derived data and excluded.
+        """
+        total = self._slot_label.itemsize * len(self._slot_label)
+        total += self._slot_id.itemsize * len(self._slot_id)
+        total += sys.getsizeof(self._slot_print)
+        total += self._id_map.nbytes()
+        total += sys.getsizeof(self._free) + self._ids.nbytes()
+        total += sys.getsizeof(self._members) + sys.getsizeof(self._ecols)
+        for col in self._members.values():
+            total += col.nbytes()
+        for ecol in self._ecols.values():
+            total += ecol.nbytes()
+        total += sys.getsizeof(self._prints)
+        for nodes in self._prints.values():
+            total += sys.getsizeof(nodes)
+        total += sys.getsizeof(self._out_stats) + sys.getsizeof(self._in_stats)
+        return total
 
     # ------------------------------------------------------------------
     # whole-graph operations
     # ------------------------------------------------------------------
     def copy(self) -> "GraphStore":
-        """Deep-copy the store; node ids and the id counter carry over.
+        """Copy the store; node ids and the id counter carry over.
 
-        The cached frozenset views are *shared* with the copy until
-        either side first mutates (each side privatizes its view dicts
-        before writing), so a copied store keeps serving the identical
-        view objects instead of rebuilding them.  A frozen snapshot
-        never changes, so copying one degenerates to an O(1) mutable
-        fork.
+        Implemented as a mutable copy-on-write fork: both sides keep
+        deep-copy semantics but only pay for the columns they actually
+        touch afterwards.  The compiled plan cache deliberately does
+        not carry over (unlike :meth:`fork`, a copy is an independent
+        database, not a version of this one).
         """
         if self._frozen:
             return self.fork(frozen=False)
-        clone = GraphStore()
-        clone._nodes = dict(self._nodes)
-        clone._out = {n: {lbl: set(ts) for lbl, ts in adj.items()} for n, adj in self._out.items()}
-        clone._in = {n: {lbl: set(ss) for lbl, ss in adj.items()} for n, adj in self._in.items()}
-        clone._by_label = {lbl: set(ns) for lbl, ns in self._by_label.items()}
-        clone._by_print = {key: set(ns) for key, ns in self._by_print.items()}
-        clone._by_edge_label = {lbl: set(ps) for lbl, ps in self._by_edge_label.items()}
-        clone._out_stats = dict(self._out_stats)
-        clone._in_stats = dict(self._in_stats)
-        clone._next_id = self._next_id
-        clone._edge_count = self._edge_count
-        clone._generation = self._generation
-        clone._stats_epoch = self._stats_epoch
-        # the view caches are shared until first divergence; trackers,
-        # journals and the plan cache deliberately do not carry over
-        clone._label_views = self._label_views
-        clone._edge_label_views = self._edge_label_views
-        clone._out_views = self._out_views
-        clone._in_views = self._in_views
-        clone._shared_views = True
-        self._shared_views = True
+        had_plan_cache = self._plan_cache is not None
+        clone = self.fork(frozen=False)
+        clone._plan_cache = None
+        if not had_plan_cache:
+            self._plan_cache = None
         return clone
 
     def degree(self, node_id: int) -> int:
         """Total number of incident edge endpoints at ``node_id``."""
-        self._require(node_id)
-        out_deg = sum(len(ts) for ts in self._out[node_id].values())
-        in_deg = sum(len(ss) for ss in self._in[node_id].values())
-        return out_deg + in_deg
+        self._require_slot(node_id)
+        return sum(
+            col.out_degree(node_id) + col.in_degree(node_id)
+            for col in self._ecols.values()
+        )
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return self._ids.count
 
     def __contains__(self, node_id: object) -> bool:
-        return node_id in self._nodes
+        return self.has_node(node_id)  # type: ignore[arg-type]
+
+    def __iter__(self) -> Iterator[int]:
+        return self.nodes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GraphStore(nodes={self.node_count}, edges={self.edge_count})"
 
     # ------------------------------------------------------------------
+    # bulk column access (checkpoint streaming)
+    # ------------------------------------------------------------------
+    def snapshot_columns(self) -> Dict[str, Any]:
+        """Dense columns for bulk serialization (checkpoint format 2).
+
+        Returns a dict with a *local* label table (so the document is
+        self-contained across processes whose global interners differ):
+
+        * ``labels`` — local-id-ordered label strings;
+        * ``node_ids`` / ``node_labels`` — parallel lists (label =
+          local id);
+        * ``prints`` — ``[index, value]`` pairs into the node lists;
+        * ``edges`` — ``[local label id, [s, t, s, t, ...]]`` pairs.
+        """
+        local: Dict[int, int] = {}
+        labels: List[str] = []
+
+        def localize(lid: int) -> int:
+            local_id = local.get(lid)
+            if local_id is None:
+                local_id = local[lid] = len(labels)
+                labels.append(label_name(lid))
+            return local_id
+
+        node_ids: List[int] = []
+        node_labels: List[int] = []
+        prints: List[List[Any]] = []
+        id_map = self._id_map
+        slot_label = self._slot_label
+        slot_print = self._slot_print
+        for index, node_id in enumerate(self._ids.merged()):
+            slot = id_map.get(node_id)
+            node_ids.append(node_id)
+            node_labels.append(localize(slot_label[slot]))
+            value = slot_print[slot]
+            if value is not NO_PRINT:
+                prints.append([index, value])
+        edges: List[List[Any]] = []
+        for elid in sorted(
+            (elid for elid, col in self._ecols.items() if col.count),
+            key=label_name,
+        ):
+            flat: List[int] = []
+            for source, target in self._ecols[elid].pairs():
+                flat.append(source)
+                flat.append(target)
+            edges.append([localize(elid), flat])
+        return {
+            "labels": labels,
+            "node_ids": node_ids,
+            "node_labels": node_labels,
+            "prints": prints,
+            "edges": edges,
+            "next_id": self._next_id,
+        }
+
+    @classmethod
+    def from_columns(cls, columns: Dict[str, Any]) -> "GraphStore":
+        """Rebuild a store from :meth:`snapshot_columns` output."""
+        store = cls()
+        labels = [intern_label(name) for name in columns["labels"]]
+        node_ids = columns["node_ids"]
+        node_labels = columns["node_labels"]
+        slot_label = store._slot_label
+        slot_id = store._slot_id
+        slot_print = store._slot_print
+        id_map = store._id_map
+        members: Dict[int, List[int]] = {}
+        for slot, (node_id, local_id) in enumerate(zip(node_ids, node_labels)):
+            lid = labels[local_id]
+            slot_label.append(lid)
+            slot_id.append(node_id)
+            slot_print.append(NO_PRINT)
+            id_map.set(node_id, slot)
+            members.setdefault(lid, []).append(node_id)
+        for index, value in columns["prints"]:
+            node_id = node_ids[index]
+            slot_print[index] = value
+            lid = labels[node_labels[index]]
+            store._prints.setdefault((lid, value), set()).add(node_id)
+        ids = array("q", node_ids)
+        if any(ids[i] > ids[i + 1] for i in range(len(ids) - 1)):
+            ids = array("q", sorted(ids))
+        store._ids = IntColumn(ids)
+        for lid, nodes in members.items():
+            nodes.sort()
+            store._members[lid] = IntColumn(array("q", nodes))
+        edge_count = 0
+        for local_id, flat in columns["edges"]:
+            elid = labels[local_id]
+            col = store._ecols[elid] = EdgeColumn()
+            pairs = sorted(
+                (flat[i], flat[i + 1]) for i in range(0, len(flat), 2)
+            )
+            col.fwd_keys, col.fwd_offs, col.fwd_vals = build_csr(pairs)
+            rev = sorted((t, s) for s, t in pairs)
+            col.rev_keys, col.rev_offs, col.rev_vals = build_csr(rev)
+            col.count = len(pairs)
+            edge_count += len(pairs)
+            for source, target in pairs:
+                s_lid = slot_label[id_map.get(source)]
+                t_lid = slot_label[id_map.get(target)]
+                out_key = (s_lid, elid)
+                store._out_stats[out_key] = store._out_stats.get(out_key, 0) + 1
+                in_key = (t_lid, elid)
+                store._in_stats[in_key] = store._in_stats.get(in_key, 0) + 1
+        store._edge_count = edge_count
+        store._next_id = columns.get("next_id", 0)
+        if node_ids:
+            store._next_id = max(store._next_id, max(node_ids) + 1)
+        store._generation = store._ids.count + edge_count
+        store._stats_epoch = store._generation
+        return store
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _require(self, node_id: int) -> NodeRecord:
+    def _require_slot(self, node_id: int) -> int:
         try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise GraphStoreError(f"unknown node id {node_id!r}") from None
+            slot = self._id_map.get(node_id)
+        except TypeError:
+            slot = -1
+        if slot < 0:
+            raise GraphStoreError(f"unknown node id {node_id!r}")
+        return slot

@@ -22,6 +22,13 @@ from repro.graph.store import NO_PRINT
 
 FORMAT_VERSION = 1
 
+#: The columnar bulk format (checkpoint streaming): the label table is
+#: written once, then flat parallel int columns — ~10× smaller and much
+#: faster to parse than the per-record format 1 on large instances.
+#: :func:`instance_from_json` auto-detects both formats; format 1 stays
+#: the default for user-facing SAVE/LOAD documents (diffable, obvious).
+COLUMNAR_FORMAT_VERSION = 2
+
 
 class SerializationError(GoodError):
     """Malformed serialised data.
@@ -131,9 +138,53 @@ def instance_to_json(instance: Instance) -> Dict[str, Any]:
     }
 
 
+def instance_to_columnar_json(instance: Instance) -> Dict[str, Any]:
+    """A JSON-ready *columnar* document (format 2) for an instance.
+
+    Requires the native columnar store; the label table appears once
+    under ``labels`` and nodes/edges are flat parallel int lists.
+    """
+    columns = instance.store.snapshot_columns()
+    return {
+        "format": COLUMNAR_FORMAT_VERSION,
+        "scheme": scheme_to_json(instance.scheme),
+        "labels": columns["labels"],
+        "node_ids": columns["node_ids"],
+        "node_labels": columns["node_labels"],
+        "prints": columns["prints"],
+        "edges": columns["edges"],
+        "next_id": columns["next_id"],
+    }
+
+
+def _instance_from_columnar(data: Dict[str, Any]) -> Instance:
+    from repro.graph.store import GraphStore
+
+    scheme = scheme_from_json(_require_key(data, "scheme", "instance"))
+    for key in ("labels", "node_ids", "node_labels", "prints", "edges"):
+        _require_list(data, key, "instance")
+    if len(data["node_ids"]) != len(data["node_labels"]):
+        raise SerializationError(
+            "instance: 'node_ids' and 'node_labels' columns differ in length"
+        )
+    try:
+        store = GraphStore.from_columns(data)
+    except (TypeError, ValueError, IndexError, KeyError) as error:
+        raise SerializationError(f"instance: malformed columnar document: {error}") from error
+    instance = Instance(scheme, _store=store)
+    instance.validate()
+    return instance
+
+
 def instance_from_json(data: Dict[str, Any]) -> Instance:
-    """Rebuild an instance, preserving node ids, and validate it."""
+    """Rebuild an instance, preserving node ids, and validate it.
+
+    Accepts both the per-record format 1 and the columnar format 2
+    (auto-detected by the ``format`` key).
+    """
     data = _require_mapping(data, "instance")
+    if data.get("format") == COLUMNAR_FORMAT_VERSION:
+        return _instance_from_columnar(data)
     if data.get("format") != FORMAT_VERSION:
         raise SerializationError(f"unsupported instance format {data.get('format')!r}")
     scheme = scheme_from_json(_require_key(data, "scheme", "instance"))
@@ -230,6 +281,45 @@ def write_instance(instance: Instance, fp: IO[str]) -> None:
     fp.write("\n  ],\n" if not first else "],\n")
     scheme_doc = dump(scheme_to_json(instance.scheme), indent=2, sort_keys=True)
     fp.write('  "scheme": ' + scheme_doc.replace("\n", "\n  ") + "\n}")
+
+
+def _write_int_list(fp: IO[str], values: Any) -> None:
+    # stream a long int list in bounded chunks instead of one dump string
+    fp.write("[")
+    for start in range(0, len(values), 65536):
+        if start:
+            fp.write(",")
+        fp.write(",".join(map(str, values[start : start + 65536])))
+    fp.write("]")
+
+
+def write_instance_columnar(instance: Instance, fp: IO[str]) -> None:
+    """Stream an instance in the columnar format 2 to an open file.
+
+    The intern (label) table is written once; node and edge columns
+    follow as flat int lists emitted in bounded chunks, so checkpointing
+    a 10^6-node store costs neither a second in-memory instance document
+    nor one giant dump string.
+    """
+    columns = instance.store.snapshot_columns()
+    dump = json.dumps
+    fp.write('{"format": %d,\n' % COLUMNAR_FORMAT_VERSION)
+    fp.write('"labels": %s,\n' % dump(columns["labels"]))
+    fp.write('"next_id": %d,\n' % columns["next_id"])
+    fp.write('"node_ids": ')
+    _write_int_list(fp, columns["node_ids"])
+    fp.write(',\n"node_labels": ')
+    _write_int_list(fp, columns["node_labels"])
+    fp.write(',\n"prints": %s,\n' % dump(columns["prints"]))
+    fp.write('"edges": [')
+    for position, (local_id, flat) in enumerate(columns["edges"]):
+        if position:
+            fp.write(",")
+        fp.write("\n[%d, " % local_id)
+        _write_int_list(fp, flat)
+        fp.write("]")
+    fp.write('],\n')
+    fp.write('"scheme": %s}' % dump(scheme_to_json(instance.scheme), sort_keys=True))
 
 
 def save_instance(instance: Instance, path: Union[str, Path]) -> None:

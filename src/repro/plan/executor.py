@@ -117,16 +117,17 @@ def _binding_ok(pattern: Pattern, instance: Instance, pattern_node: int, instanc
     if not instance.has_node(instance_node):
         return False
     p_record = pattern.node_record(pattern_node)
-    i_record = instance.node_record(instance_node)
-    if p_record.label != i_record.label:
+    if p_record.label != instance.label_of(instance_node):
         return False
-    if p_record.has_print and (
-        not i_record.has_print or p_record.print_value != i_record.print_value
-    ):
+    # the columnar store answers label/print lookups without building a
+    # NodeRecord, so compare the raw print value (NO_PRINT never equals
+    # a real value, covering the has-print check for free)
+    i_print = instance.print_of(instance_node)
+    if p_record.has_print and p_record.print_value != i_print:
         return False
     predicate = pattern.predicate_of(pattern_node)
     if predicate is not None:
-        if not i_record.has_print or not predicate(i_record.print_value):
+        if i_print is NO_PRINT or not predicate(i_print):
             return False
     return True
 
@@ -427,18 +428,20 @@ def _interpret_plan(
         assignment: Matching = dict(fixed)
         steps = plan.steps
 
+        label_of = instance.label_of
+        print_of = instance.print_of
+
         def node_ok(node: int, candidate: int) -> bool:
+            # raw column reads — no NodeRecord allocation per candidate
             record = records[node]
-            c_record = instance.node_record(candidate)
-            if c_record.label != record.label:
+            if label_of(candidate) != record.label:
                 return False
-            if record.has_print and (
-                not c_record.has_print or c_record.print_value != record.print_value
-            ):
+            c_print = print_of(candidate)
+            if record.has_print and record.print_value != c_print:
                 return False
             predicate = predicates[node]
             if predicate is not None:
-                if not c_record.has_print or not predicate(c_record.print_value):
+                if c_print is NO_PRINT or not predicate(c_print):
                     return False
             return True
 

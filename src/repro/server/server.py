@@ -179,6 +179,16 @@ class GoodServer:
             bucket["snapshots"] = database.snapshots.gauges()
             if database.durability is not None:
                 bucket["lsn"] = database.durability.lsn
+            if database.session is not None:
+                # columnar memory gauges (native stores account their
+                # own resident columns)
+                store = database.session.instance.store
+                if hasattr(store, "store_bytes"):
+                    bucket["store_bytes"] = store.store_bytes()
+        from repro.graph.columns import LABELS
+
+        payload["intern_table_size"] = len(LABELS)
+        payload["intern_table_bytes"] = LABELS.table_bytes()
         return payload
 
     def replication_info(self) -> Dict[str, Any]:

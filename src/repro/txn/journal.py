@@ -290,17 +290,27 @@ class InstanceJournal(UndoJournal):
         except ValueError:  # pragma: no cover - defensive
             pass
 
+    @staticmethod
+    def _label(value: Any) -> str:
+        # columnar stores journal interned label ids (ints); the
+        # reference store journals strings — replay speaks both
+        if isinstance(value, str):
+            return value
+        from repro.graph.columns import label_name
+
+        return label_name(value)
+
     def _replay(self, entry: Tuple) -> None:
         tag = entry[0]
         store = self.store
         if tag == "add_edge":
-            store.remove_edge(entry[1], entry[2], entry[3])
+            store.remove_edge(entry[1], self._label(entry[2]), entry[3])
         elif tag == "remove_edge":
-            store.add_edge(entry[1], entry[2], entry[3])
+            store.add_edge(entry[1], self._label(entry[2]), entry[3])
         elif tag == "add_node":
             store.remove_node(entry[1])
         elif tag == "remove_node":
-            store.add_node(entry[2], entry[3], node_id=entry[1])
+            store.add_node(self._label(entry[2]), entry[3], node_id=entry[1])
         elif tag == "set_print":
             store.set_print(entry[1], entry[2])
         elif tag == "scheme":

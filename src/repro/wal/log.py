@@ -36,7 +36,39 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.txn import faults
-from repro.wal.record import WalError, encode_record, scan_records
+from repro.wal.record import (
+    BINARY_MAGIC,
+    WalError,
+    encode_record,
+    encode_record_binary,
+    scan_binary_records,
+    scan_records,
+    scan_text_records,
+)
+
+#: WAL segment payload formats (``--wal-format``).
+TEXT_FORMAT = "text"
+BINARY_FORMAT = "binary"
+
+
+def parse_wal_format(text: str) -> str:
+    """Validate a ``--wal-format`` value (``text`` or ``binary``)."""
+    value = str(text).strip().lower()
+    if value not in (TEXT_FORMAT, BINARY_FORMAT):
+        raise WalError(f"unknown WAL format {text!r} (expected text or binary)")
+    return value
+
+
+def sniff_segment_format(path: Union[str, Path]) -> Optional[str]:
+    """The format of an existing segment, or ``None`` if empty/absent."""
+    try:
+        with open(path, "rb") as fp:
+            head = fp.read(len(BINARY_MAGIC))
+    except OSError:
+        return None
+    if not head:
+        return None
+    return BINARY_FORMAT if head == BINARY_MAGIC else TEXT_FORMAT
 
 
 class FsyncPolicy:
@@ -122,9 +154,18 @@ class CommitTicket:
 class WalWriter:
     """Append-only writer for one WAL segment file."""
 
-    def __init__(self, path: Union[str, Path], policy: Union[str, FsyncPolicy] = "always") -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        policy: Union[str, FsyncPolicy] = "always",
+        wal_format: str = TEXT_FORMAT,
+    ) -> None:
         self.path = Path(path)
         self.policy = parse_fsync_policy(policy)
+        #: configured format for *fresh* segments; a non-empty existing
+        #: segment keeps the format it was started with (sniffed below)
+        self.wal_format = parse_wal_format(wal_format)
+        existing = sniff_segment_format(self.path)
         # unbuffered: the written offset *is* the file offset, which the
         # torn-tail simulation and group-commit bookkeeping rely on
         self._file = open(self.path, "ab", buffering=0)
@@ -134,6 +175,10 @@ class WalWriter:
         # blocking appends; always acquired *before* ``_lock``
         self._flush_lock = threading.RLock()
         self._written = self._file.tell()
+        self._segment_format = existing if existing is not None else self.wal_format
+        if self._written == 0 and self._segment_format == BINARY_FORMAT:
+            self._file.write(BINARY_MAGIC)
+            self._written = self._file.tell()
         self._synced = self._written
         self._pending: List[CommitTicket] = []
         self._poison: Optional[BaseException] = None
@@ -150,7 +195,10 @@ class WalWriter:
     # ------------------------------------------------------------------
     def append(self, doc: Dict[str, Any]) -> CommitTicket:
         """Frame and write one record; returns its durability ticket."""
-        data = encode_record(doc)
+        if self._segment_format == BINARY_FORMAT:
+            data = encode_record_binary(doc)
+        else:
+            data = encode_record(doc)
         with self._lock:
             self._require_usable()
             try:
@@ -346,8 +394,13 @@ class WalWriter:
                 self._require_usable()
                 self._file.close()
                 self.path = Path(new_path)
+                existing = sniff_segment_format(self.path)
                 self._file = open(self.path, "ab", buffering=0)
                 self._written = self._file.tell()
+                self._segment_format = existing if existing is not None else self.wal_format
+                if self._written == 0 and self._segment_format == BINARY_FORMAT:
+                    self._file.write(BINARY_MAGIC)
+                    self._written = self._file.tell()
                 self._synced = self._written
 
     def poison(self, error: BaseException) -> None:
@@ -405,9 +458,18 @@ class WalReader:
             size = os.fstat(fp.fileno()).st_size
             if size < offset:
                 return [], size
+            head = fp.read(len(BINARY_MAGIC))
+            binary = head == BINARY_MAGIC
+            if binary and offset < len(BINARY_MAGIC):
+                # a fresh tailer starts at 0; binary records begin
+                # after the segment magic
+                offset = len(BINARY_MAGIC)
             fp.seek(offset)
             data = fp.read()
-        records, valid_length, _torn = scan_records(data)
+        if binary:
+            records, valid_length, _torn = scan_binary_records(data)
+        else:
+            records, valid_length, _torn = scan_text_records(data)
         return records, offset + valid_length
 
     @staticmethod

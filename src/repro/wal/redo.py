@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Any, Dict, List
 
 from repro.core.instance import Instance
+from repro.graph.columns import intern_label, label_name
 from repro.graph.store import NO_PRINT
 from repro.io.serialize import (
     instance_from_json,
@@ -83,11 +84,24 @@ def extract_redo(database: Any, journal: Any) -> List[Dict[str, Any]]:
 
 
 def _native_redo(journal: Any) -> List[Dict[str, Any]]:
+    # columnar journals carry interned label ids; ops keep the compact
+    # int (``lid``) and the record ships one small ``interns`` op
+    # mapping the lids it uses back to strings, because interner ids
+    # are process-local and must not be trusted across a WAL boundary
     ops: List[Dict[str, Any]] = []
+    interns: Dict[str, str] = {}
+
+    def encode(value: Any) -> int:
+        lid = intern_label(value) if isinstance(value, str) else value
+        key = str(lid)
+        if key not in interns:
+            interns[key] = label_name(lid)
+        return lid
+
     for entry in journal.entries:
         tag = entry[0]
         if tag == "add_node":
-            op = {"op": "add_node", "id": entry[1], "label": entry[2]}
+            op = {"op": "add_node", "id": entry[1], "lid": encode(entry[2])}
             if entry[3] is not NO_PRINT:
                 op["print"] = entry[3]
             ops.append(op)
@@ -99,13 +113,17 @@ def _native_redo(journal: Any) -> List[Dict[str, Any]]:
                 op["print"] = entry[3]
             ops.append(op)
         elif tag == "add_edge":
-            ops.append({"op": "add_edge", "source": entry[1], "label": entry[2], "target": entry[3]})
+            ops.append(
+                {"op": "add_edge", "source": entry[1], "lid": encode(entry[2]), "target": entry[3]}
+            )
         elif tag == "remove_edge":
             ops.append(
-                {"op": "remove_edge", "source": entry[1], "label": entry[2], "target": entry[3]}
+                {"op": "remove_edge", "source": entry[1], "lid": encode(entry[2]), "target": entry[3]}
             )
         # "scheme"/"bind" entries are summarised by the single trailing
         # scheme op extract_redo appends
+    if interns:
+        ops.insert(0, {"op": "interns", "map": interns})
     return ops
 
 
@@ -175,8 +193,12 @@ def _pairs(relation: Any) -> List[Any]:
 
 def apply_commit(database: Any, record: Dict[str, Any]) -> None:
     """Re-apply one commit record's redo ops to a recovered database."""
+    interns: Dict[str, str] = {}
     for op in record.get("redo", ()):
-        _apply_op(database, op)
+        if op.get("op") == "interns":
+            interns = op.get("map", {})
+            continue
+        _apply_op(database, op, interns)
     next_id = record.get("next_id")
     if isinstance(next_id, int):
         set_next_id(database, next_id)
@@ -207,31 +229,46 @@ def replace_state(database: Any, instance: Instance) -> None:
         database._engine = TarskiEngine.from_instance(instance)
 
 
-def _apply_op(database: Any, op: Dict[str, Any]) -> None:
+def _apply_op(database: Any, op: Dict[str, Any], interns: Dict[str, str]) -> None:
     kind = op.get("op")
     if kind == "scheme":
         database.scheme.restore_from(scheme_from_json(op["scheme"]))
         return
     if database.backend == "native":
-        _apply_native(database, kind, op)
+        _apply_native(database, kind, op, interns)
     elif database.backend == "relational":
         _apply_relational(database, kind, op)
     else:
         _apply_tarski(database, kind, op)
 
 
-def _apply_native(database: Any, kind: str, op: Dict[str, Any]) -> None:
+def _op_label(op: Dict[str, Any], interns: Dict[str, str]) -> str:
+    """Decode an op's label: lid via the record's intern map, with the
+    legacy ``label`` string key accepted for pre-columnar WALs."""
+    label = op.get("label")
+    if label is not None:
+        return label
+    lid = op["lid"]
+    try:
+        return interns[str(lid)]
+    except KeyError:
+        raise WalFormatError(
+            f"redo op references label id {lid} absent from the record's intern map"
+        ) from None
+
+
+def _apply_native(database: Any, kind: str, op: Dict[str, Any], interns: Dict[str, str]) -> None:
     store = database.session.instance._store
     if kind == "add_node":
-        store.add_node(op["label"], op.get("print", NO_PRINT), node_id=op["id"])
+        store.add_node(_op_label(op, interns), op.get("print", NO_PRINT), node_id=op["id"])
     elif kind == "remove_node":
         store.remove_node(op["id"])
     elif kind == "set_print":
         store.set_print(op["id"], op.get("print", NO_PRINT))
     elif kind == "add_edge":
-        store.add_edge(op["source"], op["label"], op["target"])
+        store.add_edge(op["source"], _op_label(op, interns), op["target"])
     elif kind == "remove_edge":
-        store.remove_edge(op["source"], op["label"], op["target"])
+        store.remove_edge(op["source"], _op_label(op, interns), op["target"])
     else:
         raise WalFormatError(f"unknown native redo op {kind!r}")
 

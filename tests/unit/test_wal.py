@@ -466,3 +466,153 @@ class TestRecovery:
             assert recovered.get("g").counts() == (1, 0)
         finally:
             recovered.close_durability()
+
+
+# ----------------------------------------------------------------------
+# binary record framing
+# ----------------------------------------------------------------------
+
+
+class TestBinaryRecordFraming:
+    DOC = {
+        "kind": "commit",
+        "lsn": 7,
+        "redo": [{"op": "add_edge", "source": 3, "lid": 2, "target": -4}],
+        "pair": ("v", 1.5),
+        "flag": True,
+        "missing": None,
+        "big": 1 << 40,
+    }
+
+    def test_roundtrip_preserves_every_type(self):
+        from repro.wal.record import encode_record_binary, scan_binary_records
+
+        frame = encode_record_binary(self.DOC)
+        records, valid, torn = scan_binary_records(frame)
+        assert records == [self.DOC] and valid == len(frame) and torn == 0
+        # tuple-ness survives natively, without $t markers
+        assert isinstance(records[0]["pair"], tuple)
+
+    def test_scan_autodetects_magic(self):
+        from repro.wal.record import BINARY_MAGIC, encode_record_binary
+
+        data = BINARY_MAGIC + encode_record_binary({"lsn": 1}) + encode_record_binary({"lsn": 2})
+        records, valid, torn = scan_records(data)
+        assert [r["lsn"] for r in records] == [1, 2]
+        assert valid == len(data) and torn == 0
+
+    def test_crc_rejects_flipped_byte(self):
+        from repro.wal.record import encode_record_binary, scan_binary_records
+
+        frame = bytearray(encode_record_binary({"lsn": 1}))
+        frame[-1] ^= 0x01
+        records, valid, torn = scan_binary_records(bytes(frame))
+        assert records == [] and valid == 0 and torn == 1
+
+    def test_torn_tail_at_every_byte(self):
+        from repro.wal.record import encode_record_binary, scan_binary_records
+
+        good = encode_record_binary({"lsn": 1}) + encode_record_binary({"lsn": 2})
+        final = encode_record_binary(self.DOC)
+        for cut in range(1, len(final)):
+            records, valid, torn = scan_binary_records(good + final[:cut])
+            assert [r["lsn"] for r in records] == [1, 2]
+            assert valid == len(good) and torn == 1
+
+    def test_rejects_out_of_range_int(self):
+        from repro.wal.record import encode_record_binary
+
+        with pytest.raises(WalFormatError):
+            encode_record_binary({"lsn": 1 << 63})
+
+
+class TestBinaryWalWriter:
+    def test_append_and_tail_binary_segment(self, tmp_path):
+        segment = tmp_path / "w.wal"
+        writer = WalWriter(segment, "always", wal_format="binary")
+        writer.append({"kind": "commit", "lsn": 1}).wait(0)
+        writer.append({"kind": "commit", "lsn": 2}).wait(0)
+        writer.close()
+        from repro.wal.record import BINARY_MAGIC
+
+        assert segment.read_bytes().startswith(BINARY_MAGIC)
+        records, offset = WalReader.tail(segment, 0)
+        assert [r["lsn"] for r in records] == [1, 2]
+        # the offset is stable: a second poll returns nothing new
+        assert WalReader.tail(segment, offset) == ([], offset)
+
+    def test_existing_text_segment_wins_over_configured_binary(self, tmp_path):
+        seg0, seg1 = tmp_path / "seg0.wal", tmp_path / "seg1.wal"
+        text_writer = WalWriter(seg0, "always")
+        text_writer.append({"kind": "commit", "lsn": 1}).wait(0)
+        text_writer.close()
+        writer = WalWriter(seg0, "always", wal_format="binary")
+        writer.append({"kind": "commit", "lsn": 2}).wait(0)
+        writer.rotate(seg1)
+        writer.append({"kind": "commit", "lsn": 3}).wait(0)
+        writer.close()
+        from repro.wal.record import BINARY_MAGIC
+
+        # segment 0 stayed text end to end; the post-rotate segment is binary
+        data0 = seg0.read_bytes()
+        assert not data0.startswith(BINARY_MAGIC)
+        records, _, torn = scan_records(data0)
+        assert [r["lsn"] for r in records] == [1, 2] and torn == 0
+        data1 = seg1.read_bytes()
+        assert data1.startswith(BINARY_MAGIC)
+        records, _, torn = scan_records(data1)
+        assert [r["lsn"] for r in records] == [3] and torn == 0
+
+
+# ----------------------------------------------------------------------
+# columnar checkpoints (format 2)
+# ----------------------------------------------------------------------
+
+
+class TestColumnarCheckpoint:
+    def build_instance(self):
+        instance = Instance(small_scheme())
+        ada = instance.add_printable("String", "ada")
+        people = [instance.add_object("Person") for _ in range(5)]
+        instance.add_edge(people[0], "name", ada)
+        for left, right in zip(people, people[1:]):
+            instance.add_edge(left, "knows", right)
+        instance.remove_node(people[3])  # leave a hole in the slot columns
+        return instance
+
+    def test_checkpoint_roundtrip_is_isomorphic(self, tmp_path):
+        from repro.graph import isomorphic
+        from repro.io.serialize import instance_from_json
+
+        instance = self.build_instance()
+        path = write_checkpoint(
+            tmp_path, 1, instance, backend="native", last_lsn=9, next_id=instance.store.next_id
+        )
+        doc = load_checkpoint(path)
+        assert doc["instance"]["format"] == 2
+        restored = instance_from_json(doc["instance"])
+        assert isomorphic(instance.store, restored.store)
+        # external node ids survive exactly (id-preserving, not just iso)
+        assert sorted(restored.store.nodes()) == sorted(instance.store.nodes())
+
+    def test_format_one_documents_still_load(self):
+        from repro.graph import isomorphic
+        from repro.io.serialize import instance_from_json
+
+        instance = self.build_instance()
+        legacy = instance_to_json(instance)
+        assert "format" not in legacy or legacy.get("format") != 2
+        restored = instance_from_json(legacy)
+        assert isomorphic(instance.store, restored.store)
+
+    def test_columnar_json_matches_streamed_bytes(self, tmp_path):
+        import io
+
+        from repro.io.serialize import instance_to_columnar_json, write_instance_columnar
+
+        instance = self.build_instance()
+        buffer = io.StringIO()
+        write_instance_columnar(instance, buffer)
+        assert json.loads(buffer.getvalue()) == json.loads(
+            json.dumps(instance_to_columnar_json(instance))
+        )
